@@ -1,0 +1,332 @@
+// Command ringcast-bench regenerates the paper's tables and figures.
+//
+// Every figure of the evaluation section (Section 7) has a corresponding
+// runner; by default the harness runs at a reduced scale that finishes in
+// minutes. Pass -paper for the paper's full 10,000-node, 100-run setup.
+//
+// Usage:
+//
+//	ringcast-bench -fig 6            # miss ratio + complete disseminations
+//	ringcast-bench -fig 9 -paper    # catastrophic failures at paper scale
+//	ringcast-bench -fig all          # everything, including ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"path/filepath"
+
+	"ringcast/internal/experiment"
+	"ringcast/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ringcast-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringcast-bench", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "all", "comma-separated figures to regenerate: 6,7,8,9,10,11,12,13,load,harary,ablation,trace,timing,domain,all")
+		n      = fs.Int("n", 2000, "node population")
+		runs   = fs.Int("runs", 30, "disseminations per data point")
+		seed   = fs.Int64("seed", 42, "random seed")
+		paper  = fs.Bool("paper", false, "use the paper's full scale (N=10000, 100 runs)")
+		plots  = fs.Bool("plot", false, "render ASCII charts next to the tables")
+		csvDir = fs.String("csv", "", "directory to write CSV series into (created if needed)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiment.Scaled(*n, *runs)
+	if *paper {
+		cfg = experiment.PaperConfig()
+	}
+	cfg.Seed = *seed
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	writeCSV := func(name string, emit func(io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		fh, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			return err
+		}
+		if err := emit(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		return fh.Close()
+	}
+
+	requested := make(map[string]bool)
+	for _, name := range strings.Split(*fig, ",") {
+		requested[strings.TrimSpace(name)] = true
+	}
+	want := func(names ...string) bool {
+		if requested["all"] {
+			return true
+		}
+		for _, name := range names {
+			if requested[name] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Figures 6, 7 and 8 share one static sweep.
+	if want("6", "7", "8") {
+		fmt.Fprintf(out, "== Static fail-free network (Figures 6, 7, 8) ==\n")
+		res, err := experiment.RunStatic(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "warm-up: %d cycles, ring convergence %.4f\n\n", res.WarmupUsed, res.Convergence)
+		if want("6") {
+			fmt.Fprintln(out, res.MissRatioTable())
+			fmt.Fprintln(out, res.CompleteTable())
+			if *plots {
+				plotMissRatio(out, res)
+			}
+		}
+		if want("7") {
+			fmt.Fprintln(out, res.ProgressTable(2, 3, 5, 10))
+			if *plots {
+				plotProgress(out, res, 3)
+			}
+		}
+		if want("8") {
+			fmt.Fprintln(out, res.OverheadTable())
+		}
+		if err := writeCSV("fig6-8-static.csv", res.WriteCSV); err != nil {
+			return err
+		}
+		if err := writeCSV("fig7-progress.csv", func(w io.Writer) error {
+			return res.WriteProgressCSV(w, 2, 3, 5, 10)
+		}); err != nil {
+			return err
+		}
+	}
+
+	if want("9", "10") {
+		for _, frac := range []float64{0.01, 0.02, 0.05, 0.10} {
+			if frac != 0.05 && !want("9") {
+				continue // figure 10 only needs the 5% case
+			}
+			fmt.Fprintf(out, "== Catastrophic failure of %g%% (Figures 9, 10) ==\n", frac*100)
+			res, err := experiment.RunCatastrophic(cfg, frac)
+			if err != nil {
+				return err
+			}
+			if want("9") {
+				fmt.Fprintln(out, res.MissRatioTable())
+				fmt.Fprintln(out, res.CompleteTable())
+				if *plots {
+					plotMissRatio(out, res)
+				}
+			}
+			if frac == 0.05 && want("10") {
+				fmt.Fprintln(out, res.ProgressTable(2, 3, 5, 10))
+			}
+			if err := writeCSV(fmt.Sprintf("fig9-catastrophic-%g.csv", frac*100), res.WriteCSV); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("11", "12", "13") {
+		fmt.Fprintf(out, "== Continuous churn 0.2%%/cycle (Figures 11, 12, 13) ==\n")
+		churnCfg := cfg
+		// Churn needs >= 1 replacement per cycle to be meaningful.
+		rate := 0.002
+		if float64(churnCfg.N)*rate < 1 {
+			rate = 1.5 / float64(churnCfg.N)
+		}
+		maxCycles := 40000
+		res, err := experiment.RunChurn(churnCfg, rate, maxCycles)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "turnover after %d cycles (complete: %v), ring convergence %.4f\n\n",
+			res.TurnoverCycles, res.TurnoverComplete, res.Convergence)
+		if want("11") {
+			fmt.Fprintln(out, res.MissRatioTable())
+			fmt.Fprintln(out, res.CompleteTable())
+		}
+		if want("12") {
+			fmt.Fprintln(out, res.LifetimeTable())
+		}
+		if want("13") {
+			for _, f := range []int{3, 6} {
+				fmt.Fprintln(out, res.MissByLifetimeTable(f))
+			}
+		}
+		if err := writeCSV("fig11-churn.csv", res.WriteCSV); err != nil {
+			return err
+		}
+		if err := writeCSV("fig12-13-lifetimes.csv", func(w io.Writer) error {
+			return res.WriteLifetimeCSV(w, 3)
+		}); err != nil {
+			return err
+		}
+	}
+
+	if want("load") {
+		fmt.Fprintf(out, "== Load distribution (Section 7) ==\n")
+		res, err := experiment.RunLoad(cfg, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Table())
+	}
+
+	if want("harary") {
+		fmt.Fprintf(out, "== Deterministic flooding baselines (Section 3) ==\n")
+		bn := cfg.N
+		if bn > 512 {
+			bn = 512 // clique flooding is O(n^2) messages
+		}
+		if bn%2 == 1 {
+			bn++
+		}
+		rows, err := experiment.RunFloodBaselines(bn, 100, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, experiment.FloodTable(rows))
+	}
+
+	if want("ablation") {
+		fmt.Fprintf(out, "== Ablations (DESIGN.md Section 5) ==\n")
+		feed, err := experiment.RunFeedAblation(minInt(cfg.N, 500), 600, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "vicinity feed:      with feed %d cycles (conv %.3f)  |  without %d cycles (conv %.3f)\n",
+			feed.WithFeedCycles, feed.WithFeedConv, feed.WithoutFeedCycles, feed.WithoutFeedConv)
+
+		sel, err := experiment.RunSelectionAblation(minInt(cfg.N, 500), 80, 0.01, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cyclon selection:   stale links oldest-first %.4f  |  random %.4f\n",
+			sel.StaleFractionOldest, sel.StaleFractionRandom)
+
+		age, err := experiment.RunMaxAgeAblation(minInt(cfg.N, 500), 80, 0.01, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "vicinity staleness: ring convergence with MaxAge %.3f  |  without %.3f\n",
+			age.ConvWithMaxAge, age.ConvWithoutMaxAge)
+
+		rings, err := experiment.RunMultiRingAblation(minInt(cfg.N, 2000), cfg.Runs, 2, []int{1, 2, 3}, 0.10, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "multi-ring (F=2, 10%% killed):")
+		for _, r := range rings {
+			fmt.Fprintf(out, "  k=%d miss %.5f", r.Rings, r.Agg.MeanMissRatio)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintln(out)
+	}
+
+	if want("timing") {
+		fmt.Fprintf(out, "== Timing-model invariance (Section 7.1's unplotted check) ==\n")
+		timingCfg := cfg
+		timingCfg.Fanouts = []int{3}
+		for _, proto := range []string{"randcast", "ringcast"} {
+			res, err := experiment.RunTimingInvariance(timingCfg, proto, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, res.Table())
+		}
+	}
+
+	if want("trace") {
+		fmt.Fprintf(out, "== Heavy-tailed (trace-style) churn — DESIGN.md §3 substitution ==\n")
+		traceCfg := cfg
+		traceCfg.Fanouts = []int{3, 6}
+		// Median session 360 cycles = Gnutella's ~60 min at a 10 s cycle.
+		res, err := experiment.RunTraceChurn(traceCfg, 360, 1.5, 1000)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "equivalent uniform churn rate: %.5f/cycle, ring convergence %.4f\n\n",
+			res.ChurnRate, res.Convergence)
+		fmt.Fprintln(out, res.MissRatioTable())
+		fmt.Fprintln(out, res.LifetimeTable())
+	}
+
+	if want("domain") {
+		fmt.Fprintf(out, "== Domain-proximity ring (Section 8) ==\n")
+		res, err := experiment.RunDomainRing(50, []string{
+			"inf.ethz.ch", "few.vu.nl", "cs.cornell.edu", "dcs.gla.uk", "lip6.fr",
+		}, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "N=%d over %d domains: converged=%v, contiguous domain arcs=%d (want %d)\n\n",
+			res.N, res.Domains, res.Converged, res.DomainRuns, res.Domains)
+	}
+
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// plotMissRatio renders the two protocols' miss-ratio series on a log
+// scale, mirroring the paper's log-scale bar charts.
+func plotMissRatio(out io.Writer, res *experiment.Result) {
+	labels := make([]string, 0, 2*len(res.Rows))
+	values := make([]float64, 0, 2*len(res.Rows))
+	for _, row := range res.Rows {
+		labels = append(labels, fmt.Sprintf("F=%-2d Rand", row.Fanout))
+		values = append(values, row.Rand.MeanMissRatio*100)
+		labels = append(labels, fmt.Sprintf("F=%-2d Ring", row.Fanout))
+		values = append(values, row.Ring.MeanMissRatio*100)
+	}
+	fmt.Fprintln(out, "miss ratio, % (log scale):")
+	fmt.Fprintln(out, plot.LogBars(labels, values, 50, 1e-4))
+}
+
+// plotProgress renders the per-hop not-reached curves for one fanout.
+func plotProgress(out io.Writer, res *experiment.Result, fanout int) {
+	for _, row := range res.Rows {
+		if row.Fanout != fanout {
+			continue
+		}
+		fmt.Fprintf(out, "dissemination progress, fanout %d (%% not reached per hop):\n", fanout)
+		fmt.Fprintln(out, plot.Curves([]plot.Series{
+			{Name: "RandCast", Values: scale(row.Rand.NotReachedByHop, 100)},
+			{Name: "RingCast", Values: scale(row.Ring.NotReachedByHop, 100)},
+		}, 8))
+	}
+}
+
+func scale(xs []float64, k float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * k
+	}
+	return out
+}

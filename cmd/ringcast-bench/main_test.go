@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunHararyBaselines(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "harary", "-n", "64", "-runs", "2", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"clique", "binary tree", "ring (Harary t=2)", "P(complete|1 kill)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFig6Small(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "6", "-n", "200", "-runs", "3", "-seed", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Miss ratio") || !strings.Contains(s, "Complete disseminations") {
+		t.Fatalf("figure 6 tables missing:\n%s", s)
+	}
+	if !strings.Contains(s, "ring convergence 1.0000") {
+		t.Errorf("warm-up did not converge:\n%s", s)
+	}
+}
+
+func TestRunFig6WithPlot(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "6", "-n", "200", "-runs", "2", "-plot"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "log scale") {
+		t.Fatal("plot missing")
+	}
+}
+
+func TestRunDomain(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "domain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "contiguous domain arcs=5 (want 5)") {
+		t.Fatalf("domain ring not contiguous:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunUnknownFigIsNoop(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "999"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unknown figure produced output: %q", out.String())
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-fig", "6", "-n", "200", "-runs", "2", "-csv", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig6-8-static.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "fanout,randcast_miss_ratio") {
+		t.Fatalf("unexpected CSV header: %.80s", data)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig7-progress.csv")); err != nil {
+		t.Fatal("progress CSV missing")
+	}
+}

@@ -1,0 +1,120 @@
+// Command ringcast-inspect self-organizes a network and reports structural
+// properties of the resulting overlays: CYCLON's random-graph resemblance
+// (Section 6) and the VICINITY ring's convergence, plus degree and path
+// statistics for both layers.
+//
+// Usage:
+//
+//	ringcast-inspect -n 2000 -cycles 100
+//	ringcast-inspect -n 1000 -rings 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"ringcast/internal/analysis"
+	"ringcast/internal/cyclon"
+	"ringcast/internal/dissem"
+	"ringcast/internal/graph"
+	"ringcast/internal/ident"
+	"ringcast/internal/sim"
+	"ringcast/internal/vicinity"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ringcast-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringcast-inspect", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 1000, "node population")
+		cycles  = fs.Int("cycles", 100, "gossip cycles before inspection")
+		rings   = fs.Int("rings", 1, "number of rings to maintain (Section 8)")
+		cycView = fs.Int("cyclon-view", 20, "CYCLON view length")
+		vicView = fs.Int("vicinity-view", 20, "VICINITY view length")
+		samples = fs.Int("path-samples", 20, "BFS sources for path metrics")
+		seed    = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := sim.Config{
+		N:           *n,
+		Cyclon:      cyclon.Config{ViewSize: *cycView, ShuffleLen: (*cycView + 1) / 2},
+		Vicinity:    vicinity.Config{ViewSize: *vicView, GossipLen: *vicView, Balanced: true, MaxAge: 30},
+		UseVicinity: true,
+		Rings:       *rings,
+		Seed:        *seed,
+	}
+	nw, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "self-organizing %d nodes for %d cycles (%d ring(s))...\n", *n, *cycles, maxInt(*rings, 1))
+	nw.RunCycles(*cycles)
+
+	o := dissem.Snapshot(nw)
+	index := make(map[ident.ID]int, o.N())
+	for i, id := range o.IDs() {
+		index[id] = i
+	}
+
+	// CYCLON layer.
+	rGraph := graph.NewDirected(o.N())
+	for i := 0; i < o.N(); i++ {
+		for _, tgt := range o.Links(i).R {
+			if j, ok := index[tgt]; ok {
+				rGraph.AddEdge(i, j)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(*seed ^ 0x15bec7))
+	rStats, err := analysis.Analyze(rGraph, *samples, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nCYCLON overlay (r-links):\n")
+	printStats(out, rStats)
+	fmt.Fprintf(out, "  random-graph expectations: clustering %.5f, path length %.2f\n",
+		analysis.RandomGraphClustering(rStats.N, rStats.MeanOutDegree),
+		analysis.RandomGraphPathLength(rStats.N, rStats.MeanOutDegree))
+
+	// VICINITY layer.
+	dGraph := o.DGraph()
+	dStats, err := analysis.Analyze(dGraph, *samples, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nVICINITY overlay (d-links):\n")
+	printStats(out, dStats)
+	fmt.Fprintf(out, "  ring convergence: %.4f\n", nw.RingConvergence())
+	fmt.Fprintf(out, "  d-link graph strongly connected: %v\n", dGraph.StronglyConnected(nil))
+	return nil
+}
+
+func printStats(out io.Writer, s *analysis.OverlayStats) {
+	fmt.Fprintf(out, "  nodes: %d\n", s.N)
+	fmt.Fprintf(out, "  mean out-degree: %.2f, mean in-degree: %.2f (std %.2f, max %d)\n",
+		s.MeanOutDegree, s.MeanInDegree, s.InDegreeStd, s.MaxInDegree)
+	fmt.Fprintf(out, "  clustering coefficient: %.5f\n", s.Clustering)
+	if s.AvgPathLength > 0 {
+		fmt.Fprintf(out, "  avg path length: %.2f hops (diameter %d, disconnected: %v)\n",
+			s.AvgPathLength, s.Diameter, s.Disconnected)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

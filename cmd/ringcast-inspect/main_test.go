@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInspectSingleRing(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "300", "-cycles", "100", "-path-samples", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"CYCLON overlay", "VICINITY overlay",
+		"ring convergence: 1.0000",
+		"strongly connected: true",
+		"random-graph expectations",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInspectMultiRing(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "150", "-cycles", "120", "-rings", "2", "-cyclon-view", "8", "-vicinity-view", "8", "-path-samples", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two rings every node has ~4 d-links.
+	if !strings.Contains(out.String(), "mean out-degree: 4.00") {
+		t.Errorf("expected 4 d-links per node:\n%s", out.String())
+	}
+}
+
+func TestInspectBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-n", "1"}, &out); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+}

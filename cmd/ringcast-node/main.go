@@ -1,0 +1,133 @@
+// Command ringcast-node runs a live RingCast participant over TCP.
+//
+// Each line read from standard input is published to the overlay; every
+// message delivered from the overlay is printed to standard output. Start a
+// first node, then point further nodes at it with -join:
+//
+//	ringcast-node -listen 127.0.0.1:7001
+//	ringcast-node -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//	ringcast-node -listen 127.0.0.1:7003 -join 127.0.0.1:7001
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ringcast/internal/core"
+	"ringcast/internal/node"
+	"ringcast/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ringcast-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("ringcast-node", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:0", "TCP listen address")
+		join     = fs.String("join", "", "bootstrap peer address (empty = first node)")
+		fanout   = fs.Int("fanout", 3, "dissemination fanout F")
+		proto    = fs.String("proto", "ringcast", "protocol: ringcast or randcast")
+		interval = fs.Duration("interval", 500*time.Millisecond, "gossip cycle length")
+		status   = fs.Duration("status", 10*time.Second, "status print interval (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sel, err := core.ByName(*proto)
+	if err != nil {
+		return err
+	}
+
+	tr, err := transport.ListenTCP(*listen)
+	if err != nil {
+		return err
+	}
+	cfg := node.DefaultConfig()
+	cfg.Fanout = *fanout
+	cfg.Selector = sel
+	cfg.GossipInterval = *interval
+
+	nd, err := node.New(cfg, tr, func(d node.Delivery) {
+		fmt.Fprintf(out, "[recv %s from %s] %s\n", d.Msg.ID, d.From, d.Msg.Body)
+	})
+	if err != nil {
+		tr.Close()
+		return err
+	}
+	defer nd.Close()
+
+	fmt.Fprintf(out, "node %s listening on %s (%s, F=%d)\n", nd.ID(), nd.Addr(), sel.Name(), *fanout)
+	if *join != "" {
+		if err := nd.Join(*join); err != nil {
+			return err
+		}
+		// Accelerated warm-up for joiners (Section 7.3's optimization).
+		for i := 0; i < 5; i++ {
+			nd.GossipNow()
+			time.Sleep(*interval / 5)
+		}
+		fmt.Fprintf(out, "joined via %s\n", *join)
+	}
+	if err := nd.Start(); err != nil {
+		return err
+	}
+
+	lines := make(chan string)
+	readErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(in)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		readErr <- sc.Err()
+	}()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	var statusC <-chan time.Time
+	if *status > 0 {
+		t := time.NewTicker(*status)
+		defer t.Stop()
+		statusC = t.C
+	}
+
+	for {
+		select {
+		case line := <-lines:
+			if line == "" {
+				continue
+			}
+			mid, err := nd.Publish([]byte(line))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "[sent %s]\n", mid)
+		case <-statusC:
+			s := nd.Stats()
+			pred, succ, ok := nd.RingNeighbors()
+			ring := "ring: not yet formed"
+			if ok {
+				ring = fmt.Sprintf("ring: %s <- self -> %s", pred.Node, succ.Node)
+			}
+			fmt.Fprintf(out, "[status] view=%d %s | delivered=%d dup=%d fwd=%d errs=%d\n",
+				len(nd.ViewIDs()), ring, s.Delivered, s.Duplicates, s.Forwarded, s.SendErrors)
+		case err := <-readErr:
+			return err
+		case <-sigs:
+			fmt.Fprintln(out, "shutting down")
+			return nil
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe output sink.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestSingleNodePublishDeliversLocally(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP test skipped in -short mode")
+	}
+	in, inW := io.Pipe()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-interval", "10ms",
+			"-status", "0",
+		}, in, &out)
+	}()
+
+	// Wait for startup, publish one line, expect local delivery echo.
+	waitFor(t, &out, "listening on")
+	if _, err := inW.Write([]byte("hello self\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, &out, "[sent")
+	waitFor(t, &out, "hello self")
+
+	inW.Close() // EOF terminates the loop
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit on EOF")
+	}
+}
+
+func TestTwoNodeDissemination(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP test skipped in -short mode")
+	}
+	inA, inAW := io.Pipe()
+	var outA syncBuffer
+	doneA := make(chan error, 1)
+	go func() {
+		doneA <- run([]string{"-listen", "127.0.0.1:0", "-interval", "10ms", "-status", "0"}, inA, &outA)
+	}()
+	waitFor(t, &outA, "listening on")
+	addrA := parseListenAddr(t, outA.String())
+
+	inB, inBW := io.Pipe()
+	var outB syncBuffer
+	doneB := make(chan error, 1)
+	go func() {
+		doneB <- run([]string{
+			"-listen", "127.0.0.1:0", "-join", addrA,
+			"-interval", "10ms", "-status", "0",
+		}, inB, &outB)
+	}()
+	waitFor(t, &outB, "joined via")
+
+	// Give gossip a moment to link the two nodes, then publish from A.
+	time.Sleep(300 * time.Millisecond)
+	if _, err := inAW.Write([]byte("cross-node hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, &outB, "cross-node hello")
+
+	inAW.Close()
+	inBW.Close()
+	for _, done := range []chan error{doneA, doneB} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("run did not exit on EOF")
+		}
+	}
+}
+
+func TestBadProtocolFlag(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-proto", "smoke-signals"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestBadListenAddr(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-listen", "256.0.0.1:-1"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func waitFor(t *testing.T, out *syncBuffer, substr string) {
+	t.Helper()
+	deadline := time.After(15 * time.Second)
+	for !strings.Contains(out.String(), substr) {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for %q in output:\n%s", substr, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// parseListenAddr extracts the address from "node <id> listening on <addr> ...".
+func parseListenAddr(t *testing.T, s string) string {
+	t.Helper()
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			rest := line[i+len("listening on "):]
+			if j := strings.IndexByte(rest, ' '); j > 0 {
+				return rest[:j]
+			}
+			return rest
+		}
+	}
+	t.Fatalf("no listen address in output:\n%s", s)
+	return ""
+}

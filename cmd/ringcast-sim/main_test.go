@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunStaticRingCast(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "300", "-runs", "5", "-fanout", "3", "-proto", "ringcast"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "complete disseminations: 100%") {
+		t.Fatalf("RingCast not complete on static network:\n%s", s)
+	}
+	if !strings.Contains(s, "miss ratio:              0.000000") {
+		t.Fatalf("RingCast missed nodes:\n%s", s)
+	}
+}
+
+func TestRunCatastrophicRandCast(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "300", "-runs", "5", "-fanout", "2", "-proto", "randcast", "-fail", "0.1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "catastrophic failure: killed 30 nodes") {
+		t.Fatalf("kill count wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "RandCast, F=2") {
+		t.Fatalf("summary header missing:\n%s", s)
+	}
+}
+
+func TestRunChurnScenario(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "200", "-runs", "3", "-churn", "0.01", "-churn-cycles", "30"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "after churn: 200 alive") {
+		t.Fatalf("churn phase missing:\n%s", out.String())
+	}
+}
+
+func TestRunBadProtocol(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-proto", "carrier-pigeon"}, &out); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestRunBadChurnRate(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "50", "-churn", "2.0"}, &out); err == nil {
+		t.Fatal("churn rate > 1 accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

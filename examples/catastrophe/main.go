@@ -1,0 +1,89 @@
+// Catastrophic failure (paper, Section 7.2): 10% of a 10,000-node network
+// dies at once, the overlay gets no chance to heal, and a message must
+// still spread. The example compares RANDCAST and RINGCAST over the same
+// damaged overlay and then shows how quickly continued gossip repairs the
+// ring.
+//
+//	go run ./examples/catastrophe
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/metrics"
+	"ringcast/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "catastrophe:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 10000
+	const failFraction = 0.10
+	const runs = 20
+
+	fmt.Printf("building a %d-node overlay...\n", n)
+	cfg := sim.DefaultConfig(n)
+	cfg.Seed = 7
+	nw, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	cycles, conv := nw.WarmUp(100, 1000)
+	fmt.Printf("converged after %d cycles (ring %.4f)\n", cycles, conv)
+
+	o := dissem.Snapshot(nw)
+	killed := o.KillFraction(failFraction, nw.Rand())
+	fmt.Printf("catastrophe: %d nodes died simultaneously; no self-healing allowed\n\n", killed)
+
+	fmt.Println("disseminating over the damaged overlay (F=3, 20 messages each):")
+	for _, sel := range []core.Selector{core.RandCast{}, core.RingCast{}} {
+		var acc metrics.Accumulator
+		for r := 0; r < runs; r++ {
+			origin, err := o.RandomAliveOrigin(nw.Rand())
+			if err != nil {
+				return err
+			}
+			d, err := dissem.RunOpts(o, origin, sel, 3, nw.Rand(), dissem.Options{SkipLoad: true})
+			if err != nil {
+				return err
+			}
+			acc.Add(d)
+		}
+		agg := acc.Finalize()
+		fmt.Printf("  %-9s miss ratio %.5f%%  complete %.0f%%  lost msgs %.0f\n",
+			sel.Name(), agg.MeanMissRatio*100, agg.CompleteFraction*100, agg.MeanLost)
+	}
+
+	// Now let gossip heal the overlay and measure again.
+	fmt.Println("\nletting the survivors gossip for 60 cycles to self-heal...")
+	nw.RunCycles(60)
+	fmt.Printf("ring convergence among survivors: %.4f\n", nw.RingConvergence())
+	healed := dissem.Snapshot(nw)
+	for _, sel := range []core.Selector{core.RandCast{}, core.RingCast{}} {
+		var acc metrics.Accumulator
+		for r := 0; r < runs; r++ {
+			origin, err := healed.RandomAliveOrigin(nw.Rand())
+			if err != nil {
+				return err
+			}
+			d, err := dissem.RunOpts(healed, origin, sel, 3, nw.Rand(), dissem.Options{SkipLoad: true})
+			if err != nil {
+				return err
+			}
+			acc.Add(d)
+		}
+		agg := acc.Finalize()
+		fmt.Printf("  %-9s miss ratio %.5f%%  complete %.0f%%\n",
+			sel.Name(), agg.MeanMissRatio*100, agg.CompleteFraction*100)
+	}
+	fmt.Println("\nafter healing, RingCast is deterministic-complete again; RandCast still gambles.")
+	return nil
+}

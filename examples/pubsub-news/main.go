@@ -1,0 +1,149 @@
+// Topic-based publish/subscribe (paper, Section 8): each topic forms its
+// own dissemination overlay; subscribers join only the overlays of the
+// topics they care about.
+//
+// Twelve peers subscribe to overlapping subsets of {headlines, sports,
+// weather}; one event per topic is published and the example verifies that
+// exactly the subscribers receive it.
+//
+//	go run ./examples/pubsub-news
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ringcast/internal/node"
+	"ringcast/internal/pubsub"
+	"ringcast/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pubsub-news:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fabric := transport.NewInMemNetwork()
+
+	subscriptions := map[string][]int{
+		"headlines": {0, 1, 2, 3, 4, 5, 6, 7},
+		"sports":    {0, 2, 4, 6, 8, 9},
+		"weather":   {1, 3, 5, 7, 8, 10, 11},
+	}
+
+	const peers = 12
+	var mu sync.Mutex
+	received := make(map[string]map[int]string) // topic -> peer -> payload
+	for topic := range subscriptions {
+		received[topic] = make(map[int]string)
+	}
+
+	all := make([]*pubsub.Peer, peers)
+	for i := 0; i < peers; i++ {
+		ep, err := fabric.Endpoint(fmt.Sprintf("peer-%02d", i))
+		if err != nil {
+			return err
+		}
+		cfg := node.DefaultConfig()
+		cfg.GossipInterval = 5 * time.Millisecond
+		cfg.Fanout = 3
+		cfg.Seed = int64(i + 1)
+		p, err := pubsub.NewPeer(ep, cfg)
+		if err != nil {
+			return err
+		}
+		all[i] = p
+	}
+	defer func() {
+		for _, p := range all {
+			p.Close()
+		}
+	}()
+
+	// Subscribe: bootstrap each topic through its first subscriber.
+	for topic, members := range subscriptions {
+		var bootstrap []string
+		for _, i := range members {
+			i := i
+			topic := topic
+			err := all[i].Subscribe(topic, bootstrap, func(e pubsub.Event) {
+				mu.Lock()
+				received[e.Topic][i] = string(e.Msg.Body)
+				mu.Unlock()
+			})
+			if err != nil {
+				return err
+			}
+			bootstrap = append(bootstrap, all[i].Addr())
+		}
+	}
+
+	fmt.Println("letting the three topic overlays self-organize...")
+	time.Sleep(400 * time.Millisecond)
+
+	events := map[string]string{
+		"headlines": "middleware 2007 proceedings published",
+		"sports":    "ajax beats feyenoord 3-1",
+		"weather":   "rain expected over amsterdam",
+	}
+	for topic, body := range events {
+		publisher := subscriptions[topic][0]
+		if _, err := all[publisher].Publish(topic, []byte(body)); err != nil {
+			return err
+		}
+	}
+
+	// Wait until every subscriber of every topic got its event.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		done := true
+		for topic, members := range subscriptions {
+			if len(received[topic]) < len(members) {
+				done = false
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out waiting for deliveries")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	topics := make([]string, 0, len(subscriptions))
+	for t := range subscriptions {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	for _, topic := range topics {
+		mu.Lock()
+		got := make([]int, 0, len(received[topic]))
+		for i := range received[topic] {
+			got = append(got, i)
+		}
+		mu.Unlock()
+		sort.Ints(got)
+		fmt.Printf("%-10s -> peers %v\n", topic, got)
+		// Cross-check: nobody outside the subscription received it.
+		want := map[int]bool{}
+		for _, i := range subscriptions[topic] {
+			want[i] = true
+		}
+		for _, i := range got {
+			if !want[i] {
+				return fmt.Errorf("peer %d received %q without subscribing", i, topic)
+			}
+		}
+	}
+	fmt.Println("every event reached exactly its topic's subscribers")
+	return nil
+}

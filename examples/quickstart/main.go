@@ -1,0 +1,131 @@
+// Quickstart: spin up a 64-node live RingCast cluster in one process,
+// let it self-organize, publish a message, and watch it reach every node.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/node"
+	"ringcast/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const clusterSize = 64
+
+	// One in-memory fabric hosts the whole cluster. Swap in
+	// transport.ListenTCP to run the same code across machines.
+	fabric := transport.NewInMemNetwork()
+
+	var delivered atomic.Int64
+	nodes := make([]*node.Node, 0, clusterSize)
+	for i := 0; i < clusterSize; i++ {
+		ep, err := fabric.Endpoint(fmt.Sprintf("node-%02d", i))
+		if err != nil {
+			return err
+		}
+		cfg := node.DefaultConfig()
+		cfg.Fanout = 3
+		cfg.GossipInterval = 5 * time.Millisecond
+		cfg.Seed = int64(i + 1)
+		nd, err := node.New(cfg, ep, func(d node.Delivery) {
+			delivered.Add(1)
+		})
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	// Everyone joins through the first node, then gossips.
+	for _, nd := range nodes[1:] {
+		if err := nd.Join(nodes[0].Addr()); err != nil {
+			return err
+		}
+	}
+	for _, nd := range nodes {
+		if err := nd.Start(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("started %d nodes, waiting for the ring to form...\n", clusterSize)
+	waitForRing(nodes)
+
+	pred, succ, _ := nodes[0].RingNeighbors()
+	fmt.Printf("node %s sits between %s and %s on the ring\n", nodes[0].ID(), pred.Node, succ.Node)
+
+	fmt.Println("publishing a message from node 7...")
+	start := time.Now()
+	if _, err := nodes[7].Publish([]byte("hello, hybrid dissemination!")); err != nil {
+		return err
+	}
+	for delivered.Load() < clusterSize {
+		if time.Since(start) > 10*time.Second {
+			return fmt.Errorf("only %d/%d deliveries", delivered.Load(), clusterSize)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("delivered to all %d nodes in %v\n", clusterSize, time.Since(start).Round(time.Millisecond))
+
+	total := node.Stats{}
+	for _, nd := range nodes {
+		s := nd.Stats()
+		total.Forwarded += s.Forwarded
+		total.Duplicates += s.Duplicates
+	}
+	fmt.Printf("message overhead: %d forwards, %d suppressed duplicates\n",
+		total.Forwarded, total.Duplicates)
+	return nil
+}
+
+// waitForRing blocks until every node's pred/succ links match the global
+// sorted ring — the converged state RINGCAST's completeness guarantee
+// rests on.
+func waitForRing(nodes []*node.Node) {
+	ids := make([]ident.ID, len(nodes))
+	pos := make(map[ident.ID]int, len(nodes))
+	for i, nd := range nodes {
+		ids[i] = nd.ID()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		pos[id] = i
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		converged := true
+		for _, nd := range nodes {
+			pred, succ, ok := nd.RingNeighbors()
+			i := pos[nd.ID()]
+			if !ok ||
+				succ.Node != ids[(i+1)%len(ids)] ||
+				pred.Node != ids[(i-1+len(ids))%len(ids)] {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

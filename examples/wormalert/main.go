@@ -1,0 +1,59 @@
+// Worm alert: the paper's motivating scenario of "world-wide worm alert
+// notifications" (Section 1). A security sensor must push an alert to every
+// node of a 5,000-node network, fast, with the smallest possible fanout.
+//
+// The example disseminates the same alert with RANDCAST and RINGCAST at
+// F=2..4 and prints who actually protected the whole fleet.
+//
+//	go run ./examples/wormalert
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wormalert:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const fleet = 5000
+	fmt.Printf("fleet of %d hosts self-organizing (CYCLON + VICINITY)...\n", fleet)
+
+	cfg := sim.DefaultConfig(fleet)
+	cfg.Seed = 2024
+	nw, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	cycles, conv := nw.WarmUp(100, 1000)
+	fmt.Printf("overlay ready after %d cycles (ring convergence %.4f)\n\n", cycles, conv)
+
+	o := dissem.Snapshot(nw)
+	sensor := o.IDs()[0] // the sensor that spots the worm
+
+	fmt.Println("disseminating the worm alert:")
+	fmt.Println("proto     F   hosts alerted   missed   hops   messages")
+	for _, sel := range []core.Selector{core.RandCast{}, core.RingCast{}} {
+		for _, f := range []int{2, 3, 4} {
+			d, err := dissem.RunOpts(o, sensor, sel, f, nw.Rand(), dissem.Options{SkipLoad: true})
+			if err != nil {
+				return err
+			}
+			missed := d.AliveTotal - d.Reached
+			fmt.Printf("%-9s %d   %5d/%d     %6d   %4d   %8d\n",
+				sel.Name(), f, d.Reached, d.AliveTotal, missed, d.Hops(), d.TotalMsgs())
+		}
+	}
+	fmt.Println("\nRingCast alerts every host even at F=2; RandCast leaves stragglers")
+	fmt.Println("unpatched unless the fanout (and message bill) grows much larger.")
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package analysis measures structural properties of gossip overlays. The
+// paper leans on CYCLON producing "overlays that strongly resemble random
+// graphs" (Section 6) — this package quantifies that resemblance: in-degree
+// distribution, clustering coefficient, and average path length, with the
+// corresponding Erdős–Rényi-style expectations for comparison.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ringcast/internal/graph"
+)
+
+// OverlayStats summarizes the structure of a directed overlay.
+type OverlayStats struct {
+	// N is the number of nodes considered.
+	N int
+	// MeanOutDegree and MeanInDegree are the average degrees; for a
+	// peer-sampling overlay with full views both equal the view length.
+	MeanOutDegree, MeanInDegree float64
+	// InDegreeStd is the standard deviation of the in-degree — low for
+	// random-graph-like overlays, enormous for star-like ones.
+	InDegreeStd float64
+	// MaxInDegree is the hottest node's in-degree.
+	MaxInDegree int
+	// Clustering is the mean local clustering coefficient (directed edges
+	// treated as undirected). Random graphs have ~degree/N; structured
+	// overlays have much more.
+	Clustering float64
+	// AvgPathLength is the mean shortest-path length over sampled source
+	// nodes (hops). Random graphs have ~ln(N)/ln(degree).
+	AvgPathLength float64
+	// Diameter is the maximum eccentricity among the sampled sources.
+	Diameter int
+	// Disconnected reports whether any sampled source failed to reach some
+	// node (path metrics then cover reachable pairs only).
+	Disconnected bool
+}
+
+// RandomGraphClustering is the expected clustering coefficient of an
+// Erdős–Rényi digraph with the same size and mean degree: degree/N.
+func RandomGraphClustering(n int, meanDegree float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return meanDegree / float64(n)
+}
+
+// RandomGraphPathLength is the textbook estimate ln(N)/ln(degree) for the
+// average shortest path of a random graph.
+func RandomGraphPathLength(n int, meanDegree float64) float64 {
+	if n < 2 || meanDegree <= 1 {
+		return math.Inf(1)
+	}
+	return math.Log(float64(n)) / math.Log(meanDegree)
+}
+
+// Analyze computes overlay statistics. pathSamples bounds the number of BFS
+// sources used for path metrics (0 disables them; they are O(samples * E)).
+func Analyze(g *graph.Directed, pathSamples int, rng *rand.Rand) (*OverlayStats, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("analysis: empty graph")
+	}
+	if pathSamples > 0 && rng == nil {
+		return nil, fmt.Errorf("analysis: rng required for path sampling")
+	}
+	s := &OverlayStats{N: n}
+
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	sumOut, sumIn := 0, 0
+	for i := 0; i < n; i++ {
+		sumOut += out[i]
+		sumIn += in[i]
+		if in[i] > s.MaxInDegree {
+			s.MaxInDegree = in[i]
+		}
+	}
+	s.MeanOutDegree = float64(sumOut) / float64(n)
+	s.MeanInDegree = float64(sumIn) / float64(n)
+	varIn := 0.0
+	for i := 0; i < n; i++ {
+		d := float64(in[i]) - s.MeanInDegree
+		varIn += d * d
+	}
+	s.InDegreeStd = math.Sqrt(varIn / float64(n))
+
+	s.Clustering = clustering(g)
+
+	if pathSamples > 0 {
+		s.AvgPathLength, s.Diameter, s.Disconnected = pathMetrics(g, pathSamples, rng)
+	}
+	return s, nil
+}
+
+// clustering computes the mean local clustering coefficient with directed
+// edges collapsed to undirected ones.
+func clustering(g *graph.Directed) float64 {
+	n := g.N()
+	// Build undirected neighbour sets.
+	neigh := make([]map[int]struct{}, n)
+	for i := range neigh {
+		neigh[i] = make(map[int]struct{})
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			if u == v {
+				continue
+			}
+			neigh[u][v] = struct{}{}
+			neigh[v][u] = struct{}{}
+		}
+	}
+	total := 0.0
+	counted := 0
+	for u := 0; u < n; u++ {
+		k := len(neigh[u])
+		if k < 2 {
+			continue
+		}
+		counted++
+		links := 0
+		// Count edges among u's neighbours.
+		for v := range neigh[u] {
+			for w := range neigh[v] {
+				if w == u || w == v {
+					continue
+				}
+				if _, ok := neigh[u][w]; ok {
+					links++
+				}
+			}
+		}
+		// Each neighbour pair counted twice (v->w and w->v).
+		total += float64(links) / float64(k*(k-1))
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// pathMetrics runs BFS from sampled sources over directed edges.
+func pathMetrics(g *graph.Directed, samples int, rng *rand.Rand) (avg float64, diameter int, disconnected bool) {
+	n := g.N()
+	if samples > n {
+		samples = n
+	}
+	perm := rng.Perm(n)[:samples]
+	totalDist, pairs := 0, 0
+	for _, src := range perm {
+		dist := bfs(g, src)
+		for v, d := range dist {
+			if v == src {
+				continue
+			}
+			if d < 0 {
+				disconnected = true
+				continue
+			}
+			totalDist += d
+			pairs++
+			if d > diameter {
+				diameter = d
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0, 0, disconnected
+	}
+	return float64(totalDist) / float64(pairs), diameter, disconnected
+}
+
+// bfs returns directed-hop distances from src (-1 = unreachable).
+func bfs(g *graph.Directed, src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Out(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

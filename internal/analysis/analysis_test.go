@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ringcast/internal/cyclon"
+	"ringcast/internal/dissem"
+	"ringcast/internal/graph"
+	"ringcast/internal/ident"
+	"ringcast/internal/overlay"
+	"ringcast/internal/sim"
+	"ringcast/internal/vicinity"
+)
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(graph.NewDirected(0), 0, nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := Analyze(graph.NewDirected(3), 2, nil); err == nil {
+		t.Error("nil rng with sampling accepted")
+	}
+}
+
+func TestAnalyzeRing(t *testing.T) {
+	g := overlay.Ring(100)
+	s, err := Analyze(g, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeanOutDegree != 2 || s.MeanInDegree != 2 {
+		t.Fatalf("ring degrees = %v/%v, want 2/2", s.MeanOutDegree, s.MeanInDegree)
+	}
+	if s.InDegreeStd != 0 {
+		t.Fatalf("ring in-degree std = %v, want 0", s.InDegreeStd)
+	}
+	// Ring: no triangles.
+	if s.Clustering != 0 {
+		t.Fatalf("ring clustering = %v, want 0", s.Clustering)
+	}
+	// Ring paths are long: ~N/4 on average, diameter N/2.
+	if s.AvgPathLength < 20 || s.Diameter != 50 {
+		t.Fatalf("ring paths = %.1f avg, %d diameter", s.AvgPathLength, s.Diameter)
+	}
+	if s.Disconnected {
+		t.Fatal("ring reported disconnected")
+	}
+}
+
+func TestAnalyzeCliqueClustering(t *testing.T) {
+	g := overlay.Clique(12)
+	s, err := Analyze(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Clustering-1) > 1e-9 {
+		t.Fatalf("clique clustering = %v, want 1", s.Clustering)
+	}
+	if s.AvgPathLength != 0 {
+		t.Fatal("path metrics computed despite samples=0")
+	}
+}
+
+func TestAnalyzeStarConcentration(t *testing.T) {
+	g := overlay.Star(50)
+	s, err := Analyze(g, 5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxInDegree != 49 {
+		t.Fatalf("star hub in-degree = %d, want 49", s.MaxInDegree)
+	}
+	if s.InDegreeStd < 5 {
+		t.Fatalf("star in-degree std = %v, want large", s.InDegreeStd)
+	}
+}
+
+// The paper's Section 6 claim: a converged CYCLON overlay strongly
+// resembles a random graph — balanced in-degrees, near-ER clustering,
+// logarithmic path lengths.
+func TestCyclonOverlayResemblesRandomGraph(t *testing.T) {
+	cfg := sim.Config{
+		N:           500,
+		Cyclon:      cyclon.Config{ViewSize: 10, ShuffleLen: 5},
+		Vicinity:    vicinity.Config{ViewSize: 8, GossipLen: 8, Balanced: true, MaxAge: 20},
+		UseVicinity: false,
+		Seed:        7,
+	}
+	nw := sim.MustNew(cfg)
+	nw.RunCycles(150)
+
+	// Project the CYCLON views onto a directed graph.
+	o := dissem.Snapshot(nw)
+	g := graph.NewDirected(o.N())
+	index := map[ident.ID]int{}
+	for i, id := range o.IDs() {
+		index[id] = i
+	}
+	for i := 0; i < o.N(); i++ {
+		for _, tgt := range o.Links(i).R {
+			if j, ok := index[tgt]; ok {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	s, err := Analyze(g, 30, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeanOutDegree < 9.5 {
+		t.Fatalf("views not full: mean out-degree %v", s.MeanOutDegree)
+	}
+	// In-degree balanced around the view size (CYCLON's signature property).
+	if s.InDegreeStd > 0.6*s.MeanInDegree {
+		t.Errorf("in-degree too dispersed: std %v vs mean %v", s.InDegreeStd, s.MeanInDegree)
+	}
+	// Clustering within a small factor of the ER expectation.
+	er := RandomGraphClustering(s.N, s.MeanOutDegree)
+	if s.Clustering > 5*er {
+		t.Errorf("clustering %v far above random-graph %v", s.Clustering, er)
+	}
+	// Path length close to ln(N)/ln(degree).
+	want := RandomGraphPathLength(s.N, s.MeanOutDegree)
+	if s.AvgPathLength > 1.5*want {
+		t.Errorf("path length %v far above random-graph %v", s.AvgPathLength, want)
+	}
+	if s.Disconnected {
+		t.Error("converged CYCLON overlay disconnected")
+	}
+}
+
+func TestRandomGraphFormulas(t *testing.T) {
+	if RandomGraphClustering(0, 5) != 0 {
+		t.Error("zero-node clustering should be 0")
+	}
+	if got := RandomGraphClustering(100, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("ER clustering = %v, want 0.1", got)
+	}
+	if !math.IsInf(RandomGraphPathLength(1, 5), 1) {
+		t.Error("degenerate path length should be +inf")
+	}
+	if !math.IsInf(RandomGraphPathLength(100, 1), 1) {
+		t.Error("degree <= 1 path length should be +inf")
+	}
+	got := RandomGraphPathLength(1000, 10)
+	if math.Abs(got-3) > 0.01 {
+		t.Errorf("ln(1000)/ln(10) = %v, want 3", got)
+	}
+}

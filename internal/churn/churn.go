@@ -1,0 +1,119 @@
+// Package churn implements the dynamic-membership models of the paper's
+// evaluation: the artificial churn of Section 7.3 (a fixed percentage of
+// random nodes replaced by fresh joiners every cycle — the rate 0.2%/cycle
+// corresponds to the Gnutella churn measured by Saroiu et al. at a 10 s
+// gossip period) and node-lifetime bookkeeping for Figures 12 and 13.
+package churn
+
+import (
+	"fmt"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/sim"
+)
+
+// Model is the artificial churn model: every cycle, Rate*N random live
+// nodes are removed forever and the same number of brand-new nodes join
+// from scratch — the paper's worst case (departed nodes never return, dead
+// links never revalidate).
+type Model struct {
+	// Rate is the per-cycle fraction of the population replaced
+	// (0.002 in the paper).
+	Rate float64
+}
+
+// DefaultModel returns the paper's churn rate of 0.2% per cycle.
+func DefaultModel() Model { return Model{Rate: 0.002} }
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.Rate < 0 || m.Rate >= 1 {
+		return fmt.Errorf("churn: rate must be in [0,1), got %v", m.Rate)
+	}
+	return nil
+}
+
+// Step applies one churn round to the network: kill Rate*alive random live
+// nodes, then admit the same number of fresh joiners. It returns the
+// affected IDs.
+func (m Model) Step(nw *sim.Network) (removed, added []ident.ID) {
+	k := int(m.Rate * float64(nw.AliveCount()))
+	removed = nw.KillRandom(k)
+	added = make([]ident.ID, 0, k)
+	for i := 0; i < k; i++ {
+		nd, err := nw.Join()
+		if err != nil {
+			break // network emptied out; nothing left to bootstrap from
+		}
+		added = append(added, nd.ID)
+	}
+	return removed, added
+}
+
+// Run interleaves churn and gossip for the given number of cycles: each
+// cycle applies one churn step and then one gossip cycle, matching the
+// paper's "in each cycle a given percentage ... removed, and the same
+// number of new ones join".
+func (m Model) Run(nw *sim.Network, cycles int) {
+	for i := 0; i < cycles; i++ {
+		m.Step(nw)
+		nw.Cycle()
+	}
+}
+
+// RunUntilTurnover churns the network until every member of the initial
+// population (JoinCycle == 0) has been removed at least once — the paper's
+// warm-up condition for the churn experiments ("until every node had been
+// removed and reinserted at least once"). It stops after maxCycles
+// regardless and returns the number of cycles executed and whether full
+// turnover was reached.
+func (m Model) RunUntilTurnover(nw *sim.Network, maxCycles int) (cycles int, done bool) {
+	for cycles = 0; cycles < maxCycles; cycles++ {
+		if initialRemaining(nw) == 0 {
+			return cycles, true
+		}
+		m.Step(nw)
+		nw.Cycle()
+	}
+	return cycles, initialRemaining(nw) == 0
+}
+
+func initialRemaining(nw *sim.Network) int {
+	n := 0
+	for _, nd := range nw.Nodes() {
+		if nd.Alive && nd.JoinCycle == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Lifetime returns a live node's age in cycles.
+func Lifetime(nw *sim.Network, nd *sim.Node) int {
+	return nw.CycleCount() - nd.JoinCycle
+}
+
+// Lifetimes returns the lifetime (cycles since join) of every live node,
+// aligned with the order of nw.Nodes() restricted to live nodes — the raw
+// data behind Figure 12.
+func Lifetimes(nw *sim.Network) []int {
+	out := make([]int, 0, nw.AliveCount())
+	for _, nd := range nw.Nodes() {
+		if nd.Alive {
+			out = append(out, Lifetime(nw, nd))
+		}
+	}
+	return out
+}
+
+// LifetimeByID returns a map from live node ID to lifetime, used to
+// attribute dissemination misses to node ages (Figure 13).
+func LifetimeByID(nw *sim.Network) map[ident.ID]int {
+	out := make(map[ident.ID]int, nw.AliveCount())
+	for _, nd := range nw.Nodes() {
+		if nd.Alive {
+			out[nd.ID] = Lifetime(nw, nd)
+		}
+	}
+	return out
+}

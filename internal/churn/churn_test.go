@@ -1,0 +1,141 @@
+package churn
+
+import (
+	"testing"
+
+	"ringcast/internal/cyclon"
+	"ringcast/internal/sim"
+	"ringcast/internal/vicinity"
+)
+
+func testNet(t *testing.T, n int, seed int64) *sim.Network {
+	t.Helper()
+	return sim.MustNew(sim.Config{
+		N:           n,
+		Cyclon:      cyclon.Config{ViewSize: 8, ShuffleLen: 4},
+		Vicinity:    vicinity.Config{ViewSize: 8, GossipLen: 8, Balanced: true, MaxAge: 20},
+		UseVicinity: true,
+		Seed:        seed,
+	})
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{Rate: -0.1}).Validate(); err == nil {
+		t.Error("accepted negative rate")
+	}
+	if err := (Model{Rate: 1}).Validate(); err == nil {
+		t.Error("accepted rate 1")
+	}
+	if err := DefaultModel().Validate(); err != nil {
+		t.Error(err)
+	}
+	if DefaultModel().Rate != 0.002 {
+		t.Errorf("default rate = %v, want 0.002 (paper §7.3)", DefaultModel().Rate)
+	}
+}
+
+func TestStepKeepsPopulationConstant(t *testing.T) {
+	nw := testNet(t, 500, 1)
+	nw.RunCycles(5)
+	m := Model{Rate: 0.01}
+	removed, added := m.Step(nw)
+	if len(removed) != 5 || len(added) != 5 {
+		t.Fatalf("removed/added = %d/%d, want 5/5", len(removed), len(added))
+	}
+	if nw.AliveCount() != 500 {
+		t.Fatalf("alive = %d, want 500", nw.AliveCount())
+	}
+}
+
+func TestStepZeroRate(t *testing.T) {
+	nw := testNet(t, 100, 2)
+	removed, added := (Model{}).Step(nw)
+	if len(removed) != 0 || len(added) != 0 {
+		t.Fatal("zero-rate churn changed the network")
+	}
+}
+
+func TestRunAdvancesCycles(t *testing.T) {
+	nw := testNet(t, 100, 3)
+	(Model{Rate: 0.02}).Run(nw, 10)
+	if nw.CycleCount() != 10 {
+		t.Fatalf("cycles = %d, want 10", nw.CycleCount())
+	}
+	if nw.AliveCount() != 100 {
+		t.Fatalf("alive = %d, want 100", nw.AliveCount())
+	}
+}
+
+func TestRunUntilTurnover(t *testing.T) {
+	nw := testNet(t, 60, 4)
+	m := Model{Rate: 0.05} // 3 nodes per cycle: turnover quickly
+	cycles, done := m.RunUntilTurnover(nw, 2000)
+	if !done {
+		t.Fatalf("turnover not reached in %d cycles", cycles)
+	}
+	for _, nd := range nw.Nodes() {
+		if nd.Alive && nd.JoinCycle == 0 {
+			t.Fatal("initial node still alive after reported turnover")
+		}
+	}
+	// All live nodes joined strictly after cycle 0.
+	for _, lt := range Lifetimes(nw) {
+		if lt >= nw.CycleCount() {
+			t.Fatalf("lifetime %d >= total cycles %d", lt, nw.CycleCount())
+		}
+	}
+}
+
+func TestRunUntilTurnoverRespectsMax(t *testing.T) {
+	nw := testNet(t, 200, 5)
+	m := Model{Rate: 0.001} // 0 nodes per cycle at N=200: never turns over
+	cycles, done := m.RunUntilTurnover(nw, 50)
+	if done {
+		t.Fatal("impossible turnover reported done")
+	}
+	if cycles != 50 {
+		t.Fatalf("cycles = %d, want 50", cycles)
+	}
+}
+
+func TestLifetimes(t *testing.T) {
+	nw := testNet(t, 50, 6)
+	nw.RunCycles(7)
+	lts := Lifetimes(nw)
+	if len(lts) != 50 {
+		t.Fatalf("got %d lifetimes, want 50", len(lts))
+	}
+	for _, lt := range lts {
+		if lt != 7 {
+			t.Fatalf("initial node lifetime = %d, want 7", lt)
+		}
+	}
+	nd, err := nw.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.RunCycles(3)
+	if got := Lifetime(nw, nd); got != 3 {
+		t.Fatalf("joiner lifetime = %d, want 3", got)
+	}
+	byID := LifetimeByID(nw)
+	if byID[nd.ID] != 3 {
+		t.Fatalf("LifetimeByID = %d, want 3", byID[nd.ID])
+	}
+	if len(byID) != 51 {
+		t.Fatalf("LifetimeByID size = %d, want 51", len(byID))
+	}
+}
+
+func TestChurnedNetworkStaysFunctional(t *testing.T) {
+	// One node of 300 replaced per cycle: ~2.5x the paper's relative churn
+	// (0.2% of 10k with view 20). The ring cannot be perfect under churn —
+	// newly joined nodes and freshly dead neighbours leave a staleness
+	// window — but the overwhelming majority must stay converged.
+	nw := testNet(t, 300, 7)
+	nw.WarmUp(100, 400)
+	(Model{Rate: 0.005}).Run(nw, 100)
+	if conv := nw.RingConvergence(); conv < 0.85 {
+		t.Fatalf("ring convergence under churn = %.3f, want >= 0.85", conv)
+	}
+}

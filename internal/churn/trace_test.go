@@ -1,0 +1,96 @@
+package churn
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestNewTraceModelValidation(t *testing.T) {
+	if _, err := NewTraceModel(0, 1, 1); err == nil {
+		t.Error("accepted zero median")
+	}
+	if _, err := NewTraceModel(10, -1, 1); err == nil {
+		t.Error("accepted negative sigma")
+	}
+	if _, err := NewTraceModel(10, 1, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleSessionDistribution(t *testing.T) {
+	m, err := NewTraceModel(100, 1.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 20000
+	xs := make([]int, samples)
+	for i := range xs {
+		xs[i] = m.SampleSession()
+		if xs[i] < 1 {
+			t.Fatal("session below 1 cycle")
+		}
+	}
+	sort.Ints(xs)
+	median := float64(xs[samples/2])
+	if median < 80 || median > 125 {
+		t.Fatalf("sample median = %v, want ~100", median)
+	}
+	// Heavy tail: p99 far above the median.
+	p99 := float64(xs[samples*99/100])
+	if p99 < 5*median {
+		t.Fatalf("p99/median = %.1f, want heavy tail (>5)", p99/median)
+	}
+}
+
+func TestTraceStepKeepsPopulation(t *testing.T) {
+	nw := testNet(t, 200, 8)
+	nw.RunCycles(10)
+	m, err := NewTraceModel(20, 1.0, 9) // short sessions: immediate churn
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(nw)
+	m.Run(nw, 100)
+	if nw.AliveCount() != 200 {
+		t.Fatalf("alive = %d, want 200", nw.AliveCount())
+	}
+	// With a 20-cycle median over 100 cycles, most initial nodes must have
+	// been replaced.
+	initial := 0
+	for _, nd := range nw.Nodes() {
+		if nd.Alive && nd.JoinCycle <= 10 {
+			initial++
+		}
+	}
+	if initial > 60 {
+		t.Fatalf("%d initial nodes still alive after 5 median sessions", initial)
+	}
+}
+
+func TestTraceChurnNetworkStaysFunctional(t *testing.T) {
+	nw := testNet(t, 200, 10)
+	nw.WarmUp(100, 400)
+	m, err := NewTraceModel(200, 1.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(nw)
+	m.Run(nw, 100)
+	if conv := nw.RingConvergence(); conv < 0.8 {
+		t.Fatalf("ring convergence under trace churn = %.3f, want >= 0.8", conv)
+	}
+}
+
+func TestExpectedRatePerCycle(t *testing.T) {
+	m, err := NewTraceModel(360, 0, 1) // sigma 0: deterministic sessions
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ExpectedRatePerCycle(); got < 1.0/361 || got > 1.0/359 {
+		t.Fatalf("rate = %v, want ~1/360", got)
+	}
+	m2, _ := NewTraceModel(360, 1.5, 1)
+	if m2.ExpectedRatePerCycle() >= m.ExpectedRatePerCycle() {
+		t.Fatal("heavier tail must lower the per-cycle rate (higher mean)")
+	}
+}

@@ -1,0 +1,188 @@
+// Package core implements the paper's primary contribution: push-based
+// gossip-target selection policies for message dissemination.
+//
+// The generic dissemination algorithm (paper, Figure 1a) is the same for
+// every protocol: a node that generates a message or receives it for the
+// first time forwards it to the targets chosen by selectGossipTargets; later
+// duplicates are ignored, and a message is never forwarded back to the node
+// it was just received from. The protocols differ only in target selection:
+//
+//   - Flood (Figure 1b): all outgoing links — deterministic dissemination.
+//   - RandCast (Figure 2): F uniform-random view members — the purely
+//     probabilistic model of Kermarrec et al.
+//   - RingCast (Figure 5): the hybrid protocol — both ring neighbours
+//     (d-links) always, plus random links (r-links) up to the fanout F.
+//
+// Selectors are pure: they depend only on the node's links, the sender, the
+// fanout, and the supplied randomness, so the same implementations drive the
+// hop-synchronous simulator and the live runtime.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringcast/internal/ident"
+)
+
+// Links is a node's outgoing neighbourhood at dissemination time.
+type Links struct {
+	// R holds the random links (the node's peer-sampling view).
+	R []ident.ID
+	// D holds the deterministic links (ring neighbours; 2k entries when k
+	// rings are maintained). Empty for purely probabilistic protocols.
+	D []ident.ID
+}
+
+// Selector chooses gossip targets for a node presented with a fresh message.
+type Selector interface {
+	// Name identifies the protocol in tables and logs.
+	Name() string
+	// Select returns the targets to forward to. from is the node the message
+	// was just received from (ident.Nil when the node is the origin); it must
+	// never be among the returned targets. fanout is the system-wide F.
+	Select(links Links, from ident.ID, fanout int, rng *rand.Rand) []ident.ID
+}
+
+// RandCast is the purely probabilistic dissemination protocol: forward to
+// up to F random peer-sampling neighbours, excluding the sender.
+type RandCast struct{}
+
+// Name implements Selector.
+func (RandCast) Name() string { return "RandCast" }
+
+// Select implements Selector (paper, Figure 2).
+func (RandCast) Select(links Links, from ident.ID, fanout int, rng *rand.Rand) []ident.ID {
+	return sampleExcluding(links.R, fanout, rng, from, nil)
+}
+
+// RingCast is the hybrid dissemination protocol: always forward across all
+// d-links (except back to the sender), then fill up to the fanout with
+// random r-links.
+type RingCast struct{}
+
+// Name implements Selector.
+func (RingCast) Name() string { return "RingCast" }
+
+// Select implements Selector (paper, Figure 5). Note that the d-links are
+// not capped by the fanout: with F=1 a node still forwards to both ring
+// neighbours, which is what guarantees complete dissemination for any F in
+// fail-free networks.
+func (RingCast) Select(links Links, from ident.ID, fanout int, rng *rand.Rand) []ident.ID {
+	targets := make([]ident.ID, 0, fanout+len(links.D))
+	seen := make(map[ident.ID]struct{}, fanout+len(links.D))
+	for _, d := range links.D {
+		if d == from || d.IsNil() {
+			continue
+		}
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		seen[d] = struct{}{}
+		targets = append(targets, d)
+	}
+	if remaining := fanout - len(targets); remaining > 0 {
+		targets = append(targets, sampleExcluding(links.R, remaining, rng, from, seen)...)
+	}
+	return targets
+}
+
+// Flood is deterministic dissemination (paper, Figure 1b): forward across
+// every outgoing link. The fanout parameter is ignored.
+type Flood struct{}
+
+// Name implements Selector.
+func (Flood) Name() string { return "Flood" }
+
+// Select implements Selector.
+func (Flood) Select(links Links, from ident.ID, _ int, _ *rand.Rand) []ident.ID {
+	targets := make([]ident.ID, 0, len(links.R)+len(links.D))
+	seen := make(map[ident.ID]struct{}, len(links.R)+len(links.D))
+	for _, set := range [2][]ident.ID{links.D, links.R} {
+		for _, id := range set {
+			if id == from || id.IsNil() {
+				continue
+			}
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			targets = append(targets, id)
+		}
+	}
+	return targets
+}
+
+// DFlood floods only the deterministic links, reproducing the Section 3
+// baselines (flooding over ring/tree/star/clique/Harary overlays).
+type DFlood struct{}
+
+// Name implements Selector.
+func (DFlood) Name() string { return "DFlood" }
+
+// Select implements Selector.
+func (DFlood) Select(links Links, from ident.ID, _ int, _ *rand.Rand) []ident.ID {
+	targets := make([]ident.ID, 0, len(links.D))
+	seen := make(map[ident.ID]struct{}, len(links.D))
+	for _, id := range links.D {
+		if id == from || id.IsNil() {
+			continue
+		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		targets = append(targets, id)
+	}
+	return targets
+}
+
+// ByName returns the selector registered under name. Recognized names are
+// "randcast", "ringcast", "flood" and "dflood" (case-sensitive, lower case).
+func ByName(name string) (Selector, error) {
+	switch name {
+	case "randcast":
+		return RandCast{}, nil
+	case "ringcast":
+		return RingCast{}, nil
+	case "flood":
+		return Flood{}, nil
+	case "dflood":
+		return DFlood{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %q", name)
+	}
+}
+
+// sampleExcluding returns up to n distinct IDs drawn uniformly without
+// replacement from pool, excluding `from`, ident.Nil, and anything in skip.
+func sampleExcluding(pool []ident.ID, n int, rng *rand.Rand, from ident.ID, skip map[ident.ID]struct{}) []ident.ID {
+	if n <= 0 || len(pool) == 0 {
+		return nil
+	}
+	candidates := make([]ident.ID, 0, len(pool))
+	uniq := make(map[ident.ID]struct{}, len(pool))
+	for _, id := range pool {
+		if id == from || id.IsNil() {
+			continue
+		}
+		if _, dup := uniq[id]; dup {
+			continue
+		}
+		if skip != nil {
+			if _, dup := skip[id]; dup {
+				continue
+			}
+		}
+		uniq[id] = struct{}{}
+		candidates = append(candidates, id)
+	}
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	}
+	return candidates[:n:n]
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringcast/internal/ident"
+)
+
+func ids(xs ...uint64) []ident.ID {
+	out := make([]ident.ID, len(xs))
+	for i, x := range xs {
+		out[i] = ident.ID(x)
+	}
+	return out
+}
+
+func TestRandCastBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	links := Links{R: ids(1, 2, 3, 4, 5)}
+	got := RandCast{}.Select(links, 3, 3, rng)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	seen := map[ident.ID]bool{}
+	for _, id := range got {
+		if id == 3 {
+			t.Fatal("sender included in targets")
+		}
+		if seen[id] {
+			t.Fatal("duplicate target")
+		}
+		seen[id] = true
+	}
+}
+
+func TestRandCastUpToF(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	links := Links{R: ids(1, 2)}
+	if got := (RandCast{}).Select(links, 2, 10, rng); len(got) != 1 {
+		t.Fatalf("want only node 1 available, got %v", got)
+	}
+	if got := (RandCast{}).Select(Links{}, ident.Nil, 5, rng); got != nil {
+		t.Fatalf("empty links should yield nil, got %v", got)
+	}
+}
+
+func TestRingCastAlwaysIncludesBothNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	links := Links{R: ids(10, 11, 12, 13), D: ids(1, 2)}
+	got := RingCast{}.Select(links, ident.Nil, 4, rng)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("d-links must come first: %v", got)
+	}
+	for _, id := range got[2:] {
+		if id == 1 || id == 2 {
+			t.Fatal("r-link fill duplicated a d-link")
+		}
+	}
+}
+
+func TestRingCastFromNeighbor(t *testing.T) {
+	// Received from ring neighbour 1: forward to other neighbour + F-1 r-links.
+	rng := rand.New(rand.NewSource(3))
+	links := Links{R: ids(10, 11, 12, 13), D: ids(1, 2)}
+	got := RingCast{}.Select(links, 1, 3, rng)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3 (1 d-link + 2 r-links)", len(got))
+	}
+	if got[0] != 2 {
+		t.Fatalf("first target = %v, want other neighbour 2", got[0])
+	}
+	for _, id := range got {
+		if id == 1 {
+			t.Fatal("message forwarded back to sender")
+		}
+	}
+}
+
+func TestRingCastFanoutBelowDegree(t *testing.T) {
+	// F=1 still forwards to both ring neighbours (paper: miss ratio is zero
+	// for ANY fanout, including 1).
+	rng := rand.New(rand.NewSource(4))
+	links := Links{R: ids(10, 11), D: ids(1, 2)}
+	got := RingCast{}.Select(links, ident.Nil, 1, rng)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("F=1 targets = %v, want exactly the two d-links", got)
+	}
+}
+
+func TestRingCastDedupesRAndD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// r-links contain the ring neighbours too; they must not be re-selected.
+	links := Links{R: ids(1, 2, 3), D: ids(1, 2)}
+	got := RingCast{}.Select(links, ident.Nil, 3, rng)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	count := map[ident.ID]int{}
+	for _, id := range got {
+		count[id]++
+		if count[id] > 1 {
+			t.Fatalf("duplicate target %v in %v", id, got)
+		}
+	}
+	if got[2] != 3 {
+		t.Fatalf("fill target = %v, want 3 (only non-dup r-link)", got[2])
+	}
+}
+
+func TestRingCastDegenerateRing(t *testing.T) {
+	// Two-node network: pred == succ; the duplicate d-link collapses.
+	rng := rand.New(rand.NewSource(6))
+	links := Links{D: ids(7, 7)}
+	got := RingCast{}.Select(links, ident.Nil, 2, rng)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("targets = %v, want [7]", got)
+	}
+}
+
+func TestFloodUsesAllLinks(t *testing.T) {
+	got := Flood{}.Select(Links{R: ids(1, 2, 3), D: ids(3, 4)}, 2, 0, nil)
+	want := map[ident.ID]bool{1: true, 3: true, 4: true}
+	if len(got) != len(want) {
+		t.Fatalf("targets = %v, want keys of %v", got, want)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected target %v", id)
+		}
+	}
+}
+
+func TestDFloodUsesOnlyDLinks(t *testing.T) {
+	got := DFlood{}.Select(Links{R: ids(1, 2), D: ids(3, 4)}, 4, 0, nil)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("targets = %v, want [3]", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"randcast", "ringcast", "flood", "dflood"} {
+		s, err := ByName(name)
+		if err != nil || s == nil {
+			t.Fatalf("ByName(%q) failed: %v", name, err)
+		}
+		if s.Name() == "" {
+			t.Fatalf("selector %q has empty name", name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("accepted unknown protocol")
+	}
+}
+
+// Property: no selector ever returns the sender, nil IDs, or duplicates, and
+// RandCast never exceeds the fanout.
+func TestSelectorsSafetyProperty(t *testing.T) {
+	f := func(seed int64, rRaw, dRaw []uint16, fromRaw uint16, fanRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		links := Links{}
+		for _, x := range rRaw {
+			links.R = append(links.R, ident.ID(x%50))
+		}
+		for _, x := range dRaw {
+			links.D = append(links.D, ident.ID(x%50))
+		}
+		from := ident.ID(fromRaw % 50)
+		fanout := int(fanRaw%21) + 1
+		for _, sel := range []Selector{RandCast{}, RingCast{}, Flood{}, DFlood{}} {
+			got := sel.Select(links, from, fanout, rng)
+			seen := map[ident.ID]bool{}
+			for _, id := range got {
+				if id == from || id.IsNil() || seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+			if _, isRand := sel.(RandCast); isRand && len(got) > fanout {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RingCast target count equals max(|D'|, F) capped by available
+// distinct links, where D' is d-links excluding the sender.
+func TestRingCastCountProperty(t *testing.T) {
+	f := func(seed int64, rCount, fanRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		links := Links{D: ids(1, 2)}
+		for i := 0; i < int(rCount%30); i++ {
+			links.R = append(links.R, ident.ID(100+i))
+		}
+		fanout := int(fanRaw%10) + 1
+		got := RingCast{}.Select(links, ident.Nil, fanout, rng)
+		want := fanout
+		if want < 2 {
+			want = 2
+		}
+		avail := 2 + len(links.R)
+		if want > avail {
+			want = avail
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package cyclon implements the CYCLON membership protocol (Voulgaris,
+// Gavidia, van Steen, JNSM 2005), the instance of the Peer Sampling Service
+// that supplies the random links (r-links) used by both RANDCAST and
+// RINGCAST (paper, Section 6).
+//
+// Each node keeps a small partial view. Periodically it initiates an
+// "enhanced shuffle" with its oldest neighbour: both sides trade a subset of
+// their views, so that over time every view resembles a uniform random
+// sample of the live population.
+//
+// The implementation here is a pure state machine: it computes what to send
+// and how to merge what is received, but performs no I/O. The cycle-driven
+// simulator (internal/sim) and the live asynchronous runtime (internal/node)
+// both drive the same state machine, so simulation results transfer directly
+// to the deployable system.
+package cyclon
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/view"
+)
+
+// Config carries the CYCLON parameters.
+type Config struct {
+	// ViewSize is the partial-view length ("cyc" in the paper; 20 in all of
+	// the paper's experiments).
+	ViewSize int
+	// ShuffleLen is how many entries are exchanged per shuffle (ℓ). It must
+	// be at most ViewSize. The CYCLON paper uses 8 with a view of 20.
+	ShuffleLen int
+	// RandomPeerSelection swaps with a uniformly random neighbour instead of
+	// the oldest one — the "basic shuffling" variant, kept as an ablation of
+	// CYCLON's age-based ("enhanced") selection. Age-based selection is what
+	// bounds the lifetime of dangling links under churn.
+	RandomPeerSelection bool
+}
+
+// DefaultConfig returns the parameters used throughout the paper's
+// evaluation: view length 20, shuffle length 8.
+func DefaultConfig() Config {
+	return Config{ViewSize: 20, ShuffleLen: 8}
+}
+
+func (c Config) validate() error {
+	if c.ViewSize <= 0 {
+		return fmt.Errorf("cyclon: ViewSize must be positive, got %d", c.ViewSize)
+	}
+	if c.ShuffleLen <= 0 || c.ShuffleLen > c.ViewSize {
+		return fmt.Errorf("cyclon: ShuffleLen must be in [1,%d], got %d", c.ViewSize, c.ShuffleLen)
+	}
+	return nil
+}
+
+// Cyclon is the per-node protocol state. It is not safe for concurrent use;
+// the live runtime serializes access behind its own mutex.
+type Cyclon struct {
+	self ident.ID
+	addr string
+	cfg  Config
+	view *view.View
+}
+
+// New constructs the protocol state for one node.
+func New(self ident.ID, addr string, cfg Config) (*Cyclon, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if self.IsNil() {
+		return nil, fmt.Errorf("cyclon: self ID must not be nil")
+	}
+	return &Cyclon{self: self, addr: addr, cfg: cfg, view: view.New(cfg.ViewSize)}, nil
+}
+
+// MustNew is New for callers with statically valid configuration (tests,
+// simulator setup).
+func MustNew(self ident.ID, addr string, cfg Config) *Cyclon {
+	c, err := New(self, addr, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Self returns the node's own identifier.
+func (c *Cyclon) Self() ident.ID { return c.self }
+
+// View exposes the node's partial view. Callers must not retain the pointer
+// across protocol steps in concurrent contexts.
+func (c *Cyclon) View() *view.View { return c.view }
+
+// AddContact seeds the view with a bootstrap contact, as done when a node
+// joins the network. Duplicate or self contacts are ignored.
+func (c *Cyclon) AddContact(id ident.ID, addr string) {
+	if id == c.self || id.IsNil() {
+		return
+	}
+	c.view.Insert(view.Entry{Node: id, Addr: addr, Age: 0})
+}
+
+// Shuffle is an in-flight exchange initiated by this node.
+type Shuffle struct {
+	// Peer is the neighbour chosen for the exchange (the oldest entry).
+	Peer view.Entry
+	// Sent is the payload shipped to the peer: up to ShuffleLen-1 random
+	// entries plus a fresh entry describing the initiator itself.
+	Sent []view.Entry
+}
+
+// StartShuffle begins one protocol cycle: ages the whole view, removes the
+// oldest neighbour Q, and builds the payload to send to Q. It returns false
+// when the view is empty, in which case the node has no one to gossip with
+// this cycle.
+//
+// Per the protocol, Q's entry is removed from the view immediately: if Q
+// turns out to be dead the stale link is already gone, which is what gives
+// CYCLON its self-cleaning behaviour under churn.
+func (c *Cyclon) StartShuffle(rng *rand.Rand) (Shuffle, bool) {
+	c.view.AgeAll()
+	return c.buildShuffle(rng)
+}
+
+// RetryShuffle is StartShuffle without the aging step. It is used when the
+// peer selected by a previous StartShuffle in the same cycle proved
+// unreachable: the dead entry is already gone (StartShuffle removed it), and
+// the node retries with the next-oldest neighbour without double-aging its
+// view.
+func (c *Cyclon) RetryShuffle(rng *rand.Rand) (Shuffle, bool) {
+	return c.buildShuffle(rng)
+}
+
+func (c *Cyclon) buildShuffle(rng *rand.Rand) (Shuffle, bool) {
+	var (
+		peer view.Entry
+		ok   bool
+	)
+	if c.cfg.RandomPeerSelection {
+		peer, ok = c.view.RandomEntry(rng)
+	} else {
+		peer, ok = c.view.Oldest()
+	}
+	if !ok {
+		return Shuffle{}, false
+	}
+	c.view.Remove(peer.Node)
+	sent := c.view.RandomEntries(c.cfg.ShuffleLen-1, rng)
+	sent = append(sent, view.Entry{Node: c.self, Addr: c.addr, Age: 0})
+	return Shuffle{Peer: peer, Sent: sent}, true
+}
+
+// HandleRequest processes a shuffle request received from another node and
+// returns the reply payload (up to ShuffleLen random entries of the local
+// view, chosen before merging). The received entries are merged into the
+// local view, preferring to overwrite the entries just sent back.
+func (c *Cyclon) HandleRequest(received []view.Entry, rng *rand.Rand) []view.Entry {
+	reply := c.view.RandomEntries(c.cfg.ShuffleLen, rng)
+	c.merge(received, reply)
+	out := make([]view.Entry, len(reply))
+	copy(out, reply)
+	return out
+}
+
+// HandleReply completes a shuffle this node initiated: the peer's reply is
+// merged into the view, preferring to overwrite the entries that were sent
+// out in the request.
+func (c *Cyclon) HandleReply(sh Shuffle, received []view.Entry) {
+	c.merge(received, sh.Sent)
+}
+
+// merge folds incoming entries into the view following the CYCLON rules:
+// discard entries for self and nodes already known, fill empty slots first,
+// then replace entries that were shipped to the peer (each at most once).
+func (c *Cyclon) merge(incoming, shipped []view.Entry) {
+	replaceable := make([]ident.ID, 0, len(shipped))
+	for _, s := range shipped {
+		if s.Node != c.self {
+			replaceable = append(replaceable, s.Node)
+		}
+	}
+	for _, e := range incoming {
+		if e.Node == c.self || e.Node.IsNil() || c.view.Contains(e.Node) {
+			continue
+		}
+		if c.view.Add(e) {
+			continue
+		}
+		for i, r := range replaceable {
+			if c.view.Remove(r) {
+				c.view.Add(e)
+				replaceable = append(replaceable[:i], replaceable[i+1:]...)
+				break
+			}
+		}
+		// If no shipped entry remains in the view, the incoming entry is
+		// discarded, per the protocol.
+	}
+}
+
+// Remove drops any entry for id, e.g. after a failed exchange with that
+// node. It reports whether an entry was removed.
+func (c *Cyclon) Remove(id ident.ID) bool { return c.view.Remove(id) }

@@ -1,0 +1,298 @@
+// Package dissem executes message disseminations over a frozen overlay
+// snapshot, following the paper's discrete dissemination model (Section 7):
+// the generation of a message is hop 0; at hop h+1 the message reaches the
+// gossip targets selected by every node first notified at hop h; a node
+// receiving a duplicate ignores it.
+//
+// The overlay is a snapshot because the paper freezes gossip before
+// disseminating (Section 7.1 shows ongoing gossip does not change the
+// macroscopic behaviour in static networks, and Section 7.2 deliberately
+// disables it after catastrophic failures to study the worst case).
+package dissem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringcast/internal/core"
+	"ringcast/internal/graph"
+	"ringcast/internal/ident"
+	"ringcast/internal/metrics"
+	"ringcast/internal/sim"
+)
+
+// Overlay is an immutable-topology snapshot of a network: every node's
+// outgoing links plus liveness flags (liveness is mutable so that
+// catastrophic failures can be applied to a shared snapshot cheaply).
+type Overlay struct {
+	ids   []ident.ID
+	links []core.Links
+	alive []bool
+	index map[ident.ID]int
+}
+
+// Snapshot captures the current overlay of a simulated network: r-links are
+// each node's CYCLON view, d-links its VICINITY-derived ring neighbours.
+// Dead nodes are captured too (their links no longer matter, but links
+// pointing *at* them must keep dangling, as in the paper's no-self-healing
+// failure experiments).
+func Snapshot(nw *sim.Network) *Overlay {
+	nodes := nw.Nodes()
+	o := &Overlay{
+		ids:   make([]ident.ID, len(nodes)),
+		links: make([]core.Links, len(nodes)),
+		alive: make([]bool, len(nodes)),
+		index: make(map[ident.ID]int, len(nodes)),
+	}
+	for i, nd := range nodes {
+		o.ids[i] = nd.ID
+		o.alive[i] = nd.Alive
+		o.index[nd.ID] = i
+		l := core.Links{R: nd.Cyc.View().IDs()}
+		if nd.Vic != nil {
+			if pred, succ, ok := nd.Vic.RingNeighbors(); ok {
+				l.D = []ident.ID{pred.Node, succ.Node}
+			}
+		}
+		// Extra rings (Section 8): translate per-ring neighbour IDs back to
+		// primary node IDs.
+		for r, vic := range nd.ExtraVics {
+			pred, succ, ok := vic.RingNeighbors()
+			if !ok {
+				continue
+			}
+			if p, ok := nw.ResolveRingID(r+1, pred.Node); ok {
+				l.D = append(l.D, p)
+			}
+			if s, ok := nw.ResolveRingID(r+1, succ.Node); ok {
+				l.D = append(l.D, s)
+			}
+		}
+		o.links[i] = l
+	}
+	return o
+}
+
+// FromLinks builds an overlay directly from per-node links — used for the
+// static Section 3 baselines and idealized-topology ablations. ids[i] must
+// be unique and non-nil.
+func FromLinks(ids []ident.ID, links []core.Links) (*Overlay, error) {
+	if len(ids) != len(links) {
+		return nil, fmt.Errorf("dissem: %d ids but %d link sets", len(ids), len(links))
+	}
+	o := &Overlay{
+		ids:   append([]ident.ID(nil), ids...),
+		links: append([]core.Links(nil), links...),
+		alive: make([]bool, len(ids)),
+		index: make(map[ident.ID]int, len(ids)),
+	}
+	for i, id := range ids {
+		if id.IsNil() {
+			return nil, fmt.Errorf("dissem: node %d has nil ID", i)
+		}
+		if _, dup := o.index[id]; dup {
+			return nil, fmt.Errorf("dissem: duplicate ID %v", id)
+		}
+		o.index[id] = i
+		o.alive[i] = true
+	}
+	return o, nil
+}
+
+// N returns the number of nodes in the snapshot (dead included).
+func (o *Overlay) N() int { return len(o.ids) }
+
+// IDs returns the node IDs in snapshot order. Callers must not mutate.
+func (o *Overlay) IDs() []ident.ID { return o.ids }
+
+// Links returns node i's outgoing links. Callers must not mutate.
+func (o *Overlay) Links(i int) core.Links { return o.links[i] }
+
+// AliveCount returns the number of live nodes.
+func (o *Overlay) AliveCount() int {
+	n := 0
+	for _, a := range o.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// IsAlive reports node i's liveness.
+func (o *Overlay) IsAlive(i int) bool { return o.alive[i] }
+
+// Clone returns a deep copy sharing no mutable state, so failure scenarios
+// can be applied independently to one warmed-up snapshot.
+func (o *Overlay) Clone() *Overlay {
+	c := &Overlay{
+		ids:   o.ids,
+		links: o.links,
+		alive: append([]bool(nil), o.alive...),
+		index: o.index,
+	}
+	return c
+}
+
+// KillFraction marks a uniformly random fraction of live nodes dead —
+// the catastrophic failure of Section 7.2 applied to the frozen overlay
+// (gossip is not allowed to heal afterwards, the paper's deliberate
+// worst case). It returns how many nodes were killed.
+func (o *Overlay) KillFraction(frac float64, rng *rand.Rand) int {
+	if frac <= 0 {
+		return 0
+	}
+	live := make([]int, 0, len(o.alive))
+	for i, a := range o.alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	k := int(frac * float64(len(live)))
+	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	for _, i := range live[:k] {
+		o.alive[i] = false
+	}
+	return k
+}
+
+// RandomAliveOrigin picks a uniformly random live node to post a message from.
+func (o *Overlay) RandomAliveOrigin(rng *rand.Rand) (ident.ID, error) {
+	live := make([]int, 0, len(o.alive))
+	for i, a := range o.alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return ident.Nil, fmt.Errorf("dissem: no live nodes")
+	}
+	return o.ids[live[rng.Intn(len(live))]], nil
+}
+
+// DGraph projects the overlay's d-links onto a graph.Directed for
+// structural analysis (ring partition counting etc.).
+func (o *Overlay) DGraph() *graph.Directed {
+	g := graph.NewDirected(len(o.ids))
+	for i, l := range o.links {
+		for _, d := range l.D {
+			if j, ok := o.index[d]; ok {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// AliveSlice returns a copy of the liveness flags, aligned with IDs().
+func (o *Overlay) AliveSlice() []bool { return append([]bool(nil), o.alive...) }
+
+// delivery is one in-flight message copy.
+type delivery struct {
+	to   int
+	from ident.ID
+}
+
+// Options tunes what a dissemination run records.
+type Options struct {
+	// SkipLoad omits the per-node sent/received arrays (O(N) memory per
+	// run); large parameter sweeps that only need ratios should set it.
+	SkipLoad bool
+	// RecordMissed collects the IDs of live nodes that were never notified,
+	// for the lifetime-vs-miss analysis of Figure 13.
+	RecordMissed bool
+}
+
+// Run disseminates one message from origin over the overlay using the given
+// selector and fanout, and returns the full measurement record. Messages
+// sent to dead nodes are lost; dead nodes never forward. Run never mutates
+// the overlay.
+func Run(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *rand.Rand) (*metrics.Dissemination, error) {
+	return RunOpts(o, origin, sel, fanout, rng, Options{})
+}
+
+// RunOpts is Run with recording options.
+func RunOpts(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *rand.Rand, opts Options) (*metrics.Dissemination, error) {
+	oi, ok := o.index[origin]
+	if !ok {
+		return nil, fmt.Errorf("dissem: unknown origin %v", origin)
+	}
+	if !o.alive[oi] {
+		return nil, fmt.Errorf("dissem: origin %v is dead", origin)
+	}
+	if sel == nil {
+		return nil, fmt.Errorf("dissem: selector must not be nil")
+	}
+
+	d := &metrics.Dissemination{
+		AliveTotal: o.AliveCount(),
+		Origin:     origin,
+	}
+	if !opts.SkipLoad {
+		d.SentPerNode = make([]int, len(o.ids))
+		d.RecvPerNode = make([]int, len(o.ids))
+	}
+	notified := make([]bool, len(o.ids))
+
+	notified[oi] = true
+	d.Reached = 1
+	d.CumNotified = append(d.CumNotified, 1)
+
+	frontier := forward(o, d, oi, ident.Nil, sel, fanout, rng)
+	for len(frontier) > 0 {
+		var next []delivery
+		for _, dl := range frontier {
+			if d.RecvPerNode != nil {
+				d.RecvPerNode[dl.to]++
+			}
+			if !o.alive[dl.to] {
+				d.Lost++
+				continue
+			}
+			if notified[dl.to] {
+				d.Redundant++
+				continue
+			}
+			d.Virgin++
+			notified[dl.to] = true
+			d.Reached++
+			next = append(next, forward(o, d, dl.to, dl.from, sel, fanout, rng)...)
+		}
+		d.CumNotified = append(d.CumNotified, d.Reached)
+		frontier = next
+	}
+	// Trim trailing hops where nothing new was notified but messages were
+	// still in flight, keeping the last hop at which Reached grew (plus the
+	// origin-only hop 0 when nothing ever spread).
+	for len(d.CumNotified) > 1 && d.CumNotified[len(d.CumNotified)-1] == d.CumNotified[len(d.CumNotified)-2] {
+		d.CumNotified = d.CumNotified[:len(d.CumNotified)-1]
+	}
+	if opts.RecordMissed {
+		for i, n := range notified {
+			if !n && o.alive[i] {
+				d.Missed = append(d.Missed, o.ids[i])
+			}
+		}
+	}
+	return d, nil
+}
+
+// forward lets node i pick targets and emits the resulting deliveries.
+func forward(o *Overlay, d *metrics.Dissemination, i int, from ident.ID, sel core.Selector, fanout int, rng *rand.Rand) []delivery {
+	targets := sel.Select(o.links[i], from, fanout, rng)
+	if len(targets) == 0 {
+		return nil
+	}
+	out := make([]delivery, 0, len(targets))
+	for _, tgt := range targets {
+		j, ok := o.index[tgt]
+		if !ok {
+			continue // link to an unknown node: treat as lost silently
+		}
+		if d.SentPerNode != nil {
+			d.SentPerNode[i]++
+		}
+		out = append(out, delivery{to: j, from: o.ids[i]})
+	}
+	return out
+}

@@ -1,0 +1,433 @@
+package dissem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringcast/internal/core"
+	"ringcast/internal/cyclon"
+	"ringcast/internal/ident"
+	"ringcast/internal/sim"
+	"ringcast/internal/vicinity"
+)
+
+// idealOverlay builds a perfect ring of n nodes with rdeg random r-links per
+// node: a converged RINGCAST overlay without running gossip.
+func idealOverlay(t *testing.T, n, rdeg int, seed int64) *Overlay {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]ident.ID, n)
+	for i := range ids {
+		ids[i] = ident.ID(i + 1)
+	}
+	links := make([]core.Links, n)
+	for i := range links {
+		links[i].D = []ident.ID{ids[(i-1+n)%n], ids[(i+1)%n]}
+		seen := map[int]bool{i: true}
+		for len(links[i].R) < rdeg {
+			j := rng.Intn(n)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			links[i].R = append(links[i].R, ids[j])
+		}
+	}
+	o, err := FromLinks(ids, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestFromLinksValidation(t *testing.T) {
+	if _, err := FromLinks([]ident.ID{1}, nil); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := FromLinks([]ident.ID{1, 1}, make([]core.Links, 2)); err == nil {
+		t.Error("accepted duplicate IDs")
+	}
+	if _, err := FromLinks([]ident.ID{ident.Nil}, make([]core.Links, 1)); err == nil {
+		t.Error("accepted nil ID")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	o := idealOverlay(t, 10, 3, 1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Run(o, ident.ID(999), core.RingCast{}, 3, rng); err == nil {
+		t.Error("accepted unknown origin")
+	}
+	if _, err := Run(o, 1, nil, 3, rng); err == nil {
+		t.Error("accepted nil selector")
+	}
+	o.KillFraction(1.0, rng)
+	if _, err := Run(o, 1, core.RingCast{}, 3, rng); err == nil {
+		t.Error("accepted dead origin")
+	}
+}
+
+func TestRingCastCompleteOnIdealOverlay(t *testing.T) {
+	// The headline property: RINGCAST reaches every node in a fail-free
+	// static network for ANY fanout, including F=1.
+	for _, f := range []int{1, 2, 3, 5} {
+		o := idealOverlay(t, 500, 10, 42)
+		rng := rand.New(rand.NewSource(int64(f)))
+		d, err := Run(o, 1, core.RingCast{}, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Complete() {
+			t.Fatalf("F=%d: RingCast incomplete, reached %d/%d", f, d.Reached, d.AliveTotal)
+		}
+	}
+}
+
+func TestRandCastLowFanoutIncomplete(t *testing.T) {
+	// With F=1 RandCast dies out almost immediately.
+	o := idealOverlay(t, 500, 10, 7)
+	rng := rand.New(rand.NewSource(9))
+	d, err := Run(o, 1, core.RandCast{}, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Complete() {
+		t.Fatal("RandCast F=1 completed on 500 nodes (astronomically unlikely)")
+	}
+}
+
+func TestVirginCountMatchesReached(t *testing.T) {
+	o := idealOverlay(t, 200, 8, 3)
+	rng := rand.New(rand.NewSource(4))
+	d, err := Run(o, 1, core.RingCast{}, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Virgin != d.Reached-1 {
+		t.Fatalf("Virgin = %d, want Reached-1 = %d", d.Virgin, d.Reached-1)
+	}
+	if d.Lost != 0 {
+		t.Fatalf("Lost = %d in fail-free overlay", d.Lost)
+	}
+	// Message conservation: every send is delivered exactly once.
+	sent := 0
+	for _, s := range d.SentPerNode {
+		sent += s
+	}
+	if sent != d.TotalMsgs() {
+		t.Fatalf("sent %d != virgin+redundant+lost %d", sent, d.TotalMsgs())
+	}
+	recv := 0
+	for _, r := range d.RecvPerNode {
+		recv += r
+	}
+	if recv != sent {
+		t.Fatalf("recv %d != sent %d", recv, sent)
+	}
+}
+
+func TestMessageOverheadIsFanoutTimesHits(t *testing.T) {
+	// Paper, Section 7.1: total messages = F x Nhit when every node has
+	// enough distinct targets (RandCast with big view).
+	o := idealOverlay(t, 300, 20, 5)
+	rng := rand.New(rand.NewSource(6))
+	f := 5
+	d, err := Run(o, 1, core.RandCast{}, f, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.TotalMsgs(), f*d.Reached; got != want {
+		t.Fatalf("TotalMsgs = %d, want F*Nhit = %d", got, want)
+	}
+}
+
+func TestFloodOnRingTakesHalfRingHops(t *testing.T) {
+	n := 100
+	ids := make([]ident.ID, n)
+	links := make([]core.Links, n)
+	for i := range ids {
+		ids[i] = ident.ID(i + 1)
+	}
+	for i := range ids {
+		links[i].D = []ident.ID{ids[(i-1+n)%n], ids[(i+1)%n]}
+	}
+	o, err := FromLinks(ids, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Run(o, 1, core.DFlood{}, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Complete() {
+		t.Fatal("flood on ring incomplete")
+	}
+	if d.Hops() != n/2 {
+		t.Fatalf("Hops = %d, want %d", d.Hops(), n/2)
+	}
+}
+
+func TestLostMessagesWithDeadNodes(t *testing.T) {
+	o := idealOverlay(t, 200, 8, 8)
+	rng := rand.New(rand.NewSource(2))
+	killed := o.KillFraction(0.2, rng)
+	if killed != 40 {
+		t.Fatalf("killed %d, want 40", killed)
+	}
+	if o.AliveCount() != 160 {
+		t.Fatalf("alive = %d, want 160", o.AliveCount())
+	}
+	origin, err := o.RandomAliveOrigin(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Run(o, origin, core.RingCast{}, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AliveTotal != 160 {
+		t.Fatalf("AliveTotal = %d, want 160", d.AliveTotal)
+	}
+	if d.Lost == 0 {
+		t.Fatal("no lost messages despite 20% dead nodes with dangling links")
+	}
+	if d.Reached > 160 {
+		t.Fatal("reached more nodes than alive")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	o := idealOverlay(t, 50, 5, 9)
+	c := o.Clone()
+	c.KillFraction(0.5, rand.New(rand.NewSource(1)))
+	if o.AliveCount() != 50 {
+		t.Fatal("killing the clone affected the original")
+	}
+	if c.AliveCount() == 50 {
+		t.Fatal("clone kill had no effect")
+	}
+}
+
+func TestSnapshotFromSimNetwork(t *testing.T) {
+	cfg := sim.Config{
+		N:           150,
+		Cyclon:      cyclon.Config{ViewSize: 8, ShuffleLen: 4},
+		Vicinity:    vicinity.Config{ViewSize: 8, GossipLen: 8, Balanced: true, MaxAge: 20},
+		UseVicinity: true,
+		Seed:        5,
+	}
+	nw := sim.MustNew(cfg)
+	_, conv := nw.WarmUp(100, 500)
+	if conv != 1.0 {
+		t.Fatalf("warm-up did not converge: %v", conv)
+	}
+	o := Snapshot(nw)
+	if o.N() != 150 || o.AliveCount() != 150 {
+		t.Fatalf("snapshot size %d/%d", o.AliveCount(), o.N())
+	}
+	// The d-link graph of a converged snapshot is exactly a bidirectional
+	// ring: strongly connected with every out-degree 2.
+	g := o.DGraph()
+	if !g.StronglyConnected(nil) {
+		t.Fatal("converged d-link graph not strongly connected")
+	}
+	for i, deg := range g.OutDegrees() {
+		if deg != 2 {
+			t.Fatalf("node %d d-degree = %d, want 2", i, deg)
+		}
+	}
+	// And RingCast over the real snapshot must be complete for F=1.
+	rng := rand.New(rand.NewSource(11))
+	d, err := Run(o, o.IDs()[3], core.RingCast{}, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Complete() {
+		t.Fatalf("RingCast on converged snapshot incomplete: %d/%d", d.Reached, d.AliveTotal)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	o := idealOverlay(t, 100, 6, 13)
+	d1, err := Run(o, 1, core.RandCast{}, 3, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Run(o, 1, core.RandCast{}, 3, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Reached != d2.Reached || d1.Redundant != d2.Redundant || d1.Hops() != d2.Hops() {
+		t.Fatal("identical seeds produced different disseminations")
+	}
+}
+
+func TestCumNotifiedMonotone(t *testing.T) {
+	o := idealOverlay(t, 300, 10, 21)
+	d, err := Run(o, 1, core.RingCast{}, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CumNotified[0] != 1 {
+		t.Fatalf("CumNotified[0] = %d, want 1 (the origin)", d.CumNotified[0])
+	}
+	for h := 1; h < len(d.CumNotified); h++ {
+		if d.CumNotified[h] < d.CumNotified[h-1] {
+			t.Fatal("CumNotified not monotone")
+		}
+	}
+	if last := d.CumNotified[len(d.CumNotified)-1]; last != d.Reached {
+		t.Fatalf("final CumNotified = %d, want Reached = %d", last, d.Reached)
+	}
+}
+
+func TestSnapshotMultiRing(t *testing.T) {
+	cfg := sim.Config{
+		N:           120,
+		Cyclon:      cyclon.Config{ViewSize: 8, ShuffleLen: 4},
+		Vicinity:    vicinity.Config{ViewSize: 8, GossipLen: 8, Balanced: true, MaxAge: 20},
+		UseVicinity: true,
+		Seed:        31,
+		Rings:       2,
+	}
+	nw := sim.MustNew(cfg)
+	nw.WarmUp(100, 600)
+	o := Snapshot(nw)
+	// Every node carries 4 d-links (2 rings), all resolving to known nodes.
+	for i := 0; i < o.N(); i++ {
+		d := o.Links(i).D
+		if len(d) != 4 {
+			t.Fatalf("node %d has %d d-links, want 4", i, len(d))
+		}
+	}
+	// The d-link graph with two rings survives any two failures.
+	g := o.DGraph()
+	alive := o.AliveSlice()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		test := append([]bool(nil), alive...)
+		a, b := rng.Intn(len(test)), rng.Intn(len(test))
+		if a == b {
+			continue
+		}
+		test[a], test[b] = false, false
+		if !g.StronglyConnected(test) {
+			t.Fatalf("2-ring d-link graph partitioned by killing %d and %d", a, b)
+		}
+	}
+	// RingCast at F=1 over the double ring is still complete.
+	d, err := Run(o, o.IDs()[0], core.RingCast{}, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Complete() {
+		t.Fatalf("multi-ring RingCast incomplete: %d/%d", d.Reached, d.AliveTotal)
+	}
+}
+
+func TestRunOptsSkipLoad(t *testing.T) {
+	o := idealOverlay(t, 100, 6, 33)
+	rng := rand.New(rand.NewSource(1))
+	d, err := RunOpts(o, 1, core.RingCast{}, 3, rng, Options{SkipLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SentPerNode != nil || d.RecvPerNode != nil {
+		t.Fatal("SkipLoad did not skip per-node arrays")
+	}
+	if !d.Complete() {
+		t.Fatal("SkipLoad changed dissemination behaviour")
+	}
+}
+
+func TestRunOptsRecordMissed(t *testing.T) {
+	o := idealOverlay(t, 200, 6, 34)
+	rng := rand.New(rand.NewSource(2))
+	d, err := RunOpts(o, 1, core.RandCast{}, 1, rng, Options{RecordMissed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Missed) != d.AliveTotal-d.Reached {
+		t.Fatalf("Missed = %d entries, want %d", len(d.Missed), d.AliveTotal-d.Reached)
+	}
+	seen := map[ident.ID]bool{}
+	for _, id := range d.Missed {
+		if seen[id] {
+			t.Fatal("duplicate in Missed")
+		}
+		seen[id] = true
+		if id == d.Origin {
+			t.Fatal("origin listed as missed")
+		}
+	}
+	// Without the flag the list stays empty.
+	d2, err := RunOpts(o, 1, core.RandCast{}, 1, rng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Missed != nil {
+		t.Fatal("Missed recorded without the flag")
+	}
+}
+
+func TestRandomAliveOriginErrors(t *testing.T) {
+	o := idealOverlay(t, 10, 2, 35)
+	rng := rand.New(rand.NewSource(3))
+	o.KillFraction(1.0, rng)
+	if _, err := o.RandomAliveOrigin(rng); err == nil {
+		t.Fatal("origin drawn from dead overlay")
+	}
+}
+
+// Property: RingCast dissemination is complete on any overlay whose d-link
+// graph is strongly connected — the hybrid class's defining guarantee
+// (paper, Section 5: "if the set of d-links forms a strongly connected
+// directed graph including all nodes, complete dissemination of messages
+// is guaranteed").
+func TestHybridCompletenessProperty(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%60) + 3
+		ids := make([]ident.ID, n)
+		for i := range ids {
+			ids[i] = ident.ID(i + 1)
+		}
+		links := make([]core.Links, n)
+		// Base: a directed Hamiltonian cycle (strongly connected), plus
+		// arbitrary extra d-links and random r-links.
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			u, v := perm[i], perm[(i+1)%n]
+			links[u].D = append(links[u].D, ids[v])
+		}
+		extra := int(extraRaw % 40)
+		for e := 0; e < extra; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				links[u].D = append(links[u].D, ids[v])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for r := 0; r < 3; r++ {
+				j := rng.Intn(n)
+				if j != i {
+					links[i].R = append(links[i].R, ids[j])
+				}
+			}
+		}
+		o, err := FromLinks(ids, links)
+		if err != nil {
+			return false
+		}
+		fanout := int(extraRaw%4) + 1
+		d, err := RunOpts(o, ids[rng.Intn(n)], core.RingCast{}, fanout, rng, Options{SkipLoad: true})
+		if err != nil {
+			return false
+		}
+		return d.Complete()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package eventsim is a discrete-event dissemination simulator with
+// heterogeneous per-message latencies. It reproduces the robustness check of
+// Section 7.1: the paper varied the message forwarding time from zero to
+// several times the gossiping period and "recorded no effect whatsoever on
+// the macroscopic behavior of disseminations" — the hit ratio and message
+// overhead are invariant to timing, because a node forwards a fresh message
+// to the same number of targets picked with the same logic regardless of
+// when it arrives.
+//
+// Where internal/dissem advances in lockstep hops (the paper's presentation
+// model), eventsim schedules each message copy individually on a priority
+// queue with a caller-supplied latency distribution. Hop counts lose meaning
+// here; completion time becomes continuous.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/ident"
+)
+
+// LatencyFunc draws the forwarding delay for one message copy.
+type LatencyFunc func(rng *rand.Rand) float64
+
+// ConstantLatency returns a LatencyFunc with a fixed delay.
+func ConstantLatency(d float64) LatencyFunc {
+	return func(*rand.Rand) float64 { return d }
+}
+
+// UniformLatency returns delays uniform in [lo, hi).
+func UniformLatency(lo, hi float64) LatencyFunc {
+	return func(rng *rand.Rand) float64 { return lo + rng.Float64()*(hi-lo) }
+}
+
+// ExpLatency returns exponentially distributed delays with the given mean —
+// the classic wide-area latency stand-in.
+func ExpLatency(mean float64) LatencyFunc {
+	return func(rng *rand.Rand) float64 { return rng.ExpFloat64() * mean }
+}
+
+// Result records one event-driven dissemination.
+type Result struct {
+	// AliveTotal and Reached mirror the hop-based simulator's accounting.
+	AliveTotal, Reached int
+	// Virgin, Redundant and Lost split the message overhead as in Figure 8.
+	Virgin, Redundant, Lost int
+	// CompletionTime is when the last first-time delivery happened.
+	CompletionTime float64
+	// Deliveries is the total number of message copies delivered.
+	Deliveries int
+}
+
+// HitRatio is the fraction of live nodes reached.
+func (r *Result) HitRatio() float64 {
+	if r.AliveTotal == 0 {
+		return 0
+	}
+	return float64(r.Reached) / float64(r.AliveTotal)
+}
+
+// MissRatio is 1 - HitRatio.
+func (r *Result) MissRatio() float64 { return 1 - r.HitRatio() }
+
+// Complete reports whether every live node was reached.
+func (r *Result) Complete() bool { return r.Reached == r.AliveTotal }
+
+// TotalMsgs is the total number of point-to-point messages sent.
+func (r *Result) TotalMsgs() int { return r.Virgin + r.Redundant + r.Lost }
+
+// event is one in-flight message copy.
+type event struct {
+	at   float64
+	to   int
+	from ident.ID
+	seq  int // tie-breaker for deterministic ordering
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Run disseminates one message from origin over the frozen overlay with
+// per-copy latencies drawn from lat. The selection logic is identical to the
+// hop-based simulator; only timing differs.
+func Run(o *dissem.Overlay, origin ident.ID, sel core.Selector, fanout int, lat LatencyFunc, rng *rand.Rand) (*Result, error) {
+	if sel == nil {
+		return nil, fmt.Errorf("eventsim: selector must not be nil")
+	}
+	if lat == nil {
+		return nil, fmt.Errorf("eventsim: latency function must not be nil")
+	}
+	index := make(map[ident.ID]int, o.N())
+	for i, id := range o.IDs() {
+		index[id] = i
+	}
+	oi, ok := index[origin]
+	if !ok {
+		return nil, fmt.Errorf("eventsim: unknown origin %v", origin)
+	}
+	if !o.IsAlive(oi) {
+		return nil, fmt.Errorf("eventsim: origin %v is dead", origin)
+	}
+
+	res := &Result{AliveTotal: o.AliveCount()}
+	notified := make([]bool, o.N())
+	notified[oi] = true
+	res.Reached = 1
+
+	var q eventQueue
+	seq := 0
+	emit := func(from int, fromID ident.ID, now float64) {
+		targets := sel.Select(o.Links(from), fromID, fanout, rng)
+		for _, tgt := range targets {
+			j, ok := index[tgt]
+			if !ok {
+				continue
+			}
+			seq++
+			heap.Push(&q, event{at: now + lat(rng), to: j, from: o.IDs()[from], seq: seq})
+		}
+	}
+	emit(oi, ident.Nil, 0)
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(event)
+		res.Deliveries++
+		if !o.IsAlive(ev.to) {
+			res.Lost++
+			continue
+		}
+		if notified[ev.to] {
+			res.Redundant++
+			continue
+		}
+		res.Virgin++
+		notified[ev.to] = true
+		res.Reached++
+		res.CompletionTime = ev.at
+		emit(ev.to, ev.from, ev.at)
+	}
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package eventsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/ident"
+)
+
+// ringOverlay builds a perfect ring with rdeg random links, as in the
+// dissem tests.
+func ringOverlay(t *testing.T, n, rdeg int, seed int64) *dissem.Overlay {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]ident.ID, n)
+	for i := range ids {
+		ids[i] = ident.ID(i + 1)
+	}
+	links := make([]core.Links, n)
+	for i := range links {
+		links[i].D = []ident.ID{ids[(i-1+n)%n], ids[(i+1)%n]}
+		seen := map[int]bool{i: true}
+		for len(links[i].R) < rdeg {
+			j := rng.Intn(n)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			links[i].R = append(links[i].R, ids[j])
+		}
+	}
+	o, err := dissem.FromLinks(ids, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestValidation(t *testing.T) {
+	o := ringOverlay(t, 10, 2, 1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Run(o, 1, nil, 2, ConstantLatency(1), rng); err == nil {
+		t.Error("nil selector accepted")
+	}
+	if _, err := Run(o, 1, core.RingCast{}, 2, nil, rng); err == nil {
+		t.Error("nil latency accepted")
+	}
+	if _, err := Run(o, 999, core.RingCast{}, 2, ConstantLatency(1), rng); err == nil {
+		t.Error("unknown origin accepted")
+	}
+	dead := o.Clone()
+	dead.KillFraction(1, rng)
+	if _, err := Run(dead, 1, core.RingCast{}, 2, ConstantLatency(1), rng); err == nil {
+		t.Error("dead origin accepted")
+	}
+}
+
+func TestRingCastCompleteUnderAnyLatency(t *testing.T) {
+	// Section 7.1's invariance claim: timing does not change reachability.
+	o := ringOverlay(t, 400, 10, 7)
+	for name, lat := range map[string]LatencyFunc{
+		"constant": ConstantLatency(1),
+		"uniform":  UniformLatency(0.1, 10),
+		"exp":      ExpLatency(3),
+	} {
+		rng := rand.New(rand.NewSource(11))
+		res, err := Run(o, 1, core.RingCast{}, 2, lat, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete() {
+			t.Errorf("%s latency: RingCast incomplete (%d/%d)", name, res.Reached, res.AliveTotal)
+		}
+		if res.CompletionTime <= 0 {
+			t.Errorf("%s latency: completion time not recorded", name)
+		}
+	}
+}
+
+func TestMacroscopicInvarianceVsHopModel(t *testing.T) {
+	// The same overlay and fanout must give statistically indistinguishable
+	// reach in the hop-based and event-driven models. With RingCast the
+	// comparison is exact (both complete); with RandCast we compare means
+	// over repetitions.
+	o := ringOverlay(t, 500, 15, 9)
+	const runs = 30
+	f := 3
+
+	hopMiss, evMiss := 0.0, 0.0
+	hopMsgs, evMsgs := 0.0, 0.0
+	rngH := rand.New(rand.NewSource(21))
+	rngE := rand.New(rand.NewSource(22))
+	for i := 0; i < runs; i++ {
+		d, err := dissem.RunOpts(o, 1, core.RandCast{}, f, rngH, dissem.Options{SkipLoad: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hopMiss += d.MissRatio()
+		hopMsgs += float64(d.TotalMsgs())
+		r, err := Run(o, 1, core.RandCast{}, f, ExpLatency(5), rngE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evMiss += r.MissRatio()
+		evMsgs += float64(r.TotalMsgs())
+	}
+	hopMiss /= runs
+	evMiss /= runs
+	hopMsgs /= runs
+	evMsgs /= runs
+	if diff := hopMiss - evMiss; diff > 0.03 || diff < -0.03 {
+		t.Errorf("miss ratio diverged between models: hop %.4f vs event %.4f", hopMiss, evMiss)
+	}
+	// Message overhead is F x reached in both models.
+	if ratio := evMsgs / hopMsgs; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("message overhead diverged: hop %.0f vs event %.0f", hopMsgs, evMsgs)
+	}
+}
+
+func TestAccountingConsistency(t *testing.T) {
+	o := ringOverlay(t, 200, 8, 3)
+	rng := rand.New(rand.NewSource(5))
+	res, err := Run(o, 1, core.RingCast{}, 3, ExpLatency(1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Virgin != res.Reached-1 {
+		t.Fatalf("virgin = %d, want %d", res.Virgin, res.Reached-1)
+	}
+	if res.Deliveries != res.TotalMsgs() {
+		t.Fatalf("deliveries %d != total msgs %d", res.Deliveries, res.TotalMsgs())
+	}
+	if res.Lost != 0 {
+		t.Fatal("lost messages in fail-free overlay")
+	}
+}
+
+func TestLostWithDeadNodes(t *testing.T) {
+	o := ringOverlay(t, 200, 8, 4)
+	rng := rand.New(rand.NewSource(6))
+	o.KillFraction(0.2, rng)
+	origin, err := o.RandomAliveOrigin(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(o, origin, core.RingCast{}, 3, ExpLatency(1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost == 0 {
+		t.Fatal("no lost messages despite dead nodes")
+	}
+	if res.Reached > res.AliveTotal {
+		t.Fatal("reached more than alive")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	o := ringOverlay(t, 150, 6, 8)
+	r1, err := Run(o, 1, core.RandCast{}, 3, ExpLatency(2), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(o, 1, core.RandCast{}, 3, ExpLatency(2), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Reached != r2.Reached || r1.CompletionTime != r2.CompletionTime {
+		t.Fatal("identical seeds diverged")
+	}
+}
+
+func TestLatencyHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if ConstantLatency(4)(rng) != 4 {
+		t.Error("constant latency broken")
+	}
+	for i := 0; i < 100; i++ {
+		if d := UniformLatency(2, 3)(rng); d < 2 || d >= 3 {
+			t.Fatalf("uniform latency out of range: %v", d)
+		}
+		if d := ExpLatency(1)(rng); d < 0 {
+			t.Fatalf("negative exponential latency: %v", d)
+		}
+	}
+}

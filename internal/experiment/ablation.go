@@ -1,0 +1,309 @@
+// Ablation experiments for the design decisions called out in DESIGN.md:
+// the VICINITY candidate feed, CYCLON's age-based peer selection, the
+// staleness bound that lets the ring heal, and the multi-ring extension of
+// Section 8.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringcast/internal/churn"
+	"ringcast/internal/core"
+	"ringcast/internal/cyclon"
+	"ringcast/internal/dissem"
+	"ringcast/internal/ident"
+	"ringcast/internal/metrics"
+	"ringcast/internal/overlay"
+	"ringcast/internal/sim"
+	"ringcast/internal/vicinity"
+)
+
+// FeedAblationResult compares ring-construction speed with and without the
+// CYCLON candidate feed into VICINITY merges (the two-layered design of
+// Section 6).
+type FeedAblationResult struct {
+	N int
+	// WithFeedCycles / WithoutFeedCycles are the cycles needed to reach
+	// full ring convergence (capped at MaxCycles).
+	WithFeedCycles, WithoutFeedCycles int
+	// WithFeedConv / WithoutFeedConv are the convergence levels reached.
+	WithFeedConv, WithoutFeedConv float64
+	// MaxCycles is the cap used.
+	MaxCycles int
+}
+
+// RunFeedAblation measures how many cycles the ring needs to converge with
+// and without the peer-sampling feed.
+func RunFeedAblation(n, maxCycles int, seed int64) (*FeedAblationResult, error) {
+	if n < 2 || maxCycles < 1 {
+		return nil, fmt.Errorf("experiment: invalid feed ablation n=%d maxCycles=%d", n, maxCycles)
+	}
+	res := &FeedAblationResult{N: n, MaxCycles: maxCycles}
+	for _, disable := range []bool{false, true} {
+		cfg := sim.DefaultConfig(n)
+		cfg.Seed = seed
+		cfg.DisableVicinityFeed = disable
+		nw, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cycles := 0
+		conv := 0.0
+		for cycles < maxCycles {
+			nw.RunCycles(10)
+			cycles += 10
+			conv = nw.RingConvergence()
+			if conv == 1.0 {
+				break
+			}
+		}
+		if disable {
+			res.WithoutFeedCycles, res.WithoutFeedConv = cycles, conv
+		} else {
+			res.WithFeedCycles, res.WithFeedConv = cycles, conv
+		}
+	}
+	return res, nil
+}
+
+// SelectionAblationResult compares CYCLON's age-based ("enhanced") peer
+// selection against uniform-random ("basic") selection under churn: the
+// fraction of stale (dead) links lingering in live views after healing.
+type SelectionAblationResult struct {
+	N           int
+	ChurnCycles int
+	// StaleFractionOldest / StaleFractionRandom are the dead-link fractions
+	// in CYCLON views at the end.
+	StaleFractionOldest, StaleFractionRandom float64
+}
+
+// RunSelectionAblation churns two otherwise-identical networks and measures
+// stale-link pollution under each CYCLON peer-selection policy.
+func RunSelectionAblation(n, churnCycles int, rate float64, seed int64) (*SelectionAblationResult, error) {
+	if n < 2 || churnCycles < 1 {
+		return nil, fmt.Errorf("experiment: invalid selection ablation n=%d cycles=%d", n, churnCycles)
+	}
+	model := churn.Model{Rate: rate}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	res := &SelectionAblationResult{N: n, ChurnCycles: churnCycles}
+	for _, random := range []bool{false, true} {
+		cfg := sim.DefaultConfig(n)
+		cfg.Seed = seed
+		cfg.Cyclon.RandomPeerSelection = random
+		nw, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		nw.RunCycles(100)
+		model.Run(nw, churnCycles)
+		stale, total := 0, 0
+		for _, nd := range nw.Nodes() {
+			if !nd.Alive {
+				continue
+			}
+			for _, id := range nd.Cyc.View().IDs() {
+				total++
+				if peer, ok := nw.NodeByID(id); !ok || !peer.Alive {
+					stale++
+				}
+			}
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = float64(stale) / float64(total)
+		}
+		if random {
+			res.StaleFractionRandom = frac
+		} else {
+			res.StaleFractionOldest = frac
+		}
+	}
+	return res, nil
+}
+
+// MultiRingRow is one (rings, failure-fraction) cell of the multi-ring
+// reliability ablation.
+type MultiRingRow struct {
+	Rings        int
+	FailFraction float64
+	Agg          metrics.Agg
+}
+
+// RunMultiRingAblation evaluates the Section 8 extension: RINGCAST with k
+// independent rings (2k d-links per node) after a catastrophic failure,
+// using idealized converged overlays (the gossip layer provably converges
+// to them; building k VICINITY instances per node would only add noise).
+// Fanout stays fixed so that extra reliability is attributable to the
+// d-link structure alone.
+func RunMultiRingAblation(n, runs, fanout int, ringCounts []int, failFrac float64, seed int64) ([]MultiRingRow, error) {
+	if n < 4 || runs < 1 || fanout < 1 {
+		return nil, fmt.Errorf("experiment: invalid multi-ring ablation n=%d runs=%d fanout=%d", n, runs, fanout)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]MultiRingRow, 0, len(ringCounts))
+	for _, k := range ringCounts {
+		g, err := overlay.KRings(k, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		rlinks, err := overlay.RandomOutDegree(n, 20, rng)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]ident.ID, n)
+		for i := range ids {
+			ids[i] = ident.ID(i + 1)
+		}
+		links := make([]core.Links, n)
+		for i := range links {
+			d := make([]ident.ID, 0, len(g.Out(i)))
+			for _, v := range g.Out(i) {
+				d = append(d, ids[v])
+			}
+			r := make([]ident.ID, 0, len(rlinks.Out(i)))
+			for _, v := range rlinks.Out(i) {
+				r = append(r, ids[v])
+			}
+			links[i] = core.Links{R: r, D: d}
+		}
+		base, err := dissem.FromLinks(ids, links)
+		if err != nil {
+			return nil, err
+		}
+		var acc metrics.Accumulator
+		for run := 0; run < runs; run++ {
+			o := base.Clone()
+			o.KillFraction(failFrac, rng)
+			origin, err := o.RandomAliveOrigin(rng)
+			if err != nil {
+				return nil, err
+			}
+			d, err := dissem.RunOpts(o, origin, core.RingCast{}, fanout, rng, dissem.Options{SkipLoad: true})
+			if err != nil {
+				return nil, err
+			}
+			acc.Add(d)
+		}
+		rows = append(rows, MultiRingRow{Rings: k, FailFraction: failFrac, Agg: acc.Finalize()})
+	}
+	return rows, nil
+}
+
+// MaxAgeAblationResult compares ring healing under churn with and without
+// the VICINITY staleness bound.
+type MaxAgeAblationResult struct {
+	N           int
+	ChurnCycles int
+	// ConvWithMaxAge / ConvWithoutMaxAge are the final ring convergences.
+	ConvWithMaxAge, ConvWithoutMaxAge float64
+}
+
+// RunMaxAgeAblation demonstrates why the staleness bound exists: without
+// it, dead entries are endlessly resurrected by gossip partners and the
+// ring cannot heal under churn.
+func RunMaxAgeAblation(n, churnCycles int, rate float64, seed int64) (*MaxAgeAblationResult, error) {
+	if n < 2 || churnCycles < 1 {
+		return nil, fmt.Errorf("experiment: invalid max-age ablation n=%d cycles=%d", n, churnCycles)
+	}
+	model := churn.Model{Rate: rate}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	res := &MaxAgeAblationResult{N: n, ChurnCycles: churnCycles}
+	for _, disable := range []bool{false, true} {
+		cfg := sim.DefaultConfig(n)
+		cfg.Seed = seed
+		if disable {
+			cfg.Vicinity.MaxAge = 0
+		}
+		nw, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		nw.RunCycles(100)
+		model.Run(nw, churnCycles)
+		if disable {
+			res.ConvWithoutMaxAge = nw.RingConvergence()
+		} else {
+			res.ConvWithMaxAge = nw.RingConvergence()
+		}
+	}
+	return res, nil
+}
+
+// DomainRingResult verifies the Section 8 domain-proximity construction:
+// with reversed-domain IDs, the converged ring visits all nodes of one
+// domain consecutively.
+type DomainRingResult struct {
+	N       int
+	Domains int
+	// Converged reports whether the ring fully formed.
+	Converged bool
+	// DomainRuns counts maximal runs of consecutive same-domain nodes along
+	// the ring; equal to Domains exactly when every domain is contiguous.
+	DomainRuns int
+}
+
+// RunDomainRing builds a network whose IDs encode reversed domain names and
+// checks that nodes self-organize into a domain-sorted ring.
+func RunDomainRing(nodesPerDomain int, domains []string, seed int64) (*DomainRingResult, error) {
+	if nodesPerDomain < 1 || len(domains) < 1 {
+		return nil, fmt.Errorf("experiment: invalid domain ring parameters")
+	}
+	n := nodesPerDomain * len(domains)
+	if n < 2 {
+		return nil, fmt.Errorf("experiment: need at least 2 nodes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]ident.ID, 0, n)
+	domainOf := make(map[ident.ID]string, n)
+	used := make(map[ident.ID]struct{}, n)
+	for _, dom := range domains {
+		for i := 0; i < nodesPerDomain; i++ {
+			id := ident.DomainID(dom, rng.Uint32())
+			for _, dup := used[id]; dup; _, dup = used[id] {
+				id = ident.DomainID(dom, rng.Uint32())
+			}
+			used[id] = struct{}{}
+			ids = append(ids, id)
+			domainOf[id] = dom
+		}
+	}
+	cfg := sim.Config{
+		N:           n,
+		Cyclon:      cyclon.DefaultConfig(),
+		Vicinity:    vicinity.DefaultConfig(),
+		UseVicinity: true,
+		Seed:        seed,
+		NodeIDs:     ids,
+	}
+	nw, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	_, conv := nw.WarmUp(100, 1000)
+
+	// Walk the ring in ID order and count domain runs.
+	sorted := nw.AliveIDs()
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	runs := 0
+	for i := range sorted {
+		prev := sorted[(i-1+len(sorted))%len(sorted)]
+		if domainOf[sorted[i]] != domainOf[prev] {
+			runs++
+		}
+	}
+	return &DomainRingResult{
+		N:          n,
+		Domains:    len(domains),
+		Converged:  conv == 1.0,
+		DomainRuns: runs,
+	}, nil
+}

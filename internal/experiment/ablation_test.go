@@ -1,0 +1,185 @@
+package experiment
+
+import "testing"
+
+func TestFeedAblation(t *testing.T) {
+	res, err := RunFeedAblation(200, 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithFeedConv != 1.0 {
+		t.Fatalf("with feed: convergence %v after %d cycles, want 1.0",
+			res.WithFeedConv, res.WithFeedCycles)
+	}
+	// Without the feed the ring converges much slower (usually not at all
+	// within the budget at this scale).
+	if res.WithoutFeedConv >= 1.0 && res.WithoutFeedCycles <= res.WithFeedCycles {
+		t.Errorf("feed ablation shows no benefit: with=%d cycles, without=%d cycles (conv %v)",
+			res.WithFeedCycles, res.WithoutFeedCycles, res.WithoutFeedConv)
+	}
+}
+
+func TestFeedAblationValidation(t *testing.T) {
+	if _, err := RunFeedAblation(1, 10, 1); err == nil {
+		t.Error("accepted n < 2")
+	}
+	if _, err := RunFeedAblation(10, 0, 1); err == nil {
+		t.Error("accepted zero cycles")
+	}
+}
+
+func TestSelectionAblation(t *testing.T) {
+	res, err := RunSelectionAblation(300, 60, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Age-based selection keeps stale links at or below the level of random
+	// selection (the CYCLON paper's core robustness claim).
+	if res.StaleFractionOldest > res.StaleFractionRandom+0.02 {
+		t.Errorf("oldest-first selection has MORE stale links: %.4f vs %.4f",
+			res.StaleFractionOldest, res.StaleFractionRandom)
+	}
+	if res.StaleFractionOldest > 0.2 {
+		t.Errorf("stale fraction %.3f too high even with age-based selection", res.StaleFractionOldest)
+	}
+}
+
+func TestSelectionAblationValidation(t *testing.T) {
+	if _, err := RunSelectionAblation(300, 10, 5.0, 1); err == nil {
+		t.Error("accepted churn rate > 1")
+	}
+}
+
+func TestMultiRingAblation(t *testing.T) {
+	rows, err := RunMultiRingAblation(500, 20, 2, []int{1, 2, 3}, 0.10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More rings -> equal or lower miss ratio after the same failure.
+	if rows[1].Agg.MeanMissRatio > rows[0].Agg.MeanMissRatio+1e-9 {
+		t.Errorf("2 rings missed more than 1 ring: %v vs %v",
+			rows[1].Agg.MeanMissRatio, rows[0].Agg.MeanMissRatio)
+	}
+	if rows[2].Agg.MeanMissRatio > rows[0].Agg.MeanMissRatio+1e-9 {
+		t.Errorf("3 rings missed more than 1 ring: %v vs %v",
+			rows[2].Agg.MeanMissRatio, rows[0].Agg.MeanMissRatio)
+	}
+}
+
+func TestMultiRingAblationValidation(t *testing.T) {
+	if _, err := RunMultiRingAblation(2, 1, 1, []int{1}, 0.1, 1); err == nil {
+		t.Error("accepted tiny n")
+	}
+}
+
+func TestMaxAgeAblation(t *testing.T) {
+	res, err := RunMaxAgeAblation(300, 80, 0.01, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConvWithMaxAge < res.ConvWithoutMaxAge {
+		t.Errorf("staleness bound hurt convergence: with=%.3f without=%.3f",
+			res.ConvWithMaxAge, res.ConvWithoutMaxAge)
+	}
+	if res.ConvWithMaxAge < 0.6 {
+		t.Errorf("convergence with MaxAge = %.3f, suspiciously low", res.ConvWithMaxAge)
+	}
+}
+
+func TestDomainRing(t *testing.T) {
+	domains := []string{"inf.ethz.ch", "few.vu.nl", "cs.cornell.edu", "dcs.gla.uk"}
+	res, err := RunDomainRing(30, domains, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("domain ring did not converge")
+	}
+	// Section 8: nodes self-organize in a ring sorted by domain — each
+	// domain occupies exactly one contiguous arc.
+	if res.DomainRuns != len(domains) {
+		t.Fatalf("domain runs = %d, want %d (domains contiguous on ring)",
+			res.DomainRuns, len(domains))
+	}
+}
+
+func TestDomainRingValidation(t *testing.T) {
+	if _, err := RunDomainRing(0, []string{"a.b"}, 1); err == nil {
+		t.Error("accepted zero nodes per domain")
+	}
+	if _, err := RunDomainRing(3, nil, 1); err == nil {
+		t.Error("accepted no domains")
+	}
+	if _, err := RunDomainRing(1, []string{"x.y"}, 1); err == nil {
+		t.Error("accepted single-node network")
+	}
+}
+
+func TestRunTraceChurn(t *testing.T) {
+	cfg := Scaled(250, 5)
+	cfg.Fanouts = []int{3}
+	res, err := RunTraceChurn(cfg, 60, 1.0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetimes.Total() != cfg.N {
+		t.Fatalf("lifetime total = %d, want %d", res.Lifetimes.Total(), cfg.N)
+	}
+	if res.ChurnRate <= 0 {
+		t.Fatal("expected positive equivalent churn rate")
+	}
+	row := res.Rows[0]
+	// At this gentle churn, RingCast should not be worse than RandCast at F=3.
+	if row.Ring.MeanMissRatio > row.Rand.MeanMissRatio+0.01 {
+		t.Errorf("trace churn: Ring %v much worse than Rand %v",
+			row.Ring.MeanMissRatio, row.Rand.MeanMissRatio)
+	}
+}
+
+func TestRunTraceChurnValidation(t *testing.T) {
+	cfg := Scaled(50, 1)
+	if _, err := RunTraceChurn(cfg, 0, 1, 10); err == nil {
+		t.Error("accepted zero median")
+	}
+	if _, err := RunTraceChurn(cfg, 10, 1, 0); err == nil {
+		t.Error("accepted zero cycles")
+	}
+}
+
+func TestRunTimingInvariance(t *testing.T) {
+	cfg := Scaled(300, 10)
+	cfg.Fanouts = []int{3}
+	res, err := RunTimingInvariance(cfg, "randcast", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	ref := res.Rows[0]
+	for _, row := range res.Rows[1:] {
+		if diff := row.MeanMissRatio - ref.MeanMissRatio; diff > 0.05 || diff < -0.05 {
+			t.Errorf("%s: miss ratio %v diverges from hop model %v",
+				row.Model, row.MeanMissRatio, ref.MeanMissRatio)
+		}
+		if ratio := row.MeanMsgs / ref.MeanMsgs; ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s: msgs %v diverges from hop model %v", row.Model, row.MeanMsgs, ref.MeanMsgs)
+		}
+	}
+	if res.Table() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestRunTimingInvarianceValidation(t *testing.T) {
+	cfg := Scaled(50, 2)
+	if _, err := RunTimingInvariance(cfg, "nope", 3); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := RunTimingInvariance(cfg, "ringcast", 0); err == nil {
+		t.Error("zero fanout accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Flooding-overlay baselines from Section 3 of the paper: trees are
+// message-optimal but fragile, stars centralize load and fail with the
+// server, cliques are maximally reliable but unmaintainable, and Harary
+// graphs give tunable reliability at minimal overhead. RINGCAST's d-link
+// structure is the Harary graph of connectivity 2 (the bidirectional ring).
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/graph"
+	"ringcast/internal/ident"
+	"ringcast/internal/overlay"
+)
+
+// FloodRow describes flooding behaviour over one static overlay.
+type FloodRow struct {
+	// Name identifies the overlay ("ring", "star", ...).
+	Name string
+	// Links is the total number of directed links maintained.
+	Links int
+	// Msgs is the number of point-to-point messages in one complete
+	// dissemination on the intact overlay.
+	Msgs int
+	// Hops is the dissemination latency on the intact overlay.
+	Hops int
+	// Complete reports whether flooding reached all nodes on the intact overlay.
+	Complete bool
+	// SurviveOne and SurviveTwo are the empirical probabilities that a
+	// dissemination still reaches every live node after 1 (resp. 2) random
+	// node failures.
+	SurviveOne, SurviveTwo float64
+}
+
+// RunFloodBaselines floods each Section 3 overlay over n nodes and measures
+// overhead, latency and failure resilience (trials random-failure trials per
+// overlay).
+func RunFloodBaselines(n, trials int, seed int64) ([]FloodRow, error) {
+	if n < 6 || n%2 != 0 {
+		return nil, fmt.Errorf("experiment: baselines need even n >= 6, got %d", n)
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("experiment: trials must be >= 1, got %d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	tree, err := overlay.Tree(n, 2)
+	if err != nil {
+		return nil, err
+	}
+	harary4, err := overlay.Harary(4, n)
+	if err != nil {
+		return nil, err
+	}
+	rings2, err := overlay.KRings(2, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	overlays := []struct {
+		name string
+		g    *graph.Directed
+	}{
+		{"ring (Harary t=2)", overlay.Ring(n)},
+		{"star (server)", overlay.Star(n)},
+		{"binary tree", tree},
+		{"clique", overlay.Clique(n)},
+		{"Harary t=4", harary4},
+		{"2 rings (§8)", rings2},
+	}
+
+	rows := make([]FloodRow, 0, len(overlays))
+	for _, ov := range overlays {
+		o, err := graphOverlay(ov.g)
+		if err != nil {
+			return nil, err
+		}
+		d, err := dissem.RunOpts(o, o.IDs()[0], core.DFlood{}, 0, rng, dissem.Options{SkipLoad: true})
+		if err != nil {
+			return nil, err
+		}
+		links := 0
+		for _, deg := range ov.g.OutDegrees() {
+			links += deg
+		}
+		row := FloodRow{
+			Name:     ov.name,
+			Links:    links,
+			Msgs:     d.TotalMsgs(),
+			Hops:     d.Hops(),
+			Complete: d.Complete(),
+		}
+		row.SurviveOne = survivalRate(o, rng, 1, trials)
+		row.SurviveTwo = survivalRate(o, rng, 2, trials)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// graphOverlay converts an adjacency graph into a dissem overlay whose
+// d-links are the graph edges.
+func graphOverlay(g *graph.Directed) (*dissem.Overlay, error) {
+	ids := make([]ident.ID, g.N())
+	links := make([]core.Links, g.N())
+	for i := 0; i < g.N(); i++ {
+		ids[i] = ident.ID(i + 1)
+	}
+	for i := 0; i < g.N(); i++ {
+		out := g.Out(i)
+		d := make([]ident.ID, len(out))
+		for j, v := range out {
+			d[j] = ids[v]
+		}
+		links[i].D = d
+	}
+	return dissem.FromLinks(ids, links)
+}
+
+// survivalRate estimates the probability that flooding from a random live
+// origin reaches every live node after `kills` random failures.
+func survivalRate(o *dissem.Overlay, rng *rand.Rand, kills, trials int) float64 {
+	ok := 0
+	for t := 0; t < trials; t++ {
+		c := o.Clone()
+		c.KillFraction(float64(kills)/float64(c.N()), rng)
+		// KillFraction truncates; force exact count by killing one at a time
+		// if rounding produced too few.
+		for c.N()-c.AliveCount() < kills {
+			c.KillFraction(1.5/float64(c.AliveCount()), rng)
+		}
+		origin, err := c.RandomAliveOrigin(rng)
+		if err != nil {
+			continue
+		}
+		d, err := dissem.RunOpts(c, origin, core.DFlood{}, 0, rng, dissem.Options{SkipLoad: true})
+		if err != nil {
+			continue
+		}
+		if d.Complete() {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}

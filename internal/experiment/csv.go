@@ -1,0 +1,139 @@
+// CSV export: every result type can emit machine-readable series so the
+// tables can be re-plotted with external tools (gnuplot produced the
+// paper's original figures).
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits the fanout sweep as CSV: one row per fanout with both
+// protocols' headline metrics.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"fanout",
+		"randcast_miss_ratio", "randcast_complete_fraction",
+		"randcast_virgin", "randcast_redundant", "randcast_lost", "randcast_mean_hops",
+		"ringcast_miss_ratio", "ringcast_complete_fraction",
+		"ringcast_virgin", "ringcast_redundant", "ringcast_lost", "ringcast_mean_hops",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			strconv.Itoa(row.Fanout),
+			f(row.Rand.MeanMissRatio), f(row.Rand.CompleteFraction),
+			f(row.Rand.MeanVirgin), f(row.Rand.MeanRedundant), f(row.Rand.MeanLost), f(row.Rand.MeanHops),
+			f(row.Ring.MeanMissRatio), f(row.Ring.CompleteFraction),
+			f(row.Ring.MeanVirgin), f(row.Ring.MeanRedundant), f(row.Ring.MeanLost), f(row.Ring.MeanHops),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteProgressCSV emits the per-hop progress curves (Figures 7/10) for the
+// given fanouts: hop, then one not-reached column per (protocol, fanout).
+func (r *Result) WriteProgressCSV(w io.Writer, fanouts ...int) error {
+	cw := csv.NewWriter(w)
+	header := []string{"hop"}
+	type curve struct {
+		name   string
+		values []float64
+	}
+	var curves []curve
+	maxLen := 0
+	for _, fo := range fanouts {
+		row, ok := r.row(fo)
+		if !ok {
+			continue
+		}
+		curves = append(curves,
+			curve{fmt.Sprintf("randcast_f%d", fo), row.Rand.NotReachedByHop},
+			curve{fmt.Sprintf("ringcast_f%d", fo), row.Ring.NotReachedByHop},
+		)
+	}
+	for _, c := range curves {
+		header = append(header, c.name)
+		if len(c.values) > maxLen {
+			maxLen = len(c.values)
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for h := 0; h < maxLen; h++ {
+		rec := make([]string, 0, len(curves)+1)
+		rec = append(rec, strconv.Itoa(h))
+		for _, c := range curves {
+			rec = append(rec, f(hopValue(c.values, h)))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLifetimeCSV emits the Figure 12/13 histograms: lifetime, population
+// count, and per-protocol miss counts for the given fanout.
+func (c *ChurnResult) WriteLifetimeCSV(w io.Writer, fanout int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"lifetime", "nodes", "randcast_misses", "ringcast_misses"}); err != nil {
+		return err
+	}
+	randHist := c.MissedByLifetime["RandCast"][fanout]
+	ringHist := c.MissedByLifetime["RingCast"][fanout]
+	values := map[int]bool{}
+	for _, p := range c.Lifetimes.Sorted() {
+		values[p.Value] = true
+	}
+	if randHist != nil {
+		for _, p := range randHist.Sorted() {
+			values[p.Value] = true
+		}
+	}
+	if ringHist != nil {
+		for _, p := range ringHist.Sorted() {
+			values[p.Value] = true
+		}
+	}
+	ordered := make([]int, 0, len(values))
+	for v := range values {
+		ordered = append(ordered, v)
+	}
+	sort.Ints(ordered)
+	for _, v := range ordered {
+		randMiss, ringMiss := 0, 0
+		if randHist != nil {
+			randMiss = randHist.Count(v)
+		}
+		if ringHist != nil {
+			ringMiss = ringHist.Count(v)
+		}
+		rec := []string{
+			strconv.Itoa(v),
+			strconv.Itoa(c.Lifetimes.Count(v)),
+			strconv.Itoa(randMiss),
+			strconv.Itoa(ringMiss),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// f formats a float compactly for CSV.
+func f(x float64) string { return strconv.FormatFloat(x, 'g', 8, 64) }

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ringcast/internal/metrics"
+	"ringcast/internal/stats"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Scenario: "static",
+		N:        100,
+		Runs:     2,
+		Rows: []Row{
+			{
+				Fanout: 2,
+				Rand:   metrics.Agg{MeanMissRatio: 0.2, CompleteFraction: 0, MeanVirgin: 80, NotReachedByHop: []float64{1, 0.5, 0.2}},
+				Ring:   metrics.Agg{MeanMissRatio: 0, CompleteFraction: 1, MeanVirgin: 99, NotReachedByHop: []float64{1, 0.4, 0}},
+			},
+			{
+				Fanout: 5,
+				Rand:   metrics.Agg{MeanMissRatio: 0.01, CompleteFraction: 0.5, MeanVirgin: 99},
+				Ring:   metrics.Agg{MeanMissRatio: 0, CompleteFraction: 1, MeanVirgin: 99},
+			},
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleResult().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want header + 2 rows", len(recs))
+	}
+	if recs[0][0] != "fanout" || len(recs[0]) != 13 {
+		t.Fatalf("header = %v", recs[0])
+	}
+	if recs[1][0] != "2" || recs[2][0] != "5" {
+		t.Fatalf("fanout column wrong: %v / %v", recs[1][0], recs[2][0])
+	}
+	miss, err := strconv.ParseFloat(recs[1][1], 64)
+	if err != nil || miss != 0.2 {
+		t.Fatalf("randcast miss = %v (%v)", miss, err)
+	}
+}
+
+func TestWriteProgressCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleResult().WriteProgressCSV(&sb, 2, 99); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 3 hops; fanout 99 skipped.
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	if len(recs[0]) != 3 { // hop + 2 curves
+		t.Fatalf("header = %v", recs[0])
+	}
+	if recs[3][2] != "0" {
+		t.Fatalf("ringcast final hop = %v, want 0", recs[3][2])
+	}
+}
+
+func TestWriteLifetimeCSV(t *testing.T) {
+	life := stats.NewIntHistogram()
+	life.AddAll([]int{1, 1, 5, 9})
+	missRand := stats.NewIntHistogram()
+	missRand.Add(1)
+	missRing := stats.NewIntHistogram()
+	missRing.Add(9)
+	c := &ChurnResult{
+		Result:    Result{Scenario: "churn"},
+		Lifetimes: life,
+		MissedByLifetime: map[string]map[int]*stats.IntHistogram{
+			"RandCast": {3: missRand},
+			"RingCast": {3: missRing},
+		},
+	}
+	var sb strings.Builder
+	if err := c.WriteLifetimeCSV(&sb, 3); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + lifetimes {1,5,9}
+		t.Fatalf("records = %d, want 4:\n%s", len(recs), sb.String())
+	}
+	if recs[1][0] != "1" || recs[1][1] != "2" || recs[1][2] != "1" || recs[1][3] != "0" {
+		t.Fatalf("lifetime-1 row = %v", recs[1])
+	}
+	if recs[3][0] != "9" || recs[3][3] != "1" {
+		t.Fatalf("lifetime-9 row = %v", recs[3])
+	}
+	// Unswept fanout: still emits population column.
+	var sb2 strings.Builder
+	if err := c.WriteLifetimeCSV(&sb2, 77); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "lifetime,nodes") {
+		t.Fatal("header missing for unswept fanout")
+	}
+}

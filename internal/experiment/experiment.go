@@ -1,0 +1,419 @@
+// Package experiment reproduces the paper's evaluation (Section 7): every
+// figure has a runner that regenerates its data series, side by side for
+// RANDCAST and RINGCAST, following the paper's methodology — star
+// bootstrap, 100 warm-up cycles, frozen overlay, 100 messages from random
+// origins per data point.
+//
+// Runner-to-figure map:
+//
+//	RunStatic        -> Figures 6a, 6b, 7, 8  (static fail-free network)
+//	RunCatastrophic  -> Figures 9, 10          (sudden failure of 1-10%)
+//	RunChurn         -> Figures 11, 12, 13     (continuous artificial churn)
+//	RunLoad          -> Section 7's uniform-load claim
+//	RunFloodBaselines-> Section 3's deterministic-overlay baselines
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringcast/internal/churn"
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/metrics"
+	"ringcast/internal/sim"
+	"ringcast/internal/stats"
+)
+
+// Config parameterizes an experiment sweep.
+type Config struct {
+	// N is the node population (10,000 in the paper).
+	N int
+	// Runs is the number of disseminations per data point (100 in the paper).
+	Runs int
+	// Fanouts are the F values swept (1..20 in the paper).
+	Fanouts []int
+	// WarmupCycles is the minimum self-organization period (100 in the paper).
+	WarmupCycles int
+	// MaxWarmupCycles caps the extended warm-up used to guarantee ring
+	// convergence before a static experiment.
+	MaxWarmupCycles int
+	// Seed drives all randomness deterministically.
+	Seed int64
+}
+
+// PaperConfig returns the paper's full experimental scale. Running it
+// regenerates the figures at original fidelity but takes correspondingly
+// long; use Scaled for quick checks.
+func PaperConfig() Config {
+	return Config{
+		N:               10000,
+		Runs:            100,
+		Fanouts:         fanoutRange(1, 20),
+		WarmupCycles:    100,
+		MaxWarmupCycles: 1000,
+		Seed:            42,
+	}
+}
+
+// Scaled returns the paper's setup shrunk to n nodes and the given number
+// of runs per point, for tests and quick benchmarks.
+func Scaled(n, runs int) Config {
+	cfg := PaperConfig()
+	cfg.N = n
+	cfg.Runs = runs
+	return cfg
+}
+
+func fanoutRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for f := lo; f <= hi; f++ {
+		out = append(out, f)
+	}
+	return out
+}
+
+func (c Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("experiment: N must be >= 2, got %d", c.N)
+	}
+	if c.Runs < 1 {
+		return fmt.Errorf("experiment: Runs must be >= 1, got %d", c.Runs)
+	}
+	if len(c.Fanouts) == 0 {
+		return fmt.Errorf("experiment: at least one fanout required")
+	}
+	for _, f := range c.Fanouts {
+		if f < 1 {
+			return fmt.Errorf("experiment: fanouts must be >= 1, got %d", f)
+		}
+	}
+	if c.WarmupCycles < 0 || c.MaxWarmupCycles < c.WarmupCycles {
+		return fmt.Errorf("experiment: warm-up bounds invalid (%d, %d)", c.WarmupCycles, c.MaxWarmupCycles)
+	}
+	return nil
+}
+
+// Row is one fanout's aggregated results for both protocols.
+type Row struct {
+	Fanout int
+	Rand   metrics.Agg
+	Ring   metrics.Agg
+}
+
+// Result is a full fanout sweep under one scenario.
+type Result struct {
+	// Scenario labels the experiment ("static", "catastrophic-5%", ...).
+	Scenario string
+	// N and Runs echo the configuration.
+	N, Runs int
+	// FailFraction is the portion of nodes killed before dissemination
+	// (catastrophic scenarios only).
+	FailFraction float64
+	// WarmupUsed is how many warm-up cycles actually ran.
+	WarmupUsed int
+	// Convergence is the d-link ring convergence at freeze time.
+	Convergence float64
+	// Rows holds one entry per fanout.
+	Rows []Row
+}
+
+// warmNetwork builds and self-organizes a network following Section 7.1.
+func warmNetwork(cfg Config) (*sim.Network, int, float64, error) {
+	simCfg := sim.DefaultConfig(cfg.N)
+	simCfg.Seed = cfg.Seed
+	nw, err := sim.New(simCfg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	cycles, conv := nw.WarmUp(cfg.WarmupCycles, cfg.MaxWarmupCycles)
+	return nw, cycles, conv, nil
+}
+
+// sweep runs cfg.Runs disseminations per fanout per protocol over the given
+// overlay and aggregates them.
+func sweep(o *dissem.Overlay, cfg Config, rng *rand.Rand) ([]Row, error) {
+	rows := make([]Row, 0, len(cfg.Fanouts))
+	for _, f := range cfg.Fanouts {
+		var accRand, accRing metrics.Accumulator
+		for r := 0; r < cfg.Runs; r++ {
+			origin, err := o.RandomAliveOrigin(rng)
+			if err != nil {
+				return nil, err
+			}
+			dRand, err := dissem.RunOpts(o, origin, core.RandCast{}, f, rng, dissem.Options{SkipLoad: true})
+			if err != nil {
+				return nil, err
+			}
+			accRand.Add(dRand)
+			dRing, err := dissem.RunOpts(o, origin, core.RingCast{}, f, rng, dissem.Options{SkipLoad: true})
+			if err != nil {
+				return nil, err
+			}
+			accRing.Add(dRing)
+		}
+		rows = append(rows, Row{Fanout: f, Rand: accRand.Finalize(), Ring: accRing.Finalize()})
+	}
+	return rows, nil
+}
+
+// RunStatic reproduces the static fail-free scenario of Section 7.1
+// (Figures 6a, 6b, 7 and 8).
+func RunStatic(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nw, cycles, conv, err := warmNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := dissem.Snapshot(nw)
+	rows, err := sweep(o, cfg, nw.Rand())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Scenario:    "static",
+		N:           cfg.N,
+		Runs:        cfg.Runs,
+		WarmupUsed:  cycles,
+		Convergence: conv,
+		Rows:        rows,
+	}, nil
+}
+
+// RunCatastrophic reproduces Section 7.2 (Figures 9 and 10): after warm-up
+// the overlay is frozen, failFraction of the nodes are killed at once, and
+// disseminations run over the damaged overlay with no chance to self-heal
+// (the paper's deliberate worst case).
+func RunCatastrophic(cfg Config, failFraction float64) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if failFraction <= 0 || failFraction >= 1 {
+		return nil, fmt.Errorf("experiment: fail fraction must be in (0,1), got %v", failFraction)
+	}
+	nw, cycles, conv, err := warmNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := dissem.Snapshot(nw)
+	o.KillFraction(failFraction, nw.Rand())
+	rows, err := sweep(o, cfg, nw.Rand())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Scenario:     fmt.Sprintf("catastrophic-%g%%", failFraction*100),
+		N:            cfg.N,
+		Runs:         cfg.Runs,
+		FailFraction: failFraction,
+		WarmupUsed:   cycles,
+		Convergence:  conv,
+		Rows:         rows,
+	}, nil
+}
+
+// ChurnResult extends Result with the lifetime analyses of Figures 12-13.
+type ChurnResult struct {
+	Result
+	// ChurnRate is the per-cycle replacement fraction.
+	ChurnRate float64
+	// TurnoverCycles is how long it took until every initial node had been
+	// replaced (the paper's churn warm-up condition).
+	TurnoverCycles int
+	// TurnoverComplete indicates full turnover was reached within budget.
+	TurnoverComplete bool
+	// Lifetimes is the node-lifetime histogram at freeze time (Figure 12).
+	Lifetimes *stats.IntHistogram
+	// MissedByLifetime[p][f] is the histogram of lifetimes of non-notified
+	// nodes for protocol p and fanout f, summed over all runs (Figure 13).
+	MissedByLifetime map[string]map[int]*stats.IntHistogram
+}
+
+// RunChurn reproduces Section 7.3 (Figures 11, 12, 13): the network churns
+// (rate per cycle, paper: 0.2%) until every initial node has been replaced,
+// is then frozen, and disseminations run over the frozen overlay. Lifetime
+// histograms are collected for the figure-12/13 analyses.
+//
+// maxChurnCycles bounds the turnover phase (several thousand cycles at the
+// paper's rate).
+func RunChurn(cfg Config, rate float64, maxChurnCycles int) (*ChurnResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	model := churn.Model{Rate: rate}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	nw, cycles, _, err := warmNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	turnCycles, done := model.RunUntilTurnover(nw, maxChurnCycles)
+	res, err := churnSweep(cfg, nw, cycles)
+	if err != nil {
+		return nil, err
+	}
+	res.Scenario = fmt.Sprintf("churn-%g%%", rate*100)
+	res.ChurnRate = rate
+	res.TurnoverCycles = turnCycles
+	res.TurnoverComplete = done
+	return res, nil
+}
+
+// RunTraceChurn is RunChurn under the heavy-tailed session model
+// (churn.TraceModel) instead of the paper's uniform artificial churn: node
+// sessions are lognormal with the given median (in cycles) and shape sigma.
+// The network churns for churnCycles cycles before freezing.
+func RunTraceChurn(cfg Config, medianSession, sigma float64, churnCycles int) (*ChurnResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if churnCycles < 1 {
+		return nil, fmt.Errorf("experiment: churn cycles must be >= 1, got %d", churnCycles)
+	}
+	model, err := churn.NewTraceModel(medianSession, sigma, cfg.Seed^0x7ace)
+	if err != nil {
+		return nil, err
+	}
+	nw, cycles, _, err := warmNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	model.Attach(nw)
+	model.Run(nw, churnCycles)
+	res, err := churnSweep(cfg, nw, cycles)
+	if err != nil {
+		return nil, err
+	}
+	res.Scenario = fmt.Sprintf("trace-churn-median%g", medianSession)
+	res.ChurnRate = model.ExpectedRatePerCycle()
+	res.TurnoverCycles = churnCycles
+	res.TurnoverComplete = true
+	return res, nil
+}
+
+// churnSweep freezes a churned network and runs the figure-11/12/13 sweep
+// over it: per-fanout dissemination aggregates plus lifetime histograms.
+func churnSweep(cfg Config, nw *sim.Network, warmCycles int) (*ChurnResult, error) {
+	conv := nw.RingConvergence()
+	o := dissem.Snapshot(nw)
+
+	lifetimes := stats.NewIntHistogram()
+	lifetimes.AddAll(churn.Lifetimes(nw))
+	byID := churn.LifetimeByID(nw)
+
+	missed := map[string]map[int]*stats.IntHistogram{
+		"RandCast": make(map[int]*stats.IntHistogram, len(cfg.Fanouts)),
+		"RingCast": make(map[int]*stats.IntHistogram, len(cfg.Fanouts)),
+	}
+	rows := make([]Row, 0, len(cfg.Fanouts))
+	rng := nw.Rand()
+	for _, f := range cfg.Fanouts {
+		missRand, missRing := stats.NewIntHistogram(), stats.NewIntHistogram()
+		var accRand, accRing metrics.Accumulator
+		for r := 0; r < cfg.Runs; r++ {
+			origin, err := o.RandomAliveOrigin(rng)
+			if err != nil {
+				return nil, err
+			}
+			opts := dissem.Options{SkipLoad: true, RecordMissed: true}
+			dRand, err := dissem.RunOpts(o, origin, core.RandCast{}, f, rng, opts)
+			if err != nil {
+				return nil, err
+			}
+			accRand.Add(dRand)
+			for _, id := range dRand.Missed {
+				missRand.Add(byID[id])
+			}
+			dRing, err := dissem.RunOpts(o, origin, core.RingCast{}, f, rng, opts)
+			if err != nil {
+				return nil, err
+			}
+			accRing.Add(dRing)
+			for _, id := range dRing.Missed {
+				missRing.Add(byID[id])
+			}
+		}
+		rows = append(rows, Row{Fanout: f, Rand: accRand.Finalize(), Ring: accRing.Finalize()})
+		missed["RandCast"][f] = missRand
+		missed["RingCast"][f] = missRing
+	}
+
+	return &ChurnResult{
+		Result: Result{
+			N:           cfg.N,
+			Runs:        cfg.Runs,
+			WarmupUsed:  warmCycles,
+			Convergence: conv,
+			Rows:        rows,
+		},
+		Lifetimes:        lifetimes,
+		MissedByLifetime: missed,
+	}, nil
+}
+
+// LoadResult captures the per-node load distribution for one fanout
+// (Section 7: "both algorithms distribute the dissemination load uniformly
+// on all participating nodes").
+type LoadResult struct {
+	Fanout int
+	N      int
+	Runs   int
+	// SentSummary/RecvSummary summarize messages sent/received per node,
+	// accumulated over all runs; Gini quantifies imbalance (0 = uniform).
+	Sent, Recv map[string]stats.Summary
+	Gini       map[string]float64
+}
+
+// RunLoad measures the distribution of load over nodes for both protocols
+// at the given fanout on a static warmed network.
+func RunLoad(cfg Config, fanout int) (*LoadResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if fanout < 1 {
+		return nil, fmt.Errorf("experiment: fanout must be >= 1, got %d", fanout)
+	}
+	nw, _, _, err := warmNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := dissem.Snapshot(nw)
+	rng := nw.Rand()
+	res := &LoadResult{
+		Fanout: fanout,
+		N:      cfg.N,
+		Runs:   cfg.Runs,
+		Sent:   make(map[string]stats.Summary, 2),
+		Recv:   make(map[string]stats.Summary, 2),
+		Gini:   make(map[string]float64, 2),
+	}
+	for _, sel := range []core.Selector{core.RandCast{}, core.RingCast{}} {
+		sent := make([]int, o.N())
+		recv := make([]int, o.N())
+		for r := 0; r < cfg.Runs; r++ {
+			origin, err := o.RandomAliveOrigin(rng)
+			if err != nil {
+				return nil, err
+			}
+			d, err := dissem.Run(o, origin, sel, fanout, rng)
+			if err != nil {
+				return nil, err
+			}
+			for i := range sent {
+				sent[i] += d.SentPerNode[i]
+				recv[i] += d.RecvPerNode[i]
+			}
+		}
+		res.Sent[sel.Name()] = stats.SummarizeInts(sent)
+		res.Recv[sel.Name()] = stats.SummarizeInts(recv)
+		g, err := stats.Gini(sent)
+		if err != nil {
+			return nil, err
+		}
+		res.Gini[sel.Name()] = g
+	}
+	return res, nil
+}

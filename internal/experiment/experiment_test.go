@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig is a small but meaningful scale: big enough for the paper's
+// qualitative shapes to appear, small enough for CI.
+func testConfig() Config {
+	cfg := Scaled(400, 10)
+	cfg.Fanouts = []int{1, 2, 3, 5, 10}
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 1, Runs: 1, Fanouts: []int{1}, MaxWarmupCycles: 1},
+		{N: 10, Runs: 0, Fanouts: []int{1}, MaxWarmupCycles: 1},
+		{N: 10, Runs: 1, Fanouts: nil, MaxWarmupCycles: 1},
+		{N: 10, Runs: 1, Fanouts: []int{0}, MaxWarmupCycles: 1},
+		{N: 10, Runs: 1, Fanouts: []int{1}, WarmupCycles: 5, MaxWarmupCycles: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := PaperConfig().validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperConfigMatchesPaper(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.N != 10000 || cfg.Runs != 100 || cfg.WarmupCycles != 100 {
+		t.Fatalf("paper config = %+v", cfg)
+	}
+	if len(cfg.Fanouts) != 20 || cfg.Fanouts[0] != 1 || cfg.Fanouts[19] != 20 {
+		t.Fatalf("fanouts = %v, want 1..20", cfg.Fanouts)
+	}
+}
+
+func TestRunStaticShapes(t *testing.T) {
+	res, err := RunStatic(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Convergence != 1.0 {
+		t.Fatalf("static experiment must start from a converged ring, got %v", res.Convergence)
+	}
+	for _, row := range res.Rows {
+		// Headline claim: RingCast misses nothing in a static fail-free
+		// network, for any fanout.
+		if row.Ring.MeanMissRatio != 0 {
+			t.Errorf("F=%d: RingCast miss ratio %v, want 0", row.Fanout, row.Ring.MeanMissRatio)
+		}
+		if row.Ring.CompleteFraction != 1 {
+			t.Errorf("F=%d: RingCast complete fraction %v, want 1", row.Fanout, row.Ring.CompleteFraction)
+		}
+	}
+	// RandCast's miss ratio decays with fanout.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if !(first.Rand.MeanMissRatio > last.Rand.MeanMissRatio) {
+		t.Errorf("RandCast miss ratio should fall with fanout: F=%d %v vs F=%d %v",
+			first.Fanout, first.Rand.MeanMissRatio, last.Fanout, last.Rand.MeanMissRatio)
+	}
+	// At F=1 RandCast essentially dies out; at F=10 it reaches nearly all.
+	if first.Rand.MeanMissRatio < 0.5 {
+		t.Errorf("F=1 RandCast miss ratio %v, want > 0.5", first.Rand.MeanMissRatio)
+	}
+	if last.Rand.MeanMissRatio > 0.02 {
+		t.Errorf("F=10 RandCast miss ratio %v, want < 0.02", last.Rand.MeanMissRatio)
+	}
+	// Fig 8 shape: overhead ~ F x N for complete disseminations.
+	row, _ := res.row(5)
+	total := row.Ring.MeanVirgin + row.Ring.MeanRedundant + row.Ring.MeanLost
+	if total < 4*float64(res.N) || total > 6*float64(res.N) {
+		t.Errorf("F=5 RingCast total msgs = %v, want ~5N = %d", total, 5*res.N)
+	}
+	// Fig 7 shape: higher fanout disseminates in fewer hops.
+	f2, _ := res.row(2)
+	f10, _ := res.row(10)
+	if !(f10.Ring.MeanHops < f2.Ring.MeanHops) {
+		t.Errorf("hops should fall with fanout: F=2 %v, F=10 %v", f2.Ring.MeanHops, f10.Ring.MeanHops)
+	}
+}
+
+func TestRunCatastrophicShapes(t *testing.T) {
+	cfg := testConfig()
+	res, err := RunCatastrophic(cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailFraction != 0.05 {
+		t.Fatalf("fail fraction = %v", res.FailFraction)
+	}
+	// RingCast degrades gracefully but beats RandCast at low fanouts.
+	for _, f := range []int{2, 3} {
+		row, ok := res.row(f)
+		if !ok {
+			t.Fatalf("missing fanout %d", f)
+		}
+		if !(row.Ring.MeanMissRatio < row.Rand.MeanMissRatio) {
+			t.Errorf("F=%d after 5%% kill: Ring %v !< Rand %v",
+				f, row.Ring.MeanMissRatio, row.Rand.MeanMissRatio)
+		}
+	}
+	// With failures neither protocol guarantees 100%.
+	row, _ := res.row(2)
+	if row.Ring.MeanMissRatio == 0 && row.Rand.MeanMissRatio == 0 {
+		t.Log("note: no misses at all after 5% kill at this scale (possible but unusual)")
+	}
+}
+
+func TestRunCatastrophicValidation(t *testing.T) {
+	for _, frac := range []float64{0, 1, -0.5, 2} {
+		if _, err := RunCatastrophic(testConfig(), frac); err == nil {
+			t.Errorf("accepted fail fraction %v", frac)
+		}
+	}
+}
+
+func TestRunChurnShapes(t *testing.T) {
+	cfg := Scaled(300, 8)
+	cfg.Fanouts = []int{3, 6}
+	// 1% churn: 3 nodes/cycle at N=300; cap turnover to keep the test fast.
+	res, err := RunChurn(cfg, 0.01, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TurnoverComplete {
+		t.Fatalf("turnover incomplete after %d cycles", res.TurnoverCycles)
+	}
+	if res.Lifetimes.Total() != cfg.N {
+		t.Fatalf("lifetime histogram total = %d, want %d", res.Lifetimes.Total(), cfg.N)
+	}
+	// Figure 13's qualitative claim: RingCast misses concentrate on young
+	// nodes. Compare the share of misses with lifetime <= 20 cycles.
+	for _, f := range cfg.Fanouts {
+		ring := res.MissedByLifetime["RingCast"][f]
+		if ring.Total() == 0 {
+			continue // no misses at all: fine
+		}
+		young := 0
+		for _, p := range ring.Sorted() {
+			if p.Value <= 20 {
+				young += p.Count
+			}
+		}
+		if frac := float64(young) / float64(ring.Total()); frac < 0.5 {
+			t.Errorf("F=%d: only %.2f of RingCast misses are young nodes, want majority", f, frac)
+		}
+	}
+	// Tables render.
+	if !strings.Contains(res.LifetimeTable(), "lifetime") {
+		t.Error("lifetime table empty")
+	}
+	if !strings.Contains(res.MissByLifetimeTable(3), "RingCast") {
+		t.Error("miss-by-lifetime table empty")
+	}
+}
+
+func TestRunChurnValidation(t *testing.T) {
+	if _, err := RunChurn(testConfig(), -1, 10); err == nil {
+		t.Error("accepted negative churn rate")
+	}
+}
+
+func TestRunLoadUniform(t *testing.T) {
+	cfg := Scaled(300, 10)
+	cfg.Fanouts = []int{5}
+	res, err := RunLoad(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"RandCast", "RingCast"} {
+		g, ok := res.Gini[name]
+		if !ok {
+			t.Fatalf("missing protocol %s", name)
+		}
+		// Uniform-load claim: Gini far below a star topology's (~1).
+		if g > 0.35 {
+			t.Errorf("%s load Gini = %.3f, want <= 0.35 (roughly uniform)", name, g)
+		}
+	}
+	if !strings.Contains(res.Table(), "Gini") {
+		t.Error("load table empty")
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := RunLoad(testConfig(), 0); err == nil {
+		t.Error("accepted zero fanout")
+	}
+}
+
+func TestFloodBaselines(t *testing.T) {
+	rows, err := RunFloodBaselines(64, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]FloodRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if !r.Complete {
+			t.Errorf("%s: flooding incomplete on intact overlay", r.Name)
+		}
+	}
+	tree := byName["binary tree"]
+	clique := byName["clique"]
+	ring := byName["ring (Harary t=2)"]
+	star := byName["star (server)"]
+	rings2 := byName["2 rings (§8)"]
+	// Tree is message-minimal but fragile.
+	if tree.Msgs > ring.Msgs {
+		t.Errorf("tree msgs %d > ring msgs %d", tree.Msgs, ring.Msgs)
+	}
+	if tree.SurviveOne > 0.9 {
+		t.Errorf("tree survival after 1 kill = %v, should be fragile", tree.SurviveOne)
+	}
+	// Clique always survives.
+	if clique.SurviveTwo < 1 {
+		t.Errorf("clique survival after 2 kills = %v, want 1", clique.SurviveTwo)
+	}
+	// Ring (Harary t=2) survives any single failure but not always two.
+	if ring.SurviveOne < 1 {
+		t.Errorf("ring survival after 1 kill = %v, want 1", ring.SurviveOne)
+	}
+	if ring.SurviveTwo >= 1 {
+		t.Log("note: ring survived all 2-kill trials (possible with few trials)")
+	}
+	// Two independent rings beat one on double failures.
+	if rings2.SurviveTwo < ring.SurviveTwo {
+		t.Errorf("2 rings survival %v < 1 ring %v", rings2.SurviveTwo, ring.SurviveTwo)
+	}
+	// Star dies whenever the server dies: survival ~ (n-1)/n < 1.
+	if star.SurviveOne >= 1 {
+		t.Log("note: star survived all 1-kill trials (server never drawn)")
+	}
+	if !strings.Contains(FloodTable(rows), "clique") {
+		t.Error("flood table empty")
+	}
+}
+
+func TestFloodBaselinesValidation(t *testing.T) {
+	if _, err := RunFloodBaselines(5, 10, 1); err == nil {
+		t.Error("accepted odd/small n")
+	}
+	if _, err := RunFloodBaselines(64, 0, 1); err == nil {
+		t.Error("accepted zero trials")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	cfg := Scaled(200, 3)
+	cfg.Fanouts = []int{2, 5}
+	res, err := RunStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]string{
+		"miss":     res.MissRatioTable(),
+		"complete": res.CompleteTable(),
+		"progress": res.ProgressTable(2, 5),
+	} {
+		if !strings.Contains(s, "RandCast") || !strings.Contains(s, "RingCast") {
+			t.Errorf("%s table missing protocol columns:\n%s", name, s)
+		}
+	}
+	if s := res.OverheadTable(); !strings.Contains(s, "Rand virgin") || !strings.Contains(s, "Ring redundant") {
+		t.Errorf("overhead table missing columns:\n%s", s)
+	}
+	// Progress table skips fanouts not swept.
+	if s := res.ProgressTable(99); strings.Contains(s, "Fanout 99") {
+		t.Error("progress table rendered unswept fanout")
+	}
+}
+
+func TestMissByLifetimeTableUnsweptFanout(t *testing.T) {
+	cfg := Scaled(200, 3)
+	cfg.Fanouts = []int{3}
+	res, err := RunChurn(cfg, 0.01, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.MissByLifetimeTable(99); !strings.Contains(s, "not in sweep") {
+		t.Errorf("unswept fanout not flagged:\n%s", s)
+	}
+	if s := res.MissByLifetimeTable(3); !strings.Contains(s, "lifetime") {
+		t.Errorf("swept fanout not rendered:\n%s", s)
+	}
+}
+
+func TestResultRowLookup(t *testing.T) {
+	res := &Result{Rows: []Row{{Fanout: 2}, {Fanout: 5}}}
+	if _, ok := res.row(5); !ok {
+		t.Error("existing fanout not found")
+	}
+	if _, ok := res.row(9); ok {
+		t.Error("missing fanout found")
+	}
+}

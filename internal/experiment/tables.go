@@ -1,0 +1,212 @@
+// Table rendering: every figure runner's result can print itself in the
+// shape of the paper's plots, as plain-text series suitable for terminals,
+// EXPERIMENTS.md, or piping into a plotting tool.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"ringcast/internal/stats"
+)
+
+func newTable(sb *strings.Builder) *tabwriter.Writer {
+	return tabwriter.NewWriter(sb, 2, 4, 2, ' ', 0)
+}
+
+// MissRatioTable renders the miss-ratio-vs-fanout series (Figures 6a, 9
+// left, 11 left). Values are percentages of nodes not reached.
+func (r *Result) MissRatioTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Miss ratio (%% nodes not reached) — %s, N=%d, %d runs/point\n", r.Scenario, r.N, r.Runs)
+	w := newTable(&sb)
+	fmt.Fprintln(w, "fanout\tRandCast\tRingCast")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d\t%s\t%s\n", row.Fanout, pct(row.Rand.MeanMissRatio), pct(row.Ring.MeanMissRatio))
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CompleteTable renders the percentage of disseminations that reached every
+// node (Figures 6b, 9 right, 11 right).
+func (r *Result) CompleteTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Complete disseminations (%% of %d runs) — %s, N=%d\n", r.Runs, r.Scenario, r.N)
+	w := newTable(&sb)
+	fmt.Fprintln(w, "fanout\tRandCast\tRingCast")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d\t%.0f%%\t%.0f%%\n", row.Fanout, row.Rand.CompleteFraction*100, row.Ring.CompleteFraction*100)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// OverheadTable renders the message-overhead split (Figure 8): mean
+// messages to virgin (first-time) and already-notified nodes per
+// dissemination, plus messages lost to dead nodes when applicable.
+func (r *Result) OverheadTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Message overhead per dissemination — %s, N=%d\n", r.Scenario, r.N)
+	w := newTable(&sb)
+	fmt.Fprintln(w, "fanout\tRand virgin\tRand redundant\tRand lost\tRing virgin\tRing redundant\tRing lost")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n", row.Fanout,
+			row.Rand.MeanVirgin, row.Rand.MeanRedundant, row.Rand.MeanLost,
+			row.Ring.MeanVirgin, row.Ring.MeanRedundant, row.Ring.MeanLost)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// ProgressTable renders dissemination progress per hop (Figures 7, 10): the
+// mean percentage of live nodes not yet reached after each hop, for the
+// requested fanouts (the paper shows 2, 3, 5 and 10). Fanouts absent from
+// the sweep are skipped.
+func (r *Result) ProgressTable(fanouts ...int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Dissemination progress (%% nodes not reached yet, per hop) — %s, N=%d\n", r.Scenario, r.N)
+	for _, f := range fanouts {
+		row, ok := r.row(f)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "Fanout %d\n", f)
+		w := newTable(&sb)
+		fmt.Fprintln(w, "hop\tRandCast\tRingCast")
+		hops := len(row.Rand.NotReachedByHop)
+		if l := len(row.Ring.NotReachedByHop); l > hops {
+			hops = l
+		}
+		for h := 0; h < hops; h++ {
+			fmt.Fprintf(w, "%d\t%s\t%s\n", h,
+				pct(hopValue(row.Rand.NotReachedByHop, h)),
+				pct(hopValue(row.Ring.NotReachedByHop, h)))
+		}
+		w.Flush()
+	}
+	return sb.String()
+}
+
+func (r *Result) row(fanout int) (Row, bool) {
+	for _, row := range r.Rows {
+		if row.Fanout == fanout {
+			return row, true
+		}
+	}
+	return Row{}, false
+}
+
+func hopValue(curve []float64, h int) float64 {
+	if len(curve) == 0 {
+		return 1
+	}
+	if h >= len(curve) {
+		return curve[len(curve)-1]
+	}
+	return curve[h]
+}
+
+// pct formats a ratio as a percentage with enough precision for the paper's
+// log-scale plots (down to 1e-4 %).
+func pct(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x < 1e-5:
+		return fmt.Sprintf("%.1e%%", x*100)
+	case x < 0.001:
+		return fmt.Sprintf("%.4f%%", x*100)
+	case x < 0.1:
+		return fmt.Sprintf("%.3f%%", x*100)
+	default:
+		return fmt.Sprintf("%.1f%%", x*100)
+	}
+}
+
+// LifetimeTable renders Figure 12: the distribution of node lifetimes at
+// freeze time, log-binned for readability.
+func (c *ChurnResult) LifetimeTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Node lifetime distribution — %s, N=%d (log-binned)\n", c.Scenario, c.N)
+	w := newTable(&sb)
+	fmt.Fprintln(w, "lifetime >=\tnodes")
+	for _, p := range c.Lifetimes.LogBinned() {
+		fmt.Fprintf(w, "%d\t%d\n", p.Value, p.Count)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// MissByLifetimeTable renders Figure 13 for one fanout: how many
+// non-notified nodes had each (log-binned) lifetime, per protocol, summed
+// over all runs. New nodes dominating the RingCast column is the paper's
+// key qualitative finding.
+func (c *ChurnResult) MissByLifetimeTable(fanout int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Non-notified nodes by lifetime — %s, fanout %d, %d runs (log-binned)\n", c.Scenario, fanout, c.Runs)
+	randHist, okR := c.MissedByLifetime["RandCast"][fanout]
+	ringHist, okG := c.MissedByLifetime["RingCast"][fanout]
+	if !okR || !okG {
+		return sb.String() + "(fanout not in sweep)\n"
+	}
+	randBins, ringBins := randHist.LogBinned(), ringHist.LogBinned()
+	values := map[int]bool{}
+	for _, p := range randBins {
+		values[p.Value] = true
+	}
+	for _, p := range ringBins {
+		values[p.Value] = true
+	}
+	ordered := make([]int, 0, len(values))
+	for v := range values {
+		ordered = append(ordered, v)
+	}
+	sort.Ints(ordered)
+	lookup := func(bins []stats.Pair, v int) int {
+		for _, p := range bins {
+			if p.Value == v {
+				return p.Count
+			}
+		}
+		return 0
+	}
+	w := newTable(&sb)
+	fmt.Fprintln(w, "lifetime >=\tRandCast misses\tRingCast misses")
+	for _, v := range ordered {
+		fmt.Fprintf(w, "%d\t%d\t%d\n", v, lookup(randBins, v), lookup(ringBins, v))
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Table renders the load-distribution result.
+func (l *LoadResult) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Load distribution — fanout %d, N=%d, %d runs\n", l.Fanout, l.N, l.Runs)
+	w := newTable(&sb)
+	fmt.Fprintln(w, "protocol\tsent mean\tsent std\tsent max\trecv mean\trecv std\tGini(sent)")
+	for _, name := range []string{"RandCast", "RingCast"} {
+		s, rcv := l.Sent[name], l.Recv[name]
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.0f\t%.2f\t%.2f\t%.3f\n",
+			name, s.Mean, s.Std, s.Max, rcv.Mean, rcv.Std, l.Gini[name])
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// FloodTable renders the Section 3 baseline comparison.
+func FloodTable(rows []FloodRow) string {
+	var sb strings.Builder
+	sb.WriteString("Deterministic flooding overlays (Section 3 baselines)\n")
+	w := newTable(&sb)
+	fmt.Fprintln(w, "overlay\tlinks\tmsgs\thops\tcomplete\tP(complete|1 kill)\tP(complete|2 kills)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%v\t%.2f\t%.2f\n",
+			r.Name, r.Links, r.Msgs, r.Hops, r.Complete, r.SurviveOne, r.SurviveTwo)
+	}
+	w.Flush()
+	return sb.String()
+}

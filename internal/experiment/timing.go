@@ -1,0 +1,117 @@
+// Timing-model robustness: Section 7.1 reports that varying the message
+// forwarding time "from zero to several times the gossiping period" has no
+// effect on macroscopic dissemination behaviour. This runner repeats that
+// check by executing the same workload under the hop-synchronous model and
+// under event-driven models with different latency distributions.
+package experiment
+
+import (
+	"fmt"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/eventsim"
+)
+
+// TimingRow is one latency model's aggregate outcome.
+type TimingRow struct {
+	// Model names the latency distribution ("hop-synchronous", "constant",
+	// "uniform", "exponential").
+	Model string
+	// MeanMissRatio and MeanMsgs are the macroscopic quantities that must
+	// not depend on timing.
+	MeanMissRatio float64
+	MeanMsgs      float64
+}
+
+// TimingResult compares latency models on one frozen overlay.
+type TimingResult struct {
+	N, Runs  int
+	Fanout   int
+	Protocol string
+	Rows     []TimingRow
+}
+
+// RunTimingInvariance executes cfg.Runs disseminations per latency model
+// with the given protocol and fanout and reports the macroscopic outcomes.
+func RunTimingInvariance(cfg Config, protocol string, fanout int) (*TimingResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sel, err := core.ByName(protocol)
+	if err != nil {
+		return nil, err
+	}
+	if fanout < 1 {
+		return nil, fmt.Errorf("experiment: fanout must be >= 1, got %d", fanout)
+	}
+	nw, _, _, err := warmNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := dissem.Snapshot(nw)
+	rng := nw.Rand()
+
+	res := &TimingResult{N: cfg.N, Runs: cfg.Runs, Fanout: fanout, Protocol: sel.Name()}
+
+	// Hop-synchronous reference.
+	var hopMiss, hopMsgs float64
+	for r := 0; r < cfg.Runs; r++ {
+		origin, err := o.RandomAliveOrigin(rng)
+		if err != nil {
+			return nil, err
+		}
+		d, err := dissem.RunOpts(o, origin, sel, fanout, rng, dissem.Options{SkipLoad: true})
+		if err != nil {
+			return nil, err
+		}
+		hopMiss += d.MissRatio()
+		hopMsgs += float64(d.TotalMsgs())
+	}
+	res.Rows = append(res.Rows, TimingRow{
+		Model:         "hop-synchronous",
+		MeanMissRatio: hopMiss / float64(cfg.Runs),
+		MeanMsgs:      hopMsgs / float64(cfg.Runs),
+	})
+
+	models := []struct {
+		name string
+		lat  eventsim.LatencyFunc
+	}{
+		{"constant", eventsim.ConstantLatency(1)},
+		{"uniform[0.1,10)", eventsim.UniformLatency(0.1, 10)},
+		{"exponential(mean 3)", eventsim.ExpLatency(3)},
+	}
+	for _, m := range models {
+		var miss, msgs float64
+		for r := 0; r < cfg.Runs; r++ {
+			origin, err := o.RandomAliveOrigin(rng)
+			if err != nil {
+				return nil, err
+			}
+			ev, err := eventsim.Run(o, origin, sel, fanout, m.lat, rng)
+			if err != nil {
+				return nil, err
+			}
+			miss += ev.MissRatio()
+			msgs += float64(ev.TotalMsgs())
+		}
+		res.Rows = append(res.Rows, TimingRow{
+			Model:         m.name,
+			MeanMissRatio: miss / float64(cfg.Runs),
+			MeanMsgs:      msgs / float64(cfg.Runs),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *TimingResult) Table() string {
+	s := fmt.Sprintf("Timing-model invariance — %s, F=%d, N=%d, %d runs/model\n",
+		r.Protocol, r.Fanout, r.N, r.Runs)
+	s += fmt.Sprintf("%-22s %-12s %s\n", "latency model", "miss ratio", "msgs/dissemination")
+	for _, row := range r.Rows {
+		s += fmt.Sprintf("%-22s %-12s %.0f\n", row.Model, pct(row.MeanMissRatio), row.MeanMsgs)
+	}
+	return s
+}

@@ -1,0 +1,227 @@
+// Package graph provides directed-graph algorithms used to analyse
+// dissemination overlays: strong connectivity (the requirement for
+// deterministic complete dissemination, paper Section 3), reachability,
+// degree statistics, and partition counting after failures.
+package graph
+
+// Directed is a directed graph over nodes 0..N-1 in adjacency-list form.
+type Directed struct {
+	adj [][]int
+}
+
+// NewDirected returns an empty directed graph with n nodes.
+func NewDirected(n int) *Directed {
+	if n < 0 {
+		n = 0
+	}
+	return &Directed{adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Directed) N() int { return len(g.adj) }
+
+// AddEdge adds the directed edge u -> v. Out-of-range endpoints are ignored
+// so that callers can translate sparse overlays without pre-filtering.
+func (g *Directed) AddEdge(u, v int) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return
+	}
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// Out returns the out-neighbours of u. The returned slice is internal
+// storage; callers must not mutate it.
+func (g *Directed) Out(u int) []int { return g.adj[u] }
+
+// OutDegrees returns the out-degree of every node.
+func (g *Directed) OutDegrees() []int {
+	out := make([]int, len(g.adj))
+	for u := range g.adj {
+		out[u] = len(g.adj[u])
+	}
+	return out
+}
+
+// InDegrees returns the in-degree of every node.
+func (g *Directed) InDegrees() []int {
+	in := make([]int, len(g.adj))
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			in[v]++
+		}
+	}
+	return in
+}
+
+// ReachableFrom returns the set of nodes reachable from src (including src)
+// as a boolean slice, considering only nodes for which alive is true. A nil
+// alive slice treats every node as alive. If src is dead or out of range the
+// result is all-false.
+func (g *Directed) ReachableFrom(src int, alive []bool) []bool {
+	seen := make([]bool, len(g.adj))
+	if src < 0 || src >= len(g.adj) {
+		return seen
+	}
+	isAlive := func(u int) bool { return alive == nil || alive[u] }
+	if !isAlive(src) {
+		return seen
+	}
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !seen[v] && isAlive(v) {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// CountReachable returns how many alive nodes are reachable from src.
+func (g *Directed) CountReachable(src int, alive []bool) int {
+	seen := g.ReachableFrom(src, alive)
+	n := 0
+	for _, s := range seen {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// StronglyConnected reports whether the graph restricted to alive nodes is
+// strongly connected (a directed path exists between every ordered pair of
+// alive nodes). An empty or single-node graph is strongly connected.
+func (g *Directed) StronglyConnected(alive []bool) bool {
+	return g.SCCCount(alive) <= 1
+}
+
+// SCCCount returns the number of strongly connected components among alive
+// nodes, using Tarjan's algorithm (iterative, safe for large graphs).
+func (g *Directed) SCCCount(alive []bool) int {
+	n := len(g.adj)
+	isAlive := func(u int) bool { return alive == nil || alive[u] }
+
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int
+		sccs    int
+		stack   []int
+	)
+
+	type frame struct {
+		u    int
+		next int // index into adj[u] of next edge to explore
+	}
+
+	for root := 0; root < n; root++ {
+		if !isAlive(root) || index[root] != unvisited {
+			continue
+		}
+		work := []frame{{u: root}}
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			u := f.u
+			advanced := false
+			for f.next < len(g.adj[u]) {
+				v := g.adj[u][f.next]
+				f.next++
+				if !isAlive(v) {
+					continue
+				}
+				if index[v] == unvisited {
+					index[v], low[v] = counter, counter
+					counter++
+					stack = append(stack, v)
+					onStack[v] = true
+					work = append(work, frame{u: v})
+					advanced = true
+					break
+				}
+				if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// u is finished.
+			if low[u] == index[u] {
+				sccs++
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					if w == u {
+						break
+					}
+				}
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].u
+				if low[u] < low[parent] {
+					low[parent] = low[u]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+// WeaklyConnectedComponents returns the number of weakly connected
+// components among alive nodes (edges treated as undirected). Useful for
+// counting ring partitions after failures (paper, Section 5.1).
+func (g *Directed) WeaklyConnectedComponents(alive []bool) int {
+	n := len(g.adj)
+	isAlive := func(u int) bool { return alive == nil || alive[u] }
+	und := make([][]int, n)
+	for u := range g.adj {
+		if !isAlive(u) {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if !isAlive(v) {
+				continue
+			}
+			und[u] = append(und[u], v)
+			und[v] = append(und[v], u)
+		}
+	}
+	seen := make([]bool, n)
+	comps := 0
+	for s := 0; s < n; s++ {
+		if !isAlive(s) || seen[s] {
+			continue
+		}
+		comps++
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range und[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ring(n int) *Directed {
+	g := NewDirected(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+		g.AddEdge(i, (i-1+n)%n)
+	}
+	return g
+}
+
+func TestStronglyConnectedRing(t *testing.T) {
+	g := ring(10)
+	if !g.StronglyConnected(nil) {
+		t.Fatal("bidirectional ring must be strongly connected")
+	}
+}
+
+func TestDirectedCycleIsStronglyConnected(t *testing.T) {
+	g := NewDirected(5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	if !g.StronglyConnected(nil) {
+		t.Fatal("directed cycle must be strongly connected")
+	}
+}
+
+func TestChainIsNotStronglyConnected(t *testing.T) {
+	g := NewDirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if g.StronglyConnected(nil) {
+		t.Fatal("chain reported strongly connected")
+	}
+	if got := g.SCCCount(nil); got != 4 {
+		t.Fatalf("SCCCount = %d, want 4", got)
+	}
+}
+
+func TestSCCCountMixed(t *testing.T) {
+	// Two 2-cycles joined by a one-way edge: 2 SCCs.
+	g := NewDirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(1, 2)
+	if got := g.SCCCount(nil); got != 2 {
+		t.Fatalf("SCCCount = %d, want 2", got)
+	}
+}
+
+func TestRingSurvivesSingleFailureNotDouble(t *testing.T) {
+	// Bidirectional ring = Harary graph of connectivity 2 (paper §5.1):
+	// one failure keeps the rest connected; two non-adjacent failures split it.
+	g := ring(10)
+	alive := make([]bool, 10)
+	for i := range alive {
+		alive[i] = true
+	}
+	alive[3] = false
+	if !g.StronglyConnected(alive) {
+		t.Fatal("ring with one failure must stay connected")
+	}
+	alive[7] = false // non-adjacent to 3
+	if g.StronglyConnected(alive) {
+		t.Fatal("ring with two non-adjacent failures must partition")
+	}
+	if got := g.WeaklyConnectedComponents(alive); got != 2 {
+		t.Fatalf("partitions = %d, want 2", got)
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := NewDirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	seen := g.ReachableFrom(0, nil)
+	want := []bool{true, true, true, false}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("seen = %v, want %v", seen, want)
+		}
+	}
+	if got := g.CountReachable(0, nil); got != 3 {
+		t.Fatalf("CountReachable = %d, want 3", got)
+	}
+}
+
+func TestReachableFromDeadOrInvalidSource(t *testing.T) {
+	g := ring(4)
+	alive := []bool{false, true, true, true}
+	if got := g.CountReachable(0, alive); got != 0 {
+		t.Fatalf("reachable from dead source = %d, want 0", got)
+	}
+	if got := g.CountReachable(-1, nil); got != 0 {
+		t.Fatalf("reachable from invalid source = %d, want 0", got)
+	}
+}
+
+func TestReachabilitySkipsDeadNodes(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	alive := []bool{true, false, true}
+	if got := g.CountReachable(0, alive); got != 1 {
+		t.Fatalf("reachable through dead relay = %d, want 1", got)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	if out[0] != 2 || out[1] != 1 || out[2] != 0 {
+		t.Fatalf("out = %v", out)
+	}
+	if in[0] != 0 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("in = %v", in)
+	}
+}
+
+func TestAddEdgeIgnoresOutOfRange(t *testing.T) {
+	g := NewDirected(2)
+	g.AddEdge(-1, 0)
+	g.AddEdge(0, 5)
+	if len(g.Out(0)) != 0 {
+		t.Fatal("out-of-range edge was added")
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if !NewDirected(0).StronglyConnected(nil) {
+		t.Error("empty graph should count as strongly connected")
+	}
+	if !NewDirected(1).StronglyConnected(nil) {
+		t.Error("singleton should be strongly connected")
+	}
+	if NewDirected(-5).N() != 0 {
+		t.Error("negative size not clamped")
+	}
+}
+
+// Property: for random graphs, SCCCount is consistent with pairwise
+// reachability checked by brute force.
+func TestSCCConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		g := NewDirected(n)
+		edges := rng.Intn(3 * n)
+		for i := 0; i < edges; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		strong := g.StronglyConnected(nil)
+		// brute force: strongly connected iff node 0 reaches all and all reach 0
+		bruteStrong := true
+		for u := 0; u < n && bruteStrong; u++ {
+			seen := g.ReachableFrom(u, nil)
+			for v := 0; v < n; v++ {
+				if !seen[v] {
+					bruteStrong = false
+					break
+				}
+			}
+		}
+		return strong == bruteStrong
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

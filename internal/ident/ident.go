@@ -1,0 +1,142 @@
+// Package ident defines node identities and the circular identifier space
+// used to organize nodes into a ring.
+//
+// Every node carries a 64-bit sequence ID drawn uniformly at random
+// (paper, Section 6: "proximity refers to the distance between — arbitrarily
+// chosen — sequence IDs, which determine the organization of nodes in a
+// ring structure"). The ID space is circular: arithmetic wraps modulo 2^64.
+package ident
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ID is a node identifier in the circular 64-bit identifier space.
+// The zero ID is reserved as a sentinel meaning "no node"; generators
+// never produce it.
+type ID uint64
+
+// Nil is the sentinel ID meaning "no node" (e.g. the sender of a
+// locally generated message).
+const Nil ID = 0
+
+// String renders the ID as fixed-width hexadecimal.
+func (id ID) String() string {
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// IsNil reports whether the ID is the reserved sentinel.
+func (id ID) IsNil() bool { return id == Nil }
+
+// Clockwise returns the clockwise (increasing-ID, wrapping) distance from a
+// to b in the circular ID space. Clockwise(a, a) == 0.
+func Clockwise(a, b ID) uint64 {
+	return uint64(b) - uint64(a) // wraps modulo 2^64 by construction
+}
+
+// Dist returns the circular distance between a and b: the minimum of the
+// clockwise and counterclockwise distances. It is symmetric and satisfies
+// Dist(a, a) == 0.
+func Dist(a, b ID) uint64 {
+	cw := Clockwise(a, b)
+	ccw := Clockwise(b, a)
+	if cw < ccw {
+		return cw
+	}
+	return ccw
+}
+
+// Generator produces unique, non-nil random IDs. It is not safe for
+// concurrent use; callers in concurrent contexts must synchronize.
+type Generator struct {
+	rng  *rand.Rand
+	used map[ID]struct{}
+}
+
+// NewGenerator returns a Generator seeded deterministically.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{
+		rng:  rand.New(rand.NewSource(seed)),
+		used: make(map[ID]struct{}),
+	}
+}
+
+// Next returns a fresh ID never returned before by this generator.
+func (g *Generator) Next() ID {
+	for {
+		id := ID(g.rng.Uint64())
+		if id == Nil {
+			continue
+		}
+		if _, dup := g.used[id]; dup {
+			continue
+		}
+		g.used[id] = struct{}{}
+		return id
+	}
+}
+
+// Count returns how many IDs the generator has handed out.
+func (g *Generator) Count() int { return len(g.used) }
+
+// ReverseDomain reverses the dot-separated labels of a DNS name, so that
+// "inf.ethz.ch" becomes "ch.ethz.inf". The paper (Section 8) uses reversed
+// domain names to build proximity-aware ring IDs in which nodes of the same
+// domain become ring neighbours.
+func ReverseDomain(domain string) string {
+	if domain == "" {
+		return ""
+	}
+	labels := strings.Split(domain, ".")
+	for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	return strings.Join(labels, ".")
+}
+
+// domainPrefixBytes is how many leading bytes of the reversed domain are
+// packed, order-preserving, into the top bits of a domain-proximity ID.
+const domainPrefixBytes = 5
+
+// DomainID builds a proximity-aware ring ID from a DNS domain name plus a
+// random disambiguator, as sketched in Section 8 of the paper: the node "forms
+// its ID by reversing its domain name (country domain first) and appending a
+// randomly chosen number".
+//
+// The top 40 bits hold the first five bytes of the reversed domain name
+// (order-preserving, so lexicographic domain order matches ring order for
+// domains that differ within that prefix); the low 24 bits hold the random
+// disambiguator. The result is never Nil.
+func DomainID(domain string, random uint32) ID {
+	rev := ReverseDomain(domain)
+	var hi uint64
+	for i := 0; i < domainPrefixBytes; i++ {
+		var b byte
+		if i < len(rev) {
+			b = rev[i]
+		}
+		hi = hi<<8 | uint64(b)
+	}
+	id := ID(hi<<24 | uint64(random&0xFFFFFF))
+	if id == Nil {
+		id = 1
+	}
+	return id
+}
+
+// DomainOf extracts the order-preserving reversed-domain prefix encoded in a
+// DomainID. It is primarily useful in tests and diagnostics.
+func DomainOf(id ID) string {
+	raw := uint64(id) >> 24
+	buf := make([]byte, 0, domainPrefixBytes)
+	for i := domainPrefixBytes - 1; i >= 0; i-- {
+		b := byte(raw >> (uint(i) * 8))
+		if b == 0 {
+			break
+		}
+		buf = append(buf, b)
+	}
+	return string(buf)
+}

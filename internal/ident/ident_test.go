@@ -1,0 +1,135 @@
+package ident
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockwiseBasics(t *testing.T) {
+	cases := []struct {
+		a, b ID
+		want uint64
+	}{
+		{0, 0, 0},
+		{1, 5, 4},
+		{5, 1, math.MaxUint64 - 3}, // wraps
+		{math.MaxUint64, 0, 1},
+		{10, 10, 0},
+	}
+	for _, c := range cases {
+		if got := Clockwise(c.a, c.b); got != c.want {
+			t.Errorf("Clockwise(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return Dist(ID(a), ID(b)) == Dist(ID(b), ID(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistIdentityAndBound(t *testing.T) {
+	f := func(a, b uint64) bool {
+		d := Dist(ID(a), ID(b))
+		if a == b && d != 0 {
+			return false
+		}
+		// circular distance can never exceed half the ring
+		return d <= math.MaxUint64/2+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistClockwiseConsistency(t *testing.T) {
+	f := func(a, b uint64) bool {
+		cw := Clockwise(ID(a), ID(b))
+		ccw := Clockwise(ID(b), ID(a))
+		d := Dist(ID(a), ID(b))
+		return d == cw || d == ccw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorUnique(t *testing.T) {
+	g := NewGenerator(42)
+	seen := make(map[ID]struct{})
+	for i := 0; i < 10000; i++ {
+		id := g.Next()
+		if id.IsNil() {
+			t.Fatal("generator produced nil ID")
+		}
+		if _, dup := seen[id]; dup {
+			t.Fatalf("duplicate ID %v", id)
+		}
+		seen[id] = struct{}{}
+	}
+	if g.Count() != 10000 {
+		t.Fatalf("Count = %d, want 10000", g.Count())
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := NewGenerator(7), NewGenerator(7)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestReverseDomain(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"inf.ethz.ch", "ch.ethz.inf"},
+		{"few.vu.nl", "nl.vu.few"},
+		{"localhost", "localhost"},
+		{"", ""},
+		{"a.b", "b.a"},
+	}
+	for _, c := range cases {
+		if got := ReverseDomain(c.in); got != c.want {
+			t.Errorf("ReverseDomain(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDomainIDOrdering(t *testing.T) {
+	// Nodes of the same country/institution must be contiguous on the ring:
+	// IDs sort by reversed domain first.
+	ch1 := DomainID("inf.ethz.ch", 1)
+	ch2 := DomainID("inf.ethz.ch", 99999)
+	nl := DomainID("few.vu.nl", 5)
+	if !(ch1 < ch2) {
+		t.Errorf("same-domain IDs must order by disambiguator: %v !< %v", ch1, ch2)
+	}
+	if !(ch1 < nl && ch2 < nl) {
+		t.Errorf("ch.* domains must precede nl.*: %v %v vs %v", ch1, ch2, nl)
+	}
+}
+
+func TestDomainIDNeverNil(t *testing.T) {
+	if DomainID("", 0).IsNil() {
+		t.Error("DomainID produced nil sentinel")
+	}
+}
+
+func TestDomainOfRoundTrip(t *testing.T) {
+	id := DomainID("few.vu.nl", 123)
+	if got := DomainOf(id); got != "nl.vu" {
+		t.Errorf("DomainOf = %q, want %q (5-byte prefix of nl.vu.few)", got, "nl.vu")
+	}
+}
+
+func TestStringFixedWidth(t *testing.T) {
+	if s := ID(1).String(); len(s) != 16 {
+		t.Errorf("String length = %d, want 16", len(s))
+	}
+}

@@ -1,0 +1,168 @@
+// Package metrics defines the measurements the paper evaluates
+// disseminations by (Section 2): hit/miss ratio, dissemination speed in
+// hops, message overhead split into virgin and redundant deliveries, and
+// load distribution, plus aggregation across repeated experiments.
+package metrics
+
+import "ringcast/internal/ident"
+
+// Dissemination records everything measured about a single message's spread.
+type Dissemination struct {
+	// AliveTotal is the live population when the message was posted — the
+	// denominator of the hit ratio.
+	AliveTotal int
+	// Reached is how many live nodes received the message at least once.
+	Reached int
+	// Virgin counts messages delivered to nodes that had not seen the
+	// message before ("msgs to virgin nodes" in Figure 8).
+	Virgin int
+	// Redundant counts messages delivered to already-notified nodes — pure
+	// waste of network resources (Figure 8's striped segments).
+	Redundant int
+	// Lost counts messages sent to dead nodes (catastrophic-failure and
+	// churn scenarios).
+	Lost int
+	// CumNotified[h] is the cumulative number of notified nodes after hop h;
+	// CumNotified[0] == 1 (the origin).
+	CumNotified []int
+	// SentPerNode and RecvPerNode index per-node load by overlay position,
+	// for the load-distribution analysis. They are nil when the run was
+	// executed with load recording disabled.
+	SentPerNode []int
+	RecvPerNode []int
+	// Missed lists the live nodes never notified, when the run was executed
+	// with miss recording enabled (Figure 13's lifetime analysis).
+	Missed []ident.ID
+	// Origin is the node that generated the message.
+	Origin ident.ID
+}
+
+// HitRatio is the fraction of live nodes reached.
+func (d *Dissemination) HitRatio() float64 {
+	if d.AliveTotal == 0 {
+		return 0
+	}
+	return float64(d.Reached) / float64(d.AliveTotal)
+}
+
+// MissRatio is 1 - HitRatio (the paper plots miss ratio in log scale).
+func (d *Dissemination) MissRatio() float64 { return 1 - d.HitRatio() }
+
+// Complete reports whether every live node was reached.
+func (d *Dissemination) Complete() bool { return d.Reached == d.AliveTotal }
+
+// Hops is the number of hops until the last node was notified.
+func (d *Dissemination) Hops() int {
+	if len(d.CumNotified) == 0 {
+		return 0
+	}
+	return len(d.CumNotified) - 1
+}
+
+// TotalMsgs is the total number of point-to-point messages sent.
+func (d *Dissemination) TotalMsgs() int { return d.Virgin + d.Redundant + d.Lost }
+
+// Agg aggregates repeated dissemination experiments for one configuration —
+// one data point of a paper figure.
+type Agg struct {
+	// Runs is how many experiments were aggregated.
+	Runs int
+	// MeanMissRatio averages the miss ratio over runs (Figure 6a/9/11 left).
+	MeanMissRatio float64
+	// CompleteFraction is the share of runs reaching every node (Figure 6b/9/11 right).
+	CompleteFraction float64
+	// MeanVirgin, MeanRedundant and MeanLost average the message overhead
+	// split (Figure 8).
+	MeanVirgin, MeanRedundant, MeanLost float64
+	// MeanHops averages dissemination latency in hops.
+	MeanHops float64
+	// MaxHops is the worst dissemination latency observed.
+	MaxHops int
+	// NotReachedByHop[h] is the mean fraction of live nodes not yet reached
+	// after hop h (Figures 7 and 10), averaged over runs. Shorter runs are
+	// padded with their final value, mirroring how the paper's curves
+	// flatten once a dissemination dies out.
+	NotReachedByHop []float64
+}
+
+// Aggregate folds per-run results into an Agg. It returns a zero Agg when
+// runs is empty.
+func Aggregate(runs []*Dissemination) Agg {
+	var acc Accumulator
+	for _, d := range runs {
+		acc.Add(d)
+	}
+	return acc.Finalize()
+}
+
+// runLite is the per-run state an Accumulator must retain to compute padded
+// progress curves; it deliberately drops the per-node load arrays so that
+// thousands of 10k-node runs can be aggregated in constant memory per run.
+type runLite struct {
+	alive, reached int
+	cum            []int
+}
+
+// Accumulator aggregates disseminations one at a time, discarding the bulky
+// per-node data of each run immediately. Use it instead of Aggregate when
+// running large experiment sweeps. The zero value is ready to use.
+type Accumulator struct {
+	agg  Agg
+	runs []runLite
+}
+
+// Add folds one dissemination into the accumulator. The caller may discard
+// d afterwards.
+func (a *Accumulator) Add(d *Dissemination) {
+	a.agg.Runs++
+	a.agg.MeanMissRatio += d.MissRatio()
+	if d.Complete() {
+		a.agg.CompleteFraction++
+	}
+	a.agg.MeanVirgin += float64(d.Virgin)
+	a.agg.MeanRedundant += float64(d.Redundant)
+	a.agg.MeanLost += float64(d.Lost)
+	a.agg.MeanHops += float64(d.Hops())
+	if h := d.Hops(); h > a.agg.MaxHops {
+		a.agg.MaxHops = h
+	}
+	a.runs = append(a.runs, runLite{
+		alive:   d.AliveTotal,
+		reached: d.Reached,
+		cum:     append([]int(nil), d.CumNotified...),
+	})
+}
+
+// Finalize computes the aggregate. The accumulator remains usable (further
+// Adds extend the same aggregate).
+func (a *Accumulator) Finalize() Agg {
+	out := a.agg
+	n := float64(out.Runs)
+	if out.Runs == 0 {
+		return out
+	}
+	out.MeanMissRatio /= n
+	out.CompleteFraction /= n
+	out.MeanVirgin /= n
+	out.MeanRedundant /= n
+	out.MeanLost /= n
+	out.MeanHops /= n
+	out.NotReachedByHop = make([]float64, out.MaxHops+1)
+	for _, r := range a.runs {
+		for h := 0; h <= out.MaxHops; h++ {
+			cum := r.reached
+			if h < len(r.cum) {
+				cum = r.cum[h]
+			}
+			frac := 1.0
+			if r.alive > 0 {
+				frac = 1 - float64(cum)/float64(r.alive)
+			}
+			out.NotReachedByHop[h] += frac
+		}
+	}
+	for h := range out.NotReachedByHop {
+		out.NotReachedByHop[h] /= n
+	}
+	return out
+}

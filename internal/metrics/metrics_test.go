@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDisseminationRatios(t *testing.T) {
+	d := &Dissemination{AliveTotal: 100, Reached: 99}
+	if got := d.HitRatio(); got != 0.99 {
+		t.Errorf("HitRatio = %v, want 0.99", got)
+	}
+	if got := d.MissRatio(); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("MissRatio = %v, want 0.01", got)
+	}
+	if d.Complete() {
+		t.Error("99/100 reported complete")
+	}
+	d.Reached = 100
+	if !d.Complete() {
+		t.Error("100/100 not complete")
+	}
+}
+
+func TestZeroPopulation(t *testing.T) {
+	d := &Dissemination{}
+	if d.HitRatio() != 0 {
+		t.Error("zero-population hit ratio should be 0")
+	}
+	if d.Hops() != 0 {
+		t.Error("no hops recorded should yield 0")
+	}
+}
+
+func TestHopsAndTotal(t *testing.T) {
+	d := &Dissemination{
+		CumNotified: []int{1, 4, 9},
+		Virgin:      9, Redundant: 3, Lost: 2,
+	}
+	if d.Hops() != 2 {
+		t.Errorf("Hops = %d, want 2", d.Hops())
+	}
+	if d.TotalMsgs() != 14 {
+		t.Errorf("TotalMsgs = %d, want 14", d.TotalMsgs())
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	a := Aggregate(nil)
+	if a.Runs != 0 || a.MeanMissRatio != 0 {
+		t.Errorf("empty aggregate = %+v", a)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	runs := []*Dissemination{
+		{AliveTotal: 10, Reached: 10, Virgin: 10, Redundant: 5, CumNotified: []int{1, 5, 10}},
+		{AliveTotal: 10, Reached: 8, Virgin: 8, Redundant: 3, Lost: 1, CumNotified: []int{1, 8}},
+	}
+	a := Aggregate(runs)
+	if a.Runs != 2 {
+		t.Fatalf("Runs = %d", a.Runs)
+	}
+	if math.Abs(a.MeanMissRatio-0.1) > 1e-12 {
+		t.Errorf("MeanMissRatio = %v, want 0.1", a.MeanMissRatio)
+	}
+	if a.CompleteFraction != 0.5 {
+		t.Errorf("CompleteFraction = %v, want 0.5", a.CompleteFraction)
+	}
+	if a.MeanVirgin != 9 || a.MeanRedundant != 4 || a.MeanLost != 0.5 {
+		t.Errorf("overhead means = %v/%v/%v", a.MeanVirgin, a.MeanRedundant, a.MeanLost)
+	}
+	if a.MaxHops != 2 || a.MeanHops != 1.5 {
+		t.Errorf("hops = max %d mean %v", a.MaxHops, a.MeanHops)
+	}
+	// Hop 0: both runs have 1 notified -> mean not-reached = 0.9.
+	if math.Abs(a.NotReachedByHop[0]-0.9) > 1e-12 {
+		t.Errorf("NotReachedByHop[0] = %v, want 0.9", a.NotReachedByHop[0])
+	}
+	// Hop 2: run 1 has 10/10, run 2 padded at 8/10 -> mean 0.1.
+	if math.Abs(a.NotReachedByHop[2]-0.1) > 1e-12 {
+		t.Errorf("NotReachedByHop[2] = %v, want 0.1", a.NotReachedByHop[2])
+	}
+}
+
+func TestAggregatePaddingUsesFinalReach(t *testing.T) {
+	// A run that stops early must contribute its final miss fraction to all
+	// later hops, not zero.
+	runs := []*Dissemination{
+		{AliveTotal: 4, Reached: 2, CumNotified: []int{1, 2}},
+		{AliveTotal: 4, Reached: 4, CumNotified: []int{1, 2, 3, 4}},
+	}
+	a := Aggregate(runs)
+	want := (0.5 + 0.0) / 2
+	if math.Abs(a.NotReachedByHop[3]-want) > 1e-12 {
+		t.Errorf("NotReachedByHop[3] = %v, want %v", a.NotReachedByHop[3], want)
+	}
+}
+
+func TestAccumulatorMatchesAggregate(t *testing.T) {
+	runs := []*Dissemination{
+		{AliveTotal: 10, Reached: 10, Virgin: 9, Redundant: 5, CumNotified: []int{1, 5, 10}},
+		{AliveTotal: 10, Reached: 8, Virgin: 7, Redundant: 3, Lost: 1, CumNotified: []int{1, 8}},
+		{AliveTotal: 10, Reached: 1, CumNotified: []int{1}},
+	}
+	var acc Accumulator
+	for _, d := range runs {
+		acc.Add(d)
+	}
+	a, b := acc.Finalize(), Aggregate(runs)
+	if a.Runs != b.Runs || a.MeanMissRatio != b.MeanMissRatio ||
+		a.CompleteFraction != b.CompleteFraction || a.MeanVirgin != b.MeanVirgin ||
+		a.MaxHops != b.MaxHops || a.MeanHops != b.MeanHops {
+		t.Fatalf("accumulator diverged from aggregate:\n%+v\n%+v", a, b)
+	}
+	if len(a.NotReachedByHop) != len(b.NotReachedByHop) {
+		t.Fatal("progress curve lengths differ")
+	}
+	for h := range a.NotReachedByHop {
+		if math.Abs(a.NotReachedByHop[h]-b.NotReachedByHop[h]) > 1e-12 {
+			t.Fatalf("curve differs at hop %d", h)
+		}
+	}
+}
+
+func TestAccumulatorIncremental(t *testing.T) {
+	var acc Accumulator
+	acc.Add(&Dissemination{AliveTotal: 4, Reached: 4, CumNotified: []int{1, 4}})
+	first := acc.Finalize()
+	if first.Runs != 1 || first.CompleteFraction != 1 {
+		t.Fatalf("first = %+v", first)
+	}
+	acc.Add(&Dissemination{AliveTotal: 4, Reached: 2, CumNotified: []int{1, 2}})
+	second := acc.Finalize()
+	if second.Runs != 2 || second.CompleteFraction != 0.5 {
+		t.Fatalf("second = %+v", second)
+	}
+}
+
+func TestAccumulatorCopiesCumNotified(t *testing.T) {
+	var acc Accumulator
+	d := &Dissemination{AliveTotal: 2, Reached: 2, CumNotified: []int{1, 2}}
+	acc.Add(d)
+	d.CumNotified[1] = 99 // caller reuses the slice
+	a := acc.Finalize()
+	if a.NotReachedByHop[1] != 0 {
+		t.Fatalf("accumulator aliased caller slice: %v", a.NotReachedByHop)
+	}
+}

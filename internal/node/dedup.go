@@ -1,0 +1,51 @@
+package node
+
+import "ringcast/internal/wire"
+
+// dedupCache remembers recently seen message IDs with bounded memory: a map
+// for O(1) lookup plus a FIFO ring for eviction. The generic dissemination
+// algorithm (paper, Figure 1a) requires exactly this "already seen" check.
+type dedupCache struct {
+	cap   int
+	seen  map[wire.MsgID]struct{}
+	order []wire.MsgID
+	head  int
+}
+
+// newDedupCache returns a cache remembering up to capacity IDs.
+func newDedupCache(capacity int) *dedupCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &dedupCache{
+		cap:   capacity,
+		seen:  make(map[wire.MsgID]struct{}, capacity),
+		order: make([]wire.MsgID, 0, capacity),
+	}
+}
+
+// Add records the ID, reporting whether it was new. When full, the oldest
+// remembered ID is evicted.
+func (c *dedupCache) Add(id wire.MsgID) bool {
+	if _, dup := c.seen[id]; dup {
+		return false
+	}
+	if len(c.order) < c.cap {
+		c.order = append(c.order, id)
+	} else {
+		delete(c.seen, c.order[c.head])
+		c.order[c.head] = id
+		c.head = (c.head + 1) % c.cap
+	}
+	c.seen[id] = struct{}{}
+	return true
+}
+
+// Contains reports whether the ID is remembered.
+func (c *dedupCache) Contains(id wire.MsgID) bool {
+	_, ok := c.seen[id]
+	return ok
+}
+
+// Len returns the number of remembered IDs.
+func (c *dedupCache) Len() int { return len(c.seen) }

@@ -1,0 +1,79 @@
+package node
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ringcast/internal/wire"
+)
+
+func TestDedupBasics(t *testing.T) {
+	c := newDedupCache(4)
+	a := wire.MsgID{Origin: 1, Seq: 1}
+	if !c.Add(a) {
+		t.Fatal("first add not new")
+	}
+	if c.Add(a) {
+		t.Fatal("duplicate add reported new")
+	}
+	if !c.Contains(a) || c.Len() != 1 {
+		t.Fatal("contains/len wrong")
+	}
+}
+
+func TestDedupEvictionFIFO(t *testing.T) {
+	c := newDedupCache(3)
+	ids := []wire.MsgID{
+		{Origin: 1, Seq: 1}, {Origin: 1, Seq: 2}, {Origin: 1, Seq: 3}, {Origin: 1, Seq: 4},
+	}
+	for _, i := range ids {
+		c.Add(i)
+	}
+	if c.Contains(ids[0]) {
+		t.Fatal("oldest not evicted")
+	}
+	for _, i := range ids[1:] {
+		if !c.Contains(i) {
+			t.Fatalf("recent ID %v evicted", i)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+}
+
+func TestDedupMinimumCapacity(t *testing.T) {
+	c := newDedupCache(0)
+	if !c.Add(wire.MsgID{Origin: 1, Seq: 1}) {
+		t.Fatal("add failed")
+	}
+	if !c.Add(wire.MsgID{Origin: 1, Seq: 2}) {
+		t.Fatal("second add failed")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (capacity clamped)", c.Len())
+	}
+}
+
+// Property: Len never exceeds capacity and Add is consistent with Contains.
+func TestDedupInvariantProperty(t *testing.T) {
+	f := func(seqs []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		c := newDedupCache(capacity)
+		for _, s := range seqs {
+			mid := wire.MsgID{Origin: 1, Seq: uint64(s % 16)}
+			had := c.Contains(mid)
+			fresh := c.Add(mid)
+			if had == fresh {
+				return false
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

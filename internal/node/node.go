@@ -1,0 +1,547 @@
+// Package node is the live, asynchronous RingCast runtime: the deployable
+// counterpart of the cycle-driven simulator. Each Node runs the CYCLON and
+// VICINITY state machines behind a mutex, gossips on an independent periodic
+// timer (the protocol "cycle" of Section 6), and disseminates application
+// messages with the configured selection policy (RINGCAST by default).
+//
+// A Node is wired to a transport.Transport; everything else — peer
+// discovery, ring construction, dissemination, failure healing — is
+// emergent from the gossip protocols, exactly as in the paper.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ringcast/internal/core"
+	"ringcast/internal/cyclon"
+	"ringcast/internal/ident"
+	"ringcast/internal/transport"
+	"ringcast/internal/vicinity"
+	"ringcast/internal/view"
+	"ringcast/internal/wire"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// ID is the node's ring sequence ID; 0 draws a random one from Seed.
+	ID ident.ID
+	// Fanout is the dissemination fanout F.
+	Fanout int
+	// Selector is the dissemination policy; nil defaults to core.RingCast.
+	Selector core.Selector
+	// Cyclon and Vicinity carry the gossip-layer parameters; zero values
+	// default to the paper's settings.
+	Cyclon   cyclon.Config
+	Vicinity vicinity.Config
+	// GossipInterval is the cycle length T (10s in the paper's churn
+	// discussion; tests use milliseconds).
+	GossipInterval time.Duration
+	// DedupCapacity bounds the duplicate-suppression cache.
+	DedupCapacity int
+	// Seed drives the node's private randomness; 0 derives one from the ID.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's protocol parameters with a 10-second
+// gossip cycle.
+func DefaultConfig() Config {
+	return Config{
+		Fanout:         3,
+		Selector:       core.RingCast{},
+		Cyclon:         cyclon.DefaultConfig(),
+		Vicinity:       vicinity.DefaultConfig(),
+		GossipInterval: 10 * time.Second,
+		DedupCapacity:  4096,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Fanout == 0 {
+		c.Fanout = d.Fanout
+	}
+	if c.Selector == nil {
+		c.Selector = d.Selector
+	}
+	if c.Cyclon.ViewSize == 0 {
+		c.Cyclon = d.Cyclon
+	}
+	if c.Vicinity.ViewSize == 0 {
+		c.Vicinity = d.Vicinity
+	}
+	if c.GossipInterval == 0 {
+		c.GossipInterval = d.GossipInterval
+	}
+	if c.DedupCapacity == 0 {
+		c.DedupCapacity = d.DedupCapacity
+	}
+}
+
+// Delivery is an application message handed to the delivery callback.
+type Delivery struct {
+	// Msg is the disseminated message.
+	Msg wire.Message
+	// From is the node the message arrived from (Nil for local publishes).
+	From ident.ID
+}
+
+// DeliverFunc consumes delivered messages. It is called from the node's
+// receive path and must not block for long.
+type DeliverFunc func(Delivery)
+
+// Stats is a snapshot of a node's counters.
+type Stats struct {
+	Published    uint64 // messages originated locally
+	Delivered    uint64 // first-time receptions handed to the application
+	Duplicates   uint64 // receptions suppressed by the dedup cache
+	Forwarded    uint64 // gossip messages sent onward
+	SendErrors   uint64 // transport failures (evidence of dead peers)
+	Shuffles     uint64 // CYCLON exchanges initiated
+	VicExchanges uint64 // VICINITY exchanges initiated
+}
+
+// Node is a live protocol participant. Create with New, wire with Start,
+// stop with Close.
+type Node struct {
+	cfg Config
+	id  ident.ID
+	tr  transport.Transport
+
+	deliver DeliverFunc
+
+	mu      sync.Mutex
+	cyc     *cyclon.Cyclon
+	vic     *vicinity.Vicinity
+	rng     *rand.Rand
+	seen    *dedupCache
+	pending map[uint64]cyclon.Shuffle
+	seq     uint64
+	pubSeq  uint64
+	stats   Stats
+	started bool
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New creates a node bound to the transport. The transport's handler is
+// installed immediately; gossip timers start with Start.
+func New(cfg Config, tr transport.Transport, deliver DeliverFunc) (*Node, error) {
+	if tr == nil {
+		return nil, errors.New("node: transport must not be nil")
+	}
+	cfg.fillDefaults()
+	if cfg.Fanout < 1 {
+		return nil, fmt.Errorf("node: fanout must be >= 1, got %d", cfg.Fanout)
+	}
+	id := cfg.ID
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(id) ^ time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if id.IsNil() {
+		for id.IsNil() {
+			id = ident.ID(rng.Uint64())
+		}
+	}
+	cyc, err := cyclon.New(id, tr.Addr(), cfg.Cyclon)
+	if err != nil {
+		return nil, err
+	}
+	vic, err := vicinity.New(id, tr.Addr(), cfg.Vicinity, vicinity.RingDistance)
+	if err != nil {
+		return nil, err
+	}
+	if deliver == nil {
+		deliver = func(Delivery) {}
+	}
+	n := &Node{
+		cfg:     cfg,
+		id:      id,
+		tr:      tr,
+		deliver: deliver,
+		cyc:     cyc,
+		vic:     vic,
+		rng:     rng,
+		seen:    newDedupCache(cfg.DedupCapacity),
+		pending: make(map[uint64]cyclon.Shuffle),
+		done:    make(chan struct{}),
+	}
+	tr.SetHandler(n.handle)
+	return n, nil
+}
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() ident.ID { return n.id }
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.tr.Addr() }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Join introduces the node to an existing overlay member. It sends a Hello
+// and can be called any time, including before Start.
+func (n *Node) Join(addr string) error {
+	f := &wire.Frame{Kind: wire.KindHello, From: n.id, FromAddr: n.tr.Addr()}
+	if err := n.tr.Send(addr, f); err != nil {
+		return fmt.Errorf("node: join %s: %w", addr, err)
+	}
+	return nil
+}
+
+// Start launches the periodic gossip loop. It is an error to start twice or
+// after Close.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("node: closed")
+	}
+	if n.started {
+		return errors.New("node: already started")
+	}
+	n.started = true
+	n.wg.Add(1)
+	go n.gossipLoop()
+	return nil
+}
+
+// Close stops gossiping and closes the transport.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.done)
+	n.wg.Wait()
+	return n.tr.Close()
+}
+
+// gossipLoop fires one gossip cycle every GossipInterval, jittered ±10% so
+// populations started together do not phase-lock (the paper's timers are
+// "independent, non-synchronized").
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	for {
+		interval := n.cfg.GossipInterval
+		n.mu.Lock()
+		jitter := time.Duration(n.rng.Int63n(int64(interval)/5+1)) - interval/10
+		n.mu.Unlock()
+		select {
+		case <-time.After(interval + jitter):
+			n.gossipOnce()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// gossipOnce runs one protocol cycle: a CYCLON shuffle and a VICINITY
+// exchange, exactly as the simulator does synchronously.
+func (n *Node) gossipOnce() {
+	n.cyclonStep()
+	n.vicinityStep()
+}
+
+func (n *Node) cyclonStep() {
+	n.mu.Lock()
+	sh, ok := n.cyc.StartShuffle(n.rng)
+	if ok {
+		n.stats.Shuffles++
+		n.seq++
+		n.pending[n.seq] = sh
+		n.prunePending()
+	}
+	seq := n.seq
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	f := &wire.Frame{
+		Kind:     wire.KindShuffleRequest,
+		From:     n.id,
+		FromAddr: n.tr.Addr(),
+		Seq:      seq,
+		Entries:  sh.Sent,
+	}
+	if err := n.tr.Send(sh.Peer.Addr, f); err != nil {
+		n.mu.Lock()
+		n.stats.SendErrors++
+		delete(n.pending, seq)
+		// The dead peer's entry was already removed by StartShuffle; also
+		// purge it from the vicinity view.
+		n.vic.Remove(sh.Peer.Node)
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) vicinityStep() {
+	n.mu.Lock()
+	n.vic.AgeAll()
+	peer, ok := n.vic.SelectPeer(n.rng, n.cyc.View().Entries())
+	var payload []view.Entry
+	if ok {
+		n.stats.VicExchanges++
+		payload = n.vic.Payload()
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	f := &wire.Frame{
+		Kind:     wire.KindVicinityRequest,
+		From:     n.id,
+		FromAddr: n.tr.Addr(),
+		Entries:  payload,
+	}
+	if err := n.tr.Send(peer.Addr, f); err != nil {
+		n.mu.Lock()
+		n.stats.SendErrors++
+		n.vic.Remove(peer.Node)
+		n.cyc.Remove(peer.Node)
+		n.mu.Unlock()
+	}
+}
+
+// prunePending caps the in-flight shuffle table; replies to pruned shuffles
+// are ignored, which is safe (the merge simply never happens).
+func (n *Node) prunePending() {
+	const maxPending = 64
+	if len(n.pending) <= maxPending {
+		return
+	}
+	oldest := n.seq
+	for s := range n.pending {
+		if s < oldest {
+			oldest = s
+		}
+	}
+	delete(n.pending, oldest)
+}
+
+// Publish originates a message and disseminates it. The message is also
+// delivered locally (the origin trivially "receives" it).
+func (n *Node) Publish(body []byte) (wire.MsgID, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return wire.MsgID{}, errors.New("node: closed")
+	}
+	n.pubSeq++
+	msg := wire.Message{ID: wire.MsgID{Origin: n.id, Seq: n.pubSeq}, Hop: 0, Body: body}
+	n.seen.Add(msg.ID)
+	n.stats.Published++
+	n.mu.Unlock()
+
+	n.deliver(Delivery{Msg: msg, From: ident.Nil})
+	n.forward(msg, ident.Nil)
+	return msg.ID, nil
+}
+
+// handle is the transport inbound path.
+func (n *Node) handle(remote string, f *wire.Frame) {
+	switch f.Kind {
+	case wire.KindHello:
+		n.handleHello(f)
+	case wire.KindHelloAck:
+		n.handleHelloAck(f)
+	case wire.KindShuffleRequest:
+		n.handleShuffleRequest(f)
+	case wire.KindShuffleReply:
+		n.handleShuffleReply(f)
+	case wire.KindVicinityRequest:
+		n.handleVicinityRequest(f)
+	case wire.KindVicinityReply:
+		n.handleVicinityReply(f)
+	case wire.KindGossip:
+		n.handleGossip(f)
+	}
+}
+
+func (n *Node) handleHello(f *wire.Frame) {
+	n.mu.Lock()
+	n.cyc.AddContact(f.From, f.FromAddr)
+	n.vic.Merge([]view.Entry{{Node: f.From, Addr: f.FromAddr, Age: 0}}, nil)
+	// Seed the joiner with a sample of our view plus ourselves.
+	entries := n.cyc.View().RandomEntries(n.cfg.Cyclon.ShuffleLen, n.rng, f.From)
+	entries = append(entries, view.Entry{Node: n.id, Addr: n.tr.Addr(), Age: 0})
+	n.mu.Unlock()
+	ack := &wire.Frame{
+		Kind:     wire.KindHelloAck,
+		From:     n.id,
+		FromAddr: n.tr.Addr(),
+		Entries:  entries,
+	}
+	if err := n.tr.Send(f.FromAddr, ack); err != nil {
+		n.mu.Lock()
+		n.stats.SendErrors++
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) handleHelloAck(f *wire.Frame) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, e := range f.Entries {
+		n.cyc.AddContact(e.Node, e.Addr)
+	}
+	n.vic.Merge(f.Entries, n.cyc.View().Entries())
+}
+
+func (n *Node) handleShuffleRequest(f *wire.Frame) {
+	n.mu.Lock()
+	reply := n.cyc.HandleRequest(f.Entries, n.rng)
+	n.mu.Unlock()
+	out := &wire.Frame{
+		Kind:     wire.KindShuffleReply,
+		From:     n.id,
+		FromAddr: n.tr.Addr(),
+		Seq:      f.Seq,
+		Entries:  reply,
+	}
+	if err := n.tr.Send(f.FromAddr, out); err != nil {
+		n.mu.Lock()
+		n.stats.SendErrors++
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) handleShuffleReply(f *wire.Frame) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sh, ok := n.pending[f.Seq]
+	if !ok {
+		return // pruned or spurious
+	}
+	delete(n.pending, f.Seq)
+	n.cyc.HandleReply(sh, f.Entries)
+}
+
+func (n *Node) handleVicinityRequest(f *wire.Frame) {
+	n.mu.Lock()
+	reply := n.vic.Payload()
+	n.vic.Merge(f.Entries, n.cyc.View().Entries())
+	n.mu.Unlock()
+	out := &wire.Frame{
+		Kind:     wire.KindVicinityReply,
+		From:     n.id,
+		FromAddr: n.tr.Addr(),
+		Entries:  reply,
+	}
+	if err := n.tr.Send(f.FromAddr, out); err != nil {
+		n.mu.Lock()
+		n.stats.SendErrors++
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) handleVicinityReply(f *wire.Frame) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.vic.Merge(f.Entries, n.cyc.View().Entries())
+}
+
+func (n *Node) handleGossip(f *wire.Frame) {
+	if f.Msg == nil {
+		return
+	}
+	msg := *f.Msg
+	n.mu.Lock()
+	fresh := n.seen.Add(msg.ID)
+	if !fresh {
+		n.stats.Duplicates++
+		n.mu.Unlock()
+		return
+	}
+	n.stats.Delivered++
+	n.mu.Unlock()
+
+	n.deliver(Delivery{Msg: msg, From: f.From})
+	msg.Hop++
+	n.forward(msg, f.From)
+}
+
+// forward applies the dissemination policy (paper, Figure 1a) and ships the
+// message to the selected targets.
+func (n *Node) forward(msg wire.Message, from ident.ID) {
+	n.mu.Lock()
+	links, addrs := n.linksLocked()
+	targets := n.cfg.Selector.Select(links, from, n.cfg.Fanout, n.rng)
+	n.mu.Unlock()
+
+	for _, tgt := range targets {
+		addr, ok := addrs[tgt]
+		if !ok {
+			continue
+		}
+		f := &wire.Frame{
+			Kind:     wire.KindGossip,
+			From:     n.id,
+			FromAddr: n.tr.Addr(),
+			Msg:      &msg,
+		}
+		if err := n.tr.Send(addr, f); err != nil {
+			n.mu.Lock()
+			n.stats.SendErrors++
+			n.cyc.Remove(tgt)
+			n.vic.Remove(tgt)
+			n.mu.Unlock()
+			continue
+		}
+		n.mu.Lock()
+		n.stats.Forwarded++
+		n.mu.Unlock()
+	}
+}
+
+// linksLocked snapshots the node's current r-links and d-links plus an
+// ID-to-address map. Caller holds n.mu.
+func (n *Node) linksLocked() (core.Links, map[ident.ID]string) {
+	cycEntries := n.cyc.View().Entries()
+	links := core.Links{R: make([]ident.ID, 0, len(cycEntries))}
+	addrs := make(map[ident.ID]string, len(cycEntries)+2)
+	for _, e := range cycEntries {
+		links.R = append(links.R, e.Node)
+		addrs[e.Node] = e.Addr
+	}
+	if pred, succ, ok := n.vic.RingNeighbors(); ok {
+		links.D = []ident.ID{pred.Node, succ.Node}
+		addrs[pred.Node] = pred.Addr
+		addrs[succ.Node] = succ.Addr
+	}
+	return links, addrs
+}
+
+// RingNeighbors exposes the node's current d-links for diagnostics.
+func (n *Node) RingNeighbors() (pred, succ view.Entry, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.vic.RingNeighbors()
+}
+
+// ViewIDs exposes the node's current r-link targets for diagnostics.
+func (n *Node) ViewIDs() []ident.ID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cyc.View().IDs()
+}
+
+// GossipNow runs one synchronous gossip cycle immediately — useful for
+// tests and for accelerating a joiner's warm-up, the optimization sketched
+// in Section 7.3 ("new nodes can gossip at an arbitrarily higher rate for
+// the first few cycles").
+func (n *Node) GossipNow() { n.gossipOnce() }

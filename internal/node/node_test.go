@@ -1,0 +1,488 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ringcast/internal/core"
+	"ringcast/internal/cyclon"
+	"ringcast/internal/ident"
+	"ringcast/internal/transport"
+	"ringcast/internal/vicinity"
+	"ringcast/internal/wire"
+)
+
+// testCluster spins up n in-memory nodes joined in a chain and gossiped to
+// convergence.
+type testCluster struct {
+	net   *transport.InMemNetwork
+	nodes []*Node
+	mu    sync.Mutex
+	got   map[ident.ID][]wire.MsgID // deliveries per node
+}
+
+func testNodeConfig(i int) Config {
+	return Config{
+		ID:             ident.ID(1000 * (i + 1)),
+		Fanout:         3,
+		Selector:       core.RingCast{},
+		Cyclon:         cyclon.Config{ViewSize: 8, ShuffleLen: 4},
+		Vicinity:       vicinity.Config{ViewSize: 8, GossipLen: 8, Balanced: true, MaxAge: 20},
+		GossipInterval: time.Hour, // ticker effectively off; tests drive GossipNow
+		DedupCapacity:  128,
+		Seed:           int64(i + 1),
+	}
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	c := &testCluster{
+		net: transport.NewInMemNetwork(),
+		got: make(map[ident.ID][]wire.MsgID),
+	}
+	for i := 0; i < n; i++ {
+		ep, err := c.net.Endpoint(fmt.Sprintf("n%03d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testNodeConfig(i)
+		nd, err := New(cfg, ep, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodeID := nd.ID()
+		// installed after New: rebind delivery to the cluster recorder
+		nd.deliver = func(d Delivery) {
+			c.mu.Lock()
+			c.got[nodeID] = append(c.got[nodeID], d.Msg.ID)
+			c.mu.Unlock()
+		}
+		c.nodes = append(c.nodes, nd)
+	}
+	// Join each node via node 0 and warm up.
+	for i := 1; i < n; i++ {
+		if err := c.nodes[i].Join(c.nodes[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.settle()
+	for cycle := 0; cycle < 60; cycle++ {
+		for _, nd := range c.nodes {
+			nd.GossipNow()
+		}
+		c.settle()
+		if c.ringConverged() {
+			return c
+		}
+	}
+	if !c.ringConverged() {
+		t.Fatal("live cluster ring did not converge")
+	}
+	return c
+}
+
+// settle waits for the in-memory pumps to drain.
+func (c *testCluster) settle() { time.Sleep(5 * time.Millisecond) }
+
+// ringConverged verifies every node's pred/succ match the global sorted ring.
+func (c *testCluster) ringConverged() bool {
+	n := len(c.nodes)
+	ids := make([]ident.ID, n)
+	for i, nd := range c.nodes {
+		ids[i] = nd.ID()
+	}
+	// test IDs are constructed ascending: 1000, 2000, ...
+	for i, nd := range c.nodes {
+		pred, succ, ok := nd.RingNeighbors()
+		if !ok {
+			return false
+		}
+		if succ.Node != ids[(i+1)%n] || pred.Node != ids[(i-1+n)%n] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *testCluster) deliveredCount(mid wire.MsgID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	count := 0
+	for _, mids := range c.got {
+		for _, m := range mids {
+			if m == mid {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+func (c *testCluster) close() {
+	for _, nd := range c.nodes {
+		nd.Close()
+	}
+}
+
+func TestLiveClusterDisseminatesToAll(t *testing.T) {
+	c := newTestCluster(t, 24)
+	defer c.close()
+	mid, err := c.nodes[5].Publish([]byte("hello overlay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for c.deliveredCount(mid) < len(c.nodes) {
+		select {
+		case <-deadline:
+			t.Fatalf("delivered to %d/%d nodes", c.deliveredCount(mid), len(c.nodes))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestLiveClusterEveryOriginReachesAll(t *testing.T) {
+	c := newTestCluster(t, 12)
+	defer c.close()
+	for i := range c.nodes {
+		mid, err := c.nodes[i].Publish([]byte("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.After(5 * time.Second)
+		for c.deliveredCount(mid) < len(c.nodes) {
+			select {
+			case <-deadline:
+				t.Fatalf("origin %d: delivered to %d/%d", i, c.deliveredCount(mid), len(c.nodes))
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	c := newTestCluster(t, 16)
+	defer c.close()
+	mid, _ := c.nodes[0].Publish([]byte("x"))
+	deadline := time.After(5 * time.Second)
+	for c.deliveredCount(mid) < len(c.nodes) {
+		select {
+		case <-deadline:
+			t.Fatal("dissemination incomplete")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	c.settle()
+	// Each node must have delivered the message exactly once.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for nid, mids := range c.got {
+		n := 0
+		for _, m := range mids {
+			if m == mid {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("node %v delivered message %d times", nid, n)
+		}
+	}
+}
+
+func TestNodeSurvivesPeerCrash(t *testing.T) {
+	c := newTestCluster(t, 16)
+	defer c.close()
+	// Crash three nodes abruptly (transport gone, no goodbye).
+	for _, i := range []int{3, 7, 11} {
+		c.nodes[i].Close()
+	}
+	// Keep gossiping: the survivors must heal and still disseminate.
+	alive := make([]*Node, 0, 13)
+	for i, nd := range c.nodes {
+		if i != 3 && i != 7 && i != 11 {
+			alive = append(alive, nd)
+		}
+	}
+	for cycle := 0; cycle < 40; cycle++ {
+		for _, nd := range alive {
+			nd.GossipNow()
+		}
+		c.settle()
+	}
+	mid, err := alive[0].Publish([]byte("after crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for c.deliveredCount(mid) < len(alive) {
+		select {
+		case <-deadline:
+			t.Fatalf("delivered to %d/%d survivors", c.deliveredCount(mid), len(alive))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	ep, _ := net.Endpoint("x")
+	if _, err := New(Config{}, nil, nil); err == nil {
+		t.Error("accepted nil transport")
+	}
+	if _, err := New(Config{Fanout: -1}, ep, nil); err == nil {
+		t.Error("accepted negative fanout")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	ep, _ := net.Endpoint("x")
+	nd, err := New(Config{}, ep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if nd.cfg.Fanout != 3 || nd.cfg.Selector == nil || nd.cfg.DedupCapacity != 4096 {
+		t.Fatalf("defaults not filled: %+v", nd.cfg)
+	}
+	if nd.ID().IsNil() {
+		t.Fatal("node ID not drawn")
+	}
+}
+
+func TestStartCloseLifecycle(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	ep, _ := net.Endpoint("x")
+	cfg := testNodeConfig(0)
+	cfg.GossipInterval = 5 * time.Millisecond
+	nd, err := New(cfg, ep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	time.Sleep(30 * time.Millisecond) // let the ticker fire a few times
+	if err := nd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Close(); err != nil {
+		t.Fatalf("second close errored: %v", err)
+	}
+	if _, err := nd.Publish([]byte("x")); err == nil {
+		t.Fatal("publish after close accepted")
+	}
+	if err := nd.Start(); err == nil {
+		t.Fatal("start after close accepted")
+	}
+}
+
+func TestTimerDrivenConvergence(t *testing.T) {
+	// Nodes driven purely by their own tickers (no GossipNow): the real
+	// asynchronous mode of operation.
+	net := transport.NewInMemNetwork()
+	const n = 10
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(fmt.Sprintf("t%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testNodeConfig(i)
+		cfg.GossipInterval = 3 * time.Millisecond
+		nd, err := New(cfg, ep, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(nodes[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, nd := range nodes {
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		converged := true
+		for i, nd := range nodes {
+			pred, succ, ok := nd.RingNeighbors()
+			if !ok ||
+				succ.Node != nodes[(i+1)%n].ID() ||
+				pred.Node != nodes[(i-1+n)%n].ID() {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("timer-driven cluster did not converge")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	c := newTestCluster(t, 8)
+	defer c.close()
+	mid, _ := c.nodes[0].Publish([]byte("s"))
+	deadline := time.After(5 * time.Second)
+	for c.deliveredCount(mid) < len(c.nodes) {
+		select {
+		case <-deadline:
+			t.Fatal("incomplete")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	s0 := c.nodes[0].Stats()
+	if s0.Published != 1 {
+		t.Fatalf("Published = %d, want 1", s0.Published)
+	}
+	if s0.Forwarded == 0 {
+		t.Fatal("origin forwarded nothing")
+	}
+	if s0.Shuffles == 0 || s0.VicExchanges == 0 {
+		t.Fatalf("gossip counters did not move: %+v", s0)
+	}
+}
+
+func TestJoinUnreachableBootstrap(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	ep, _ := net.Endpoint("x")
+	nd, err := New(testNodeConfig(0), ep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if err := nd.Join("nowhere"); err == nil {
+		t.Fatal("join to unreachable bootstrap succeeded")
+	}
+}
+
+// The overlay must keep working when a fifth of all gossip and data
+// messages are silently lost: push gossip's redundancy is the reliability
+// mechanism (paper, Section 1).
+func TestClusterToleratesMessageLoss(t *testing.T) {
+	c := newTestCluster(t, 16)
+	defer c.close()
+	c.net.SetLoss(0.2, 99)
+	// Gossip keeps running under loss.
+	for cycle := 0; cycle < 20; cycle++ {
+		for _, nd := range c.nodes {
+			nd.GossipNow()
+		}
+		c.settle()
+	}
+	mid, err := c.nodes[0].Publish([]byte("lossy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With F=3 + ring redundancy, 20% loss still reaches nearly everyone;
+	// require at least 14/16.
+	deadline := time.After(5 * time.Second)
+	for c.deliveredCount(mid) < 14 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/16 deliveries under 20%% loss", c.deliveredCount(mid))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// BenchmarkNodeGossipCycle measures one live-node gossip cycle including
+// codec and in-memory transport overhead.
+func BenchmarkNodeGossipCycle(b *testing.B) {
+	net := transport.NewInMemNetwork()
+	nodes := make([]*Node, 0, 16)
+	for i := 0; i < 16; i++ {
+		ep, err := net.Endpoint(fmt.Sprintf("b%02d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nd, err := New(testNodeConfig(i), ep, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	for i := 1; i < len(nodes); i++ {
+		if err := nodes[i].Join(nodes[0].Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		for _, nd := range nodes {
+			nd.GossipNow()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%len(nodes)].GossipNow()
+	}
+}
+
+// BenchmarkNodePublish measures publishing into a warmed 16-node cluster.
+func BenchmarkNodePublish(b *testing.B) {
+	net := transport.NewInMemNetwork()
+	nodes := make([]*Node, 0, 16)
+	for i := 0; i < 16; i++ {
+		ep, err := net.Endpoint(fmt.Sprintf("p%02d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := testNodeConfig(i)
+		cfg.DedupCapacity = 1 << 16
+		nd, err := New(cfg, ep, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	for i := 1; i < len(nodes); i++ {
+		if err := nodes[i].Join(nodes[0].Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		for _, nd := range nodes {
+			nd.GossipNow()
+		}
+	}
+	body := []byte("benchmark message")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodes[i%len(nodes)].Publish(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

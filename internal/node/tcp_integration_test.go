@@ -1,0 +1,218 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/transport"
+	"ringcast/internal/wire"
+)
+
+// TestTCPClusterEndToEnd runs a real 8-node cluster over loopback TCP:
+// join, converge, disseminate, crash a node, heal, disseminate again.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test skipped in -short mode")
+	}
+	const n = 8
+	var (
+		mu        sync.Mutex
+		delivered = map[ident.ID]map[wire.MsgID]int{}
+	)
+	record := func(id ident.ID) DeliverFunc {
+		return func(d Delivery) {
+			mu.Lock()
+			defer mu.Unlock()
+			if delivered[id] == nil {
+				delivered[id] = map[wire.MsgID]int{}
+			}
+			delivered[id][d.Msg.ID]++
+		}
+	}
+
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		tr, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testNodeConfig(i)
+		cfg.GossipInterval = 20 * time.Millisecond
+		nd, err := New(cfg, tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.deliver = record(nd.ID())
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(nodes[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, nd := range nodes {
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait for full ring convergence over real sockets.
+	waitRing := func(members []*Node) {
+		t.Helper()
+		deadline := time.After(30 * time.Second)
+		for {
+			if tcpRingConverged(members) {
+				return
+			}
+			select {
+			case <-deadline:
+				t.Fatal("TCP cluster did not converge")
+			case <-time.After(25 * time.Millisecond):
+			}
+		}
+	}
+	waitRing(nodes)
+
+	countReached := func(mid wire.MsgID, members []*Node) int {
+		mu.Lock()
+		defer mu.Unlock()
+		c := 0
+		for _, nd := range members {
+			if delivered[nd.ID()][mid] > 0 {
+				c++
+			}
+		}
+		return c
+	}
+
+	mid, err := nodes[3].Publish([]byte("over real tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(15 * time.Second)
+	for countReached(mid, nodes) < n {
+		select {
+		case <-deadline:
+			t.Fatalf("delivered to %d/%d TCP nodes", countReached(mid, nodes), n)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	// No node may have delivered the message more than once.
+	mu.Lock()
+	for id, msgs := range delivered {
+		if msgs[mid] != 1 {
+			mu.Unlock()
+			t.Fatalf("node %v delivered %d times", id, msgs[mid])
+		}
+	}
+	mu.Unlock()
+
+	// Crash two nodes (close their transports abruptly) and verify the
+	// survivors heal and disseminate.
+	nodes[2].Close()
+	nodes[6].Close()
+	survivors := []*Node{nodes[0], nodes[1], nodes[3], nodes[4], nodes[5], nodes[7]}
+	waitRing(survivors)
+
+	mid2, err := survivors[0].Publish([]byte("after the crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.After(15 * time.Second)
+	for countReached(mid2, survivors) < len(survivors) {
+		select {
+		case <-deadline:
+			t.Fatalf("post-crash: delivered to %d/%d survivors",
+				countReached(mid2, survivors), len(survivors))
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// tcpRingConverged checks pred/succ of every member against the sorted ring.
+func tcpRingConverged(members []*Node) bool {
+	ids := make([]ident.ID, len(members))
+	for i, nd := range members {
+		ids[i] = nd.ID()
+	}
+	// insertion sort: tiny n
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	pos := make(map[ident.ID]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	for _, nd := range members {
+		pred, succ, ok := nd.RingNeighbors()
+		if !ok {
+			return false
+		}
+		i := pos[nd.ID()]
+		if succ.Node != ids[(i+1)%len(ids)] || pred.Node != ids[(i-1+len(ids))%len(ids)] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTCPPubSubSmoke verifies the pubsub mux over real TCP endpoints.
+func TestTCPGossipFrameExchange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP test skipped in -short mode")
+	}
+	trA, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := testNodeConfig(0)
+	cfgB := testNodeConfig(1)
+	got := make(chan Delivery, 1)
+	a, err := New(cfgA, trA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(cfgB, trB, func(d Delivery) { got <- d })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Run a few synchronous cycles so both learn each other.
+	for i := 0; i < 6; i++ {
+		a.GossipNow()
+		b.GossipNow()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := a.Publish([]byte(fmt.Sprintf("ping %d", 1))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-got:
+		if string(d.Msg.Body) != "ping 1" {
+			t.Fatalf("body = %q", d.Msg.Body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("message never crossed the TCP link")
+	}
+}

@@ -1,0 +1,180 @@
+// Package overlay builds the static dissemination overlays discussed in
+// Section 3 of the paper (deterministic dissemination by flooding): rings,
+// stars, trees, cliques, and Harary graphs, plus the multi-ring extension
+// of Section 8 and random graphs used as an idealized peer-sampling
+// snapshot.
+//
+// All builders return a graph.Directed whose node indices are positions in
+// the caller-supplied ordering.
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringcast/internal/graph"
+)
+
+// Ring returns a bidirectional ring over n nodes: the Harary graph of
+// connectivity 2, the structure RINGCAST maintains with its d-links.
+func Ring(n int) *graph.Directed {
+	g := graph.NewDirected(n)
+	if n < 2 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+		g.AddEdge(i, (i-1+n)%n)
+	}
+	return g
+}
+
+// Star returns a server-based overlay: node 0 is the relay with
+// bidirectional links to every other node (paper §3: worst possible load
+// distribution, single point of failure).
+func Star(n int) *graph.Directed {
+	g := graph.NewDirected(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+		g.AddEdge(i, 0)
+	}
+	return g
+}
+
+// Tree returns a balanced k-ary tree with bidirectional links, rooted at
+// node 0. Trees are optimal in message overhead (N-1 point-to-point sends)
+// but any non-leaf failure disconnects a branch (paper §3).
+func Tree(n, arity int) (*graph.Directed, error) {
+	if arity < 1 {
+		return nil, fmt.Errorf("overlay: tree arity must be >= 1, got %d", arity)
+	}
+	g := graph.NewDirected(n)
+	for i := 1; i < n; i++ {
+		parent := (i - 1) / arity
+		g.AddEdge(parent, i)
+		g.AddEdge(i, parent)
+	}
+	return g, nil
+}
+
+// Clique returns the complete graph: maximum reliability, impractical
+// maintenance (paper §3).
+func Clique(n int) *graph.Directed {
+	g := graph.NewDirected(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Harary returns the Harary graph H(t, n): the minimal-link graph over n
+// nodes that remains connected when up to t-1 nodes or links fail (Harary
+// 1962; applied to flooding by Lin et al., see paper §3). Construction is
+// the classic circulant one:
+//
+//   - t = 2k:   connect every node to its k nearest neighbours on each side;
+//   - t = 2k+1: additionally connect each node to the diametrically opposite
+//     node (requires even n).
+//
+// Links are emitted in both directions, matching the bidirectional links of
+// the paper's discussion.
+func Harary(t, n int) (*graph.Directed, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("overlay: Harary connectivity must be >= 2, got %d", t)
+	}
+	if t >= n {
+		return nil, fmt.Errorf("overlay: Harary requires t < n, got t=%d n=%d", t, n)
+	}
+	if t%2 == 1 && n%2 == 1 {
+		return nil, fmt.Errorf("overlay: odd-connectivity Harary graph requires even n, got n=%d", n)
+	}
+	g := graph.NewDirected(n)
+	k := t / 2
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k; d++ {
+			g.AddEdge(i, (i+d)%n)
+			g.AddEdge(i, (i-d+n)%n)
+		}
+	}
+	if t%2 == 1 {
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+n/2)%n)
+		}
+	}
+	return g, nil
+}
+
+// KRings returns the union of k independent bidirectional rings over n
+// nodes, each under an independent random permutation — the Section 8
+// extension ("organize nodes in multiple rings, assigning them a different
+// random ID per ring"). The minimal cut grows with k, improving resilience
+// at the cost of more gossip traffic. Ring 0 uses the identity permutation
+// so that single-ring behaviour is a special case.
+func KRings(k, n int, rng *rand.Rand) (*graph.Directed, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("overlay: ring count must be >= 1, got %d", k)
+	}
+	if rng == nil && k > 1 {
+		return nil, fmt.Errorf("overlay: rng required for k > 1")
+	}
+	g := graph.NewDirected(n)
+	if n < 2 {
+		return g, nil
+	}
+	for r := 0; r < k; r++ {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		if r > 0 {
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		}
+		for i := 0; i < n; i++ {
+			u, v := perm[i], perm[(i+1)%n]
+			g.AddEdge(u, v)
+			g.AddEdge(v, u)
+		}
+	}
+	return g, nil
+}
+
+// RandomOutDegree returns a directed graph in which every node has exactly
+// min(outDeg, n-1) distinct random out-links — an idealized snapshot of a
+// converged peer-sampling view, useful for isolating protocol behaviour
+// from gossip convergence in tests and ablations.
+func RandomOutDegree(n, outDeg int, rng *rand.Rand) (*graph.Directed, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("overlay: rng must not be nil")
+	}
+	if outDeg < 0 {
+		return nil, fmt.Errorf("overlay: out-degree must be >= 0, got %d", outDeg)
+	}
+	g := graph.NewDirected(n)
+	if outDeg > n-1 {
+		outDeg = n - 1
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for u := 0; u < n; u++ {
+		// Partial shuffle of candidate targets, skipping self.
+		for i := 0; i < outDeg; i++ {
+			j := i + rng.Intn(n-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		taken := 0
+		for i := 0; i < n && taken < outDeg; i++ {
+			if perm[i] == u {
+				continue
+			}
+			g.AddEdge(u, perm[i])
+			taken++
+		}
+	}
+	return g, nil
+}

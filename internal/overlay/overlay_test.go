@@ -1,0 +1,275 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func aliveAll(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestRingProperties(t *testing.T) {
+	g := Ring(12)
+	if !g.StronglyConnected(nil) {
+		t.Fatal("ring not strongly connected")
+	}
+	for _, d := range g.OutDegrees() {
+		if d != 2 {
+			t.Fatalf("ring out-degree = %d, want 2", d)
+		}
+	}
+}
+
+func TestRingTiny(t *testing.T) {
+	if g := Ring(1); len(g.Out(0)) != 0 {
+		t.Fatal("1-ring should have no links")
+	}
+	g := Ring(2)
+	// two nodes: both directions collapse onto the same neighbour
+	if !g.StronglyConnected(nil) {
+		t.Fatal("2-ring must be strongly connected")
+	}
+}
+
+func TestStarProperties(t *testing.T) {
+	g := Star(10)
+	if !g.StronglyConnected(nil) {
+		t.Fatal("star not strongly connected")
+	}
+	// Server failure disconnects everything (paper: single point of failure).
+	alive := aliveAll(10)
+	alive[0] = false
+	if g.SCCCount(alive) != 9 {
+		t.Fatalf("star without server: SCCs = %d, want 9 isolated", g.SCCCount(alive))
+	}
+	// Leaf failure is harmless.
+	alive = aliveAll(10)
+	alive[5] = false
+	if !g.StronglyConnected(alive) {
+		t.Fatal("star with one leaf dead must stay connected")
+	}
+}
+
+func TestTreeProperties(t *testing.T) {
+	g, err := Tree(15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.StronglyConnected(nil) {
+		t.Fatal("tree not strongly connected")
+	}
+	// Total directed edges = 2(n-1): message-overhead optimality.
+	total := 0
+	for _, d := range g.OutDegrees() {
+		total += d
+	}
+	if total != 2*14 {
+		t.Fatalf("tree edges = %d, want 28", total)
+	}
+	// Internal node failure disconnects its subtree.
+	alive := aliveAll(15)
+	alive[1] = false
+	if g.StronglyConnected(alive) {
+		t.Fatal("tree with internal node dead must disconnect")
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	if _, err := Tree(5, 0); err == nil {
+		t.Fatal("accepted zero arity")
+	}
+}
+
+func TestCliqueMaxReliability(t *testing.T) {
+	g := Clique(8)
+	// Kill any 6 of 8: remaining 2 still connected.
+	alive := aliveAll(8)
+	for i := 1; i < 7; i++ {
+		alive[i] = false
+	}
+	if !g.StronglyConnected(alive) {
+		t.Fatal("clique survivors must stay connected")
+	}
+	for _, d := range g.OutDegrees() {
+		if d != 7 {
+			t.Fatalf("clique out-degree = %d, want 7", d)
+		}
+	}
+}
+
+func TestHararyValidation(t *testing.T) {
+	if _, err := Harary(1, 10); err == nil {
+		t.Error("accepted t < 2")
+	}
+	if _, err := Harary(10, 10); err == nil {
+		t.Error("accepted t >= n")
+	}
+	if _, err := Harary(3, 9); err == nil {
+		t.Error("accepted odd t with odd n")
+	}
+}
+
+func TestHararyDegreeMinimality(t *testing.T) {
+	// H(t, n) has degree exactly t for even t, and for odd t with even n:
+	// minimal for connectivity t.
+	for _, tc := range []struct{ t, n, wantDeg int }{
+		{2, 11, 2}, {4, 12, 4}, {3, 12, 3}, {6, 20, 6},
+	} {
+		g, err := Harary(tc.t, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range g.OutDegrees() {
+			if d != tc.wantDeg {
+				t.Fatalf("H(%d,%d) node %d degree = %d, want %d", tc.t, tc.n, i, d, tc.wantDeg)
+			}
+		}
+	}
+}
+
+// The defining Harary property: H(t, n) survives any t-1 node failures.
+func TestHararySurvivesFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, conn := range []int{2, 3, 4, 5} {
+		n := 24
+		g, err := Harary(conn, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			alive := aliveAll(n)
+			killed := 0
+			for killed < conn-1 {
+				k := rng.Intn(n)
+				if alive[k] {
+					alive[k] = false
+					killed++
+				}
+			}
+			if !g.StronglyConnected(alive) {
+				t.Fatalf("H(%d,%d) disconnected after %d failures", conn, n, conn-1)
+			}
+		}
+	}
+}
+
+// And the sharpness: connectivity-2 ring splits under the right 2 failures.
+func TestHararySharpness(t *testing.T) {
+	g, err := Harary(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := aliveAll(10)
+	alive[0], alive[5] = false, false
+	if g.StronglyConnected(alive) {
+		t.Fatal("H(2,10) should split after two opposite failures")
+	}
+}
+
+func TestKRingsResilience(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	g2, err := KRings(2, n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.StronglyConnected(nil) {
+		t.Fatal("2-ring overlay not strongly connected")
+	}
+	// Each node's degree should be >= 2 (ring 0) and typically 4.
+	for _, d := range g2.OutDegrees() {
+		if d < 2 {
+			t.Fatalf("k-rings degree = %d, want >= 2", d)
+		}
+	}
+	// With 2 independent rings, two random failures almost never partition.
+	fails := 0
+	for trial := 0; trial < 100; trial++ {
+		alive := aliveAll(n)
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		alive[a], alive[b] = false, false
+		if !g2.StronglyConnected(alive) {
+			fails++
+		}
+	}
+	if fails > 0 {
+		t.Fatalf("2-ring overlay partitioned in %d/100 double-failure trials", fails)
+	}
+}
+
+func TestKRingsValidation(t *testing.T) {
+	if _, err := KRings(0, 5, nil); err == nil {
+		t.Error("accepted k < 1")
+	}
+	if _, err := KRings(2, 5, nil); err == nil {
+		t.Error("accepted nil rng with k > 1")
+	}
+	if g, err := KRings(1, 1, nil); err != nil || g.N() != 1 {
+		t.Error("single-node single ring should be fine")
+	}
+}
+
+func TestRandomOutDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := RandomOutDegree(50, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, d := range g.OutDegrees() {
+		if d != 8 {
+			t.Fatalf("node %d out-degree = %d, want 8", u, d)
+		}
+		seen := map[int]bool{u: true}
+		for _, v := range g.Out(u) {
+			if seen[v] {
+				t.Fatalf("node %d has duplicate/self link to %d", u, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandomOutDegreeClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := RandomOutDegree(4, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range g.OutDegrees() {
+		if d != 3 {
+			t.Fatalf("clamped out-degree = %d, want 3", d)
+		}
+	}
+	if _, err := RandomOutDegree(4, -1, rng); err == nil {
+		t.Error("accepted negative out-degree")
+	}
+	if _, err := RandomOutDegree(4, 2, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+// Property: Harary graphs of even connectivity are strongly connected for
+// arbitrary valid (t, n).
+func TestHararyConnectedProperty(t *testing.T) {
+	f := func(tRaw, nRaw uint8) bool {
+		tt := int(tRaw%4)*2 + 2 // 2,4,6,8
+		n := int(nRaw%40) + tt + 1
+		g, err := Harary(tt, n)
+		if err != nil {
+			return false
+		}
+		return g.StronglyConnected(nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

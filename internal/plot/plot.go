@@ -1,0 +1,184 @@
+// Package plot renders experiment series as ASCII charts, so that the
+// bench harness can show the *shape* of each paper figure (exponential
+// miss-ratio decay, progress curves, log-log lifetime distributions)
+// directly in a terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// barWidth is the default width of value bars in characters.
+const defaultWidth = 50
+
+// Bars renders one horizontal bar per (label, value), scaled linearly to
+// the maximum value.
+func Bars(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = defaultWidth
+	}
+	if len(labels) != len(values) {
+		return fmt.Sprintf("plot: %d labels for %d values\n", len(labels), len(values))
+	}
+	maxVal := 0.0
+	for _, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	for i, v := range values {
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(v / maxVal * float64(width)))
+		}
+		if v > 0 && n == 0 {
+			n = 1 // visible hint for tiny non-zero values
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %g\n", labelW, labels[i], strings.Repeat("#", n), v)
+	}
+	return sb.String()
+}
+
+// LogBars renders bars on a log10 scale, for series spanning orders of
+// magnitude (the paper plots miss ratios logarithmically). Zero values get
+// an explicit "0" marker; the floor parameter is the smallest
+// distinguishable value (e.g. 1e-4 for percent scales).
+func LogBars(labels []string, values []float64, width int, floor float64) string {
+	if width <= 0 {
+		width = defaultWidth
+	}
+	if floor <= 0 {
+		floor = 1e-6
+	}
+	if len(labels) != len(values) {
+		return fmt.Sprintf("plot: %d labels for %d values\n", len(labels), len(values))
+	}
+	maxVal := floor
+	for _, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	span := math.Log10(maxVal) - math.Log10(floor)
+	if span <= 0 {
+		span = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	for i, v := range values {
+		switch {
+		case v <= 0:
+			fmt.Fprintf(&sb, "%-*s |  0\n", labelW, labels[i])
+		default:
+			clamped := v
+			if clamped < floor {
+				clamped = floor
+			}
+			n := int(math.Round((math.Log10(clamped) - math.Log10(floor)) / span * float64(width)))
+			if n < 1 {
+				n = 1
+			}
+			fmt.Fprintf(&sb, "%-*s |%s %.4g\n", labelW, labels[i], strings.Repeat("#", n), v)
+		}
+	}
+	return sb.String()
+}
+
+// Curves renders multiple series as rows of an x/value table with a
+// miniature sparkline per series — enough to eyeball crossovers in
+// progress curves. x labels are the indices.
+func Curves(series []Series, height int) string {
+	if height <= 0 {
+		height = 8
+	}
+	var sb strings.Builder
+	for _, s := range series {
+		sb.WriteString(s.Name + "\n")
+		sb.WriteString(sparkline(s.Values, height))
+	}
+	return sb.String()
+}
+
+// sparkRunes are vertical resolution steps for sparklines.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a one-line sparkline of the series (linear scale).
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	minV, maxV := values[0], values[0]
+	for _, v := range values {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	span := maxV - minV
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - minV) / span * float64(len(sparkRunes)-1))
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// sparkline renders a multi-row ASCII area chart.
+func sparkline(values []float64, height int) string {
+	if len(values) == 0 {
+		return "(empty)\n"
+	}
+	maxV := values[0]
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	rows := make([][]byte, height)
+	for r := range rows {
+		rows[r] = make([]byte, len(values))
+		for c := range rows[r] {
+			rows[r][c] = ' '
+		}
+	}
+	for c, v := range values {
+		h := int(math.Round(v / maxV * float64(height)))
+		for r := 0; r < h && r < height; r++ {
+			rows[height-1-r][c] = '#'
+		}
+	}
+	var sb strings.Builder
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&sb, "  |%s\n", string(rows[r]))
+	}
+	fmt.Fprintf(&sb, "  +%s (max %.4g)\n", strings.Repeat("-", len(values)), maxV)
+	return sb.String()
+}

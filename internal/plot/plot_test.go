@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarsBasic(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Fatalf("half bar = %q", lines[0])
+	}
+}
+
+func TestBarsTinyNonZeroVisible(t *testing.T) {
+	out := Bars([]string{"big", "tiny"}, []float64{1000, 0.0001}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Fatalf("tiny non-zero value invisible: %q", lines[1])
+	}
+}
+
+func TestBarsMismatch(t *testing.T) {
+	if out := Bars([]string{"a"}, []float64{1, 2}, 10); !strings.Contains(out, "plot:") {
+		t.Fatal("mismatch not reported")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := Bars([]string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero value drew a bar: %q", out)
+	}
+}
+
+func TestLogBarsSpansOrders(t *testing.T) {
+	out := LogBars([]string{"hi", "mid", "lo", "zero"},
+		[]float64{10, 0.1, 0.001, 0}, 30, 1e-4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	count := func(s string) int { return strings.Count(s, "#") }
+	if !(count(lines[0]) > count(lines[1]) && count(lines[1]) > count(lines[2])) {
+		t.Fatalf("log bars not monotone:\n%s", out)
+	}
+	if count(lines[2]) == 0 {
+		t.Fatal("small value invisible on log scale")
+	}
+	if !strings.Contains(lines[3], "0") || count(lines[3]) != 0 {
+		t.Fatalf("zero not marked: %q", lines[3])
+	}
+}
+
+func TestLogBarsDefaults(t *testing.T) {
+	out := LogBars([]string{"a"}, []float64{1}, 0, 0)
+	if out == "" {
+		t.Fatal("empty output with defaults")
+	}
+	if out := LogBars([]string{"a"}, []float64{1, 2}, 10, 1); !strings.Contains(out, "plot:") {
+		t.Fatal("mismatch not reported")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline runes = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("sparkline ends wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	// Constant series: all minimum rune, no panic.
+	if s := Sparkline([]float64{5, 5}); len([]rune(s)) != 2 {
+		t.Fatal("constant series broken")
+	}
+}
+
+func TestCurves(t *testing.T) {
+	out := Curves([]Series{
+		{Name: "RandCast", Values: []float64{100, 50, 10, 1}},
+		{Name: "RingCast", Values: []float64{100, 40, 5, 0}},
+	}, 4)
+	if !strings.Contains(out, "RandCast") || !strings.Contains(out, "RingCast") {
+		t.Fatal("series names missing")
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no chart content")
+	}
+	if !strings.Contains(Curves([]Series{{Name: "e"}}, 0), "(empty)") {
+		t.Fatal("empty series not handled")
+	}
+}

@@ -1,0 +1,202 @@
+// Package pubsub implements topic-based publish/subscribe over RingCast
+// overlays, following Section 8 of the paper: "Each topic forms its own,
+// separate dissemination overlay. Subscribers join the overlay(s) of the
+// topics of their interest. Events are multicast by disseminating them in
+// the appropriate dissemination overlay."
+//
+// A Peer owns one transport and runs an independent protocol node (CYCLON +
+// VICINITY + dissemination) per subscribed topic, multiplexed over the
+// shared transport by topic tags.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"ringcast/internal/node"
+	"ringcast/internal/transport"
+	"ringcast/internal/wire"
+)
+
+// Event is a message delivered on a subscribed topic.
+type Event struct {
+	// Topic names the overlay the event arrived on.
+	Topic string
+	// Msg is the disseminated message.
+	Msg wire.Message
+}
+
+// EventFunc consumes delivered events; it must not block for long.
+type EventFunc func(Event)
+
+// Peer participates in any number of topic overlays over one transport.
+type Peer struct {
+	mux *transport.Mux
+	cfg node.Config
+
+	mu     sync.Mutex
+	topics map[string]*node.Node
+	closed bool
+}
+
+// NewPeer wraps the base transport. cfg is the template node configuration
+// applied to every topic overlay; cfg.ID is ignored (each topic draws an
+// independent ring ID, as the paper's multi-ring discussion requires).
+func NewPeer(base transport.Transport, cfg node.Config) (*Peer, error) {
+	if base == nil {
+		return nil, errors.New("pubsub: base transport must not be nil")
+	}
+	return &Peer{
+		mux:    transport.NewMux(base),
+		cfg:    cfg,
+		topics: make(map[string]*node.Node),
+	}, nil
+}
+
+// Addr returns the peer's transport address, usable as a bootstrap target
+// by other peers.
+func (p *Peer) Addr() string { return p.mux.Addr() }
+
+// Addr on Mux: delegate for convenience.
+
+// Subscribe joins the topic's overlay, bootstrapping from the given peers
+// (addresses of other subscribers; may be empty for the first subscriber),
+// and starts gossiping. deliver receives every event published on the topic.
+func (p *Peer) Subscribe(topic string, bootstrap []string, deliver EventFunc) error {
+	if topic == "" {
+		return errors.New("pubsub: empty topic")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("pubsub: peer closed")
+	}
+	if _, dup := p.topics[topic]; dup {
+		return fmt.Errorf("pubsub: already subscribed to %q", topic)
+	}
+	tt, err := p.mux.Topic(topic)
+	if err != nil {
+		return err
+	}
+	cfg := p.cfg
+	cfg.ID = 0 // per-topic random ring ID
+	if cfg.Seed != 0 {
+		// Derive an independent deterministic seed per topic, otherwise
+		// every topic node would draw the same "random" ring ID.
+		h := fnv.New64a()
+		h.Write([]byte(topic))
+		cfg.Seed ^= int64(h.Sum64())
+		if cfg.Seed == 0 {
+			cfg.Seed = 1
+		}
+	}
+	var cb node.DeliverFunc
+	if deliver != nil {
+		topicName := topic
+		cb = func(d node.Delivery) {
+			deliver(Event{Topic: topicName, Msg: d.Msg})
+		}
+	}
+	nd, err := node.New(cfg, tt, cb)
+	if err != nil {
+		return err
+	}
+	for _, addr := range bootstrap {
+		if addr == p.Addr() {
+			continue
+		}
+		// Best effort: unreachable bootstrap peers are skipped; gossip will
+		// find the overlay through any one that answers.
+		_ = nd.Join(addr)
+	}
+	if err := nd.Start(); err != nil {
+		nd.Close()
+		return err
+	}
+	p.topics[topic] = nd
+	return nil
+}
+
+// Unsubscribe leaves a topic overlay.
+func (p *Peer) Unsubscribe(topic string) error {
+	p.mu.Lock()
+	nd, ok := p.topics[topic]
+	delete(p.topics, topic)
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("pubsub: not subscribed to %q", topic)
+	}
+	return nd.Close()
+}
+
+// Publish disseminates an event on a subscribed topic.
+func (p *Peer) Publish(topic string, body []byte) (wire.MsgID, error) {
+	p.mu.Lock()
+	nd, ok := p.topics[topic]
+	p.mu.Unlock()
+	if !ok {
+		return wire.MsgID{}, fmt.Errorf("pubsub: not subscribed to %q", topic)
+	}
+	return nd.Publish(body)
+}
+
+// Topics returns the subscribed topic names.
+func (p *Peer) Topics() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.topics))
+	for t := range p.topics {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Node exposes the protocol node behind one topic, for diagnostics.
+func (p *Peer) Node(topic string) (*node.Node, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nd, ok := p.topics[topic]
+	return nd, ok
+}
+
+// GossipNow forces one synchronous gossip cycle on every subscribed topic —
+// handy in tests and joiner warm-up.
+func (p *Peer) GossipNow() {
+	p.mu.Lock()
+	nodes := make([]*node.Node, 0, len(p.topics))
+	for _, nd := range p.topics {
+		nodes = append(nodes, nd)
+	}
+	p.mu.Unlock()
+	for _, nd := range nodes {
+		nd.GossipNow()
+	}
+}
+
+// Close leaves all topics and closes the underlying transport.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	nodes := make([]*node.Node, 0, len(p.topics))
+	for _, nd := range p.topics {
+		nodes = append(nodes, nd)
+	}
+	p.topics = make(map[string]*node.Node)
+	p.mu.Unlock()
+	var firstErr error
+	for _, nd := range nodes {
+		if err := nd.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := p.mux.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

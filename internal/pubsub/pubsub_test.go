@@ -1,0 +1,266 @@
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ringcast/internal/cyclon"
+	"ringcast/internal/node"
+	"ringcast/internal/transport"
+	"ringcast/internal/vicinity"
+	"ringcast/internal/wire"
+)
+
+func peerConfig(i int) node.Config {
+	return node.Config{
+		Fanout:         3,
+		Cyclon:         cyclon.Config{ViewSize: 6, ShuffleLen: 3},
+		Vicinity:       vicinity.Config{ViewSize: 6, GossipLen: 6, Balanced: true, MaxAge: 20},
+		GossipInterval: time.Hour, // tests drive GossipNow
+		DedupCapacity:  128,
+		Seed:           int64(i + 1),
+	}
+}
+
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *eventLog) add(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+func (l *eventLog) count(topic string, mid wire.MsgID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Topic == topic && e.Msg.ID == mid {
+			n++
+		}
+	}
+	return n
+}
+
+// buildPeers creates n peers; peers with index in subs[topic] subscribe to
+// that topic, bootstrapping via the first subscriber.
+func buildPeers(t *testing.T, n int, subs map[string][]int) ([]*Peer, []*eventLog) {
+	t.Helper()
+	net := transport.NewInMemNetwork()
+	peers := make([]*Peer, n)
+	logs := make([]*eventLog, n)
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(fmt.Sprintf("p%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPeer(ep, peerConfig(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+		logs[i] = &eventLog{}
+	}
+	for topic, members := range subs {
+		var bootstrap []string
+		for _, i := range members {
+			lg := logs[i]
+			if err := peers[i].Subscribe(topic, bootstrap, lg.add); err != nil {
+				t.Fatal(err)
+			}
+			bootstrap = append(bootstrap, peers[i].Addr())
+		}
+	}
+	// Warm the overlays.
+	for cycle := 0; cycle < 50; cycle++ {
+		for _, p := range peers {
+			p.GossipNow()
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	return peers, logs
+}
+
+func waitCount(t *testing.T, want int, count func() int) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for count() < want {
+		select {
+		case <-deadline:
+			t.Fatalf("got %d, want %d", count(), want)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestTopicIsolation(t *testing.T) {
+	subs := map[string][]int{
+		"news":  {0, 1, 2, 3, 4, 5},
+		"sport": {4, 5, 6, 7},
+	}
+	peers, logs := buildPeers(t, 8, subs)
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+
+	mid, err := peers[0].Publish("news", []byte("headline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 6 news subscribers (including the publisher) get it.
+	total := func() int {
+		n := 0
+		for _, i := range subs["news"] {
+			if logs[i].count("news", mid) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	waitCount(t, 6, total)
+	time.Sleep(30 * time.Millisecond)
+	// Non-subscribers never see it.
+	for _, i := range []int{6, 7} {
+		if logs[i].count("news", mid) != 0 {
+			t.Fatalf("peer %d (not subscribed) received news event", i)
+		}
+	}
+}
+
+func TestOverlappingSubscriptions(t *testing.T) {
+	subs := map[string][]int{
+		"a": {0, 1, 2, 3},
+		"b": {0, 1, 2, 3},
+	}
+	peers, logs := buildPeers(t, 4, subs)
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+	midA, _ := peers[1].Publish("a", []byte("on a"))
+	midB, _ := peers[2].Publish("b", []byte("on b"))
+	for i := range peers {
+		i := i
+		waitCount(t, 1, func() int { return logs[i].count("a", midA) })
+		waitCount(t, 1, func() int { return logs[i].count("b", midB) })
+	}
+	// Events are tagged with the right topic only.
+	for i := range peers {
+		if logs[i].count("b", midA) != 0 || logs[i].count("a", midB) != 0 {
+			t.Fatal("event crossed topics")
+		}
+	}
+}
+
+func TestPublishRequiresSubscription(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	ep, _ := net.Endpoint("solo")
+	p, err := NewPeer(ep, peerConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Publish("ghost", []byte("x")); err == nil {
+		t.Fatal("publish to unsubscribed topic succeeded")
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	ep, _ := net.Endpoint("solo")
+	p, _ := NewPeer(ep, peerConfig(0))
+	defer p.Close()
+	if err := p.Subscribe("", nil, nil); err == nil {
+		t.Fatal("empty topic accepted")
+	}
+	if err := p.Subscribe("x", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Subscribe("x", nil, nil); err == nil {
+		t.Fatal("double subscription accepted")
+	}
+	if _, err := NewPeer(nil, peerConfig(0)); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	subs := map[string][]int{"t": {0, 1, 2}}
+	peers, logs := buildPeers(t, 3, subs)
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+	if err := peers[2].Unsubscribe("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[2].Unsubscribe("t"); err == nil {
+		t.Fatal("double unsubscribe accepted")
+	}
+	// Let the remaining overlay heal around the departed subscriber.
+	for cycle := 0; cycle < 30; cycle++ {
+		peers[0].GossipNow()
+		peers[1].GossipNow()
+		time.Sleep(3 * time.Millisecond)
+	}
+	mid, err := peers[0].Publish("t", []byte("post-leave"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, 1, func() int { return logs[1].count("t", mid) })
+	time.Sleep(30 * time.Millisecond)
+	if logs[2].count("t", mid) != 0 {
+		t.Fatal("unsubscribed peer still received events")
+	}
+}
+
+func TestTopicsAndNodeAccessors(t *testing.T) {
+	subs := map[string][]int{"a": {0}, "b": {0}}
+	peers, _ := buildPeers(t, 1, subs)
+	defer peers[0].Close()
+	topics := peers[0].Topics()
+	if len(topics) != 2 {
+		t.Fatalf("topics = %v", topics)
+	}
+	if _, ok := peers[0].Node("a"); !ok {
+		t.Fatal("node accessor failed")
+	}
+	if _, ok := peers[0].Node("zzz"); ok {
+		t.Fatal("node accessor returned unsubscribed topic")
+	}
+}
+
+func TestPerTopicRingIDsDiffer(t *testing.T) {
+	subs := map[string][]int{"a": {0}, "b": {0}}
+	peers, _ := buildPeers(t, 1, subs)
+	defer peers[0].Close()
+	na, _ := peers[0].Node("a")
+	nb, _ := peers[0].Node("b")
+	if na.ID() == nb.ID() {
+		t.Fatal("topic overlays share a ring ID; they must be independent")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	subs := map[string][]int{"t": {0, 1}}
+	peers, _ := buildPeers(t, 2, subs)
+	if err := peers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[0].Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	if err := peers[0].Subscribe("u", nil, nil); err == nil {
+		t.Fatal("subscribe after close accepted")
+	}
+	peers[1].Close()
+}

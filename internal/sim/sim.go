@@ -1,0 +1,512 @@
+// Package sim is the cycle-driven network simulator used for all of the
+// paper's experiments — the functional equivalent of PeerSim (paper,
+// Section 7) reimplemented in Go.
+//
+// A Network holds N nodes, each running a CYCLON instance and, when
+// configured for RINGCAST, a VICINITY instance. In every cycle each live
+// node, in random order, initiates one exchange per protocol — the
+// simulator's synchronous stand-in for the independent periodic timers of a
+// deployment, exactly as in cycle-driven PeerSim.
+//
+// The experimental methodology follows the paper precisely: nodes start in a
+// star topology (every CYCLON view holds one given contact; VICINITY views
+// empty), the network self-organizes for a warm-up period, the overlay is
+// then frozen, and messages are disseminated over the frozen overlay
+// (Section 7.1 explains why freezing does not affect macroscopic behaviour).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ringcast/internal/cyclon"
+	"ringcast/internal/ident"
+	"ringcast/internal/vicinity"
+	"ringcast/internal/view"
+)
+
+// maxGossipAttempts bounds how many alternative partners a node tries per
+// cycle when selected peers turn out to be dead.
+const maxGossipAttempts = 3
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// N is the initial node population (10,000 in the paper).
+	N int
+	// Cyclon holds the peer-sampling parameters (view length 20 in the paper).
+	Cyclon cyclon.Config
+	// Vicinity holds the topology-construction parameters (view length 20).
+	Vicinity vicinity.Config
+	// UseVicinity enables the VICINITY layer (required for RINGCAST's
+	// d-links; RANDCAST-only experiments can disable it).
+	UseVicinity bool
+	// DisableVicinityFeed cuts the CYCLON-view candidate feed into VICINITY
+	// merges — an ablation of the two-layered design (paper, Section 6).
+	// Without the feed, VICINITY only learns via its own exchanges and ring
+	// convergence slows dramatically.
+	DisableVicinityFeed bool
+	// Rings is the number of independent rings maintained (Section 8
+	// extension: "organize nodes in multiple rings, assigning them a
+	// different random ID per ring"). 0 and 1 both mean a single ring.
+	// Each extra ring runs its own VICINITY instance over a fresh random
+	// ID per node, multiplying gossip traffic accordingly.
+	Rings int
+	// Seed makes the whole simulation deterministic.
+	Seed int64
+	// NodeIDs optionally preassigns ring IDs to the initial population
+	// (length must equal N). Used for the domain-proximity extension of
+	// Section 8, where IDs encode reversed domain names. Nodes joining
+	// later always draw random IDs.
+	NodeIDs []ident.ID
+}
+
+// DefaultConfig returns the paper's experimental setup for a given
+// population size.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:           n,
+		Cyclon:      cyclon.DefaultConfig(),
+		Vicinity:    vicinity.DefaultConfig(),
+		UseVicinity: true,
+		Seed:        1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("sim: N must be >= 2, got %d", c.N)
+	}
+	if c.NodeIDs != nil {
+		if len(c.NodeIDs) != c.N {
+			return fmt.Errorf("sim: %d preassigned IDs for N=%d", len(c.NodeIDs), c.N)
+		}
+		seen := make(map[ident.ID]struct{}, len(c.NodeIDs))
+		for _, id := range c.NodeIDs {
+			if id.IsNil() {
+				return fmt.Errorf("sim: preassigned ID must not be nil")
+			}
+			if _, dup := seen[id]; dup {
+				return fmt.Errorf("sim: duplicate preassigned ID %v", id)
+			}
+			seen[id] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Node is one simulated participant.
+type Node struct {
+	// ID is the node's ring sequence ID (ring 0).
+	ID ident.ID
+	// Cyc is the node's CYCLON instance (always present).
+	Cyc *cyclon.Cyclon
+	// Vic is the node's VICINITY instance for ring 0; nil when disabled.
+	Vic *vicinity.Vicinity
+	// RingIDs are the node's per-ring identifiers; RingIDs[0] == ID. Only
+	// populated when the network maintains multiple rings.
+	RingIDs []ident.ID
+	// ExtraVics are the VICINITY instances for rings 1..k-1, each organized
+	// by the corresponding RingIDs entry.
+	ExtraVics []*vicinity.Vicinity
+	// Alive is false once the node has been killed or churned out.
+	Alive bool
+	// JoinCycle records when the node entered the network (0 for initial
+	// population); lifetimes in the churn experiments derive from it.
+	JoinCycle int
+}
+
+// Network is a simulated population of gossiping nodes.
+type Network struct {
+	cfg   Config
+	rng   *rand.Rand
+	gen   *ident.Generator
+	nodes []*Node
+	index map[ident.ID]int
+	// ringIndex maps per-ring IDs back to node positions, one map per
+	// extra ring (rings 1..k-1); ring 0 uses index.
+	ringIndex []map[ident.ID]int
+	alive     int
+	cycle     int
+}
+
+// New builds a network in the paper's initial state: a star topology in
+// which every node's CYCLON view holds a single given contact (the first
+// node), and VICINITY views are empty.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		gen:   ident.NewGenerator(cfg.Seed ^ 0x5ee0),
+		nodes: make([]*Node, 0, cfg.N),
+		index: make(map[ident.ID]int, cfg.N),
+	}
+	for r := 1; r < cfg.Rings; r++ {
+		n.ringIndex = append(n.ringIndex, make(map[ident.ID]int, cfg.N))
+	}
+	for i := 0; i < cfg.N; i++ {
+		if cfg.NodeIDs != nil {
+			n.addNodeWithID(cfg.NodeIDs[i])
+		} else {
+			n.addNode()
+		}
+	}
+	contact := n.nodes[0]
+	for _, nd := range n.nodes[1:] {
+		nd.Cyc.AddContact(contact.ID, "")
+	}
+	return n, nil
+}
+
+// MustNew is New for statically valid configuration.
+func MustNew(cfg Config) *Network {
+	nw, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return nw
+}
+
+func (n *Network) addNode() *Node {
+	id := n.gen.Next()
+	for _, dup := n.index[id]; dup; _, dup = n.index[id] {
+		id = n.gen.Next() // avoid colliding with preassigned IDs
+	}
+	return n.addNodeWithID(id)
+}
+
+func (n *Network) addNodeWithID(id ident.ID) *Node {
+	nd := &Node{
+		ID:        id,
+		Cyc:       cyclon.MustNew(id, "", n.cfg.Cyclon),
+		Alive:     true,
+		JoinCycle: n.cycle,
+	}
+	if n.cfg.UseVicinity {
+		nd.Vic = vicinity.MustNew(id, "", n.cfg.Vicinity, vicinity.RingDistance)
+	}
+	pos := len(n.nodes)
+	if n.cfg.Rings > 1 && n.cfg.UseVicinity {
+		nd.RingIDs = make([]ident.ID, n.cfg.Rings)
+		nd.RingIDs[0] = id
+		nd.ExtraVics = make([]*vicinity.Vicinity, 0, n.cfg.Rings-1)
+		for r := 1; r < n.cfg.Rings; r++ {
+			rid := n.gen.Next()
+			for _, dup := n.ringIndex[r-1][rid]; dup; _, dup = n.ringIndex[r-1][rid] {
+				rid = n.gen.Next()
+			}
+			nd.RingIDs[r] = rid
+			nd.ExtraVics = append(nd.ExtraVics,
+				vicinity.MustNew(rid, "", n.cfg.Vicinity, vicinity.RingDistance))
+			n.ringIndex[r-1][rid] = pos
+		}
+	}
+	n.index[id] = pos
+	n.nodes = append(n.nodes, nd)
+	n.alive++
+	return nd
+}
+
+// Cycle advances the simulation by one gossip cycle: every live node, in
+// random order, initiates one CYCLON shuffle and (when enabled) one VICINITY
+// exchange. Exchanges with dead peers fail, causing the initiator to drop
+// the stale link and retry with another partner, as a live implementation
+// would on a connection error.
+func (n *Network) Cycle() {
+	live := make([]*Node, 0, n.alive)
+	for _, nd := range n.nodes {
+		if nd.Alive {
+			live = append(live, nd)
+		}
+	}
+	n.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	for _, nd := range live {
+		if !nd.Alive {
+			continue
+		}
+		n.cyclonStep(nd)
+		if nd.Vic != nil {
+			n.vicinityStep(nd)
+		}
+		for r, vic := range nd.ExtraVics {
+			n.extraVicinityStep(nd, r+1, vic)
+		}
+	}
+	n.cycle++
+}
+
+// RunCycles advances the simulation by k cycles.
+func (n *Network) RunCycles(k int) {
+	for i := 0; i < k; i++ {
+		n.Cycle()
+	}
+}
+
+func (n *Network) cyclonStep(nd *Node) {
+	sh, ok := nd.Cyc.StartShuffle(n.rng)
+	for attempt := 0; ok && attempt < maxGossipAttempts; attempt++ {
+		peer := n.byID(sh.Peer.Node)
+		if peer != nil && peer.Alive {
+			reply := peer.Cyc.HandleRequest(sh.Sent, n.rng)
+			nd.Cyc.HandleReply(sh, reply)
+			return
+		}
+		// Dead peer: its entry is already removed; retry with next oldest.
+		sh, ok = nd.Cyc.RetryShuffle(n.rng)
+	}
+}
+
+func (n *Network) vicinityStep(nd *Node) {
+	nd.Vic.AgeAll()
+	cycEntries := nd.Cyc.View().Entries()
+	feed := cycEntries
+	if n.cfg.DisableVicinityFeed {
+		feed = nil
+	}
+	for attempt := 0; attempt < maxGossipAttempts; attempt++ {
+		peerEntry, ok := nd.Vic.SelectPeer(n.rng, cycEntries)
+		if !ok {
+			return
+		}
+		peer := n.byID(peerEntry.Node)
+		if peer == nil || !peer.Alive {
+			nd.Vic.Remove(peerEntry.Node)
+			nd.Cyc.Remove(peerEntry.Node)
+			continue
+		}
+		sent := nd.Vic.Payload()
+		reply := peer.Vic.Payload()
+		peerFeed := peer.Cyc.View().Entries()
+		if n.cfg.DisableVicinityFeed {
+			peerFeed = nil
+		}
+		peer.Vic.Merge(sent, peerFeed)
+		nd.Vic.Merge(reply, feed)
+		return
+	}
+}
+
+// extraVicinityStep runs one exchange for ring r (r >= 1). The candidate
+// feed from CYCLON is translated into ring-r identifiers, since each ring
+// is organized over its own random ID space (Section 8).
+func (n *Network) extraVicinityStep(nd *Node, r int, vic *vicinity.Vicinity) {
+	vic.AgeAll()
+	feed := n.translateFeed(nd.Cyc.View().Entries(), r)
+	for attempt := 0; attempt < maxGossipAttempts; attempt++ {
+		peerEntry, ok := vic.SelectPeer(n.rng, feed)
+		if !ok {
+			return
+		}
+		peer := n.byRingID(r, peerEntry.Node)
+		if peer == nil || !peer.Alive {
+			vic.Remove(peerEntry.Node)
+			continue
+		}
+		peerVic := peer.ExtraVics[r-1]
+		sent := vic.Payload()
+		reply := peerVic.Payload()
+		peerVic.Merge(sent, n.translateFeed(peer.Cyc.View().Entries(), r))
+		vic.Merge(reply, feed)
+		return
+	}
+}
+
+// translateFeed maps CYCLON entries (primary IDs) to ring-r identifiers.
+func (n *Network) translateFeed(entries []view.Entry, r int) []view.Entry {
+	if n.cfg.DisableVicinityFeed {
+		return nil
+	}
+	out := make([]view.Entry, 0, len(entries))
+	for _, e := range entries {
+		peer := n.byID(e.Node)
+		if peer == nil || len(peer.RingIDs) <= r {
+			continue
+		}
+		out = append(out, view.Entry{Node: peer.RingIDs[r], Age: e.Age})
+	}
+	return out
+}
+
+func (n *Network) byID(id ident.ID) *Node {
+	if i, ok := n.index[id]; ok {
+		return n.nodes[i]
+	}
+	return nil
+}
+
+// byRingID resolves a ring-r identifier (r >= 1) to its node.
+func (n *Network) byRingID(r int, id ident.ID) *Node {
+	if r == 0 {
+		return n.byID(id)
+	}
+	if r-1 >= len(n.ringIndex) {
+		return nil
+	}
+	if i, ok := n.ringIndex[r-1][id]; ok {
+		return n.nodes[i]
+	}
+	return nil
+}
+
+// ResolveRingID returns the primary ID of the node that owns the given
+// ring-r identifier (r = 0 returns the ID itself when known).
+func (n *Network) ResolveRingID(r int, id ident.ID) (ident.ID, bool) {
+	nd := n.byRingID(r, id)
+	if nd == nil {
+		return ident.Nil, false
+	}
+	return nd.ID, true
+}
+
+// NodeByID returns the node with the given ID, if it exists (dead or alive).
+func (n *Network) NodeByID(id ident.ID) (*Node, bool) {
+	nd := n.byID(id)
+	return nd, nd != nil
+}
+
+// Nodes returns all nodes ever created, including dead ones. The slice is
+// internal storage; callers must not mutate it.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// CycleCount returns how many cycles have elapsed.
+func (n *Network) CycleCount() int { return n.cycle }
+
+// AliveCount returns the current live population.
+func (n *Network) AliveCount() int { return n.alive }
+
+// AliveIDs returns the IDs of all live nodes.
+func (n *Network) AliveIDs() []ident.ID {
+	out := make([]ident.ID, 0, n.alive)
+	for _, nd := range n.nodes {
+		if nd.Alive {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// RandomAlive returns a uniformly random live node.
+func (n *Network) RandomAlive() (*Node, bool) {
+	if n.alive == 0 {
+		return nil, false
+	}
+	for {
+		nd := n.nodes[n.rng.Intn(len(n.nodes))]
+		if nd.Alive {
+			return nd, true
+		}
+	}
+}
+
+// Kill marks the node dead, reporting whether it was alive. Dead nodes keep
+// their state (their entries linger in other views — no self-healing unless
+// gossip continues), never rejoin, and never gossip again.
+func (n *Network) Kill(id ident.ID) bool {
+	nd := n.byID(id)
+	if nd == nil || !nd.Alive {
+		return false
+	}
+	nd.Alive = false
+	n.alive--
+	return true
+}
+
+// KillFraction kills a uniformly random fraction of the live population
+// at once — the catastrophic-failure model of Section 7.2. It returns the
+// killed IDs.
+func (n *Network) KillFraction(frac float64) []ident.ID {
+	if frac <= 0 {
+		return nil
+	}
+	k := int(frac * float64(n.alive))
+	return n.KillRandom(k)
+}
+
+// KillRandom kills k uniformly random live nodes and returns their IDs.
+func (n *Network) KillRandom(k int) []ident.ID {
+	live := n.AliveIDs()
+	if k > len(live) {
+		k = len(live)
+	}
+	n.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	killed := live[:k]
+	for _, id := range killed {
+		n.Kill(id)
+	}
+	return killed
+}
+
+// Join adds a brand-new node bootstrapped with one random live contact, as
+// in the churn model of Section 7.3 ("new nodes have to join from scratch").
+func (n *Network) Join() (*Node, error) {
+	contact, ok := n.RandomAlive()
+	if !ok {
+		return nil, fmt.Errorf("sim: cannot join an empty network")
+	}
+	nd := n.addNode()
+	nd.Cyc.AddContact(contact.ID, "")
+	return nd, nil
+}
+
+// Rand exposes the simulation's deterministic randomness source so that
+// experiment drivers share one stream.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// RingConvergence returns the fraction of live nodes whose VICINITY-derived
+// d-links point at their true live ring neighbours. It is 1.0 exactly when
+// the global bidirectional ring is fully formed. Networks without VICINITY
+// report 0.
+func (n *Network) RingConvergence() float64 {
+	if !n.cfg.UseVicinity || n.alive == 0 {
+		return 0
+	}
+	ids := n.AliveIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	pos := make(map[ident.ID]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	correct := 0
+	for _, nd := range n.nodes {
+		if !nd.Alive {
+			continue
+		}
+		pred, succ, ok := nd.Vic.RingNeighbors()
+		if !ok {
+			continue
+		}
+		i := pos[nd.ID]
+		wantSucc := ids[(i+1)%len(ids)]
+		wantPred := ids[(i-1+len(ids))%len(ids)]
+		if succ.Node == wantSucc && pred.Node == wantPred {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n.alive)
+}
+
+// WarmUp runs the paper's self-organization phase: at least minCycles
+// cycles (100 in the paper), then — when VICINITY is enabled — keeps going
+// until the ring has fully converged or maxCycles is reached. It returns the
+// number of cycles executed and the final convergence.
+//
+// The paper notes 100 cycles "were more than enough" at N=10,000 with view
+// length 20; the maxCycles guard keeps pathological configurations from
+// looping forever.
+func (n *Network) WarmUp(minCycles, maxCycles int) (cycles int, convergence float64) {
+	n.RunCycles(minCycles)
+	cycles = minCycles
+	if !n.cfg.UseVicinity {
+		return cycles, 0
+	}
+	convergence = n.RingConvergence()
+	for convergence < 1.0 && cycles < maxCycles {
+		n.RunCycles(10)
+		cycles += 10
+		convergence = n.RingConvergence()
+	}
+	return cycles, convergence
+}

@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"ringcast/internal/cyclon"
+	"ringcast/internal/ident"
+	"ringcast/internal/vicinity"
+)
+
+func smallConfig(n int, seed int64) Config {
+	return Config{
+		N:           n,
+		Cyclon:      cyclon.Config{ViewSize: 8, ShuffleLen: 4},
+		Vicinity:    vicinity.Config{ViewSize: 8, GossipLen: 8, Balanced: true, MaxAge: 20},
+		UseVicinity: true,
+		Seed:        seed,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N: 1}); err == nil {
+		t.Fatal("accepted N < 2")
+	}
+}
+
+func TestNewStarBootstrap(t *testing.T) {
+	nw := MustNew(smallConfig(10, 1))
+	contact := nw.Nodes()[0].ID
+	for _, nd := range nw.Nodes()[1:] {
+		ids := nd.Cyc.View().IDs()
+		if len(ids) != 1 || ids[0] != contact {
+			t.Fatalf("node %v bootstrap view = %v, want [%v]", nd.ID, ids, contact)
+		}
+	}
+	if nw.AliveCount() != 10 {
+		t.Fatalf("alive = %d, want 10", nw.AliveCount())
+	}
+}
+
+func TestCyclonViewsFillUp(t *testing.T) {
+	nw := MustNew(smallConfig(100, 2))
+	nw.RunCycles(30)
+	for _, nd := range nw.Nodes() {
+		if got := nd.Cyc.View().Len(); got < 4 {
+			t.Fatalf("node view only %d entries after 30 cycles", got)
+		}
+	}
+}
+
+func TestRingConverges(t *testing.T) {
+	nw := MustNew(smallConfig(200, 3))
+	cycles, conv := nw.WarmUp(100, 400)
+	if conv != 1.0 {
+		t.Fatalf("ring convergence = %.4f after %d cycles, want 1.0", conv, cycles)
+	}
+}
+
+func TestRingConvergenceDefinition(t *testing.T) {
+	nw := MustNew(smallConfig(50, 4))
+	nw.WarmUp(100, 400)
+	// Cross-check RingConvergence against a direct sorted-ID walk.
+	ids := nw.AliveIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		nd, _ := nw.NodeByID(id)
+		pred, succ, ok := nd.Vic.RingNeighbors()
+		if !ok {
+			t.Fatalf("node %v has no ring neighbours", id)
+		}
+		wantSucc := ids[(i+1)%len(ids)]
+		wantPred := ids[(i-1+len(ids))%len(ids)]
+		if succ.Node != wantSucc || pred.Node != wantPred {
+			t.Fatalf("node %v: pred/succ = %v/%v, want %v/%v",
+				id, pred.Node, succ.Node, wantPred, wantSucc)
+		}
+	}
+}
+
+func TestKillAndCounts(t *testing.T) {
+	nw := MustNew(smallConfig(20, 5))
+	id := nw.Nodes()[3].ID
+	if !nw.Kill(id) {
+		t.Fatal("Kill returned false for live node")
+	}
+	if nw.Kill(id) {
+		t.Fatal("double kill returned true")
+	}
+	if nw.AliveCount() != 19 {
+		t.Fatalf("alive = %d, want 19", nw.AliveCount())
+	}
+	if len(nw.AliveIDs()) != 19 {
+		t.Fatal("AliveIDs inconsistent")
+	}
+	if nw.Kill(ident.ID(0xdeadbeef)) {
+		t.Fatal("kill of unknown ID returned true")
+	}
+}
+
+func TestKillFraction(t *testing.T) {
+	nw := MustNew(smallConfig(100, 6))
+	killed := nw.KillFraction(0.1)
+	if len(killed) != 10 {
+		t.Fatalf("killed %d, want 10", len(killed))
+	}
+	if nw.AliveCount() != 90 {
+		t.Fatalf("alive = %d, want 90", nw.AliveCount())
+	}
+	if nw.KillFraction(0) != nil {
+		t.Fatal("KillFraction(0) should kill nobody")
+	}
+}
+
+func TestGossipSurvivesDeadPeers(t *testing.T) {
+	nw := MustNew(smallConfig(100, 7))
+	nw.RunCycles(20)
+	nw.KillFraction(0.3)
+	// Must not panic or hang; live nodes keep gossiping around dead links.
+	nw.RunCycles(20)
+	for _, nd := range nw.Nodes() {
+		if !nd.Alive {
+			continue
+		}
+		if nd.Cyc.View().Len() == 0 {
+			t.Fatal("live node lost its entire view")
+		}
+	}
+}
+
+func TestSelfHealingAfterFailure(t *testing.T) {
+	// With gossip allowed to continue, dead links wash out of CYCLON views.
+	nw := MustNew(smallConfig(150, 8))
+	nw.WarmUp(100, 400)
+	killedList := nw.KillFraction(0.2)
+	killed := make(map[ident.ID]bool, len(killedList))
+	for _, id := range killedList {
+		killed[id] = true
+	}
+	nw.RunCycles(60)
+	stale := 0
+	total := 0
+	for _, nd := range nw.Nodes() {
+		if !nd.Alive {
+			continue
+		}
+		for _, id := range nd.Cyc.View().IDs() {
+			total++
+			if killed[id] {
+				stale++
+			}
+		}
+	}
+	if frac := float64(stale) / float64(total); frac > 0.05 {
+		t.Fatalf("stale link fraction = %.3f after healing, want <= 0.05", frac)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	nw := MustNew(smallConfig(30, 9))
+	nw.RunCycles(10)
+	nd, err := nw.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.JoinCycle != 10 {
+		t.Fatalf("JoinCycle = %d, want 10", nd.JoinCycle)
+	}
+	if nd.Cyc.View().Len() != 1 {
+		t.Fatal("joining node should know exactly one contact")
+	}
+	if nw.AliveCount() != 31 {
+		t.Fatalf("alive = %d, want 31", nw.AliveCount())
+	}
+	// After some cycles the new node integrates.
+	nw.RunCycles(20)
+	if nd.Cyc.View().Len() < 4 {
+		t.Fatalf("new node view = %d entries, want >= 4", nd.Cyc.View().Len())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustNew(smallConfig(60, 42))
+	b := MustNew(smallConfig(60, 42))
+	a.RunCycles(30)
+	b.RunCycles(30)
+	na, nb := a.Nodes(), b.Nodes()
+	for i := range na {
+		if na[i].ID != nb[i].ID {
+			t.Fatal("node IDs diverged under identical seeds")
+		}
+		va, vb := na[i].Cyc.View().IDs(), nb[i].Cyc.View().IDs()
+		if len(va) != len(vb) {
+			t.Fatal("views diverged under identical seeds")
+		}
+		for j := range va {
+			if va[j] != vb[j] {
+				t.Fatal("view contents diverged under identical seeds")
+			}
+		}
+	}
+}
+
+func TestRandCastOnlyNetwork(t *testing.T) {
+	cfg := smallConfig(50, 10)
+	cfg.UseVicinity = false
+	nw := MustNew(cfg)
+	nw.RunCycles(30)
+	if nw.RingConvergence() != 0 {
+		t.Fatal("vicinity-less network reported ring convergence")
+	}
+	for _, nd := range nw.Nodes() {
+		if nd.Vic != nil {
+			t.Fatal("vicinity instance created despite UseVicinity=false")
+		}
+	}
+}
+
+// CYCLON conserves total pointers: sum of view sizes stays constant once
+// views are full (a known CYCLON invariant: shuffles swap, never create).
+func TestCyclonLinkConservation(t *testing.T) {
+	nw := MustNew(smallConfig(80, 11))
+	nw.RunCycles(50)
+	total1 := 0
+	for _, nd := range nw.Nodes() {
+		total1 += nd.Cyc.View().Len()
+	}
+	nw.RunCycles(10)
+	total2 := 0
+	for _, nd := range nw.Nodes() {
+		total2 += nd.Cyc.View().Len()
+	}
+	if total2 < total1 {
+		t.Fatalf("total links shrank from %d to %d in a stable network", total1, total2)
+	}
+}
+
+func TestRandomAliveOnEmpty(t *testing.T) {
+	nw := MustNew(smallConfig(2, 12))
+	nw.Kill(nw.Nodes()[0].ID)
+	nw.Kill(nw.Nodes()[1].ID)
+	if _, ok := nw.RandomAlive(); ok {
+		t.Fatal("RandomAlive on empty network returned ok")
+	}
+	if _, err := nw.Join(); err == nil {
+		t.Fatal("Join on empty network succeeded")
+	}
+}
+
+func TestMultiRingNetwork(t *testing.T) {
+	cfg := smallConfig(120, 21)
+	cfg.Rings = 3
+	nw := MustNew(cfg)
+	// Per-ring IDs assigned and indexed.
+	for _, nd := range nw.Nodes() {
+		if len(nd.RingIDs) != 3 || len(nd.ExtraVics) != 2 {
+			t.Fatalf("node has %d ring IDs, %d extra vics", len(nd.RingIDs), len(nd.ExtraVics))
+		}
+		if nd.RingIDs[0] != nd.ID {
+			t.Fatal("RingIDs[0] must equal the primary ID")
+		}
+		for r := 1; r < 3; r++ {
+			got, ok := nw.ResolveRingID(r, nd.RingIDs[r])
+			if !ok || got != nd.ID {
+				t.Fatalf("ring %d ID %v resolves to %v ok=%v", r, nd.RingIDs[r], got, ok)
+			}
+		}
+	}
+	nw.WarmUp(100, 500)
+	// Every extra ring converges just like ring 0: check by walking ring 1.
+	for r := 1; r < 3; r++ {
+		ids := make([]ident.ID, 0, nw.AliveCount())
+		for _, nd := range nw.Nodes() {
+			if nd.Alive {
+				ids = append(ids, nd.RingIDs[r])
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		pos := make(map[ident.ID]int, len(ids))
+		for i, id := range ids {
+			pos[id] = i
+		}
+		bad := 0
+		for _, nd := range nw.Nodes() {
+			pred, succ, ok := nd.ExtraVics[r-1].RingNeighbors()
+			if !ok {
+				bad++
+				continue
+			}
+			i := pos[nd.RingIDs[r]]
+			if succ.Node != ids[(i+1)%len(ids)] || pred.Node != ids[(i-1+len(ids))%len(ids)] {
+				bad++
+			}
+		}
+		if bad != 0 {
+			t.Fatalf("ring %d: %d nodes unconverged", r, bad)
+		}
+	}
+}
+
+func TestResolveRingIDUnknown(t *testing.T) {
+	cfg := smallConfig(10, 22)
+	cfg.Rings = 2
+	nw := MustNew(cfg)
+	if _, ok := nw.ResolveRingID(1, ident.ID(0x1234)); ok {
+		t.Fatal("resolved an unknown ring ID")
+	}
+	if _, ok := nw.ResolveRingID(5, nw.Nodes()[0].ID); ok {
+		t.Fatal("resolved an out-of-range ring")
+	}
+	if got, ok := nw.ResolveRingID(0, nw.Nodes()[3].ID); !ok || got != nw.Nodes()[3].ID {
+		t.Fatal("ring 0 resolution broken")
+	}
+}

@@ -1,0 +1,181 @@
+// Package stats provides the small statistical toolkit behind the
+// experiment tables: summaries, percentiles, integer histograms (for the
+// lifetime distributions of Figures 12–13), and load-balance measures
+// (for the paper's uniform-load claim in Section 7).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64
+	Min, Max float64
+}
+
+// Summarize computes descriptive statistics; a nil/empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// SummarizeInts is Summarize over an integer sample.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of the sample
+// using nearest-rank on a sorted copy. It returns 0 for an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// IntHistogram counts occurrences of integer values — e.g. "number of nodes
+// having a given lifetime" (Figure 12) or "number of non-notified nodes per
+// lifetime" (Figure 13).
+type IntHistogram struct {
+	counts map[int]int
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int)}
+}
+
+// Add increments the count of value v by one.
+func (h *IntHistogram) Add(v int) { h.counts[v]++ }
+
+// AddAll increments every value in vs.
+func (h *IntHistogram) AddAll(vs []int) {
+	for _, v := range vs {
+		h.counts[v]++
+	}
+}
+
+// Count returns the count for value v.
+func (h *IntHistogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the sum of all counts.
+func (h *IntHistogram) Total() int {
+	t := 0
+	for _, c := range h.counts {
+		t += c
+	}
+	return t
+}
+
+// Pair is one histogram bucket.
+type Pair struct {
+	Value, Count int
+}
+
+// Sorted returns the (value, count) pairs in increasing value order.
+func (h *IntHistogram) Sorted() []Pair {
+	out := make([]Pair, 0, len(h.counts))
+	for v, c := range h.counts {
+		out = append(out, Pair{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// LogBinned aggregates the histogram into multiplicative bins
+// [1,2), [2,4), [4,8), ... — the natural presentation for the log-log
+// lifetime plots. Values below 1 land in the first bin.
+func (h *IntHistogram) LogBinned() []Pair {
+	if len(h.counts) == 0 {
+		return nil
+	}
+	bins := make(map[int]int)
+	for v, c := range h.counts {
+		b := 0
+		for x := v; x > 1; x >>= 1 {
+			b++
+		}
+		bins[b] += c
+	}
+	out := make([]Pair, 0, len(bins))
+	for b, c := range bins {
+		out = append(out, Pair{Value: 1 << uint(b), Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// Gini computes the Gini coefficient of a non-negative sample: 0 for a
+// perfectly uniform load distribution, approaching 1 for a star-server-like
+// concentration. It returns an error for negative inputs and 0 for empty
+// or all-zero samples.
+func Gini(xs []int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	sorted := make([]float64, len(xs))
+	total := 0.0
+	for i, x := range xs {
+		if x < 0 {
+			return 0, fmt.Errorf("stats: Gini requires non-negative values, got %d", x)
+		}
+		sorted[i] = float64(x)
+		total += float64(x)
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	cum := 0.0
+	for i, x := range sorted {
+		cum += float64(i+1) * x
+	}
+	return (2*cum)/(n*total) - (n+1)/n, nil
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s := Summarize([]float64{7}); s.Std != 0 || s.Mean != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	if s := SummarizeInts([]int{2, 4}); s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {20, 1}, {50, 3}, {100, 5}, {101, 5}, {-5, 1}}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// input must not be mutated
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram()
+	h.AddAll([]int{3, 3, 1, 7})
+	h.Add(3)
+	if h.Count(3) != 3 || h.Count(1) != 1 || h.Count(99) != 0 {
+		t.Fatalf("counts wrong: %v", h.Sorted())
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d, want 5", h.Total())
+	}
+	sorted := h.Sorted()
+	if len(sorted) != 3 || sorted[0].Value != 1 || sorted[2].Value != 7 {
+		t.Fatalf("sorted = %v", sorted)
+	}
+}
+
+func TestLogBinned(t *testing.T) {
+	h := NewIntHistogram()
+	// values 1 -> bin 1; 2,3 -> bin 2; 4..7 -> bin 4
+	h.AddAll([]int{1, 2, 3, 4, 5, 6, 7})
+	bins := h.LogBinned()
+	want := map[int]int{1: 1, 2: 2, 4: 4}
+	if len(bins) != len(want) {
+		t.Fatalf("bins = %v", bins)
+	}
+	for _, b := range bins {
+		if want[b.Value] != b.Count {
+			t.Fatalf("bin %d = %d, want %d", b.Value, b.Count, want[b.Value])
+		}
+	}
+	if NewIntHistogram().LogBinned() != nil {
+		t.Error("empty LogBinned should be nil")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g, err := Gini([]int{5, 5, 5, 5}); err != nil || g != 0 {
+		t.Fatalf("uniform Gini = %v err=%v, want 0", g, err)
+	}
+	g, err := Gini([]int{0, 0, 0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0.7 {
+		t.Fatalf("concentrated Gini = %v, want high", g)
+	}
+	if _, err := Gini([]int{-1}); err == nil {
+		t.Fatal("accepted negative value")
+	}
+	if g, err := Gini(nil); err != nil || g != 0 {
+		t.Fatal("empty Gini should be 0")
+	}
+	if g, err := Gini([]int{0, 0}); err != nil || g != 0 {
+		t.Fatal("all-zero Gini should be 0")
+	}
+}
+
+// Property: Gini is scale-invariant-ish in [0,1) and zero for constants.
+func TestGiniBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		xs := make([]int, len(raw))
+		for i, r := range raw {
+			xs[i] = int(r)
+		}
+		g, err := Gini(xs)
+		if err != nil {
+			return false
+		}
+		return g >= -1e-12 && g < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a, b := float64(aRaw%101), float64(bRaw%101)
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

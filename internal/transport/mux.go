@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"ringcast/internal/wire"
+)
+
+// Mux multiplexes several logical overlays over one base transport by
+// routing frames on their Topic field. Each topic behaves as an independent
+// Transport, which is how topic-based publish/subscribe works (paper,
+// Section 8: "each topic forms its own, separate dissemination overlay").
+type Mux struct {
+	base Transport
+
+	mu     sync.RWMutex
+	routes map[string]*topicTransport
+	closed bool
+	// strayFrames counts frames for unregistered topics (dropped).
+	strayFrames int
+}
+
+// NewMux wraps base. The mux installs itself as the base handler; callers
+// must not call base.SetHandler afterwards.
+func NewMux(base Transport) *Mux {
+	m := &Mux{base: base, routes: make(map[string]*topicTransport)}
+	base.SetHandler(m.dispatch)
+	return m
+}
+
+func (m *Mux) dispatch(remote string, f *wire.Frame) {
+	m.mu.RLock()
+	tt := m.routes[f.Topic]
+	m.mu.RUnlock()
+	if tt == nil {
+		m.mu.Lock()
+		m.strayFrames++
+		m.mu.Unlock()
+		return
+	}
+	tt.hmu.RLock()
+	h := tt.handler
+	tt.hmu.RUnlock()
+	if h != nil {
+		h(remote, f)
+	}
+}
+
+// Addr returns the base transport's address; all topics share it.
+func (m *Mux) Addr() string { return m.base.Addr() }
+
+// Topic returns the Transport for one topic, creating it on first use.
+func (m *Mux) Topic(topic string) (Transport, error) {
+	if len(topic) > wire.MaxTopicLen {
+		return nil, fmt.Errorf("transport: topic %d bytes exceeds limit", len(topic))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if tt, ok := m.routes[topic]; ok {
+		return tt, nil
+	}
+	tt := &topicTransport{mux: m, topic: topic}
+	m.routes[topic] = tt
+	return tt, nil
+}
+
+// CloseTopic detaches one topic without touching the base transport.
+func (m *Mux) CloseTopic(topic string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.routes, topic)
+}
+
+// Close detaches all topics and closes the base transport.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.routes = make(map[string]*topicTransport)
+	m.mu.Unlock()
+	return m.base.Close()
+}
+
+// topicTransport stamps outgoing frames with its topic.
+type topicTransport struct {
+	mux   *Mux
+	topic string
+
+	hmu     sync.RWMutex
+	handler Handler
+}
+
+var _ Transport = (*topicTransport)(nil)
+
+// Addr implements Transport: topics share the base address.
+func (t *topicTransport) Addr() string { return t.mux.base.Addr() }
+
+// SetHandler implements Transport.
+func (t *topicTransport) SetHandler(h Handler) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.handler = h
+}
+
+// Send implements Transport, stamping the topic.
+func (t *topicTransport) Send(to string, f *wire.Frame) error {
+	stamped := *f
+	stamped.Topic = t.topic
+	return t.mux.base.Send(to, &stamped)
+}
+
+// Close implements Transport: detaches this topic only.
+func (t *topicTransport) Close() error {
+	t.mux.CloseTopic(t.topic)
+	return nil
+}

@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringcast/internal/wire"
+)
+
+// TCP transport constants.
+const (
+	dialTimeout  = 5 * time.Second
+	writeTimeout = 10 * time.Second
+)
+
+// TCPTransport moves frames over TCP connections. Each frame is prefixed
+// with a 4-byte big-endian length. Outbound connections are cached per
+// destination and re-dialed on failure; inbound connections are served until
+// EOF. A send error is the liveness signal gossip protocols expect.
+type TCPTransport struct {
+	ln net.Listener
+
+	hmu     sync.RWMutex
+	handler Handler
+
+	cmu   sync.Mutex
+	conns map[string]*sendConn
+
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+	dropped atomic.Int64
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// sendConn serializes writes on one outbound connection.
+type sendConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// ListenTCP starts a transport listening on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		ln:    ln,
+		conns: make(map[string]*sendConn),
+		done:  make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// SetHandler implements Transport.
+func (t *TCPTransport) SetHandler(h Handler) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.handler = h
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			// Transient accept error: keep serving.
+			continue
+		}
+		t.wg.Add(1)
+		go t.serve(conn)
+	}
+}
+
+// serve reads frames from one inbound connection until EOF or close.
+func (t *TCPTransport) serve(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	// Tear the connection down when the transport closes so Close unblocks
+	// pending reads.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-t.done:
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > wire.MaxFrameSize {
+			return // protocol violation: drop the connection
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		f, err := wire.Unmarshal(buf)
+		if err != nil {
+			return
+		}
+		t.hmu.RLock()
+		h := t.handler
+		t.hmu.RUnlock()
+		if h == nil {
+			t.dropped.Add(1)
+			continue
+		}
+		h(f.FromAddr, f)
+	}
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(to string, f *wire.Frame) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	buf, err := wire.Marshal(f)
+	if err != nil {
+		return err
+	}
+	msg := make([]byte, 4+len(buf))
+	binary.BigEndian.PutUint32(msg, uint32(len(buf)))
+	copy(msg[4:], buf)
+
+	sc, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := sc.c.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
+		t.dropConn(to, sc)
+		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	if _, err := sc.c.Write(msg); err != nil {
+		t.dropConn(to, sc)
+		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	return nil
+}
+
+// conn returns a cached outbound connection to addr, dialing if needed.
+func (t *TCPTransport) conn(addr string) (*sendConn, error) {
+	t.cmu.Lock()
+	if sc, ok := t.conns[addr]; ok {
+		t.cmu.Unlock()
+		return sc, nil
+	}
+	t.cmu.Unlock()
+
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	sc := &sendConn{c: c}
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	if existing, ok := t.conns[addr]; ok {
+		// Lost the race: keep the existing connection.
+		c.Close()
+		return existing, nil
+	}
+	t.conns[addr] = sc
+	return sc, nil
+}
+
+// dropConn evicts a broken cached connection.
+func (t *TCPTransport) dropConn(addr string, sc *sendConn) {
+	sc.c.Close()
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	if t.conns[addr] == sc {
+		delete(t.conns, addr)
+	}
+}
+
+// Close implements Transport: stops accepting, closes every connection and
+// waits for serving goroutines to drain.
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		t.ln.Close()
+		t.cmu.Lock()
+		for addr, sc := range t.conns {
+			sc.c.Close()
+			delete(t.conns, addr)
+		}
+		t.cmu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,43 @@
+// Package transport abstracts how live nodes exchange wire frames. Two
+// implementations ship with the library: an in-memory transport for tests,
+// examples and single-process clusters (with fault injection for failure
+// experiments), and a TCP transport for real deployments. A topic Mux layers
+// pub/sub routing on top of any base transport.
+package transport
+
+import (
+	"errors"
+
+	"ringcast/internal/wire"
+)
+
+// Handler consumes an inbound frame. remote is the sender's listen address
+// as announced in the frame, suitable for replying via Send. Handlers are
+// invoked sequentially per endpoint; implementations must not block
+// indefinitely.
+type Handler func(remote string, f *wire.Frame)
+
+// Transport moves frames between named endpoints.
+type Transport interface {
+	// Addr returns this endpoint's stable address, usable by peers in Send.
+	Addr() string
+	// SetHandler installs the inbound frame handler. It must be called
+	// exactly once, before any frame is expected; frames arriving earlier
+	// are dropped.
+	SetHandler(h Handler)
+	// Send delivers one frame to the endpoint at addr. It returns an error
+	// when the destination is unreachable — which gossip protocols treat as
+	// evidence of peer death.
+	Send(to string, f *wire.Frame) error
+	// Close releases the endpoint. Subsequent Sends fail.
+	Close() error
+}
+
+// Common transport errors.
+var (
+	// ErrClosed is returned by operations on a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrUnreachable is returned when the destination does not exist or
+	// refuses delivery.
+	ErrUnreachable = errors.New("transport: destination unreachable")
+)

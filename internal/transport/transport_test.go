@@ -1,0 +1,544 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ringcast/internal/wire"
+)
+
+// collector is a Handler that records frames.
+type collector struct {
+	mu     sync.Mutex
+	frames []*wire.Frame
+	remote []string
+	signal chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{signal: make(chan struct{}, 64)}
+}
+
+func (c *collector) handle(remote string, f *wire.Frame) {
+	c.mu.Lock()
+	c.frames = append(c.frames, f)
+	c.remote = append(c.remote, remote)
+	c.mu.Unlock()
+	select {
+	case c.signal <- struct{}{}:
+	default:
+	}
+}
+
+func (c *collector) waitFor(t *testing.T, n int) []*wire.Frame {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		c.mu.Lock()
+		if len(c.frames) >= n {
+			out := append([]*wire.Frame(nil), c.frames...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.signal:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d frames", n)
+		}
+	}
+}
+
+func helloFrame(fromAddr string) *wire.Frame {
+	return &wire.Frame{Kind: wire.KindHello, From: 1, FromAddr: fromAddr}
+}
+
+func TestInMemDelivery(t *testing.T) {
+	net := NewInMemNetwork()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	col := newCollector()
+	b.SetHandler(col.handle)
+	if err := a.Send("b", helloFrame("a")); err != nil {
+		t.Fatal(err)
+	}
+	frames := col.waitFor(t, 1)
+	if frames[0].Kind != wire.KindHello || frames[0].FromAddr != "a" {
+		t.Fatalf("got %+v", frames[0])
+	}
+}
+
+func TestInMemUnknownDestination(t *testing.T) {
+	net := NewInMemNetwork()
+	a, _ := net.Endpoint("a")
+	defer a.Close()
+	err := a.Send("ghost", helloFrame("a"))
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestInMemDuplicateAddress(t *testing.T) {
+	net := NewInMemNetwork()
+	_, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint("a"); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+	if _, err := net.Endpoint(""); err == nil {
+		t.Fatal("empty address accepted")
+	}
+}
+
+func TestInMemCrashAndClose(t *testing.T) {
+	net := NewInMemNetwork()
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+	b.SetHandler(func(string, *wire.Frame) {})
+	net.Crash("b")
+	if err := a.Send("b", helloFrame("a")); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("send to crashed = %v, want ErrUnreachable", err)
+	}
+	a.Close()
+	if err := a.Send("b", helloFrame("a")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestInMemLossInjection(t *testing.T) {
+	net := NewInMemNetwork()
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	b.SetHandler(func(string, *wire.Frame) {})
+	net.SetLoss(1.0, 7)
+	if err := a.Send("b", helloFrame("a")); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("total loss: err = %v, want ErrUnreachable", err)
+	}
+	net.SetLoss(0, 7)
+	if err := a.Send("b", helloFrame("a")); err != nil {
+		t.Fatalf("no loss: err = %v", err)
+	}
+}
+
+func TestInMemPartitionAndHeal(t *testing.T) {
+	net := NewInMemNetwork()
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	b.SetHandler(func(string, *wire.Frame) {})
+	a.SetHandler(func(string, *wire.Frame) {})
+	net.Partition("a", "b")
+	if err := a.Send("b", helloFrame("a")); !errors.Is(err, ErrUnreachable) {
+		t.Fatal("partition not enforced a->b")
+	}
+	if err := b.Send("a", helloFrame("b")); !errors.Is(err, ErrUnreachable) {
+		t.Fatal("partition not enforced b->a")
+	}
+	net.Heal("a", "b")
+	if err := a.Send("b", helloFrame("a")); err != nil {
+		t.Fatalf("heal failed: %v", err)
+	}
+}
+
+func TestInMemCodecEnforced(t *testing.T) {
+	net := NewInMemNetwork()
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	b.SetHandler(func(string, *wire.Frame) {})
+	bad := &wire.Frame{Kind: 0} // unencodable
+	if err := a.Send("b", bad); err == nil {
+		t.Fatal("invalid frame accepted")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	colA, colB := newCollector(), newCollector()
+	a.SetHandler(colA.handle)
+	b.SetHandler(colB.handle)
+
+	f := &wire.Frame{Kind: wire.KindGossip, From: 9, FromAddr: a.Addr(),
+		Msg: &wire.Message{ID: wire.MsgID{Origin: 9, Seq: 1}, Body: []byte("hi")}}
+	if err := a.Send(b.Addr(), f); err != nil {
+		t.Fatal(err)
+	}
+	frames := colB.waitFor(t, 1)
+	if string(frames[0].Msg.Body) != "hi" {
+		t.Fatalf("body = %q", frames[0].Msg.Body)
+	}
+	// Reply using the announced address.
+	reply := &wire.Frame{Kind: wire.KindHelloAck, From: 10, FromAddr: b.Addr()}
+	if err := b.Send(frames[0].FromAddr, reply); err != nil {
+		t.Fatal(err)
+	}
+	got := colA.waitFor(t, 1)
+	if got[0].Kind != wire.KindHelloAck {
+		t.Fatalf("reply kind = %v", got[0].Kind)
+	}
+}
+
+func TestTCPManyFramesOneConnection(t *testing.T) {
+	a, _ := ListenTCP("127.0.0.1:0")
+	defer a.Close()
+	b, _ := ListenTCP("127.0.0.1:0")
+	defer b.Close()
+	col := newCollector()
+	b.SetHandler(col.handle)
+	const n = 200
+	for i := 0; i < n; i++ {
+		f := helloFrame(a.Addr())
+		f.Seq = uint64(i)
+		if err := a.Send(b.Addr(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames := col.waitFor(t, n)
+	seen := map[uint64]bool{}
+	for _, f := range frames[:n] {
+		seen[f.Seq] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("distinct seqs = %d, want %d", len(seen), n)
+	}
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	dst, _ := ListenTCP("127.0.0.1:0")
+	defer dst.Close()
+	col := newCollector()
+	dst.SetHandler(col.handle)
+	src, _ := ListenTCP("127.0.0.1:0")
+	defer src.Close()
+	src.SetHandler(func(string, *wire.Frame) {})
+	var wg sync.WaitGroup
+	const workers, per = 8, 25
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f := helloFrame(src.Addr())
+				f.Seq = uint64(w*1000 + i)
+				if err := src.Send(dst.Addr(), f); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	col.waitFor(t, workers*per)
+}
+
+func TestTCPSendToDeadPeer(t *testing.T) {
+	a, _ := ListenTCP("127.0.0.1:0")
+	defer a.Close()
+	b, _ := ListenTCP("127.0.0.1:0")
+	baddr := b.Addr()
+	b.Close()
+	if err := a.Send(baddr, helloFrame(a.Addr())); err == nil {
+		// The dial may still succeed if the OS races the close; a second
+		// send must fail once the connection is torn down.
+		err2 := a.Send(baddr, helloFrame(a.Addr()))
+		if err2 == nil {
+			t.Skip("OS accepted connection to closed listener twice")
+		}
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, _ := ListenTCP("127.0.0.1:0")
+	a.Close()
+	if err := a.Send("127.0.0.1:1", helloFrame("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMuxRoutesByTopic(t *testing.T) {
+	net := NewInMemNetwork()
+	baseA, _ := net.Endpoint("a")
+	baseB, _ := net.Endpoint("b")
+	muxA, muxB := NewMux(baseA), NewMux(baseB)
+	defer muxA.Close()
+	defer muxB.Close()
+
+	newsA, err := muxA.Topic("news")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newsB, _ := muxB.Topic("news")
+	sportB, _ := muxB.Topic("sport")
+
+	colNews, colSport := newCollector(), newCollector()
+	newsB.SetHandler(colNews.handle)
+	sportB.SetHandler(colSport.handle)
+
+	if err := newsA.Send("b", helloFrame("a")); err != nil {
+		t.Fatal(err)
+	}
+	frames := colNews.waitFor(t, 1)
+	if frames[0].Topic != "news" {
+		t.Fatalf("topic = %q, want news", frames[0].Topic)
+	}
+	colSport.mu.Lock()
+	sportCount := len(colSport.frames)
+	colSport.mu.Unlock()
+	if sportCount != 0 {
+		t.Fatal("frame leaked to wrong topic")
+	}
+}
+
+func TestMuxStrayTopicDropped(t *testing.T) {
+	net := NewInMemNetwork()
+	baseA, _ := net.Endpoint("a")
+	baseB, _ := net.Endpoint("b")
+	muxA, muxB := NewMux(baseA), NewMux(baseB)
+	defer muxA.Close()
+	defer muxB.Close()
+	ghost, _ := muxA.Topic("ghost")
+	if err := ghost.Send("b", helloFrame("a")); err != nil {
+		t.Fatal(err) // delivery succeeds; receiver drops silently
+	}
+	// Give the pump a moment, then check nothing exploded and the stray
+	// counter moved.
+	time.Sleep(50 * time.Millisecond)
+	muxB.mu.RLock()
+	strays := muxB.strayFrames
+	muxB.mu.RUnlock()
+	if strays != 1 {
+		t.Fatalf("strayFrames = %d, want 1", strays)
+	}
+}
+
+func TestMuxTopicLifecycle(t *testing.T) {
+	net := NewInMemNetwork()
+	base, _ := net.Endpoint("a")
+	mux := NewMux(base)
+	tp, err := mux.Topic("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Addr() != "a" {
+		t.Fatalf("topic addr = %q", tp.Addr())
+	}
+	tp2, _ := mux.Topic("x")
+	if tp != tp2 {
+		t.Fatal("same topic returned different transports")
+	}
+	tp.Close()
+	tp3, _ := mux.Topic("x")
+	if tp3 == tp {
+		t.Fatal("closed topic transport was reused")
+	}
+	mux.Close()
+	if _, err := mux.Topic("y"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Topic after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMuxRejectsHugeTopic(t *testing.T) {
+	net := NewInMemNetwork()
+	base, _ := net.Endpoint("a")
+	mux := NewMux(base)
+	defer mux.Close()
+	long := make([]byte, wire.MaxTopicLen+1)
+	if _, err := mux.Topic(string(long)); err == nil {
+		t.Fatal("oversized topic accepted")
+	}
+}
+
+func TestInMemHandlerlessDrop(t *testing.T) {
+	net := NewInMemNetwork()
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	// no handler on b
+	if err := a.Send("b", helloFrame("a")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		if b.Dropped() >= 1 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("frame not counted as dropped")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestErrorsAreDistinguishable(t *testing.T) {
+	if errors.Is(ErrClosed, ErrUnreachable) {
+		t.Fatal("sentinel errors must be distinct")
+	}
+	wrapped := fmt.Errorf("%w: somewhere", ErrUnreachable)
+	if !errors.Is(wrapped, ErrUnreachable) {
+		t.Fatal("wrapping broken")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	col := newCollector()
+	b.SetHandler(col.handle)
+	f := helloFrame(a.Addr())
+	f.Seq = 77
+	if err := a.Send(b.Addr(), f); err != nil {
+		t.Fatal(err)
+	}
+	frames := col.waitFor(t, 1)
+	if frames[0].Seq != 77 || frames[0].FromAddr != a.Addr() {
+		t.Fatalf("got %+v", frames[0])
+	}
+	// Reply path via announced address.
+	colA := newCollector()
+	a.SetHandler(colA.handle)
+	if err := b.Send(frames[0].FromAddr, helloFrame(b.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	colA.waitFor(t, 1)
+}
+
+func TestUDPFrameTooLarge(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	f := &wire.Frame{Kind: wire.KindGossip, From: 1,
+		Msg: &wire.Message{ID: wire.MsgID{Origin: 1, Seq: 1}, Body: make([]byte, MaxDatagram+1)}}
+	if err := a.Send("127.0.0.1:9", f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestUDPSendAfterClose(t *testing.T) {
+	a, _ := ListenUDP("127.0.0.1:0")
+	a.Close()
+	if err := a.Send("127.0.0.1:9", helloFrame("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+}
+
+func TestUDPBadDestination(t *testing.T) {
+	a, _ := ListenUDP("127.0.0.1:0")
+	defer a.Close()
+	if err := a.Send("not-an-address", helloFrame("x")); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestUDPNodesGossipAndDisseminate(t *testing.T) {
+	// A tiny live cluster over UDP datagrams: the gossip protocols do not
+	// care about the transport's reliability class.
+	if testing.Short() {
+		t.Skip("UDP cluster test skipped in -short mode")
+	}
+	// Use the node package indirectly: just verify frames flow both ways
+	// and the mux works over UDP too.
+	base, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := NewMux(base)
+	defer mux.Close()
+	topicTr, err := mux.Topic("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerMux := NewMux(peer)
+	defer peerMux.Close()
+	peerTopic, _ := peerMux.Topic("t")
+	col := newCollector()
+	peerTopic.SetHandler(col.handle)
+	if err := topicTr.Send(peer.Addr(), helloFrame(base.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	frames := col.waitFor(t, 1)
+	if frames[0].Topic != "t" {
+		t.Fatalf("topic = %q", frames[0].Topic)
+	}
+}
+
+func TestInMemOverflowDropsInsteadOfBlocking(t *testing.T) {
+	net := NewInMemNetwork()
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	b.SetHandler(func(string, *wire.Frame) {
+		once.Do(func() { close(blocked) })
+		<-release
+	})
+	// Saturate: 1 frame stuck in the handler + inboxSize queued + overflow.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < inboxSize+50; i++ {
+			if err := a.Send("b", helloFrame("a")); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	<-blocked
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender blocked on a full inbox")
+	}
+	if b.Overflow() == 0 {
+		t.Fatal("no overflow recorded despite saturation")
+	}
+	close(release)
+}

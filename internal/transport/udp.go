@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"ringcast/internal/wire"
+)
+
+// MaxDatagram is the largest frame a UDP transport will send. Gossip
+// exchanges fit in a couple of KB; dissemination payloads must stay under
+// this bound when UDP is chosen (use TCP for larger bodies).
+const MaxDatagram = 60 * 1024
+
+// ErrFrameTooLarge is returned when an encoded frame exceeds MaxDatagram.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds UDP datagram limit")
+
+// UDPTransport moves frames as single datagrams — the natural fit for push
+// gossip, where losing an occasional shuffle or forward is already part of
+// the protocols' failure model. Unlike TCP, a Send succeeds as long as the
+// datagram leaves the socket: peer death is detected by the absence of
+// replies (handled by the protocols' age-based eviction) rather than by
+// send errors.
+type UDPTransport struct {
+	conn *net.UDPConn
+
+	hmu     sync.RWMutex
+	handler Handler
+
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+	dropped atomic.Int64
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// ListenUDP starts a UDP transport on addr (e.g. "127.0.0.1:0").
+func ListenUDP(addr string) (*UDPTransport, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
+	}
+	t := &UDPTransport{conn: conn, done: make(chan struct{})}
+	t.wg.Add(1)
+	go t.readLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *UDPTransport) Addr() string { return t.conn.LocalAddr().String() }
+
+// SetHandler implements Transport.
+func (t *UDPTransport) SetHandler(h Handler) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.handler = h
+}
+
+func (t *UDPTransport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			continue
+		}
+		f, err := wire.Unmarshal(buf[:n])
+		if err != nil {
+			continue // malformed datagram: drop
+		}
+		t.hmu.RLock()
+		h := t.handler
+		t.hmu.RUnlock()
+		if h == nil {
+			t.dropped.Add(1)
+			continue
+		}
+		h(f.FromAddr, f)
+	}
+}
+
+// Send implements Transport. Delivery is fire-and-forget: only local
+// failures (closed socket, unresolvable address, oversized frame) surface
+// as errors.
+func (t *UDPTransport) Send(to string, f *wire.Frame) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	buf, err := wire.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if len(buf) > MaxDatagram {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(buf))
+	}
+	ua, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	if _, err := t.conn.WriteToUDP(buf, ua); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		t.conn.Close()
+	})
+	t.wg.Wait()
+	return nil
+}

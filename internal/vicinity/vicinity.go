@@ -1,0 +1,298 @@
+// Package vicinity implements the VICINITY proximity-driven topology
+// construction protocol (Voulgaris & van Steen), used by RINGCAST to build
+// and maintain the deterministic ring links (d-links); see paper, Section 6.
+//
+// Every node keeps a small view of the peers closest to itself under a
+// pluggable proximity metric. Nodes periodically exchange views; on every
+// exchange a node merges the received candidates (plus, crucially, the
+// random candidates from its CYCLON view — the two-layered design of the
+// VICINITY paper) and keeps only the closest ones. The neighbour set thus
+// converges to the globally closest peers, and the two closest peers — one
+// on each side in the circular ID space — are the node's ring d-links.
+package vicinity
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/view"
+)
+
+// DistanceFunc measures proximity between two node IDs; smaller is closer.
+type DistanceFunc func(a, b ident.ID) uint64
+
+// RingDistance is the paper's proximity metric: circular distance between
+// sequence IDs, which organizes nodes into a ring.
+func RingDistance(a, b ident.ID) uint64 { return ident.Dist(a, b) }
+
+// Config carries the VICINITY parameters.
+type Config struct {
+	// ViewSize is the partial-view length ("vic" in the paper; 20 in all of
+	// the paper's experiments).
+	ViewSize int
+	// GossipLen bounds how many entries are shipped per exchange. The paper
+	// exchanges full views; setting GossipLen = ViewSize reproduces that.
+	GossipLen int
+	// Balanced makes the selection keep half the view on each side of the
+	// ring (closest clockwise and closest counterclockwise peers) instead of
+	// the globally closest set. This realizes the paper's "links to a few
+	// more peers with gradually higher and lower sequence IDs ... useful in
+	// maintaining the ring" and guarantees that the true ring neighbours are
+	// retained even when one side of the ID space is locally dense. It only
+	// makes sense with a circular metric (RingDistance).
+	Balanced bool
+	// MaxAge evicts entries older than this many cycles from the merge
+	// candidate pool (0 disables eviction). Live nodes keep re-injecting
+	// fresh self entries, so their links stay young; a dead node's entries
+	// only ever age and are eventually purged everywhere. It bounds how
+	// long a dead link can keep being resurrected by gossip partners that
+	// still hold it, complementing the primary healing mechanism (probing
+	// the oldest entry each cycle, see SelectPeer).
+	MaxAge uint32
+}
+
+// DefaultConfig returns the parameters used in the paper's evaluation.
+func DefaultConfig() Config {
+	return Config{ViewSize: 20, GossipLen: 20, Balanced: true, MaxAge: 30}
+}
+
+func (c Config) validate() error {
+	if c.ViewSize <= 0 {
+		return fmt.Errorf("vicinity: ViewSize must be positive, got %d", c.ViewSize)
+	}
+	if c.GossipLen <= 0 || c.GossipLen > c.ViewSize {
+		return fmt.Errorf("vicinity: GossipLen must be in [1,%d], got %d", c.ViewSize, c.GossipLen)
+	}
+	return nil
+}
+
+// Vicinity is the per-node protocol state. Like cyclon.Cyclon it is a pure
+// state machine with no I/O and is not safe for concurrent use.
+type Vicinity struct {
+	self ident.ID
+	addr string
+	cfg  Config
+	dist DistanceFunc
+	view *view.View
+}
+
+// New constructs the protocol state for one node. dist must not be nil.
+func New(self ident.ID, addr string, cfg Config, dist DistanceFunc) (*Vicinity, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if self.IsNil() {
+		return nil, fmt.Errorf("vicinity: self ID must not be nil")
+	}
+	if dist == nil {
+		return nil, fmt.Errorf("vicinity: distance function must not be nil")
+	}
+	return &Vicinity{self: self, addr: addr, cfg: cfg, dist: dist, view: view.New(cfg.ViewSize)}, nil
+}
+
+// MustNew is New for statically valid configuration.
+func MustNew(self ident.ID, addr string, cfg Config, dist DistanceFunc) *Vicinity {
+	v, err := New(self, addr, cfg, dist)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Self returns the node's own identifier.
+func (v *Vicinity) Self() ident.ID { return v.self }
+
+// View exposes the proximity view.
+func (v *Vicinity) View() *view.View { return v.view }
+
+// AgeAll increments all entry ages; called once per gossip cycle.
+func (v *Vicinity) AgeAll() { v.view.AgeAll() }
+
+// SelectPeer picks the gossip partner for this cycle: the oldest entry of
+// the vicinity view, exactly as CYCLON does. Gossiping with the stalest
+// link either refreshes it (the partner's reply carries a fresh self entry)
+// or exposes it as dead so it can be dropped — the mechanism that lets the
+// ring heal under churn. The supplied fallback entries (typically the CYCLON
+// view) are consulted when the vicinity view is still empty, e.g. right
+// after joining.
+func (v *Vicinity) SelectPeer(rng *rand.Rand, fallback []view.Entry) (view.Entry, bool) {
+	if e, ok := v.view.Oldest(); ok {
+		return e, true
+	}
+	candidates := make([]view.Entry, 0, len(fallback))
+	for _, e := range fallback {
+		if e.Node != v.self && !e.Node.IsNil() {
+			candidates = append(candidates, e)
+		}
+	}
+	if len(candidates) == 0 {
+		return view.Entry{}, false
+	}
+	return candidates[rng.Intn(len(candidates))], true
+}
+
+// Payload builds the entries shipped in an exchange: the closest GossipLen-1
+// view entries plus a fresh self entry, so the receiver learns about us.
+func (v *Vicinity) Payload() []view.Entry {
+	entries := v.sortedByDistance(v.view.Entries())
+	n := v.cfg.GossipLen - 1
+	if n > len(entries) {
+		n = len(entries)
+	}
+	out := make([]view.Entry, 0, n+1)
+	out = append(out, entries[:n]...)
+	out = append(out, view.Entry{Node: v.self, Addr: v.addr, Age: 0})
+	return out
+}
+
+// Merge folds candidate entries into the view, keeping the ViewSize closest
+// peers to self. feed carries additional candidates from the peer-sampling
+// layer (the CYCLON view); passing it on every cycle is what lets distant
+// nodes discover their true ring neighbours quickly.
+func (v *Vicinity) Merge(candidates, feed []view.Entry) {
+	pool := make(map[ident.ID]view.Entry, v.view.Len()+len(candidates)+len(feed))
+	add := func(e view.Entry) {
+		if e.Node == v.self || e.Node.IsNil() {
+			return
+		}
+		if v.cfg.MaxAge > 0 && e.Age > v.cfg.MaxAge {
+			return
+		}
+		if prev, ok := pool[e.Node]; !ok || e.Age < prev.Age {
+			pool[e.Node] = e
+		}
+	}
+	for _, e := range v.view.Entries() {
+		add(e)
+	}
+	for _, e := range candidates {
+		add(e)
+	}
+	for _, e := range feed {
+		add(e)
+	}
+	merged := make([]view.Entry, 0, len(pool))
+	for _, e := range pool {
+		merged = append(merged, e)
+	}
+	if v.cfg.Balanced {
+		merged = v.selectBalanced(merged)
+	} else {
+		merged = v.sortedByDistance(merged)
+		if len(merged) > v.cfg.ViewSize {
+			merged = merged[:v.cfg.ViewSize]
+		}
+	}
+	nv := view.New(v.cfg.ViewSize)
+	for _, e := range merged {
+		nv.Add(e)
+	}
+	v.view = nv
+}
+
+// selectBalanced keeps the ViewSize/2 closest peers clockwise and the
+// ViewSize/2 closest counterclockwise, filling from the other side when one
+// direction has too few candidates. The closest peer in each direction — the
+// true ring neighbour — is therefore always retained.
+func (v *Vicinity) selectBalanced(entries []view.Entry) []view.Entry {
+	cw := append([]view.Entry(nil), entries...)
+	sort.SliceStable(cw, func(i, j int) bool {
+		di, dj := ident.Clockwise(v.self, cw[i].Node), ident.Clockwise(v.self, cw[j].Node)
+		if di != dj {
+			return di < dj
+		}
+		return cw[i].Node < cw[j].Node
+	})
+	half := v.cfg.ViewSize / 2
+	if half == 0 {
+		half = 1
+	}
+	take := half
+	if take > len(cw) {
+		take = len(cw)
+	}
+	out := make([]view.Entry, 0, v.cfg.ViewSize)
+	chosen := make(map[ident.ID]struct{}, v.cfg.ViewSize)
+	for _, e := range cw[:take] {
+		out = append(out, e)
+		chosen[e.Node] = struct{}{}
+	}
+	// Counterclockwise: same list walked from the far end.
+	for i := len(cw) - 1; i >= 0 && len(out) < v.cfg.ViewSize; i-- {
+		if _, dup := chosen[cw[i].Node]; dup {
+			continue
+		}
+		// Stop taking ccw entries once we have half from each side and the
+		// remainder should go to whichever side is closer overall.
+		if len(out) >= 2*half {
+			break
+		}
+		chosen[cw[i].Node] = struct{}{}
+		out = append(out, cw[i])
+	}
+	// Any remaining capacity (odd view size, or one side exhausted): fill
+	// with the globally closest of the rest.
+	if len(out) < v.cfg.ViewSize && len(out) < len(cw) {
+		rest := make([]view.Entry, 0, len(cw)-len(out))
+		for _, e := range cw {
+			if _, dup := chosen[e.Node]; !dup {
+				rest = append(rest, e)
+			}
+		}
+		rest = v.sortedByDistance(rest)
+		for _, e := range rest {
+			if len(out) >= v.cfg.ViewSize {
+				break
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// sortedByDistance orders entries by proximity to self (closest first),
+// breaking ties by node ID so the result is deterministic.
+func (v *Vicinity) sortedByDistance(entries []view.Entry) []view.Entry {
+	sort.SliceStable(entries, func(i, j int) bool {
+		di, dj := v.dist(v.self, entries[i].Node), v.dist(v.self, entries[j].Node)
+		if di != dj {
+			return di < dj
+		}
+		return entries[i].Node < entries[j].Node
+	})
+	return entries
+}
+
+// RingNeighbors returns the node's two d-links: the closest peer clockwise
+// (successor) and counterclockwise (predecessor) in the circular ID space.
+// In a degenerate view with a single known peer, pred and succ coincide —
+// exactly the two-node ring case. ok is false while the view is empty.
+//
+// RingNeighbors is only meaningful when the protocol was built with
+// RingDistance (or another circular metric over IDs).
+func (v *Vicinity) RingNeighbors() (pred, succ view.Entry, ok bool) {
+	var (
+		bestCW, bestCCW uint64
+		haveCW, haveCCW bool
+		entCW, entCCW   view.Entry
+	)
+	for _, e := range v.view.Entries() {
+		cw := ident.Clockwise(v.self, e.Node)
+		ccw := ident.Clockwise(e.Node, v.self)
+		if cw != 0 && (!haveCW || cw < bestCW) {
+			bestCW, entCW, haveCW = cw, e, true
+		}
+		if ccw != 0 && (!haveCCW || ccw < bestCCW) {
+			bestCCW, entCCW, haveCCW = ccw, e, true
+		}
+	}
+	if !haveCW || !haveCCW {
+		return view.Entry{}, view.Entry{}, false
+	}
+	return entCCW, entCW, true
+}
+
+// Remove drops any entry for id (e.g. after a failed exchange).
+func (v *Vicinity) Remove(id ident.ID) bool { return v.view.Remove(id) }

@@ -1,0 +1,307 @@
+package vicinity
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/view"
+)
+
+func newNode(t *testing.T, id ident.ID, size int) *Vicinity {
+	t.Helper()
+	v, err := New(id, "", Config{ViewSize: size, GossipLen: size}, RingDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, "", Config{ViewSize: 0, GossipLen: 1}, RingDistance); err == nil {
+		t.Error("accepted zero view size")
+	}
+	if _, err := New(1, "", Config{ViewSize: 2, GossipLen: 3}, RingDistance); err == nil {
+		t.Error("accepted gossip length > view size")
+	}
+	if _, err := New(1, "", DefaultConfig(), nil); err == nil {
+		t.Error("accepted nil distance function")
+	}
+	if _, err := New(ident.Nil, "", DefaultConfig(), RingDistance); err == nil {
+		t.Error("accepted nil self")
+	}
+}
+
+func TestMergeKeepsClosest(t *testing.T) {
+	v := newNode(t, 1000, 3)
+	cands := []view.Entry{
+		{Node: 900}, {Node: 1100}, {Node: 5000}, {Node: 1001}, {Node: 2000},
+	}
+	v.Merge(cands, nil)
+	ids := v.View().IDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	want := []ident.ID{900, 1001, 1100}
+	if len(ids) != 3 {
+		t.Fatalf("view size = %d, want 3", len(ids))
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("view = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestMergeExcludesSelfAndNil(t *testing.T) {
+	v := newNode(t, 10, 4)
+	v.Merge([]view.Entry{{Node: 10}, {Node: ident.Nil}, {Node: 11}}, nil)
+	if v.View().Contains(10) || v.View().Contains(ident.Nil) {
+		t.Fatalf("self or nil entered view: %v", v.View())
+	}
+	if !v.View().Contains(11) {
+		t.Fatal("valid candidate dropped")
+	}
+}
+
+func TestMergeUsesFeed(t *testing.T) {
+	v := newNode(t, 10, 4)
+	v.Merge(nil, []view.Entry{{Node: 12}})
+	if !v.View().Contains(12) {
+		t.Fatal("feed candidate not merged")
+	}
+}
+
+func TestMergeKeepsYoungestDuplicate(t *testing.T) {
+	v := newNode(t, 10, 4)
+	v.Merge([]view.Entry{{Node: 12, Age: 9}}, []view.Entry{{Node: 12, Age: 1}})
+	e, ok := v.View().Get(12)
+	if !ok || e.Age != 1 {
+		t.Fatalf("entry = %+v ok=%v, want age 1", e, ok)
+	}
+}
+
+func TestRingNeighbors(t *testing.T) {
+	v := newNode(t, 100, 6)
+	v.Merge([]view.Entry{{Node: 90}, {Node: 95}, {Node: 110}, {Node: 105}, {Node: 500}}, nil)
+	pred, succ, ok := v.RingNeighbors()
+	if !ok {
+		t.Fatal("no ring neighbours")
+	}
+	if pred.Node != 95 {
+		t.Errorf("pred = %v, want 95", pred.Node)
+	}
+	if succ.Node != 105 {
+		t.Errorf("succ = %v, want 105", succ.Node)
+	}
+}
+
+func TestRingNeighborsWraparound(t *testing.T) {
+	// self near the top of the ID space: successor wraps to a small ID.
+	self := ident.ID(^uint64(0) - 5)
+	v := MustNew(self, "", Config{ViewSize: 4, GossipLen: 4}, RingDistance)
+	v.Merge([]view.Entry{{Node: 3}, {Node: self - 10}}, nil)
+	pred, succ, ok := v.RingNeighbors()
+	if !ok {
+		t.Fatal("no ring neighbours")
+	}
+	if succ.Node != 3 {
+		t.Errorf("succ = %v, want 3 (wrapped)", succ.Node)
+	}
+	if pred.Node != self-10 {
+		t.Errorf("pred = %v, want %v", pred.Node, self-10)
+	}
+}
+
+func TestRingNeighborsSinglePeer(t *testing.T) {
+	v := newNode(t, 50, 4)
+	v.Merge([]view.Entry{{Node: 60}}, nil)
+	pred, succ, ok := v.RingNeighbors()
+	if !ok || pred.Node != 60 || succ.Node != 60 {
+		t.Fatalf("two-node ring: pred=%v succ=%v ok=%v, want both 60", pred.Node, succ.Node, ok)
+	}
+}
+
+func TestRingNeighborsEmpty(t *testing.T) {
+	v := newNode(t, 50, 4)
+	if _, _, ok := v.RingNeighbors(); ok {
+		t.Fatal("neighbours reported for empty view")
+	}
+}
+
+func TestPayloadIncludesFreshSelf(t *testing.T) {
+	v := newNode(t, 7, 3)
+	v.Merge([]view.Entry{{Node: 8, Age: 4}, {Node: 9, Age: 2}, {Node: 20, Age: 1}}, nil)
+	p := v.Payload()
+	if len(p) > 3 {
+		t.Fatalf("payload length %d exceeds gossip length", len(p))
+	}
+	last := p[len(p)-1]
+	if last.Node != 7 || last.Age != 0 {
+		t.Fatalf("payload must end with fresh self entry, got %+v", last)
+	}
+}
+
+func TestSelectPeerFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := newNode(t, 7, 3)
+	if _, ok := v.SelectPeer(rng, nil); ok {
+		t.Fatal("peer selected from nothing")
+	}
+	e, ok := v.SelectPeer(rng, []view.Entry{{Node: 7}, {Node: 9}})
+	if !ok || e.Node != 9 {
+		t.Fatalf("fallback selection = %+v ok=%v, want node 9", e, ok)
+	}
+	v.Merge([]view.Entry{{Node: 5}}, nil)
+	e, ok = v.SelectPeer(rng, nil)
+	if !ok || e.Node != 5 {
+		t.Fatalf("view selection = %+v ok=%v, want node 5", e, ok)
+	}
+}
+
+// Property: merge output is exactly the ViewSize closest candidates seen.
+func TestMergeOptimalityProperty(t *testing.T) {
+	f := func(raw []uint64, seed int64) bool {
+		self := ident.ID(1 << 32)
+		v := MustNew(self, "", Config{ViewSize: 5, GossipLen: 5}, RingDistance)
+		var cands []view.Entry
+		uniq := map[ident.ID]bool{}
+		for _, r := range raw {
+			id := ident.ID(r)
+			if id == self || id.IsNil() || uniq[id] {
+				continue
+			}
+			uniq[id] = true
+			cands = append(cands, view.Entry{Node: id})
+		}
+		v.Merge(cands, nil)
+		got := v.View().IDs()
+		// brute-force expected set
+		sort.Slice(cands, func(i, j int) bool {
+			di, dj := ident.Dist(self, cands[i].Node), ident.Dist(self, cands[j].Node)
+			if di != dj {
+				return di < dj
+			}
+			return cands[i].Node < cands[j].Node
+		})
+		n := 5
+		if n > len(cands) {
+			n = len(cands)
+		}
+		if len(got) != n {
+			return false
+		}
+		want := map[ident.ID]bool{}
+		for _, e := range cands[:n] {
+			want[e.Node] = true
+		}
+		for _, id := range got {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgeAllAndRemove(t *testing.T) {
+	v := newNode(t, 7, 3)
+	v.Merge([]view.Entry{{Node: 9}}, nil)
+	v.AgeAll()
+	if e, _ := v.View().Get(9); e.Age != 1 {
+		t.Fatalf("age = %d, want 1", e.Age)
+	}
+	if !v.Remove(9) || v.Remove(9) {
+		t.Fatal("Remove semantics broken")
+	}
+}
+
+func TestBalancedSelectionKeepsBothDirections(t *testing.T) {
+	// Dense cluster counterclockwise of self, single peer clockwise: the
+	// unbalanced policy would evict the true successor; balanced must not.
+	cfg := Config{ViewSize: 4, GossipLen: 4, Balanced: true}
+	v := MustNew(1000, "", cfg, RingDistance)
+	cands := []view.Entry{
+		{Node: 999}, {Node: 998}, {Node: 997}, {Node: 996}, {Node: 995},
+		{Node: 5000}, // the only clockwise peer: the true successor
+	}
+	v.Merge(cands, nil)
+	_, succ, ok := v.RingNeighbors()
+	if !ok || succ.Node != 5000 {
+		t.Fatalf("succ = %v ok=%v, want 5000 retained by balanced selection", succ.Node, ok)
+	}
+	pred, _, _ := v.RingNeighbors()
+	if pred.Node != 999 {
+		t.Fatalf("pred = %v, want 999", pred.Node)
+	}
+	if v.View().Len() != 4 {
+		t.Fatalf("view len = %d, want 4", v.View().Len())
+	}
+}
+
+func TestUnbalancedSelectionCanStarveOneSide(t *testing.T) {
+	// Documents why Balanced exists: with the plain closest-k policy the
+	// clockwise side is starved in the same scenario.
+	cfg := Config{ViewSize: 4, GossipLen: 4, Balanced: false}
+	v := MustNew(1000, "", cfg, RingDistance)
+	v.Merge([]view.Entry{
+		{Node: 999}, {Node: 998}, {Node: 997}, {Node: 996}, {Node: 995},
+		{Node: 5000},
+	}, nil)
+	if v.View().Contains(5000) {
+		t.Skip("closest-k unexpectedly kept the clockwise peer")
+	}
+	if _, succ, ok := v.RingNeighbors(); ok && succ.Node == 5000 {
+		t.Fatal("inconsistent: 5000 not in view but reported as successor")
+	}
+}
+
+func TestBalancedOddViewSize(t *testing.T) {
+	cfg := Config{ViewSize: 5, GossipLen: 5, Balanced: true}
+	v := MustNew(1000, "", cfg, RingDistance)
+	var cands []view.Entry
+	for i := 1; i <= 10; i++ {
+		cands = append(cands, view.Entry{Node: ident.ID(1000 + i*7)})
+		cands = append(cands, view.Entry{Node: ident.ID(1000 - i*7)})
+	}
+	v.Merge(cands, nil)
+	if v.View().Len() != 5 {
+		t.Fatalf("view len = %d, want 5", v.View().Len())
+	}
+	pred, succ, ok := v.RingNeighbors()
+	if !ok || pred.Node != 993 || succ.Node != 1007 {
+		t.Fatalf("pred/succ = %v/%v, want 993/1007", pred.Node, succ.Node)
+	}
+}
+
+func TestMaxAgeEvictsStaleEntries(t *testing.T) {
+	cfg := Config{ViewSize: 4, GossipLen: 4, MaxAge: 5}
+	v := MustNew(100, "", cfg, RingDistance)
+	v.Merge([]view.Entry{{Node: 101, Age: 6}, {Node: 102, Age: 5}}, nil)
+	if v.View().Contains(101) {
+		t.Fatal("entry older than MaxAge entered the view")
+	}
+	if !v.View().Contains(102) {
+		t.Fatal("entry at exactly MaxAge should be kept")
+	}
+	// Already-held entries age past the limit and are dropped at next merge.
+	for i := 0; i < 2; i++ {
+		v.AgeAll()
+	}
+	v.Merge(nil, nil)
+	if v.View().Contains(102) {
+		t.Fatal("aged-out entry survived a merge")
+	}
+}
+
+func TestMaxAgeZeroDisablesEviction(t *testing.T) {
+	cfg := Config{ViewSize: 4, GossipLen: 4}
+	v := MustNew(100, "", cfg, RingDistance)
+	v.Merge([]view.Entry{{Node: 101, Age: 1000}}, nil)
+	if !v.View().Contains(101) {
+		t.Fatal("MaxAge=0 must not evict")
+	}
+}

@@ -1,0 +1,216 @@
+// Package view implements the bounded partial view of the network that every
+// gossip protocol instance maintains: a small set of entries, each naming a
+// neighbour together with the age of the link.
+//
+// Both CYCLON (r-links) and VICINITY (d-links) are built on this structure
+// (paper, Section 6). A view never contains duplicates and never contains the
+// owning node itself; enforcing those invariants here keeps the protocol
+// implementations small.
+package view
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ringcast/internal/ident"
+)
+
+// Entry is one slot of a partial view: a link to a neighbour.
+type Entry struct {
+	// Node is the neighbour's identifier.
+	Node ident.ID
+	// Addr is the neighbour's transport address. It is empty in simulation,
+	// where nodes are addressed by ID alone.
+	Addr string
+	// Age counts gossip cycles since the entry was created by its subject
+	// node. CYCLON uses it to prefer swapping with the oldest neighbour and
+	// to garbage-collect stale links under churn.
+	Age uint32
+}
+
+// String renders the entry compactly for logs and test failures.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s@%d", e.Node, e.Age)
+}
+
+// View is a bounded set of entries with unique node IDs.
+// The zero View is unusable; construct with New. A View is not safe for
+// concurrent use.
+type View struct {
+	cap     int
+	entries []Entry
+}
+
+// New returns an empty view holding at most capacity entries.
+// It panics if capacity is not positive: a zero-capacity view would make
+// every gossip protocol silently inert, which is always a programming error.
+func New(capacity int) *View {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("view: capacity must be positive, got %d", capacity))
+	}
+	return &View{cap: capacity, entries: make([]Entry, 0, capacity)}
+}
+
+// Len returns the number of entries currently held.
+func (v *View) Len() int { return len(v.entries) }
+
+// Cap returns the maximum number of entries the view can hold.
+func (v *View) Cap() int { return v.cap }
+
+// Full reports whether the view is at capacity.
+func (v *View) Full() bool { return len(v.entries) >= v.cap }
+
+// Contains reports whether the view holds an entry for id.
+func (v *View) Contains(id ident.ID) bool {
+	return v.indexOf(id) >= 0
+}
+
+// Get returns the entry for id, if present.
+func (v *View) Get(id ident.ID) (Entry, bool) {
+	if i := v.indexOf(id); i >= 0 {
+		return v.entries[i], true
+	}
+	return Entry{}, false
+}
+
+func (v *View) indexOf(id ident.ID) int {
+	for i := range v.entries {
+		if v.entries[i].Node == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add inserts e if the view has room and holds no entry for the same node.
+// It reports whether the entry was inserted.
+func (v *View) Add(e Entry) bool {
+	if v.Full() || v.Contains(e.Node) {
+		return false
+	}
+	v.entries = append(v.entries, e)
+	return true
+}
+
+// Insert adds e, updating an existing entry for the same node to the younger
+// age if one exists. It reports whether the view changed. When the view is
+// full and the node is absent, Insert fails like Add.
+func (v *View) Insert(e Entry) bool {
+	if i := v.indexOf(e.Node); i >= 0 {
+		if e.Age < v.entries[i].Age {
+			v.entries[i].Age = e.Age
+			if e.Addr != "" {
+				v.entries[i].Addr = e.Addr
+			}
+			return true
+		}
+		return false
+	}
+	return v.Add(e)
+}
+
+// Remove deletes the entry for id, reporting whether it was present.
+// Order of remaining entries is not preserved.
+func (v *View) Remove(id ident.ID) bool {
+	i := v.indexOf(id)
+	if i < 0 {
+		return false
+	}
+	last := len(v.entries) - 1
+	v.entries[i] = v.entries[last]
+	v.entries = v.entries[:last]
+	return true
+}
+
+// AgeAll increments the age of every entry by one. CYCLON does this at the
+// start of every shuffle the node initiates.
+func (v *View) AgeAll() {
+	for i := range v.entries {
+		v.entries[i].Age++
+	}
+}
+
+// Oldest returns the entry with the highest age. Ties resolve to the first
+// encountered, which is arbitrary but deterministic for a given history.
+func (v *View) Oldest() (Entry, bool) {
+	if len(v.entries) == 0 {
+		return Entry{}, false
+	}
+	best := 0
+	for i := 1; i < len(v.entries); i++ {
+		if v.entries[i].Age > v.entries[best].Age {
+			best = i
+		}
+	}
+	return v.entries[best], true
+}
+
+// RandomEntry returns a uniformly random entry.
+func (v *View) RandomEntry(rng *rand.Rand) (Entry, bool) {
+	if len(v.entries) == 0 {
+		return Entry{}, false
+	}
+	return v.entries[rng.Intn(len(v.entries))], true
+}
+
+// RandomEntries returns up to n distinct entries sampled uniformly without
+// replacement, excluding any entry whose node appears in exclude.
+func (v *View) RandomEntries(n int, rng *rand.Rand, exclude ...ident.ID) []Entry {
+	if n <= 0 {
+		return nil
+	}
+	pool := make([]Entry, 0, len(v.entries))
+outer:
+	for _, e := range v.entries {
+		for _, x := range exclude {
+			if e.Node == x {
+				continue outer
+			}
+		}
+		pool = append(pool, e)
+	}
+	if n > len(pool) {
+		n = len(pool)
+	}
+	// Partial Fisher-Yates: shuffle only the prefix we take.
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:n:n]
+}
+
+// Entries returns a copy of the view's entries. Mutating the result does not
+// affect the view.
+func (v *View) Entries() []Entry {
+	out := make([]Entry, len(v.entries))
+	copy(out, v.entries)
+	return out
+}
+
+// IDs returns the node IDs of all entries, in internal order.
+func (v *View) IDs() []ident.ID {
+	out := make([]ident.ID, len(v.entries))
+	for i := range v.entries {
+		out[i] = v.entries[i].Node
+	}
+	return out
+}
+
+// SortedByAge returns a copy of the entries ordered from youngest to oldest.
+func (v *View) SortedByAge() []Entry {
+	out := v.Entries()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Age < out[j].Age })
+	return out
+}
+
+// String renders the view for diagnostics.
+func (v *View) String() string {
+	parts := make([]string, len(v.entries))
+	for i, e := range v.entries {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

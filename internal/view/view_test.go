@@ -1,0 +1,195 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringcast/internal/ident"
+)
+
+func TestNewPanicsOnNonPositiveCap(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", c)
+				}
+			}()
+			New(c)
+		}()
+	}
+}
+
+func TestAddRejectsDuplicatesAndOverflow(t *testing.T) {
+	v := New(2)
+	if !v.Add(Entry{Node: 1}) {
+		t.Fatal("first add failed")
+	}
+	if v.Add(Entry{Node: 1, Age: 9}) {
+		t.Fatal("duplicate add succeeded")
+	}
+	if !v.Add(Entry{Node: 2}) {
+		t.Fatal("second add failed")
+	}
+	if v.Add(Entry{Node: 3}) {
+		t.Fatal("overflow add succeeded")
+	}
+	if v.Len() != 2 || !v.Full() {
+		t.Fatalf("Len=%d Full=%v, want 2,true", v.Len(), v.Full())
+	}
+}
+
+func TestInsertKeepsYoungerAge(t *testing.T) {
+	v := New(4)
+	v.Add(Entry{Node: 1, Age: 5})
+	if !v.Insert(Entry{Node: 1, Age: 2, Addr: "a"}) {
+		t.Fatal("Insert with younger age reported no change")
+	}
+	e, _ := v.Get(1)
+	if e.Age != 2 || e.Addr != "a" {
+		t.Fatalf("entry = %+v, want age 2 addr a", e)
+	}
+	if v.Insert(Entry{Node: 1, Age: 7}) {
+		t.Fatal("Insert with older age reported change")
+	}
+	if e, _ := v.Get(1); e.Age != 2 {
+		t.Fatalf("age overwritten to %d", e.Age)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	v := New(3)
+	v.Add(Entry{Node: 1})
+	v.Add(Entry{Node: 2})
+	if !v.Remove(1) {
+		t.Fatal("Remove(1) failed")
+	}
+	if v.Remove(1) {
+		t.Fatal("second Remove(1) succeeded")
+	}
+	if v.Contains(1) || !v.Contains(2) || v.Len() != 1 {
+		t.Fatalf("unexpected state after remove: %v", v)
+	}
+}
+
+func TestAgeAllAndOldest(t *testing.T) {
+	v := New(3)
+	v.Add(Entry{Node: 1, Age: 0})
+	v.Add(Entry{Node: 2, Age: 4})
+	v.AgeAll()
+	e, ok := v.Oldest()
+	if !ok || e.Node != 2 || e.Age != 5 {
+		t.Fatalf("Oldest = %+v ok=%v, want node 2 age 5", e, ok)
+	}
+	if e1, _ := v.Get(1); e1.Age != 1 {
+		t.Fatalf("age of node 1 = %d, want 1", e1.Age)
+	}
+}
+
+func TestOldestEmpty(t *testing.T) {
+	v := New(1)
+	if _, ok := v.Oldest(); ok {
+		t.Fatal("Oldest on empty view returned ok")
+	}
+	if _, ok := v.RandomEntry(rand.New(rand.NewSource(1))); ok {
+		t.Fatal("RandomEntry on empty view returned ok")
+	}
+}
+
+func TestRandomEntriesDistinctAndExcluding(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := New(10)
+	for i := 1; i <= 10; i++ {
+		v.Add(Entry{Node: ident.ID(i)})
+	}
+	got := v.RandomEntries(5, rng, 3, 7)
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	seen := map[ident.ID]bool{}
+	for _, e := range got {
+		if e.Node == 3 || e.Node == 7 {
+			t.Fatalf("excluded node %v returned", e.Node)
+		}
+		if seen[e.Node] {
+			t.Fatalf("duplicate node %v", e.Node)
+		}
+		seen[e.Node] = true
+	}
+	// Asking for more than available returns all non-excluded.
+	if got := v.RandomEntries(100, rng, 1); len(got) != 9 {
+		t.Fatalf("len = %d, want 9", len(got))
+	}
+	if got := v.RandomEntries(0, rng); got != nil {
+		t.Fatalf("RandomEntries(0) = %v, want nil", got)
+	}
+}
+
+func TestEntriesIsACopy(t *testing.T) {
+	v := New(2)
+	v.Add(Entry{Node: 1, Age: 1})
+	es := v.Entries()
+	es[0].Age = 99
+	if e, _ := v.Get(1); e.Age != 1 {
+		t.Fatal("Entries leaked internal storage")
+	}
+}
+
+func TestSortedByAge(t *testing.T) {
+	v := New(3)
+	v.Add(Entry{Node: 1, Age: 5})
+	v.Add(Entry{Node: 2, Age: 1})
+	v.Add(Entry{Node: 3, Age: 3})
+	s := v.SortedByAge()
+	if s[0].Node != 2 || s[1].Node != 3 || s[2].Node != 1 {
+		t.Fatalf("unexpected order: %v", s)
+	}
+}
+
+// Property: no sequence of operations can produce duplicates, self-violations
+// of capacity, or entries the caller never supplied.
+func TestViewInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16, capSeed uint8) bool {
+		capacity := int(capSeed%16) + 1
+		v := New(capacity)
+		rng := rand.New(rand.NewSource(int64(capSeed)))
+		for _, op := range ops {
+			id := ident.ID(op%37 + 1)
+			switch op % 5 {
+			case 0:
+				v.Add(Entry{Node: id, Age: uint32(op % 11)})
+			case 1:
+				v.Insert(Entry{Node: id, Age: uint32(op % 7)})
+			case 2:
+				v.Remove(id)
+			case 3:
+				v.AgeAll()
+			case 4:
+				v.RandomEntries(int(op%5), rng)
+			}
+			if v.Len() > capacity {
+				return false
+			}
+			seen := map[ident.ID]bool{}
+			for _, e := range v.Entries() {
+				if e.Node == ident.Nil || seen[e.Node] {
+					return false
+				}
+				seen[e.Node] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	v := New(2)
+	v.Add(Entry{Node: 1, Age: 2})
+	if v.String() == "" {
+		t.Fatal("empty String")
+	}
+}

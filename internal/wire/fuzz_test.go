@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/view"
+)
+
+// FuzzUnmarshal drives the decoder with arbitrary bytes: it must never
+// panic, and every successfully decoded frame must re-encode to an
+// equivalent frame (decode/encode/decode fixpoint).
+func FuzzUnmarshal(f *testing.F) {
+	seed := [][]byte{
+		{},
+		{0x01},
+		{0xFF, 0x00, 0x01},
+	}
+	if buf, err := Marshal(&Frame{Kind: KindHello, From: 1, FromAddr: "a"}); err == nil {
+		seed = append(seed, buf)
+	}
+	if buf, err := Marshal(&Frame{
+		Kind: KindGossip, From: 2,
+		Msg: &Message{ID: MsgID{Origin: 2, Seq: 9}, Hop: 1, Body: []byte("x")},
+	}); err == nil {
+		seed = append(seed, buf)
+	}
+	if buf, err := Marshal(&Frame{
+		Kind:    KindShuffleRequest,
+		From:    3,
+		Entries: []view.Entry{{Node: ident.ID(4), Addr: "b", Age: 7}},
+	}); err == nil {
+		seed = append(seed, buf)
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re, err := Marshal(fr)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v (%+v)", err, fr)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not a fixpoint:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzRoundTrip drives Marshal/Unmarshal with arbitrary field values.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint64(1), "addr", "topic", uint64(0), []byte("body"))
+	f.Add(uint8(7), uint64(0), "", "", uint64(1<<60), []byte{})
+	f.Fuzz(func(t *testing.T, kind uint8, from uint64, addr, topic string, seq uint64, body []byte) {
+		fr := &Frame{
+			Kind:     Kind(kind),
+			From:     ident.ID(from),
+			FromAddr: addr,
+			Topic:    topic,
+			Seq:      seq,
+		}
+		if len(body) > 0 {
+			fr.Msg = &Message{ID: MsgID{Origin: ident.ID(from), Seq: seq}, Body: body}
+		}
+		buf, err := Marshal(fr)
+		if err != nil {
+			return // invalid inputs are allowed to fail encoding
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("marshalled frame failed to decode: %v", err)
+		}
+		if got.Kind != fr.Kind || got.From != fr.From || got.FromAddr != fr.FromAddr ||
+			got.Topic != fr.Topic || got.Seq != fr.Seq {
+			t.Fatalf("round trip mismatch: %+v vs %+v", fr, got)
+		}
+	})
+}

@@ -1,0 +1,336 @@
+// Package wire defines the binary message format spoken between live
+// RingCast nodes: gossip exchanges (CYCLON shuffles, VICINITY view trades),
+// bootstrap handshakes, and disseminated application messages.
+//
+// The encoding is a compact, explicit big-endian format with hard size
+// limits, so a malformed or malicious frame cannot cause unbounded
+// allocation. Framing (length prefixes on the stream) is the transport's
+// job; this package encodes single frames.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/view"
+)
+
+// Kind discriminates frame types.
+type Kind uint8
+
+// Frame kinds. Values are wire-stable; never renumber.
+const (
+	// KindHello announces a joining node to a bootstrap peer.
+	KindHello Kind = iota + 1
+	// KindHelloAck answers a Hello with the receiver's identity and a seed
+	// of view entries.
+	KindHelloAck
+	// KindShuffleRequest carries a CYCLON shuffle payload.
+	KindShuffleRequest
+	// KindShuffleReply answers a shuffle request.
+	KindShuffleReply
+	// KindVicinityRequest carries a VICINITY view exchange payload.
+	KindVicinityRequest
+	// KindVicinityReply answers a vicinity request.
+	KindVicinityReply
+	// KindGossip carries a disseminated application message.
+	KindGossip
+
+	maxKind = KindGossip
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindHelloAck:
+		return "hello-ack"
+	case KindShuffleRequest:
+		return "shuffle-req"
+	case KindShuffleReply:
+		return "shuffle-rep"
+	case KindVicinityRequest:
+		return "vicinity-req"
+	case KindVicinityReply:
+		return "vicinity-rep"
+	case KindGossip:
+		return "gossip"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Size and count limits enforced by the codec.
+const (
+	// MaxEntries bounds the view entries per frame.
+	MaxEntries = 1024
+	// MaxAddrLen bounds transport address strings.
+	MaxAddrLen = 255
+	// MaxTopicLen bounds pub/sub topic names.
+	MaxTopicLen = 255
+	// MaxBodyLen bounds the application payload of a gossip message.
+	MaxBodyLen = 1 << 20
+	// MaxFrameSize is a safe upper bound on any encoded frame, usable as a
+	// transport read limit.
+	MaxFrameSize = 1<<21 + 1<<16
+)
+
+// Codec errors.
+var (
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrTooLarge  = errors.New("wire: field exceeds size limit")
+	ErrBadKind   = errors.New("wire: unknown frame kind")
+)
+
+// MsgID uniquely identifies a disseminated message: the origin plus a
+// per-origin sequence number.
+type MsgID struct {
+	Origin ident.ID
+	Seq    uint64
+}
+
+// String renders the ID for logs.
+func (m MsgID) String() string { return fmt.Sprintf("%s/%d", m.Origin, m.Seq) }
+
+// Message is a disseminated application message.
+type Message struct {
+	// ID identifies the message for duplicate suppression.
+	ID MsgID
+	// Hop counts forwarding steps from the origin (0 at generation).
+	Hop uint16
+	// Body is the opaque application payload.
+	Body []byte
+}
+
+// Frame is one unit of node-to-node communication.
+type Frame struct {
+	// Kind discriminates the frame type.
+	Kind Kind
+	// From is the sender's node ID.
+	From ident.ID
+	// FromAddr is the sender's listen address (not the ephemeral source
+	// port), so receivers can gossip back.
+	FromAddr string
+	// Topic scopes the frame to a pub/sub topic; empty for the default
+	// overlay.
+	Topic string
+	// Seq correlates a request with its reply.
+	Seq uint64
+	// Entries carries view entries for gossip exchanges and hello-acks.
+	Entries []view.Entry
+	// Msg is the application message for KindGossip frames, nil otherwise.
+	Msg *Message
+}
+
+// Marshal encodes the frame.
+func Marshal(f *Frame) ([]byte, error) {
+	if f.Kind == 0 || f.Kind > maxKind {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, f.Kind)
+	}
+	if len(f.FromAddr) > MaxAddrLen {
+		return nil, fmt.Errorf("%w: addr %d bytes", ErrTooLarge, len(f.FromAddr))
+	}
+	if len(f.Topic) > MaxTopicLen {
+		return nil, fmt.Errorf("%w: topic %d bytes", ErrTooLarge, len(f.Topic))
+	}
+	if len(f.Entries) > MaxEntries {
+		return nil, fmt.Errorf("%w: %d entries", ErrTooLarge, len(f.Entries))
+	}
+	if f.Msg != nil && len(f.Msg.Body) > MaxBodyLen {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, len(f.Msg.Body))
+	}
+
+	size := 1 + 8 + 1 + len(f.FromAddr) + 1 + len(f.Topic) + 8 + 2
+	for _, e := range f.Entries {
+		if len(e.Addr) > MaxAddrLen {
+			return nil, fmt.Errorf("%w: entry addr %d bytes", ErrTooLarge, len(e.Addr))
+		}
+		size += 8 + 4 + 1 + len(e.Addr)
+	}
+	size++ // hasMsg flag
+	if f.Msg != nil {
+		size += 8 + 8 + 2 + 4 + len(f.Msg.Body)
+	}
+
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(f.Kind))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(f.From))
+	buf = appendString(buf, f.FromAddr)
+	buf = appendString(buf, f.Topic)
+	buf = binary.BigEndian.AppendUint64(buf, f.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(f.Entries)))
+	for _, e := range f.Entries {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.Node))
+		buf = binary.BigEndian.AppendUint32(buf, e.Age)
+		buf = appendString(buf, e.Addr)
+	}
+	if f.Msg == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(f.Msg.ID.Origin))
+		buf = binary.BigEndian.AppendUint64(buf, f.Msg.ID.Seq)
+		buf = binary.BigEndian.AppendUint16(buf, f.Msg.Hop)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Msg.Body)))
+		buf = append(buf, f.Msg.Body...)
+	}
+	return buf, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = append(buf, byte(len(s)))
+	return append(buf, s...)
+}
+
+// reader is a bounds-checked cursor over an encoded frame.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.off+1 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.off+2 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u8()
+	if err != nil {
+		return "", err
+	}
+	if r.off+int(n) > len(r.buf) {
+		return "", ErrTruncated
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// Unmarshal decodes a frame, validating all bounds. Trailing garbage is an
+// error: frames must be exactly consumed.
+func Unmarshal(buf []byte) (*Frame, error) {
+	r := &reader{buf: buf}
+	kindByte, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	kind := Kind(kindByte)
+	if kind == 0 || kind > maxKind {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, kindByte)
+	}
+	f := &Frame{Kind: kind}
+	from, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	f.From = ident.ID(from)
+	if f.FromAddr, err = r.str(); err != nil {
+		return nil, err
+	}
+	if f.Topic, err = r.str(); err != nil {
+		return nil, err
+	}
+	if f.Seq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	count, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(count) > MaxEntries {
+		return nil, fmt.Errorf("%w: %d entries", ErrTooLarge, count)
+	}
+	if count > 0 {
+		f.Entries = make([]view.Entry, 0, count)
+		for i := 0; i < int(count); i++ {
+			var e view.Entry
+			node, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			e.Node = ident.ID(node)
+			if e.Age, err = r.u32(); err != nil {
+				return nil, err
+			}
+			if e.Addr, err = r.str(); err != nil {
+				return nil, err
+			}
+			f.Entries = append(f.Entries, e)
+		}
+	}
+	hasMsg, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch hasMsg {
+	case 0:
+	case 1:
+		m := &Message{}
+		origin, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.ID.Origin = ident.ID(origin)
+		if m.ID.Seq, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if m.Hop, err = r.u16(); err != nil {
+			return nil, err
+		}
+		bodyLen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if bodyLen > MaxBodyLen {
+			return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, bodyLen)
+		}
+		if r.off+int(bodyLen) > len(r.buf) {
+			return nil, ErrTruncated
+		}
+		if bodyLen > 0 {
+			m.Body = append([]byte(nil), r.buf[r.off:r.off+int(bodyLen)]...)
+		}
+		r.off += int(bodyLen)
+		f.Msg = m
+	default:
+		return nil, fmt.Errorf("wire: invalid message flag %d", hasMsg)
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(buf)-r.off)
+	}
+	return f, nil
+}

@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/view"
+)
+
+func sampleFrame() *Frame {
+	return &Frame{
+		Kind:     KindShuffleRequest,
+		From:     0xDEADBEEF,
+		FromAddr: "127.0.0.1:9000",
+		Topic:    "alerts",
+		Seq:      42,
+		Entries: []view.Entry{
+			{Node: 1, Addr: "127.0.0.1:9001", Age: 3},
+			{Node: 2, Addr: "", Age: 0},
+		},
+	}
+}
+
+func TestRoundTripShuffle(t *testing.T) {
+	f := sampleFrame()
+	buf, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\n want %+v\n got  %+v", f, got)
+	}
+}
+
+func TestRoundTripGossip(t *testing.T) {
+	f := &Frame{
+		Kind:     KindGossip,
+		From:     7,
+		FromAddr: "a",
+		Msg: &Message{
+			ID:   MsgID{Origin: 7, Seq: 99},
+			Hop:  4,
+			Body: []byte("worm alert: patch now"),
+		},
+	}
+	buf, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\n want %+v\n got  %+v", f, got)
+	}
+}
+
+func TestRoundTripEmptyBody(t *testing.T) {
+	f := &Frame{Kind: KindGossip, From: 1, Msg: &Message{ID: MsgID{Origin: 1, Seq: 1}}}
+	buf, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Msg == nil || got.Msg.Body != nil {
+		t.Fatalf("empty body mishandled: %+v", got.Msg)
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	cases := []*Frame{
+		{Kind: 0},
+		{Kind: maxKind + 1},
+		{Kind: KindHello, FromAddr: strings.Repeat("x", MaxAddrLen+1)},
+		{Kind: KindHello, Topic: strings.Repeat("t", MaxTopicLen+1)},
+		{Kind: KindHello, Entries: make([]view.Entry, MaxEntries+1)},
+		{Kind: KindGossip, Msg: &Message{Body: make([]byte, MaxBodyLen+1)}},
+		{Kind: KindHello, Entries: []view.Entry{{Addr: strings.Repeat("a", 300)}}},
+	}
+	for i, f := range cases {
+		if _, err := Marshal(f); err == nil {
+			t.Errorf("case %d: Marshal accepted invalid frame", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	buf, err := Marshal(sampleFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := Unmarshal(buf[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d/%d", cut, len(buf))
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailingGarbage(t *testing.T) {
+	buf, err := Marshal(sampleFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(buf, 0x00)); err == nil {
+		t.Fatal("accepted trailing garbage")
+	}
+}
+
+func TestUnmarshalRejectsBadKindAndFlag(t *testing.T) {
+	if _, err := Unmarshal([]byte{0xFF}); err == nil {
+		t.Fatal("accepted bad kind")
+	}
+	buf, _ := Marshal(&Frame{Kind: KindHello})
+	buf[len(buf)-1] = 2 // message flag
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("accepted invalid message flag")
+	}
+}
+
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = Unmarshal(raw) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every valid frame round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(kindRaw uint8, from uint64, addr, topic string, seq uint64, entryCount uint8, hasMsg bool, hop uint16, body []byte) bool {
+		kind := Kind(kindRaw%uint8(maxKind)) + 1
+		if len(addr) > MaxAddrLen {
+			addr = addr[:MaxAddrLen]
+		}
+		if len(topic) > MaxTopicLen {
+			topic = topic[:MaxTopicLen]
+		}
+		fr := &Frame{Kind: kind, From: ident.ID(from), FromAddr: addr, Topic: topic, Seq: seq}
+		for i := 0; i < int(entryCount%16); i++ {
+			fr.Entries = append(fr.Entries, view.Entry{Node: ident.ID(i + 1), Age: uint32(i)})
+		}
+		if hasMsg {
+			if len(body) > MaxBodyLen {
+				body = body[:MaxBodyLen]
+			}
+			var b []byte
+			if len(body) > 0 {
+				b = body
+			}
+			fr.Msg = &Message{ID: MsgID{Origin: ident.ID(from), Seq: seq}, Hop: hop, Body: b}
+		}
+		buf, err := Marshal(fr)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(fr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameSizeBound(t *testing.T) {
+	// A maximal frame must stay under MaxFrameSize.
+	entries := make([]view.Entry, MaxEntries)
+	for i := range entries {
+		entries[i] = view.Entry{Node: ident.ID(i + 1), Addr: strings.Repeat("a", MaxAddrLen), Age: 1}
+	}
+	f := &Frame{
+		Kind:     KindGossip,
+		FromAddr: strings.Repeat("a", MaxAddrLen),
+		Topic:    strings.Repeat("t", MaxTopicLen),
+		Entries:  entries,
+		Msg:      &Message{Body: bytes.Repeat([]byte{1}, MaxBodyLen)},
+	}
+	buf, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) > MaxFrameSize {
+		t.Fatalf("maximal frame %d bytes exceeds MaxFrameSize %d", len(buf), MaxFrameSize)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindHello; k <= maxKind; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d missing name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "kind(") {
+		t.Error("unknown kind should fall back to numeric")
+	}
+}
+
+func TestMsgIDString(t *testing.T) {
+	if (MsgID{Origin: 1, Seq: 2}).String() == "" {
+		t.Error("empty MsgID string")
+	}
+}
