@@ -7,7 +7,9 @@
 package ringcast_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -344,7 +346,7 @@ func BenchmarkLoadDistribution(b *testing.B) {
 // comparison (one full baseline table per iteration).
 func BenchmarkHararyBaselines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunFloodBaselines(128, 20, int64(i+1)); err != nil {
+		if _, err := experiment.RunFloodBaselines(128, 20, int64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -356,7 +358,7 @@ func BenchmarkHararyBaselines(b *testing.B) {
 func BenchmarkAblationVicinityFeed(b *testing.B) {
 	var cyclesWith float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunFeedAblation(300, 400, int64(i+1))
+		res, err := experiment.RunFeedAblation(300, 400, int64(i+1), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -370,7 +372,7 @@ func BenchmarkAblationVicinityFeed(b *testing.B) {
 func BenchmarkAblationCyclonSelection(b *testing.B) {
 	var stale float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunSelectionAblation(300, 40, 0.01, int64(i+1))
+		res, err := experiment.RunSelectionAblation(300, 40, 0.01, int64(i+1), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -386,13 +388,47 @@ func BenchmarkAblationMultiRing(b *testing.B) {
 		b.Run(map[int]string{1: "k=1", 2: "k=2", 3: "k=3"}[k], func(b *testing.B) {
 			var miss float64
 			for i := 0; i < b.N; i++ {
-				rows, err := experiment.RunMultiRingAblation(1000, 5, 2, []int{k}, 0.10, int64(i+1))
+				rows, err := experiment.RunMultiRingAblation(1000, 5, 2, []int{k}, 0.10, int64(i+1), 0)
 				if err != nil {
 					b.Fatal(err)
 				}
 				miss += rows[0].Agg.MeanMissRatio
 			}
 			b.ReportMetric(miss/float64(b.N)*100, "miss%")
+		})
+	}
+}
+
+// BenchmarkRunStaticParallel measures the parallel sweep engine over one
+// pre-warmed frozen overlay: the full (protocol, fanout, run) unit grid of
+// a static experiment at each parallelism level. P=1 is the reference
+// sequential path; the engine's work units are independent and lock-free on
+// the hot path, so wall-clock should shrink near-linearly up to the
+// physical core count (>= 2x on >= 4 cores). Results are bit-identical
+// across levels (see TestStaticParallelDeterminism).
+func BenchmarkRunStaticParallel(b *testing.B) {
+	_, o := staticOverlay(b)
+	cfg := experiment.Scaled(benchN, 20)
+	cfg.Fanouts = []int{1, 2, 3, 5, 8}
+	levels := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		levels = append(levels, n)
+	}
+	for _, p := range levels {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			c := cfg
+			c.Parallelism = p
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := experiment.SweepOverlay(o, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(c.Fanouts) {
+					b.Fatalf("sweep returned %d rows, want %d", len(rows), len(c.Fanouts))
+				}
+			}
 		})
 	}
 }

@@ -3,12 +3,17 @@
 // Every figure of the evaluation section (Section 7) has a corresponding
 // runner; by default the harness runs at a reduced scale that finishes in
 // minutes. Pass -paper for the paper's full 10,000-node, 100-run setup.
+// Sweeps fan their (protocol, fanout, run) work units across -parallel
+// workers (one per CPU by default) with per-unit derived random streams, so
+// every table is bit-identical at any parallelism; -progress shows live
+// sweep status on stderr.
 //
 // Usage:
 //
 //	ringcast-bench -fig 6            # miss ratio + complete disseminations
 //	ringcast-bench -fig 9 -paper    # catastrophic failures at paper scale
 //	ringcast-bench -fig all          # everything, including ablations
+//	ringcast-bench -fig all -paper -progress   # paper scale with live status
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"ringcast/internal/experiment"
 	"ringcast/internal/plot"
+	"ringcast/internal/runner"
 )
 
 func main() {
@@ -31,25 +37,49 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ringcast-bench", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "comma-separated figures to regenerate: 6,7,8,9,10,11,12,13,load,harary,ablation,trace,timing,domain,all")
-		n      = fs.Int("n", 2000, "node population")
-		runs   = fs.Int("runs", 30, "disseminations per data point")
-		seed   = fs.Int64("seed", 42, "random seed")
-		paper  = fs.Bool("paper", false, "use the paper's full scale (N=10000, 100 runs)")
-		plots  = fs.Bool("plot", false, "render ASCII charts next to the tables")
-		csvDir = fs.String("csv", "", "directory to write CSV series into (created if needed)")
+		fig      = fs.String("fig", "all", "comma-separated figures to regenerate: 6,7,8,9,10,11,12,13,load,harary,ablation,trace,timing,domain,all")
+		n        = fs.Int("n", 2000, "node population")
+		runs     = fs.Int("runs", 30, "disseminations per data point")
+		seed     = fs.Int64("seed", 42, "random seed")
+		paper    = fs.Bool("paper", false, "use the paper's full scale (N=10000, 100 runs)")
+		plots    = fs.Bool("plot", false, "render ASCII charts next to the tables")
+		csvDir   = fs.String("csv", "", "directory to write CSV series into (created if needed)")
+		parallel = fs.Int("parallel", 0, "worker goroutines for the sweeps (0 = one per CPU, 1 = sequential); results are identical at any setting")
+		progress = fs.Bool("progress", false, "report live sweep progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = one worker per CPU), got %d", *parallel)
 	}
 	cfg := experiment.Scaled(*n, *runs)
 	if *paper {
 		cfg = experiment.PaperConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
+	if *progress {
+		// A failing sweep leaves its \r status line unfinished; terminate it
+		// so the error does not land on top of the stale progress text.
+		defer func() {
+			if err != nil {
+				fmt.Fprintln(os.Stderr)
+			}
+		}()
+	}
+	// scenario returns cfg with a labeled live progress reporter, so each
+	// long sweep of a -fig all run shows its own status line.
+	scenario := func(label string) experiment.Config {
+		c := cfg
+		if *progress {
+			c.Progress = runner.ConsoleProgress(os.Stderr, label)
+		}
+		return c
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -90,7 +120,7 @@ func run(args []string, out io.Writer) error {
 	// Figures 6, 7 and 8 share one static sweep.
 	if want("6", "7", "8") {
 		fmt.Fprintf(out, "== Static fail-free network (Figures 6, 7, 8) ==\n")
-		res, err := experiment.RunStatic(cfg)
+		res, err := experiment.RunStatic(scenario("static sweep"))
 		if err != nil {
 			return err
 		}
@@ -127,7 +157,7 @@ func run(args []string, out io.Writer) error {
 				continue // figure 10 only needs the 5% case
 			}
 			fmt.Fprintf(out, "== Catastrophic failure of %g%% (Figures 9, 10) ==\n", frac*100)
-			res, err := experiment.RunCatastrophic(cfg, frac)
+			res, err := experiment.RunCatastrophic(scenario(fmt.Sprintf("catastrophic %g%% sweep", frac*100)), frac)
 			if err != nil {
 				return err
 			}
@@ -149,7 +179,7 @@ func run(args []string, out io.Writer) error {
 
 	if want("11", "12", "13") {
 		fmt.Fprintf(out, "== Continuous churn 0.2%%/cycle (Figures 11, 12, 13) ==\n")
-		churnCfg := cfg
+		churnCfg := scenario("churn sweep")
 		// Churn needs >= 1 replacement per cycle to be meaningful.
 		rate := 0.002
 		if float64(churnCfg.N)*rate < 1 {
@@ -186,7 +216,7 @@ func run(args []string, out io.Writer) error {
 
 	if want("load") {
 		fmt.Fprintf(out, "== Load distribution (Section 7) ==\n")
-		res, err := experiment.RunLoad(cfg, 5)
+		res, err := experiment.RunLoad(scenario("load sweep"), 5)
 		if err != nil {
 			return err
 		}
@@ -202,7 +232,7 @@ func run(args []string, out io.Writer) error {
 		if bn%2 == 1 {
 			bn++
 		}
-		rows, err := experiment.RunFloodBaselines(bn, 100, cfg.Seed)
+		rows, err := experiment.RunFloodBaselines(bn, 100, cfg.Seed, cfg.Parallelism)
 		if err != nil {
 			return err
 		}
@@ -211,28 +241,28 @@ func run(args []string, out io.Writer) error {
 
 	if want("ablation") {
 		fmt.Fprintf(out, "== Ablations (DESIGN.md Section 5) ==\n")
-		feed, err := experiment.RunFeedAblation(minInt(cfg.N, 500), 600, cfg.Seed)
+		feed, err := experiment.RunFeedAblation(minInt(cfg.N, 500), 600, cfg.Seed, cfg.Parallelism)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "vicinity feed:      with feed %d cycles (conv %.3f)  |  without %d cycles (conv %.3f)\n",
 			feed.WithFeedCycles, feed.WithFeedConv, feed.WithoutFeedCycles, feed.WithoutFeedConv)
 
-		sel, err := experiment.RunSelectionAblation(minInt(cfg.N, 500), 80, 0.01, cfg.Seed)
+		sel, err := experiment.RunSelectionAblation(minInt(cfg.N, 500), 80, 0.01, cfg.Seed, cfg.Parallelism)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "cyclon selection:   stale links oldest-first %.4f  |  random %.4f\n",
 			sel.StaleFractionOldest, sel.StaleFractionRandom)
 
-		age, err := experiment.RunMaxAgeAblation(minInt(cfg.N, 500), 80, 0.01, cfg.Seed)
+		age, err := experiment.RunMaxAgeAblation(minInt(cfg.N, 500), 80, 0.01, cfg.Seed, cfg.Parallelism)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "vicinity staleness: ring convergence with MaxAge %.3f  |  without %.3f\n",
 			age.ConvWithMaxAge, age.ConvWithoutMaxAge)
 
-		rings, err := experiment.RunMultiRingAblation(minInt(cfg.N, 2000), cfg.Runs, 2, []int{1, 2, 3}, 0.10, cfg.Seed)
+		rings, err := experiment.RunMultiRingAblation(minInt(cfg.N, 2000), cfg.Runs, 2, []int{1, 2, 3}, 0.10, cfg.Seed, cfg.Parallelism)
 		if err != nil {
 			return err
 		}
@@ -246,7 +276,7 @@ func run(args []string, out io.Writer) error {
 
 	if want("timing") {
 		fmt.Fprintf(out, "== Timing-model invariance (Section 7.1's unplotted check) ==\n")
-		timingCfg := cfg
+		timingCfg := scenario("timing sweep")
 		timingCfg.Fanouts = []int{3}
 		for _, proto := range []string{"randcast", "ringcast"} {
 			res, err := experiment.RunTimingInvariance(timingCfg, proto, 3)
@@ -259,7 +289,7 @@ func run(args []string, out io.Writer) error {
 
 	if want("trace") {
 		fmt.Fprintf(out, "== Heavy-tailed (trace-style) churn — DESIGN.md §3 substitution ==\n")
-		traceCfg := cfg
+		traceCfg := scenario("trace-churn sweep")
 		traceCfg.Fanouts = []int{3, 6}
 		// Median session 360 cycles = Gnutella's ~60 min at a 10 s cycle.
 		res, err := experiment.RunTraceChurn(traceCfg, 360, 1.5, 1000)

@@ -58,6 +58,39 @@ func TestRunDomain(t *testing.T) {
 	}
 }
 
+func TestRunParallelIsDeterministic(t *testing.T) {
+	outs := make([]string, 0, 3)
+	for _, p := range []string{"1", "4", "0"} {
+		var out bytes.Buffer
+		err := run([]string{"-fig", "6", "-n", "200", "-runs", "3", "-seed", "5", "-parallel", p}, &out)
+		if err != nil {
+			t.Fatalf("-parallel %s: %v", p, err)
+		}
+		outs = append(outs, out.String())
+	}
+	if outs[0] != outs[1] || outs[0] != outs[2] {
+		t.Errorf("output depends on -parallel:\n--- P=1 ---\n%s\n--- P=4 ---\n%s", outs[0], outs[1])
+	}
+}
+
+func TestRunProgressFlagSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "6", "-n", "200", "-runs", "2", "-progress"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Miss ratio") {
+		t.Fatal("tables missing with -progress enabled")
+	}
+}
+
+func TestRunNegativeParallelRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "harary", "-n", "64", "-runs", "2", "-parallel", "-3"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-parallel") {
+		t.Fatalf("negative -parallel accepted: %v", err)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {

@@ -1,12 +1,15 @@
 // Command ringcast-sim runs a single dissemination scenario and prints a
 // summary — a quick way to poke at the protocols without the full figure
-// harness.
+// harness. The dissemination runs fan out across -parallel workers (one per
+// CPU by default) with per-run derived random streams, so the summary is
+// identical at any parallelism; -progress shows live status on stderr.
 //
 // Usage:
 //
 //	ringcast-sim -n 10000 -proto ringcast -fanout 3
 //	ringcast-sim -n 10000 -proto randcast -fanout 5 -fail 0.05
 //	ringcast-sim -n 2000  -proto ringcast -fanout 3 -churn 0.002 -churn-cycles 2000
+//	ringcast-sim -n 10000 -runs 1000 -parallel 8 -progress
 package main
 
 import (
@@ -19,7 +22,15 @@ import (
 	"ringcast/internal/core"
 	"ringcast/internal/dissem"
 	"ringcast/internal/metrics"
+	"ringcast/internal/runner"
 	"ringcast/internal/sim"
+)
+
+// Seed-derivation tags for the per-run random streams (origin draw and
+// dissemination), kept distinct so the streams never collide.
+const (
+	tagOrigin int64 = iota + 1
+	tagDissem
 )
 
 func main() {
@@ -29,7 +40,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ringcast-sim", flag.ContinueOnError)
 	var (
 		n           = fs.Int("n", 10000, "node population")
@@ -41,9 +52,23 @@ func run(args []string, out io.Writer) error {
 		churnRate   = fs.Float64("churn", 0, "per-cycle churn rate before freezing")
 		churnCycles = fs.Int("churn-cycles", 1000, "churn cycles to run when -churn > 0")
 		seed        = fs.Int64("seed", 1, "random seed")
+		parallel    = fs.Int("parallel", 0, "worker goroutines for the dissemination runs (0 = one per CPU, 1 = sequential); results are identical at any setting")
+		progress    = fs.Bool("progress", false, "report live dissemination progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = one worker per CPU), got %d", *parallel)
+	}
+	if *progress {
+		// A failing run leaves its \r status line unfinished; terminate it
+		// so the error does not land on top of the stale progress text.
+		defer func() {
+			if err != nil {
+				fmt.Fprintln(os.Stderr)
+			}
+		}()
 	}
 	sel, err := core.ByName(*proto)
 	if err != nil {
@@ -76,16 +101,33 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "catastrophic failure: killed %d nodes (no self-healing)\n", killed)
 	}
 
+	// Fan the independent dissemination runs across the worker pool; each
+	// run derives its own random streams from the master seed and its index,
+	// and the fold below walks runs in order, so the summary does not depend
+	// on -parallel.
+	var prog runner.Progress
+	if *progress {
+		prog = runner.ConsoleProgress(os.Stderr, "disseminating")
+	}
+	results := make([]*metrics.Dissemination, *runs)
+	err = runner.Map(*parallel, *runs, prog, func(r int) error {
+		origin, err := o.RandomAliveOrigin(runner.UnitRand(*seed, tagOrigin, int64(r)))
+		if err != nil {
+			return err
+		}
+		rng := runner.UnitRand(*seed, tagDissem, int64(r))
+		d, err := dissem.RunOpts(o, origin, sel, *fanout, rng, dissem.Options{SkipLoad: true})
+		if err != nil {
+			return err
+		}
+		results[r] = d
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	var acc metrics.Accumulator
-	for r := 0; r < *runs; r++ {
-		origin, err := o.RandomAliveOrigin(nw.Rand())
-		if err != nil {
-			return err
-		}
-		d, err := dissem.RunOpts(o, origin, sel, *fanout, nw.Rand(), dissem.Options{SkipLoad: true})
-		if err != nil {
-			return err
-		}
+	for _, d := range results {
 		acc.Add(d)
 	}
 	agg := acc.Finalize()

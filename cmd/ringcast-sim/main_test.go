@@ -47,6 +47,39 @@ func TestRunChurnScenario(t *testing.T) {
 	}
 }
 
+func TestRunParallelIsDeterministic(t *testing.T) {
+	outs := make([]string, 0, 3)
+	for _, p := range []string{"1", "4", "0"} {
+		var out bytes.Buffer
+		err := run([]string{"-n", "300", "-runs", "6", "-fanout", "2", "-proto", "randcast", "-parallel", p}, &out)
+		if err != nil {
+			t.Fatalf("-parallel %s: %v", p, err)
+		}
+		outs = append(outs, out.String())
+	}
+	if outs[0] != outs[1] || outs[0] != outs[2] {
+		t.Errorf("summary depends on -parallel:\n--- P=1 ---\n%s\n--- P=4 ---\n%s", outs[0], outs[1])
+	}
+}
+
+func TestRunProgressFlagSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "200", "-runs", "3", "-progress"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "miss ratio") {
+		t.Fatal("summary missing with -progress enabled")
+	}
+}
+
+func TestRunNegativeParallelRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "50", "-runs", "1", "-parallel", "-3"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-parallel") {
+		t.Fatalf("negative -parallel accepted: %v", err)
+	}
+}
+
 func TestRunBadProtocol(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-proto", "carrier-pigeon"}, &out); err == nil {

@@ -1,0 +1,3 @@
+module ringcast
+
+go 1.22

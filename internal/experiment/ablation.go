@@ -15,6 +15,7 @@ import (
 	"ringcast/internal/ident"
 	"ringcast/internal/metrics"
 	"ringcast/internal/overlay"
+	"ringcast/internal/runner"
 	"ringcast/internal/sim"
 	"ringcast/internal/vicinity"
 )
@@ -35,18 +36,21 @@ type FeedAblationResult struct {
 
 // RunFeedAblation measures how many cycles the ring needs to converge with
 // and without the peer-sampling feed.
-func RunFeedAblation(n, maxCycles int, seed int64) (*FeedAblationResult, error) {
+func RunFeedAblation(n, maxCycles int, seed int64, parallelism int) (*FeedAblationResult, error) {
 	if n < 2 || maxCycles < 1 {
 		return nil, fmt.Errorf("experiment: invalid feed ablation n=%d maxCycles=%d", n, maxCycles)
 	}
 	res := &FeedAblationResult{N: n, MaxCycles: maxCycles}
-	for _, disable := range []bool{false, true} {
+	// The two arms are independent networks (same seed, paired comparison),
+	// so they run concurrently on the worker pool.
+	err := runner.Map(parallelism, 2, nil, func(arm int) error {
+		disable := arm == 1
 		cfg := sim.DefaultConfig(n)
 		cfg.Seed = seed
 		cfg.DisableVicinityFeed = disable
 		nw, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cycles := 0
 		conv := 0.0
@@ -63,6 +67,10 @@ func RunFeedAblation(n, maxCycles int, seed int64) (*FeedAblationResult, error) 
 		} else {
 			res.WithFeedCycles, res.WithFeedConv = cycles, conv
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -80,7 +88,7 @@ type SelectionAblationResult struct {
 
 // RunSelectionAblation churns two otherwise-identical networks and measures
 // stale-link pollution under each CYCLON peer-selection policy.
-func RunSelectionAblation(n, churnCycles int, rate float64, seed int64) (*SelectionAblationResult, error) {
+func RunSelectionAblation(n, churnCycles int, rate float64, seed int64, parallelism int) (*SelectionAblationResult, error) {
 	if n < 2 || churnCycles < 1 {
 		return nil, fmt.Errorf("experiment: invalid selection ablation n=%d cycles=%d", n, churnCycles)
 	}
@@ -89,13 +97,14 @@ func RunSelectionAblation(n, churnCycles int, rate float64, seed int64) (*Select
 		return nil, err
 	}
 	res := &SelectionAblationResult{N: n, ChurnCycles: churnCycles}
-	for _, random := range []bool{false, true} {
+	err := runner.Map(parallelism, 2, nil, func(arm int) error {
+		random := arm == 1
 		cfg := sim.DefaultConfig(n)
 		cfg.Seed = seed
 		cfg.Cyclon.RandomPeerSelection = random
 		nw, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nw.RunCycles(100)
 		model.Run(nw, churnCycles)
@@ -120,6 +129,10 @@ func RunSelectionAblation(n, churnCycles int, rate float64, seed int64) (*Select
 		} else {
 			res.StaleFractionOldest = frac
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -138,20 +151,33 @@ type MultiRingRow struct {
 // to them; building k VICINITY instances per node would only add noise).
 // Fanout stays fixed so that extra reliability is attributable to the
 // d-link structure alone.
-func RunMultiRingAblation(n, runs, fanout int, ringCounts []int, failFrac float64, seed int64) ([]MultiRingRow, error) {
+func RunMultiRingAblation(n, runs, fanout int, ringCounts []int, failFrac float64, seed int64, parallelism int) ([]MultiRingRow, error) {
 	if n < 4 || runs < 1 || fanout < 1 {
 		return nil, fmt.Errorf("experiment: invalid multi-ring ablation n=%d runs=%d fanout=%d", n, runs, fanout)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	rows := make([]MultiRingRow, 0, len(ringCounts))
+	seen := make(map[int]struct{}, len(ringCounts))
 	for _, k := range ringCounts {
+		// Cell random streams are keyed by ring count, so a duplicate would
+		// silently reproduce the same cell rather than replicate it.
+		if _, dup := seen[k]; dup {
+			return nil, fmt.Errorf("experiment: duplicate ring count %d", k)
+		}
+		seen[k] = struct{}{}
+	}
+	rows := make([]MultiRingRow, len(ringCounts))
+	// Each ring count is an independent cell with its own derived random
+	// stream, so cells run concurrently and results do not depend on how
+	// many cells one call sweeps.
+	err := runner.Map(parallelism, len(ringCounts), nil, func(ki int) error {
+		k := ringCounts[ki]
+		rng := runner.UnitRand(seed, tagMultiRing, int64(k))
 		g, err := overlay.KRings(k, n, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rlinks, err := overlay.RandomOutDegree(n, 20, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ids := make([]ident.ID, n)
 		for i := range ids {
@@ -171,7 +197,7 @@ func RunMultiRingAblation(n, runs, fanout int, ringCounts []int, failFrac float6
 		}
 		base, err := dissem.FromLinks(ids, links)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var acc metrics.Accumulator
 		for run := 0; run < runs; run++ {
@@ -179,15 +205,19 @@ func RunMultiRingAblation(n, runs, fanout int, ringCounts []int, failFrac float6
 			o.KillFraction(failFrac, rng)
 			origin, err := o.RandomAliveOrigin(rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			d, err := dissem.RunOpts(o, origin, core.RingCast{}, fanout, rng, dissem.Options{SkipLoad: true})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			acc.Add(d)
 		}
-		rows = append(rows, MultiRingRow{Rings: k, FailFraction: failFrac, Agg: acc.Finalize()})
+		rows[ki] = MultiRingRow{Rings: k, FailFraction: failFrac, Agg: acc.Finalize()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -204,7 +234,7 @@ type MaxAgeAblationResult struct {
 // RunMaxAgeAblation demonstrates why the staleness bound exists: without
 // it, dead entries are endlessly resurrected by gossip partners and the
 // ring cannot heal under churn.
-func RunMaxAgeAblation(n, churnCycles int, rate float64, seed int64) (*MaxAgeAblationResult, error) {
+func RunMaxAgeAblation(n, churnCycles int, rate float64, seed int64, parallelism int) (*MaxAgeAblationResult, error) {
 	if n < 2 || churnCycles < 1 {
 		return nil, fmt.Errorf("experiment: invalid max-age ablation n=%d cycles=%d", n, churnCycles)
 	}
@@ -213,7 +243,8 @@ func RunMaxAgeAblation(n, churnCycles int, rate float64, seed int64) (*MaxAgeAbl
 		return nil, err
 	}
 	res := &MaxAgeAblationResult{N: n, ChurnCycles: churnCycles}
-	for _, disable := range []bool{false, true} {
+	err := runner.Map(parallelism, 2, nil, func(arm int) error {
+		disable := arm == 1
 		cfg := sim.DefaultConfig(n)
 		cfg.Seed = seed
 		if disable {
@@ -221,7 +252,7 @@ func RunMaxAgeAblation(n, churnCycles int, rate float64, seed int64) (*MaxAgeAbl
 		}
 		nw, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nw.RunCycles(100)
 		model.Run(nw, churnCycles)
@@ -230,6 +261,10 @@ func RunMaxAgeAblation(n, churnCycles int, rate float64, seed int64) (*MaxAgeAbl
 		} else {
 			res.ConvWithMaxAge = nw.RingConvergence()
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

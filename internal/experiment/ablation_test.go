@@ -3,7 +3,7 @@ package experiment
 import "testing"
 
 func TestFeedAblation(t *testing.T) {
-	res, err := RunFeedAblation(200, 600, 3)
+	res, err := RunFeedAblation(200, 600, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,16 +20,16 @@ func TestFeedAblation(t *testing.T) {
 }
 
 func TestFeedAblationValidation(t *testing.T) {
-	if _, err := RunFeedAblation(1, 10, 1); err == nil {
+	if _, err := RunFeedAblation(1, 10, 1, 0); err == nil {
 		t.Error("accepted n < 2")
 	}
-	if _, err := RunFeedAblation(10, 0, 1); err == nil {
+	if _, err := RunFeedAblation(10, 0, 1, 0); err == nil {
 		t.Error("accepted zero cycles")
 	}
 }
 
 func TestSelectionAblation(t *testing.T) {
-	res, err := RunSelectionAblation(300, 60, 0.01, 5)
+	res, err := RunSelectionAblation(300, 60, 0.01, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,13 +45,13 @@ func TestSelectionAblation(t *testing.T) {
 }
 
 func TestSelectionAblationValidation(t *testing.T) {
-	if _, err := RunSelectionAblation(300, 10, 5.0, 1); err == nil {
+	if _, err := RunSelectionAblation(300, 10, 5.0, 1, 0); err == nil {
 		t.Error("accepted churn rate > 1")
 	}
 }
 
 func TestMultiRingAblation(t *testing.T) {
-	rows, err := RunMultiRingAblation(500, 20, 2, []int{1, 2, 3}, 0.10, 9)
+	rows, err := RunMultiRingAblation(500, 20, 2, []int{1, 2, 3}, 0.10, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,13 +70,13 @@ func TestMultiRingAblation(t *testing.T) {
 }
 
 func TestMultiRingAblationValidation(t *testing.T) {
-	if _, err := RunMultiRingAblation(2, 1, 1, []int{1}, 0.1, 1); err == nil {
+	if _, err := RunMultiRingAblation(2, 1, 1, []int{1}, 0.1, 1, 0); err == nil {
 		t.Error("accepted tiny n")
 	}
 }
 
 func TestMaxAgeAblation(t *testing.T) {
-	res, err := RunMaxAgeAblation(300, 80, 0.01, 11)
+	res, err := RunMaxAgeAblation(300, 80, 0.01, 11, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

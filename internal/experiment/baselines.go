@@ -14,6 +14,7 @@ import (
 	"ringcast/internal/graph"
 	"ringcast/internal/ident"
 	"ringcast/internal/overlay"
+	"ringcast/internal/runner"
 )
 
 // FloodRow describes flooding behaviour over one static overlay.
@@ -38,7 +39,7 @@ type FloodRow struct {
 // RunFloodBaselines floods each Section 3 overlay over n nodes and measures
 // overhead, latency and failure resilience (trials random-failure trials per
 // overlay).
-func RunFloodBaselines(n, trials int, seed int64) ([]FloodRow, error) {
+func RunFloodBaselines(n, trials int, seed int64, parallelism int) ([]FloodRow, error) {
 	if n < 6 || n%2 != 0 {
 		return nil, fmt.Errorf("experiment: baselines need even n >= 6, got %d", n)
 	}
@@ -72,7 +73,7 @@ func RunFloodBaselines(n, trials int, seed int64) ([]FloodRow, error) {
 	}
 
 	rows := make([]FloodRow, 0, len(overlays))
-	for _, ov := range overlays {
+	for oi, ov := range overlays {
 		o, err := graphOverlay(ov.g)
 		if err != nil {
 			return nil, err
@@ -92,8 +93,14 @@ func RunFloodBaselines(n, trials int, seed int64) ([]FloodRow, error) {
 			Hops:     d.Hops(),
 			Complete: d.Complete(),
 		}
-		row.SurviveOne = survivalRate(o, rng, 1, trials)
-		row.SurviveTwo = survivalRate(o, rng, 2, trials)
+		row.SurviveOne, err = survivalRate(o, seed, int64(oi), 1, trials, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		row.SurviveTwo, err = survivalRate(o, seed, int64(oi), 2, trials, parallelism)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -119,10 +126,14 @@ func graphOverlay(g *graph.Directed) (*dissem.Overlay, error) {
 }
 
 // survivalRate estimates the probability that flooding from a random live
-// origin reaches every live node after `kills` random failures.
-func survivalRate(o *dissem.Overlay, rng *rand.Rand, kills, trials int) float64 {
-	ok := 0
-	for t := 0; t < trials; t++ {
+// origin reaches every live node after `kills` random failures. Trials are
+// independent (each clones the intact overlay and draws its own derived
+// random stream), so they fan across the worker pool; the success tally is
+// an integer sum and thus parallelism-independent.
+func survivalRate(o *dissem.Overlay, seed, ovTag int64, kills, trials, parallelism int) (float64, error) {
+	okByTrial := make([]bool, trials)
+	err := runner.Map(parallelism, trials, nil, func(t int) error {
+		rng := runner.UnitRand(seed, tagFloodTrial, ovTag, int64(kills), int64(t))
 		c := o.Clone()
 		c.KillFraction(float64(kills)/float64(c.N()), rng)
 		// KillFraction truncates; force exact count by killing one at a time
@@ -132,15 +143,23 @@ func survivalRate(o *dissem.Overlay, rng *rand.Rand, kills, trials int) float64 
 		}
 		origin, err := c.RandomAliveOrigin(rng)
 		if err != nil {
-			continue
+			return nil // overlay wiped out: count the trial as failed
 		}
 		d, err := dissem.RunOpts(c, origin, core.DFlood{}, 0, rng, dissem.Options{SkipLoad: true})
 		if err != nil {
-			continue
+			return err
 		}
-		if d.Complete() {
+		okByTrial[t] = d.Complete()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	ok := 0
+	for _, b := range okByTrial {
+		if b {
 			ok++
 		}
 	}
-	return float64(ok) / float64(trials)
+	return float64(ok) / float64(trials), nil
 }

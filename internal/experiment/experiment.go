@@ -11,16 +11,26 @@
 //	RunChurn         -> Figures 11, 12, 13     (continuous artificial churn)
 //	RunLoad          -> Section 7's uniform-load claim
 //	RunFloodBaselines-> Section 3's deterministic-overlay baselines
+//
+// Execution model: warm-up and churn phases are inherently sequential (each
+// gossip cycle depends on the previous one), but everything after the
+// overlay freezes is embarrassingly parallel. The runners fan the
+// (protocol, fanout, run) unit grid of each sweep across a worker pool
+// (internal/runner), with per-unit random streams derived from Config.Seed,
+// so results are bit-identical at any Config.Parallelism — including 1, the
+// reference sequential execution. RunChurnReplicas additionally fans whole
+// independent churn replicas across workers.
 package experiment
 
 import (
 	"fmt"
-	"math/rand"
+	"sync"
 
 	"ringcast/internal/churn"
 	"ringcast/internal/core"
 	"ringcast/internal/dissem"
 	"ringcast/internal/metrics"
+	"ringcast/internal/runner"
 	"ringcast/internal/sim"
 	"ringcast/internal/stats"
 )
@@ -38,8 +48,19 @@ type Config struct {
 	// MaxWarmupCycles caps the extended warm-up used to guarantee ring
 	// convergence before a static experiment.
 	MaxWarmupCycles int
-	// Seed drives all randomness deterministically.
+	// Seed drives all randomness deterministically: the sequential warm-up
+	// uses it directly, and every parallel work unit derives its own
+	// decorrelated stream from it (runner.UnitRand), so results do not
+	// depend on Parallelism.
 	Seed int64
+	// Parallelism is the number of worker goroutines the sweep fans work
+	// units across. 0 (the default) means one worker per CPU
+	// (runtime.GOMAXPROCS); 1 forces the reference sequential execution.
+	Parallelism int
+	// Progress, when non-nil, receives live (done, total) unit-completion
+	// updates during sweeps — see runner.ConsoleProgress for a ready-made
+	// stderr reporter.
+	Progress runner.Progress
 }
 
 // PaperConfig returns the paper's full experimental scale. Running it
@@ -83,16 +104,46 @@ func (c Config) validate() error {
 	if len(c.Fanouts) == 0 {
 		return fmt.Errorf("experiment: at least one fanout required")
 	}
+	seen := make(map[int]struct{}, len(c.Fanouts))
 	for _, f := range c.Fanouts {
 		if f < 1 {
 			return fmt.Errorf("experiment: fanouts must be >= 1, got %d", f)
 		}
+		// Unit random streams are keyed by fanout value, so a duplicate
+		// would silently reproduce the same rows rather than replicate.
+		if _, dup := seen[f]; dup {
+			return fmt.Errorf("experiment: duplicate fanout %d", f)
+		}
+		seen[f] = struct{}{}
 	}
 	if c.WarmupCycles < 0 || c.MaxWarmupCycles < c.WarmupCycles {
 		return fmt.Errorf("experiment: warm-up bounds invalid (%d, %d)", c.WarmupCycles, c.MaxWarmupCycles)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("experiment: parallelism must be >= 0, got %d", c.Parallelism)
+	}
 	return nil
 }
+
+// Seed-derivation tags: every parallel work-unit family draws from its own
+// tag namespace so that streams never collide across sweep kinds. Origin
+// draws are tagged (tagOrigin, family, unit coordinates...) — the family
+// tag must come before any free-ranging coordinate like a fanout value,
+// otherwise a fanout that happens to equal another family's tag would
+// alias its streams.
+const (
+	tagOrigin int64 = iota + 1
+	tagSweep
+	tagLoad
+	tagTiming
+	tagFloodTrial
+	tagMultiRing
+	tagReplica
+)
+
+// sweepSelectors fixes the protocol axis of the unit grid: index 0 is
+// RANDCAST, index 1 is RINGCAST, matching Row's column order.
+var sweepSelectors = [2]core.Selector{core.RandCast{}, core.RingCast{}}
 
 // Row is one fanout's aggregated results for both protocols.
 type Row struct {
@@ -130,31 +181,71 @@ func warmNetwork(cfg Config) (*sim.Network, int, float64, error) {
 	return nw, cycles, conv, nil
 }
 
-// sweep runs cfg.Runs disseminations per fanout per protocol over the given
-// overlay and aggregates them.
-func sweep(o *dissem.Overlay, cfg Config, rng *rand.Rand) ([]Row, error) {
+// sweepAll fans the (protocol, fanout, run) unit grid over the frozen
+// overlay across the worker pool and returns every unit's record, indexed
+// [fanoutIdx][protoIdx][run]. Both protocols of a (fanout, run) pair draw
+// the same origin — the paper's paired comparison — while each unit
+// disseminates with its own derived random stream.
+func sweepAll(o *dissem.Overlay, cfg Config, opts dissem.Options) ([][2][]*metrics.Dissemination, error) {
+	nf, nr := len(cfg.Fanouts), cfg.Runs
+	out := make([][2][]*metrics.Dissemination, nf)
+	for i := range out {
+		out[i][0] = make([]*metrics.Dissemination, nr)
+		out[i][1] = make([]*metrics.Dissemination, nr)
+	}
+	err := runner.Map(cfg.Parallelism, nf*2*nr, cfg.Progress, func(u int) error {
+		proto := u % 2
+		run := (u / 2) % nr
+		fi := u / (2 * nr)
+		f := cfg.Fanouts[fi]
+		origin, err := o.RandomAliveOrigin(runner.UnitRand(cfg.Seed, tagOrigin, tagSweep, int64(f), int64(run)))
+		if err != nil {
+			return err
+		}
+		rng := runner.UnitRand(cfg.Seed, tagSweep, int64(f), int64(run), int64(proto))
+		d, err := dissem.RunOpts(o, origin, sweepSelectors[proto], f, rng, opts)
+		if err != nil {
+			return err
+		}
+		out[fi][proto][run] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// foldRows aggregates per-unit records into one Row per fanout, always in
+// (fanout, run) index order so floating-point accumulation is bit-identical
+// at any parallelism level.
+func foldRows(cfg Config, all [][2][]*metrics.Dissemination) []Row {
 	rows := make([]Row, 0, len(cfg.Fanouts))
-	for _, f := range cfg.Fanouts {
+	for fi, f := range cfg.Fanouts {
 		var accRand, accRing metrics.Accumulator
 		for r := 0; r < cfg.Runs; r++ {
-			origin, err := o.RandomAliveOrigin(rng)
-			if err != nil {
-				return nil, err
-			}
-			dRand, err := dissem.RunOpts(o, origin, core.RandCast{}, f, rng, dissem.Options{SkipLoad: true})
-			if err != nil {
-				return nil, err
-			}
-			accRand.Add(dRand)
-			dRing, err := dissem.RunOpts(o, origin, core.RingCast{}, f, rng, dissem.Options{SkipLoad: true})
-			if err != nil {
-				return nil, err
-			}
-			accRing.Add(dRing)
+			accRand.Add(all[fi][0][r])
+			accRing.Add(all[fi][1][r])
 		}
 		rows = append(rows, Row{Fanout: f, Rand: accRand.Finalize(), Ring: accRing.Finalize()})
 	}
-	return rows, nil
+	return rows
+}
+
+// SweepOverlay runs the full parallel fanout sweep over an existing frozen
+// overlay snapshot and aggregates it per fanout. RunStatic and
+// RunCatastrophic are warm-up + SweepOverlay; it is exported for callers
+// (and benchmarks) that manage their own warm-up and want to drive the
+// engine directly.
+func SweepOverlay(o *dissem.Overlay, cfg Config) ([]Row, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	all, err := sweepAll(o, cfg, dissem.Options{SkipLoad: true})
+	if err != nil {
+		return nil, err
+	}
+	return foldRows(cfg, all), nil
 }
 
 // RunStatic reproduces the static fail-free scenario of Section 7.1
@@ -168,7 +259,7 @@ func RunStatic(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	o := dissem.Snapshot(nw)
-	rows, err := sweep(o, cfg, nw.Rand())
+	rows, err := SweepOverlay(o, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +290,7 @@ func RunCatastrophic(cfg Config, failFraction float64) (*Result, error) {
 	}
 	o := dissem.Snapshot(nw)
 	o.KillFraction(failFraction, nw.Rand())
-	rows, err := sweep(o, cfg, nw.Rand())
+	rows, err := SweepOverlay(o, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -262,6 +353,39 @@ func RunChurn(cfg Config, rate float64, maxChurnCycles int) (*ChurnResult, error
 	return res, nil
 }
 
+// RunChurnReplicas fans `replicas` fully independent copies of RunChurn
+// across the worker pool — the churn phase itself cannot be parallelized
+// (every cycle depends on the previous one), so statistical confidence at
+// churn scale comes from running whole replicas concurrently. Replica i
+// derives its seed from cfg.Seed and i; its inner sweep runs sequentially
+// (the replicas themselves saturate the workers). Results are returned in
+// replica order and are bit-identical at any Parallelism.
+func RunChurnReplicas(cfg Config, rate float64, maxChurnCycles, replicas int) ([]*ChurnResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("experiment: replicas must be >= 1, got %d", replicas)
+	}
+	out := make([]*ChurnResult, replicas)
+	err := runner.Map(cfg.Parallelism, replicas, cfg.Progress, func(i int) error {
+		rcfg := cfg
+		rcfg.Seed = runner.UnitSeed(cfg.Seed, tagReplica, int64(i))
+		rcfg.Parallelism = 1
+		rcfg.Progress = nil
+		res, err := RunChurn(rcfg, rate, maxChurnCycles)
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // RunTraceChurn is RunChurn under the heavy-tailed session model
 // (churn.TraceModel) instead of the paper's uniform artificial churn: node
 // sessions are lognormal with the given median (in cycles) and shape sigma.
@@ -295,7 +419,8 @@ func RunTraceChurn(cfg Config, medianSession, sigma float64, churnCycles int) (*
 }
 
 // churnSweep freezes a churned network and runs the figure-11/12/13 sweep
-// over it: per-fanout dissemination aggregates plus lifetime histograms.
+// over it: per-fanout dissemination aggregates plus lifetime histograms,
+// disseminations fanned across the worker pool.
 func churnSweep(cfg Config, nw *sim.Network, warmCycles int) (*ChurnResult, error) {
 	conv := nw.RingConvergence()
 	o := dissem.Snapshot(nw)
@@ -304,39 +429,24 @@ func churnSweep(cfg Config, nw *sim.Network, warmCycles int) (*ChurnResult, erro
 	lifetimes.AddAll(churn.Lifetimes(nw))
 	byID := churn.LifetimeByID(nw)
 
+	all, err := sweepAll(o, cfg, dissem.Options{SkipLoad: true, RecordMissed: true})
+	if err != nil {
+		return nil, err
+	}
 	missed := map[string]map[int]*stats.IntHistogram{
 		"RandCast": make(map[int]*stats.IntHistogram, len(cfg.Fanouts)),
 		"RingCast": make(map[int]*stats.IntHistogram, len(cfg.Fanouts)),
 	}
-	rows := make([]Row, 0, len(cfg.Fanouts))
-	rng := nw.Rand()
-	for _, f := range cfg.Fanouts {
+	for fi, f := range cfg.Fanouts {
 		missRand, missRing := stats.NewIntHistogram(), stats.NewIntHistogram()
-		var accRand, accRing metrics.Accumulator
 		for r := 0; r < cfg.Runs; r++ {
-			origin, err := o.RandomAliveOrigin(rng)
-			if err != nil {
-				return nil, err
-			}
-			opts := dissem.Options{SkipLoad: true, RecordMissed: true}
-			dRand, err := dissem.RunOpts(o, origin, core.RandCast{}, f, rng, opts)
-			if err != nil {
-				return nil, err
-			}
-			accRand.Add(dRand)
-			for _, id := range dRand.Missed {
+			for _, id := range all[fi][0][r].Missed {
 				missRand.Add(byID[id])
 			}
-			dRing, err := dissem.RunOpts(o, origin, core.RingCast{}, f, rng, opts)
-			if err != nil {
-				return nil, err
-			}
-			accRing.Add(dRing)
-			for _, id := range dRing.Missed {
+			for _, id := range all[fi][1][r].Missed {
 				missRing.Add(byID[id])
 			}
 		}
-		rows = append(rows, Row{Fanout: f, Rand: accRand.Finalize(), Ring: accRing.Finalize()})
 		missed["RandCast"][f] = missRand
 		missed["RingCast"][f] = missRing
 	}
@@ -347,7 +457,7 @@ func churnSweep(cfg Config, nw *sim.Network, warmCycles int) (*ChurnResult, erro
 			Runs:        cfg.Runs,
 			WarmupUsed:  warmCycles,
 			Convergence: conv,
-			Rows:        rows,
+			Rows:        foldRows(cfg, all),
 		},
 		Lifetimes:        lifetimes,
 		MissedByLifetime: missed,
@@ -368,7 +478,9 @@ type LoadResult struct {
 }
 
 // RunLoad measures the distribution of load over nodes for both protocols
-// at the given fanout on a static warmed network.
+// at the given fanout on a static warmed network. Runs are fanned across
+// the worker pool; the per-node tallies are integer sums, so accumulation
+// order cannot affect the result.
 func RunLoad(cfg Config, fanout int) (*LoadResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -381,7 +493,33 @@ func RunLoad(cfg Config, fanout int) (*LoadResult, error) {
 		return nil, err
 	}
 	o := dissem.Snapshot(nw)
-	rng := nw.Rand()
+	var (
+		mu   sync.Mutex
+		sent = [2][]int{make([]int, o.N()), make([]int, o.N())}
+		recv = [2][]int{make([]int, o.N()), make([]int, o.N())}
+	)
+	err = runner.Map(cfg.Parallelism, 2*cfg.Runs, cfg.Progress, func(u int) error {
+		proto, run := u%2, u/2
+		origin, err := o.RandomAliveOrigin(runner.UnitRand(cfg.Seed, tagOrigin, tagLoad, int64(run)))
+		if err != nil {
+			return err
+		}
+		rng := runner.UnitRand(cfg.Seed, tagLoad, int64(fanout), int64(run), int64(proto))
+		d, err := dissem.Run(o, origin, sweepSelectors[proto], fanout, rng)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for i := range sent[proto] {
+			sent[proto][i] += d.SentPerNode[i]
+			recv[proto][i] += d.RecvPerNode[i]
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &LoadResult{
 		Fanout: fanout,
 		N:      cfg.N,
@@ -390,26 +528,10 @@ func RunLoad(cfg Config, fanout int) (*LoadResult, error) {
 		Recv:   make(map[string]stats.Summary, 2),
 		Gini:   make(map[string]float64, 2),
 	}
-	for _, sel := range []core.Selector{core.RandCast{}, core.RingCast{}} {
-		sent := make([]int, o.N())
-		recv := make([]int, o.N())
-		for r := 0; r < cfg.Runs; r++ {
-			origin, err := o.RandomAliveOrigin(rng)
-			if err != nil {
-				return nil, err
-			}
-			d, err := dissem.Run(o, origin, sel, fanout, rng)
-			if err != nil {
-				return nil, err
-			}
-			for i := range sent {
-				sent[i] += d.SentPerNode[i]
-				recv[i] += d.RecvPerNode[i]
-			}
-		}
-		res.Sent[sel.Name()] = stats.SummarizeInts(sent)
-		res.Recv[sel.Name()] = stats.SummarizeInts(recv)
-		g, err := stats.Gini(sent)
+	for proto, sel := range sweepSelectors {
+		res.Sent[sel.Name()] = stats.SummarizeInts(sent[proto])
+		res.Recv[sel.Name()] = stats.SummarizeInts(recv[proto])
+		g, err := stats.Gini(sent[proto])
 		if err != nil {
 			return nil, err
 		}

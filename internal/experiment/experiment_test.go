@@ -20,6 +20,8 @@ func TestConfigValidation(t *testing.T) {
 		{N: 10, Runs: 1, Fanouts: nil, MaxWarmupCycles: 1},
 		{N: 10, Runs: 1, Fanouts: []int{0}, MaxWarmupCycles: 1},
 		{N: 10, Runs: 1, Fanouts: []int{1}, WarmupCycles: 5, MaxWarmupCycles: 1},
+		{N: 10, Runs: 1, Fanouts: []int{2, 2}, MaxWarmupCycles: 1},
+		{N: 10, Runs: 1, Fanouts: []int{1}, MaxWarmupCycles: 1, Parallelism: -1},
 	}
 	for i, cfg := range bad {
 		if err := cfg.validate(); err == nil {
@@ -196,7 +198,7 @@ func TestRunLoadValidation(t *testing.T) {
 }
 
 func TestFloodBaselines(t *testing.T) {
-	rows, err := RunFloodBaselines(64, 30, 7)
+	rows, err := RunFloodBaselines(64, 30, 7, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,10 +246,10 @@ func TestFloodBaselines(t *testing.T) {
 }
 
 func TestFloodBaselinesValidation(t *testing.T) {
-	if _, err := RunFloodBaselines(5, 10, 1); err == nil {
+	if _, err := RunFloodBaselines(5, 10, 1, 0); err == nil {
 		t.Error("accepted odd/small n")
 	}
-	if _, err := RunFloodBaselines(64, 0, 1); err == nil {
+	if _, err := RunFloodBaselines(64, 0, 1, 0); err == nil {
 		t.Error("accepted zero trials")
 	}
 }

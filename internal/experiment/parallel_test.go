@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"bytes"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// parallelismLevels are the worker counts every determinism test compares:
+// the sequential reference, a fixed multi-worker level, and whatever this
+// machine's CPU count resolves to.
+func parallelismLevels() []int {
+	levels := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		levels = append(levels, n)
+	}
+	return levels
+}
+
+// renderStatic flattens a Result into every user-visible byte stream: the
+// CSV series and all tables.
+func renderStatic(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteProgressCSV(&buf, 2, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(res.MissRatioTable())
+	buf.WriteString(res.CompleteTable())
+	buf.WriteString(res.OverheadTable())
+	buf.WriteString(res.ProgressTable(2, 3, 5))
+	return buf.Bytes()
+}
+
+func TestStaticParallelDeterminism(t *testing.T) {
+	cfg := Scaled(300, 6)
+	cfg.Fanouts = []int{1, 3, 5}
+	cfg.Parallelism = 1
+	ref, err := RunStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderStatic(t, ref)
+	for _, p := range parallelismLevels()[1:] {
+		cfg.Parallelism = p
+		res, err := RunStatic(cfg)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if got := renderStatic(t, res); !bytes.Equal(got, want) {
+			t.Errorf("P=%d output differs from sequential reference:\n--- P=1 ---\n%s\n--- P=%d ---\n%s", p, want, p, got)
+		}
+	}
+}
+
+func TestCatastrophicParallelDeterminism(t *testing.T) {
+	cfg := Scaled(300, 5)
+	cfg.Fanouts = []int{2, 4}
+	var want []byte
+	for _, p := range parallelismLevels() {
+		cfg.Parallelism = p
+		res, err := RunCatastrophic(cfg, 0.05)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		got := renderStatic(t, res)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("P=%d catastrophic output differs from sequential reference", p)
+		}
+	}
+}
+
+func TestChurnParallelDeterminism(t *testing.T) {
+	cfg := Scaled(250, 4)
+	cfg.Fanouts = []int{3}
+	render := func(res *ChurnResult) []byte {
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteLifetimeCSV(&buf, 3); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(res.MissRatioTable())
+		buf.WriteString(res.LifetimeTable())
+		buf.WriteString(res.MissByLifetimeTable(3))
+		return buf.Bytes()
+	}
+	var want []byte
+	for _, p := range parallelismLevels() {
+		cfg.Parallelism = p
+		res, err := RunChurn(cfg, 0.01, 800)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		got := render(res)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("P=%d churn output differs from sequential reference", p)
+		}
+	}
+}
+
+func TestLoadParallelDeterminism(t *testing.T) {
+	cfg := Scaled(250, 6)
+	cfg.Fanouts = []int{5}
+	var want string
+	for _, p := range parallelismLevels() {
+		cfg.Parallelism = p
+		res, err := RunLoad(cfg, 5)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		got := res.Table()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("P=%d load table differs:\n--- P=1 ---\n%s\n--- P=%d ---\n%s", p, want, p, got)
+		}
+	}
+}
+
+func TestTimingParallelDeterminism(t *testing.T) {
+	cfg := Scaled(250, 4)
+	cfg.Fanouts = []int{3}
+	var want string
+	for _, p := range parallelismLevels() {
+		cfg.Parallelism = p
+		res, err := RunTimingInvariance(cfg, "ringcast", 3)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		got := res.Table()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("P=%d timing table differs from sequential reference", p)
+		}
+	}
+}
+
+func TestRunChurnReplicas(t *testing.T) {
+	cfg := Scaled(150, 2)
+	cfg.Fanouts = []int{3}
+	run := func(p int) []*ChurnResult {
+		c := cfg
+		c.Parallelism = p
+		out, err := RunChurnReplicas(c, 0.02, 400, 3)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		return out
+	}
+	seq := run(1)
+	par := run(4)
+	if len(seq) != 3 {
+		t.Fatalf("got %d replicas, want 3", len(seq))
+	}
+	for i := range seq {
+		if seq[i] == nil || par[i] == nil {
+			t.Fatalf("replica %d missing", i)
+		}
+		var a, b bytes.Buffer
+		if err := seq[i].WriteCSV(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := par[i].WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("replica %d differs between parallelism levels", i)
+		}
+	}
+	// Replicas must be statistically independent: derived seeds differ, so
+	// at least the turnover trajectories should not all coincide.
+	if seq[0].TurnoverCycles == seq[1].TurnoverCycles && seq[1].TurnoverCycles == seq[2].TurnoverCycles &&
+		seq[0].Rows[0].Rand.MeanMissRatio == seq[1].Rows[0].Rand.MeanMissRatio {
+		t.Error("replicas look identical — per-replica seed derivation broken")
+	}
+}
+
+func TestRunChurnReplicasValidation(t *testing.T) {
+	if _, err := RunChurnReplicas(Scaled(200, 2), 0.01, 100, 0); err == nil {
+		t.Error("accepted zero replicas")
+	}
+}
+
+func TestSweepProgressReporting(t *testing.T) {
+	cfg := Scaled(200, 3)
+	cfg.Fanouts = []int{2, 4}
+	cfg.Parallelism = 2
+	var calls, lastDone, total int64
+	cfg.Progress = func(done, n int) {
+		atomic.AddInt64(&calls, 1)
+		atomic.StoreInt64(&lastDone, int64(done))
+		atomic.StoreInt64(&total, int64(n))
+	}
+	if _, err := RunStatic(cfg); err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := int64(len(cfg.Fanouts) * 2 * cfg.Runs)
+	if atomic.LoadInt64(&total) != wantTotal {
+		t.Errorf("progress total = %d, want %d", total, wantTotal)
+	}
+	if atomic.LoadInt64(&calls) == 0 || atomic.LoadInt64(&lastDone) != wantTotal {
+		t.Errorf("progress did not reach completion: %d calls, last done %d", calls, lastDone)
+	}
+}
+
+func TestParallelismValidation(t *testing.T) {
+	cfg := Scaled(100, 1)
+	cfg.Parallelism = -2
+	if _, err := RunStatic(cfg); err == nil {
+		t.Error("accepted negative parallelism")
+	}
+}
+
+func TestSweepOverlayValidates(t *testing.T) {
+	if _, err := SweepOverlay(nil, Config{}); err == nil {
+		t.Error("accepted invalid config")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ringcast/internal/core"
 	"ringcast/internal/dissem"
 	"ringcast/internal/eventsim"
+	"ringcast/internal/runner"
 )
 
 // TimingRow is one latency model's aggregate outcome.
@@ -34,6 +35,9 @@ type TimingResult struct {
 
 // RunTimingInvariance executes cfg.Runs disseminations per latency model
 // with the given protocol and fanout and reports the macroscopic outcomes.
+// The (model, run) unit grid is fanned across the worker pool; per-unit
+// sums are folded in run order so the means are bit-identical at any
+// Config.Parallelism.
 func RunTimingInvariance(cfg Config, protocol string, fanout int) (*TimingResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -50,54 +54,55 @@ func RunTimingInvariance(cfg Config, protocol string, fanout int) (*TimingResult
 		return nil, err
 	}
 	o := dissem.Snapshot(nw)
-	rng := nw.Rand()
 
-	res := &TimingResult{N: cfg.N, Runs: cfg.Runs, Fanout: fanout, Protocol: sel.Name()}
-
-	// Hop-synchronous reference.
-	var hopMiss, hopMsgs float64
-	for r := 0; r < cfg.Runs; r++ {
-		origin, err := o.RandomAliveOrigin(rng)
-		if err != nil {
-			return nil, err
-		}
-		d, err := dissem.RunOpts(o, origin, sel, fanout, rng, dissem.Options{SkipLoad: true})
-		if err != nil {
-			return nil, err
-		}
-		hopMiss += d.MissRatio()
-		hopMsgs += float64(d.TotalMsgs())
-	}
-	res.Rows = append(res.Rows, TimingRow{
-		Model:         "hop-synchronous",
-		MeanMissRatio: hopMiss / float64(cfg.Runs),
-		MeanMsgs:      hopMsgs / float64(cfg.Runs),
-	})
-
+	// Model 0 is the hop-synchronous reference; the rest are event-driven.
 	models := []struct {
 		name string
 		lat  eventsim.LatencyFunc
 	}{
+		{"hop-synchronous", nil},
 		{"constant", eventsim.ConstantLatency(1)},
 		{"uniform[0.1,10)", eventsim.UniformLatency(0.1, 10)},
 		{"exponential(mean 3)", eventsim.ExpLatency(3)},
 	}
-	for _, m := range models {
+
+	type outcome struct{ miss, msgs float64 }
+	units := make([]outcome, len(models)*cfg.Runs)
+	err = runner.Map(cfg.Parallelism, len(units), cfg.Progress, func(u int) error {
+		m, run := u/cfg.Runs, u%cfg.Runs
+		origin, err := o.RandomAliveOrigin(runner.UnitRand(cfg.Seed, tagOrigin, tagTiming, int64(run)))
+		if err != nil {
+			return err
+		}
+		rng := runner.UnitRand(cfg.Seed, tagTiming, int64(m), int64(run))
+		if models[m].lat == nil {
+			d, err := dissem.RunOpts(o, origin, sel, fanout, rng, dissem.Options{SkipLoad: true})
+			if err != nil {
+				return err
+			}
+			units[u] = outcome{d.MissRatio(), float64(d.TotalMsgs())}
+			return nil
+		}
+		ev, err := eventsim.Run(o, origin, sel, fanout, models[m].lat, rng)
+		if err != nil {
+			return err
+		}
+		units[u] = outcome{ev.MissRatio(), float64(ev.TotalMsgs())}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TimingResult{N: cfg.N, Runs: cfg.Runs, Fanout: fanout, Protocol: sel.Name()}
+	for m := range models {
 		var miss, msgs float64
-		for r := 0; r < cfg.Runs; r++ {
-			origin, err := o.RandomAliveOrigin(rng)
-			if err != nil {
-				return nil, err
-			}
-			ev, err := eventsim.Run(o, origin, sel, fanout, m.lat, rng)
-			if err != nil {
-				return nil, err
-			}
-			miss += ev.MissRatio()
-			msgs += float64(ev.TotalMsgs())
+		for run := 0; run < cfg.Runs; run++ {
+			miss += units[m*cfg.Runs+run].miss
+			msgs += units[m*cfg.Runs+run].msgs
 		}
 		res.Rows = append(res.Rows, TimingRow{
-			Model:         m.name,
+			Model:         models[m].name,
 			MeanMissRatio: miss / float64(cfg.Runs),
 			MeanMsgs:      msgs / float64(cfg.Runs),
 		})

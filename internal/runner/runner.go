@@ -1,0 +1,171 @@
+// Package runner is the deterministic parallel execution engine behind the
+// experiment sweeps: a worker pool that fans independent work units across
+// GOMAXPROCS goroutines, plus the seed-derivation scheme that makes results
+// bit-identical regardless of worker count.
+//
+// Determinism contract: a work unit fn(i) must (a) write only to its own
+// output slot i, (b) draw all randomness from a *rand.Rand derived via
+// UnitRand from the master seed and the unit's logical coordinates (never
+// from a stream shared with other units), and (c) not read other units'
+// outputs. Under that contract the set of unit outputs is a pure function of
+// the master seed, so callers that fold outputs in index order get the same
+// bytes at any parallelism level — including 1, which is the reference
+// sequential execution.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress receives live completion updates as units finish: done units out
+// of total. Implementations must tolerate concurrent-looking call patterns
+// (calls are serialized by the pool but may come from any worker goroutine)
+// and must be cheap — it runs on the workers' critical path.
+type Progress func(done, total int)
+
+// Resolve maps a Parallelism configuration knob to an effective worker
+// count: values >= 1 are used as-is, anything else (0, the default) means
+// one worker per available CPU.
+func Resolve(parallelism int) int {
+	if parallelism >= 1 {
+		return parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map executes fn(0), fn(1), ... fn(n-1) across Resolve(parallelism)
+// worker goroutines and blocks until all units finish. Units are claimed
+// dynamically (an atomic cursor), so stragglers do not idle other workers.
+//
+// Error handling is deterministic: if any units fail, Map returns the error
+// of the failing unit with the lowest index, regardless of completion order.
+// After the first observed failure, workers stop claiming new units, but
+// units already in flight run to completion, so outputs written by
+// successful units remain valid.
+func Map(parallelism, n int, progress Progress, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Resolve(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 && progress == nil {
+		// Fast path: the reference sequential execution, no goroutines.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		cursor int64 = -1
+		done   int
+		failed int32
+		wg     sync.WaitGroup
+		mu     sync.Mutex // guards done and errs, serializes progress calls
+		errs   []indexedError
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if atomic.LoadInt32(&failed) != 0 {
+					return
+				}
+				i := int(atomic.AddInt64(&cursor, 1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					atomic.StoreInt32(&failed, 1)
+					mu.Lock()
+					errs = append(errs, indexedError{i, err})
+					mu.Unlock()
+					continue
+				}
+				if progress != nil {
+					// The count is incremented under the same lock that
+					// serializes the calls, so updates are monotonic and the
+					// final delivered update is always (n, n).
+					mu.Lock()
+					done++
+					progress(done, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) == 0 {
+		return nil
+	}
+	first := errs[0]
+	for _, e := range errs[1:] {
+		if e.index < first.index {
+			first = e
+		}
+	}
+	return first.err
+}
+
+type indexedError struct {
+	index int
+	err   error
+}
+
+// splitmix64 is the SplitMix64 finalizer — a bijective avalanche mixer with
+// provably good dispersion, the standard tool for deriving decorrelated
+// child seeds from sequential or structured inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// UnitSeed derives a child seed from a master seed and a tag path (the work
+// unit's logical coordinates, e.g. scenario, fanout, run, protocol). Nearby
+// tag paths yield decorrelated seeds, and the derivation depends only on the
+// master seed and the tags — never on execution order or worker identity.
+func UnitSeed(master int64, tags ...int64) int64 {
+	h := splitmix64(uint64(master))
+	for _, t := range tags {
+		h = splitmix64(h ^ splitmix64(uint64(t)))
+	}
+	return int64(h)
+}
+
+// UnitRand returns a fresh deterministic random stream for one work unit,
+// seeded via UnitSeed.
+func UnitRand(master int64, tags ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(UnitSeed(master, tags...)))
+}
+
+// ConsoleProgress returns a Progress that renders a live single-line status
+// ("label: done/total (pct)") to w, throttled so it does not slow the pool
+// down; the final update always prints and terminates the line. Intended for
+// stderr so it interleaves safely with result tables on stdout.
+func ConsoleProgress(w io.Writer, label string) Progress {
+	var last time.Time
+	return func(done, total int) {
+		now := time.Now()
+		if done < total && now.Sub(last) < 100*time.Millisecond {
+			return
+		}
+		last = now
+		fmt.Fprintf(w, "\r%s: %d/%d (%.0f%%)", label, done, total, float64(done)/float64(total)*100)
+		if done == total {
+			fmt.Fprintln(w)
+		}
+	}
+}

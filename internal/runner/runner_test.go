@@ -1,0 +1,159 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCoversAllUnitsOnce(t *testing.T) {
+	for _, p := range []int{0, 1, 3, 16} {
+		n := 137
+		counts := make([]int64, n)
+		err := Map(p, n, nil, func(i int) error {
+			atomic.AddInt64(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("p=%d: unit %d executed %d times", p, i, c)
+			}
+		}
+	}
+}
+
+func TestMapZeroAndNegativeN(t *testing.T) {
+	ran := false
+	for _, n := range []int{0, -5} {
+		if err := Map(4, n, nil, func(int) error { ran = true; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ran {
+		t.Fatal("fn ran for empty input")
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("unit 3 failed")
+	for _, p := range []int{1, 4} {
+		err := Map(p, 64, nil, func(i int) error {
+			switch i {
+			case 3:
+				return wantErr
+			case 40:
+				return errors.New("unit 40 failed")
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("p=%d: got %v, want the lowest-index error", p, err)
+		}
+	}
+}
+
+func TestMapStopsClaimingAfterFailure(t *testing.T) {
+	var executed int64
+	err := Map(2, 10000, nil, func(i int) error {
+		atomic.AddInt64(&executed, 1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if n := atomic.LoadInt64(&executed); n == 10000 {
+		t.Error("pool did not stop early after a failure")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d", got)
+	}
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestUnitSeedIsOrderFreeAndTagSensitive(t *testing.T) {
+	a := UnitSeed(42, 1, 2, 3)
+	if b := UnitSeed(42, 1, 2, 3); a != b {
+		t.Fatal("UnitSeed not deterministic")
+	}
+	distinct := map[int64]string{a: "42/1,2,3"}
+	for seed, tags := range map[int64][]int64{
+		43: {1, 2, 3}, // different master
+		42: {3, 2, 1}, // permuted tags must differ (coordinates are positional)
+	} {
+		s := UnitSeed(seed, tags...)
+		if prev, dup := distinct[s]; dup {
+			t.Fatalf("seed collision between %s and %d/%v", prev, seed, tags)
+		}
+		distinct[s] = fmt.Sprintf("%d/%v", seed, tags)
+	}
+	// Sequential unit indices must yield decorrelated streams: the first
+	// draws of adjacent units should not be adjacent themselves.
+	r0 := UnitRand(42, 0).Int63()
+	r1 := UnitRand(42, 1).Int63()
+	if r0 == r1 || r0+1 == r1 {
+		t.Errorf("adjacent unit streams look correlated: %d then %d", r0, r1)
+	}
+}
+
+func TestUnitRandStreamsAreIndependent(t *testing.T) {
+	// Drawing from one unit's stream must not affect another's.
+	a := UnitRand(7, 5)
+	for i := 0; i < 100; i++ {
+		a.Int63()
+	}
+	b := UnitRand(7, 6)
+	want := UnitRand(7, 6).Int63()
+	if got := b.Int63(); got != want {
+		t.Errorf("unit stream affected by sibling: %d != %d", got, want)
+	}
+}
+
+func TestMapProgressReachesTotal(t *testing.T) {
+	var maxDone int
+	total := 50
+	err := Map(4, total, func(done, n int) {
+		if n != total {
+			t.Errorf("total = %d, want %d", n, total)
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+	}, func(int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxDone != total {
+		t.Errorf("final progress %d, want %d", maxDone, total)
+	}
+}
+
+func TestConsoleProgressPrintsFinalLine(t *testing.T) {
+	var sb strings.Builder
+	p := ConsoleProgress(&sb, "sweep")
+	p(1, 2)
+	p(2, 2)
+	out := sb.String()
+	if !strings.Contains(out, "sweep: 2/2 (100%)") {
+		t.Errorf("final progress line missing: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("final line not terminated: %q", out)
+	}
+}
