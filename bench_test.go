@@ -539,3 +539,25 @@ func BenchmarkDisseminationRun(b *testing.B) {
 		disseminate(b, o, core.RingCast{}, 3, rng)
 	}
 }
+
+// BenchmarkDisseminationRunScratch is BenchmarkDisseminationRun on the
+// engine's pooled-scratch path — the configuration the parallel sweep
+// actually runs, where the per-run buffers (notified bitmap, frontier
+// queues, selection pools) are reused across every run of a sweep unit.
+func BenchmarkDisseminationRunScratch(b *testing.B) {
+	_, o := staticOverlay(b)
+	rng := rand.New(rand.NewSource(11))
+	sc := dissem.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		origin, err := o.RandomAliveOrigin(rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dissem.RunScratch(o, origin, core.RingCast{}, 3, rng,
+			dissem.Options{SkipLoad: true}, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -154,6 +154,136 @@ func ByName(name string) (Selector, error) {
 	}
 }
 
+// PosLinks is a node's outgoing neighbourhood with every ID resolved to a
+// dense overlay position (see dissem.Overlay). Positions >= 0 index the
+// overlay's node table; NilPos marks links whose ID was nil; values <= -2 are
+// per-ID placeholders for links pointing at IDs absent from the overlay —
+// each distinct unknown ID resolves to a distinct placeholder, so duplicate
+// suppression over positions behaves exactly as it does over IDs. Selecting
+// over positions replaces the per-target map lookup of the ID path with
+// array indexing on the dissemination hot path.
+type PosLinks struct {
+	// R holds the random links, aligned with the Links.R they were resolved
+	// from.
+	R []int32
+	// D holds the deterministic links, aligned with Links.D.
+	D []int32
+}
+
+// NilPos is the resolved position of a nil ID. It is skipped during
+// selection, exactly as nil IDs are on the ID path.
+const NilPos int32 = -1
+
+// PosScratch carries reusable buffers for SelectPos so that repeated
+// selections allocate nothing. The zero value is ready to use; a scratch
+// must not be shared between concurrent selections.
+type PosScratch struct {
+	cand []int32
+}
+
+// PosSelector is implemented by selectors that can choose targets directly
+// over resolved positions. SelectPos appends the chosen positions to dst and
+// returns the extended slice (it never inspects dst below its initial
+// length). Implementations MUST consume exactly the same randomness as
+// Select does on the equivalent ID links, so that the position path and the
+// ID path produce identical disseminations. All selectors in this package
+// satisfy PosSelector.
+type PosSelector interface {
+	SelectPos(dst []int32, s *PosScratch, links PosLinks, from int32, fanout int, rng *rand.Rand) []int32
+}
+
+var (
+	_ PosSelector = RandCast{}
+	_ PosSelector = RingCast{}
+	_ PosSelector = Flood{}
+	_ PosSelector = DFlood{}
+)
+
+// SelectPos implements PosSelector, mirroring Select.
+func (RandCast) SelectPos(dst []int32, s *PosScratch, links PosLinks, from int32, fanout int, rng *rand.Rand) []int32 {
+	return samplePosExcluding(dst, s, links.R, fanout, rng, from, nil)
+}
+
+// SelectPos implements PosSelector, mirroring Select.
+func (RingCast) SelectPos(dst []int32, s *PosScratch, links PosLinks, from int32, fanout int, rng *rand.Rand) []int32 {
+	base := len(dst)
+	for _, d := range links.D {
+		if d == from || d == NilPos || containsPos(dst[base:], d) {
+			continue
+		}
+		dst = append(dst, d)
+	}
+	if remaining := fanout - (len(dst) - base); remaining > 0 {
+		dst = samplePosExcluding(dst, s, links.R, remaining, rng, from, dst[base:])
+	}
+	return dst
+}
+
+// SelectPos implements PosSelector, mirroring Select.
+func (Flood) SelectPos(dst []int32, _ *PosScratch, links PosLinks, from int32, _ int, _ *rand.Rand) []int32 {
+	base := len(dst)
+	for _, set := range [2][]int32{links.D, links.R} {
+		for _, p := range set {
+			if p == from || p == NilPos || containsPos(dst[base:], p) {
+				continue
+			}
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// SelectPos implements PosSelector, mirroring Select.
+func (DFlood) SelectPos(dst []int32, _ *PosScratch, links PosLinks, from int32, _ int, _ *rand.Rand) []int32 {
+	base := len(dst)
+	for _, p := range links.D {
+		if p == from || p == NilPos || containsPos(dst[base:], p) {
+			continue
+		}
+		dst = append(dst, p)
+	}
+	return dst
+}
+
+// samplePosExcluding is sampleExcluding over positions: up to n distinct
+// positions drawn uniformly without replacement from pool, excluding from,
+// NilPos, and anything in skip, appended to dst. The candidate pool is built
+// in the same order and the same number of rng draws are made as on the ID
+// path, so both paths pick the same targets. Linear-scan dedup replaces the
+// ID path's maps: link sets are small (tens of entries), where scanning
+// beats hashing and allocates nothing.
+func samplePosExcluding(dst []int32, s *PosScratch, pool []int32, n int, rng *rand.Rand, from int32, skip []int32) []int32 {
+	if n <= 0 || len(pool) == 0 {
+		return dst
+	}
+	cand := s.cand[:0]
+	for _, p := range pool {
+		if p == from || p == NilPos || containsPos(cand, p) || containsPos(skip, p) {
+			continue
+		}
+		cand = append(cand, p)
+	}
+	s.cand = cand
+	if n > len(cand) {
+		n = len(cand)
+	}
+	// Partial Fisher-Yates: shuffle only the prefix we take.
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+	}
+	return append(dst, cand[:n]...)
+}
+
+func containsPos(s []int32, p int32) bool {
+	for _, q := range s {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
 // sampleExcluding returns up to n distinct IDs drawn uniformly without
 // replacement from pool, excluding `from`, ident.Nil, and anything in skip.
 func sampleExcluding(pool []ident.ID, n int, rng *rand.Rand, from ident.ID, skip map[ident.ID]struct{}) []ident.ID {

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringcast/internal/ident"
+)
+
+// resolveForTest mirrors the overlay's link resolution: known IDs map to
+// their dense position, nil maps to NilPos, unknown IDs map to distinct
+// placeholders <= -2.
+func resolveForTest(ids []ident.ID, index map[ident.ID]int32, unknown map[ident.ID]int32) []int32 {
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		switch {
+		case id.IsNil():
+			out[i] = NilPos
+		default:
+			if p, ok := index[id]; ok {
+				out[i] = p
+			} else {
+				p, ok := unknown[id]
+				if !ok {
+					p = int32(-2 - len(unknown))
+					unknown[id] = p
+				}
+				out[i] = p
+			}
+		}
+	}
+	return out
+}
+
+// TestSelectPosMatchesSelect drives every selector over randomized link sets
+// with both the ID path and the position path from identical rng states and
+// requires the chosen targets to agree exactly — the invariant the
+// dissemination engine's byte-identical-output guarantee rests on.
+func TestSelectPosMatchesSelect(t *testing.T) {
+	selectors := []Selector{RandCast{}, RingCast{}, Flood{}, DFlood{}}
+	seedRng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		// A small universe with some IDs unknown to the "overlay".
+		universe := make([]ident.ID, 12)
+		index := make(map[ident.ID]int32)
+		for i := range universe {
+			universe[i] = ident.ID(seedRng.Intn(9) + 1) // collisions on purpose
+			if seedRng.Intn(4) == 0 {
+				universe[i] = ident.Nil
+			}
+		}
+		for i, id := range universe {
+			if !id.IsNil() && seedRng.Intn(3) != 0 {
+				if _, dup := index[id]; !dup {
+					index[id] = int32(i)
+				}
+			}
+		}
+		links := Links{
+			R: universe[:seedRng.Intn(len(universe)+1)],
+			D: universe[seedRng.Intn(len(universe)):],
+		}
+		unknown := make(map[ident.ID]int32)
+		pos := PosLinks{
+			R: resolveForTest(links.R, index, unknown),
+			D: resolveForTest(links.D, index, unknown),
+		}
+		from := ident.Nil
+		fromPos := NilPos
+		if seedRng.Intn(2) == 0 && len(links.R) > 0 {
+			from = links.R[seedRng.Intn(len(links.R))]
+			if from.IsNil() {
+				fromPos = NilPos
+			} else if p, ok := index[from]; ok {
+				fromPos = p
+			} else {
+				fromPos = unknown[from]
+			}
+		}
+		fanout := seedRng.Intn(6) + 1
+		seed := seedRng.Int63()
+		for _, sel := range selectors {
+			idTargets := sel.Select(links, from, fanout, rand.New(rand.NewSource(seed)))
+			var scratch PosScratch
+			posTargets := sel.(PosSelector).SelectPos(nil, &scratch, pos, fromPos, fanout, rand.New(rand.NewSource(seed)))
+			if len(idTargets) != len(posTargets) {
+				t.Fatalf("trial %d %s: %d ID targets vs %d pos targets", trial, sel.Name(), len(idTargets), len(posTargets))
+			}
+			for i, id := range idTargets {
+				want, known := index[id]
+				if !known {
+					want = unknown[id]
+				}
+				if posTargets[i] != want {
+					t.Fatalf("trial %d %s target %d: pos %d, want %d (id %v)",
+						trial, sel.Name(), i, posTargets[i], want, id)
+				}
+			}
+		}
+	}
+}

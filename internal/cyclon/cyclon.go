@@ -61,6 +61,12 @@ type Cyclon struct {
 	addr string
 	cfg  Config
 	view *view.View
+
+	// Scratch buffers reused across protocol steps. They never escape a
+	// single method call, so single-threaded callers (the simulator) and
+	// mutex-serialized callers (the live node) are both safe.
+	pool        []view.Entry // sampling pool for shuffle payloads
+	replaceable []ident.ID   // merge's shipped-entry bookkeeping
 }
 
 // New constructs the protocol state for one node.
@@ -145,9 +151,32 @@ func (c *Cyclon) buildShuffle(rng *rand.Rand) (Shuffle, bool) {
 		return Shuffle{}, false
 	}
 	c.view.Remove(peer.Node)
-	sent := c.view.RandomEntries(c.cfg.ShuffleLen-1, rng)
+	// Sent escapes into the returned Shuffle (the live runtime keeps it in
+	// its pending table across round trips), so it gets exactly one fresh
+	// allocation; the sampling pool itself is scratch.
+	sent := c.sampleAppend(make([]view.Entry, 0, c.cfg.ShuffleLen), c.cfg.ShuffleLen-1, rng)
 	sent = append(sent, view.Entry{Node: c.self, Addr: c.addr, Age: 0})
 	return Shuffle{Peer: peer, Sent: sent}, true
+}
+
+// sampleAppend appends up to n distinct random view entries to dst, drawn
+// uniformly without replacement. It consumes the same randomness as
+// view.RandomEntries with no exclusions.
+func (c *Cyclon) sampleAppend(dst []view.Entry, n int, rng *rand.Rand) []view.Entry {
+	if n <= 0 {
+		return dst
+	}
+	pool := c.view.AppendTo(c.pool[:0])
+	c.pool = pool
+	if n > len(pool) {
+		n = len(pool)
+	}
+	// Partial Fisher-Yates: shuffle only the prefix we take.
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return append(dst, pool[:n]...)
 }
 
 // HandleRequest processes a shuffle request received from another node and
@@ -155,11 +184,9 @@ func (c *Cyclon) buildShuffle(rng *rand.Rand) (Shuffle, bool) {
 // view, chosen before merging). The received entries are merged into the
 // local view, preferring to overwrite the entries just sent back.
 func (c *Cyclon) HandleRequest(received []view.Entry, rng *rand.Rand) []view.Entry {
-	reply := c.view.RandomEntries(c.cfg.ShuffleLen, rng)
+	reply := c.sampleAppend(make([]view.Entry, 0, c.cfg.ShuffleLen), c.cfg.ShuffleLen, rng)
 	c.merge(received, reply)
-	out := make([]view.Entry, len(reply))
-	copy(out, reply)
-	return out
+	return reply
 }
 
 // HandleReply completes a shuffle this node initiated: the peer's reply is
@@ -173,12 +200,13 @@ func (c *Cyclon) HandleReply(sh Shuffle, received []view.Entry) {
 // discard entries for self and nodes already known, fill empty slots first,
 // then replace entries that were shipped to the peer (each at most once).
 func (c *Cyclon) merge(incoming, shipped []view.Entry) {
-	replaceable := make([]ident.ID, 0, len(shipped))
+	replaceable := c.replaceable[:0]
 	for _, s := range shipped {
 		if s.Node != c.self {
 			replaceable = append(replaceable, s.Node)
 		}
 	}
+	c.replaceable = replaceable
 	for _, e := range incoming {
 		if e.Node == c.self || e.Node.IsNil() || c.view.Contains(e.Node) {
 			continue

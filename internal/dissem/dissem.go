@@ -27,8 +27,77 @@ import (
 type Overlay struct {
 	ids   []ident.ID
 	links []core.Links
+	// pos holds links resolved to dense positions (core.PosLinks), computed
+	// once at Snapshot/FromLinks time so the dissemination hot path never
+	// consults the ID index. Shared by clones: topology is immutable.
+	pos   []core.PosLinks
 	alive []bool
+	// live caches the positions of live nodes in ascending order. It is
+	// rebuilt eagerly at every liveness change (construction, KillFraction,
+	// Clone) — all single-threaded setup points — so the parallel sweep
+	// phase only ever reads it: RandomAliveOrigin and AliveCount are O(1)
+	// allocation-free on the per-unit hot path.
+	live  []int32
 	index map[ident.ID]int
+}
+
+// rebuildLive recomputes the live-position cache from the alive flags.
+func (o *Overlay) rebuildLive() {
+	o.live = o.live[:0]
+	for i, a := range o.alive {
+		if a {
+			o.live = append(o.live, int32(i))
+		}
+	}
+}
+
+// resolveLinks computes o.pos from o.links and o.index. Every node position
+// fits in int32 (populations beyond 2^31 nodes are out of scope); all R and
+// D positions share two backing arrays, so a snapshot's whole topology is
+// two contiguous int32 blocks — cache-friendly for the hop loop.
+func (o *Overlay) resolveLinks() {
+	totalR, totalD := 0, 0
+	for _, l := range o.links {
+		totalR += len(l.R)
+		totalD += len(l.D)
+	}
+	bufR := make([]int32, 0, totalR)
+	bufD := make([]int32, 0, totalD)
+	var unknown map[ident.ID]int32
+	resolve := func(id ident.ID) int32 {
+		if id.IsNil() {
+			return core.NilPos
+		}
+		if i, ok := o.index[id]; ok {
+			return int32(i)
+		}
+		// Dangling link to an ID outside the snapshot: distinct IDs get
+		// distinct placeholders so selection dedups them exactly as the ID
+		// path would.
+		p, ok := unknown[id]
+		if !ok {
+			if unknown == nil {
+				unknown = make(map[ident.ID]int32)
+			}
+			p = int32(-2 - len(unknown))
+			unknown[id] = p
+		}
+		return p
+	}
+	o.pos = make([]core.PosLinks, len(o.links))
+	for i, l := range o.links {
+		startR, startD := len(bufR), len(bufD)
+		for _, id := range l.R {
+			bufR = append(bufR, resolve(id))
+		}
+		for _, id := range l.D {
+			bufD = append(bufD, resolve(id))
+		}
+		o.pos[i] = core.PosLinks{
+			R: bufR[startR:len(bufR):len(bufR)],
+			D: bufD[startD:len(bufD):len(bufD)],
+		}
+	}
 }
 
 // Snapshot captures the current overlay of a simulated network: r-links are
@@ -70,6 +139,8 @@ func Snapshot(nw *sim.Network) *Overlay {
 		}
 		o.links[i] = l
 	}
+	o.resolveLinks()
+	o.rebuildLive()
 	return o
 }
 
@@ -96,6 +167,8 @@ func FromLinks(ids []ident.ID, links []core.Links) (*Overlay, error) {
 		o.index[id] = i
 		o.alive[i] = true
 	}
+	o.resolveLinks()
+	o.rebuildLive()
 	return o, nil
 }
 
@@ -109,15 +182,7 @@ func (o *Overlay) IDs() []ident.ID { return o.ids }
 func (o *Overlay) Links(i int) core.Links { return o.links[i] }
 
 // AliveCount returns the number of live nodes.
-func (o *Overlay) AliveCount() int {
-	n := 0
-	for _, a := range o.alive {
-		if a {
-			n++
-		}
-	}
-	return n
-}
+func (o *Overlay) AliveCount() int { return len(o.live) }
 
 // IsAlive reports node i's liveness.
 func (o *Overlay) IsAlive(i int) bool { return o.alive[i] }
@@ -128,11 +193,23 @@ func (o *Overlay) Clone() *Overlay {
 	c := &Overlay{
 		ids:   o.ids,
 		links: o.links,
+		pos:   o.pos,
 		alive: append([]bool(nil), o.alive...),
+		live:  append([]int32(nil), o.live...),
 		index: o.index,
 	}
 	return c
 }
+
+// Pos returns the dense position of id in the snapshot, if present.
+func (o *Overlay) Pos(id ident.ID) (int, bool) {
+	i, ok := o.index[id]
+	return i, ok
+}
+
+// PosLinks returns node i's outgoing links resolved to positions. Callers
+// must not mutate.
+func (o *Overlay) PosLinks(i int) core.PosLinks { return o.pos[i] }
 
 // KillFraction marks a uniformly random fraction of live nodes dead —
 // the catastrophic failure of Section 7.2 applied to the frozen overlay
@@ -153,21 +230,19 @@ func (o *Overlay) KillFraction(frac float64, rng *rand.Rand) int {
 	for _, i := range live[:k] {
 		o.alive[i] = false
 	}
+	o.rebuildLive()
 	return k
 }
 
-// RandomAliveOrigin picks a uniformly random live node to post a message from.
+// RandomAliveOrigin picks a uniformly random live node to post a message
+// from: one draw over the cached live positions (same ascending order the
+// old per-call scan built, so draws are bit-identical), with no per-call
+// allocation.
 func (o *Overlay) RandomAliveOrigin(rng *rand.Rand) (ident.ID, error) {
-	live := make([]int, 0, len(o.alive))
-	for i, a := range o.alive {
-		if a {
-			live = append(live, i)
-		}
-	}
-	if len(live) == 0 {
+	if len(o.live) == 0 {
 		return ident.Nil, fmt.Errorf("dissem: no live nodes")
 	}
-	return o.ids[live[rng.Intn(len(live))]], nil
+	return o.ids[o.live[rng.Intn(len(o.live))]], nil
 }
 
 // DGraph projects the overlay's d-links onto a graph.Directed for
@@ -187,10 +262,39 @@ func (o *Overlay) DGraph() *graph.Directed {
 // AliveSlice returns a copy of the liveness flags, aligned with IDs().
 func (o *Overlay) AliveSlice() []bool { return append([]bool(nil), o.alive...) }
 
-// delivery is one in-flight message copy.
+// delivery is one in-flight message copy. Both endpoints are dense overlay
+// positions; from is core.NilPos for the origin's own sends.
 type delivery struct {
-	to   int
-	from ident.ID
+	to   int32
+	from int32
+}
+
+// Scratch holds the reusable buffers of the dissemination engine: the
+// notified bitmap, the two frontier queues, the per-node target buffer and
+// the selector's sampling pool. Reusing one Scratch across the runs of a
+// sweep unit removes every per-hop and per-forward allocation; only the
+// returned metrics are freshly allocated. A Scratch must not be shared
+// between concurrent runs. The zero value is ready to use.
+type Scratch struct {
+	notified []bool
+	frontier []delivery
+	next     []delivery
+	targets  []int32
+	sel      core.PosScratch
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// notifiedBuf returns a zeroed []bool of length n, reusing prior capacity.
+func (sc *Scratch) notifiedBuf(n int) []bool {
+	if cap(sc.notified) < n {
+		sc.notified = make([]bool, n)
+	} else {
+		sc.notified = sc.notified[:n]
+		clear(sc.notified)
+	}
+	return sc.notified
 }
 
 // Options tunes what a dissemination run records.
@@ -213,6 +317,13 @@ func Run(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *rand.R
 
 // RunOpts is Run with recording options.
 func RunOpts(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *rand.Rand, opts Options) (*metrics.Dissemination, error) {
+	return RunScratch(o, origin, sel, fanout, rng, opts, nil)
+}
+
+// RunScratch is RunOpts with caller-managed scratch buffers: passing the
+// same Scratch to every run of a sweep unit makes the engine allocation-free
+// apart from the returned metrics. A nil scratch allocates a private one.
+func RunScratch(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *rand.Rand, opts Options, sc *Scratch) (*metrics.Dissemination, error) {
 	oi, ok := o.index[origin]
 	if !ok {
 		return nil, fmt.Errorf("dissem: unknown origin %v", origin)
@@ -223,6 +334,13 @@ func RunOpts(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *ra
 	if sel == nil {
 		return nil, fmt.Errorf("dissem: selector must not be nil")
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	// All built-in selectors choose over resolved positions; foreign
+	// Selector implementations fall back to ID selection with a per-target
+	// index lookup.
+	posSel, _ := sel.(core.PosSelector)
 
 	d := &metrics.Dissemination{
 		AliveTotal: o.AliveCount(),
@@ -232,15 +350,46 @@ func RunOpts(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *ra
 		d.SentPerNode = make([]int, len(o.ids))
 		d.RecvPerNode = make([]int, len(o.ids))
 	}
-	notified := make([]bool, len(o.ids))
+	notified := sc.notifiedBuf(len(o.ids))
 
 	notified[oi] = true
 	d.Reached = 1
 	d.CumNotified = append(d.CumNotified, 1)
 
-	frontier := forward(o, d, oi, ident.Nil, sel, fanout, rng)
+	// forward lets node i pick targets and appends the resulting deliveries
+	// to out. Unknown targets (placeholder positions < 0) are dropped
+	// silently, exactly as the ID path drops targets missing from the index.
+	forward := func(i, from int32, out []delivery) []delivery {
+		sc.targets = sc.targets[:0]
+		if posSel != nil {
+			sc.targets = posSel.SelectPos(sc.targets, &sc.sel, o.pos[i], from, fanout, rng)
+		} else {
+			fromID := ident.Nil
+			if from >= 0 {
+				fromID = o.ids[from]
+			}
+			for _, tgt := range sel.Select(o.links[i], fromID, fanout, rng) {
+				if j, ok := o.index[tgt]; ok {
+					sc.targets = append(sc.targets, int32(j))
+				}
+			}
+		}
+		for _, j := range sc.targets {
+			if j < 0 {
+				continue // link to an unknown node: treat as lost silently
+			}
+			if d.SentPerNode != nil {
+				d.SentPerNode[i]++
+			}
+			out = append(out, delivery{to: j, from: i})
+		}
+		return out
+	}
+
+	frontier := forward(int32(oi), core.NilPos, sc.frontier[:0])
+	next := sc.next[:0]
 	for len(frontier) > 0 {
-		var next []delivery
+		next = next[:0]
 		for _, dl := range frontier {
 			if d.RecvPerNode != nil {
 				d.RecvPerNode[dl.to]++
@@ -256,11 +405,12 @@ func RunOpts(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *ra
 			d.Virgin++
 			notified[dl.to] = true
 			d.Reached++
-			next = append(next, forward(o, d, dl.to, dl.from, sel, fanout, rng)...)
+			next = forward(dl.to, dl.from, next)
 		}
 		d.CumNotified = append(d.CumNotified, d.Reached)
-		frontier = next
+		frontier, next = next, frontier
 	}
+	sc.frontier, sc.next = frontier, next
 	// Trim trailing hops where nothing new was notified but messages were
 	// still in flight, keeping the last hop at which Reached grew (plus the
 	// origin-only hop 0 when nothing ever spread).
@@ -275,24 +425,4 @@ func RunOpts(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *ra
 		}
 	}
 	return d, nil
-}
-
-// forward lets node i pick targets and emits the resulting deliveries.
-func forward(o *Overlay, d *metrics.Dissemination, i int, from ident.ID, sel core.Selector, fanout int, rng *rand.Rand) []delivery {
-	targets := sel.Select(o.links[i], from, fanout, rng)
-	if len(targets) == 0 {
-		return nil
-	}
-	out := make([]delivery, 0, len(targets))
-	for _, tgt := range targets {
-		j, ok := o.index[tgt]
-		if !ok {
-			continue // link to an unknown node: treat as lost silently
-		}
-		if d.SentPerNode != nil {
-			d.SentPerNode[i]++
-		}
-		out = append(out, delivery{to: j, from: o.ids[i]})
-	}
-	return out
 }

@@ -71,11 +71,12 @@ func (r *Result) Complete() bool { return r.Reached == r.AliveTotal }
 // TotalMsgs is the total number of point-to-point messages sent.
 func (r *Result) TotalMsgs() int { return r.Virgin + r.Redundant + r.Lost }
 
-// event is one in-flight message copy.
+// event is one in-flight message copy. Endpoints are dense overlay
+// positions; from is core.NilPos for the origin's own sends.
 type event struct {
 	at   float64
-	to   int
-	from ident.ID
+	to   int32
+	from int32
 	seq  int // tie-breaker for deterministic ordering
 }
 
@@ -99,52 +100,92 @@ func (q *eventQueue) Pop() interface{} {
 	return it
 }
 
+// Scratch holds the reusable buffers of the event engine: the notified
+// bitmap, the event heap, and the selection buffers. Reusing one Scratch
+// across runs within a sweep unit removes all per-run allocation. A Scratch
+// must not be shared between concurrent runs; the zero value is ready.
+type Scratch struct {
+	notified []bool
+	q        eventQueue
+	targets  []int32
+	sel      core.PosScratch
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
 // Run disseminates one message from origin over the frozen overlay with
 // per-copy latencies drawn from lat. The selection logic is identical to the
 // hop-based simulator; only timing differs.
 func Run(o *dissem.Overlay, origin ident.ID, sel core.Selector, fanout int, lat LatencyFunc, rng *rand.Rand) (*Result, error) {
+	return RunScratch(o, origin, sel, fanout, lat, rng, nil)
+}
+
+// RunScratch is Run with caller-managed scratch buffers (see Scratch). A nil
+// scratch allocates a private one.
+func RunScratch(o *dissem.Overlay, origin ident.ID, sel core.Selector, fanout int, lat LatencyFunc, rng *rand.Rand, sc *Scratch) (*Result, error) {
 	if sel == nil {
 		return nil, fmt.Errorf("eventsim: selector must not be nil")
 	}
 	if lat == nil {
 		return nil, fmt.Errorf("eventsim: latency function must not be nil")
 	}
-	index := make(map[ident.ID]int, o.N())
-	for i, id := range o.IDs() {
-		index[id] = i
-	}
-	oi, ok := index[origin]
+	oi, ok := o.Pos(origin)
 	if !ok {
 		return nil, fmt.Errorf("eventsim: unknown origin %v", origin)
 	}
 	if !o.IsAlive(oi) {
 		return nil, fmt.Errorf("eventsim: origin %v is dead", origin)
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	posSel, _ := sel.(core.PosSelector)
 
 	res := &Result{AliveTotal: o.AliveCount()}
-	notified := make([]bool, o.N())
+	notified := sc.notified
+	if cap(notified) < o.N() {
+		notified = make([]bool, o.N())
+	} else {
+		notified = notified[:o.N()]
+		clear(notified)
+	}
+	sc.notified = notified
 	notified[oi] = true
 	res.Reached = 1
 
-	var q eventQueue
+	q := &sc.q
+	*q = (*q)[:0]
 	seq := 0
-	emit := func(from int, fromID ident.ID, now float64) {
-		targets := sel.Select(o.Links(from), fromID, fanout, rng)
-		for _, tgt := range targets {
-			j, ok := index[tgt]
-			if !ok {
-				continue
+	emit := func(i, from int32, now float64) {
+		sc.targets = sc.targets[:0]
+		if posSel != nil {
+			sc.targets = posSel.SelectPos(sc.targets, &sc.sel, o.PosLinks(int(i)), from, fanout, rng)
+		} else {
+			fromID := ident.Nil
+			if from >= 0 {
+				fromID = o.IDs()[from]
+			}
+			for _, tgt := range sel.Select(o.Links(int(i)), fromID, fanout, rng) {
+				if j, ok := o.Pos(tgt); ok {
+					sc.targets = append(sc.targets, int32(j))
+				}
+			}
+		}
+		for _, j := range sc.targets {
+			if j < 0 {
+				continue // link to an unknown node: lost silently
 			}
 			seq++
-			heap.Push(&q, event{at: now + lat(rng), to: j, from: o.IDs()[from], seq: seq})
+			heap.Push(q, event{at: now + lat(rng), to: j, from: i, seq: seq})
 		}
 	}
-	emit(oi, ident.Nil, 0)
+	emit(int32(oi), core.NilPos, 0)
 
 	for q.Len() > 0 {
-		ev := heap.Pop(&q).(event)
+		ev := heap.Pop(q).(event)
 		res.Deliveries++
-		if !o.IsAlive(ev.to) {
+		if !o.IsAlive(int(ev.to)) {
 			res.Lost++
 			continue
 		}

@@ -200,6 +200,8 @@ func RunMultiRingAblation(n, runs, fanout int, ringCounts []int, failFrac float6
 			return err
 		}
 		var acc metrics.Accumulator
+		sc := scratchPool.Get().(*dissem.Scratch)
+		defer scratchPool.Put(sc)
 		for run := 0; run < runs; run++ {
 			o := base.Clone()
 			o.KillFraction(failFrac, rng)
@@ -207,7 +209,7 @@ func RunMultiRingAblation(n, runs, fanout int, ringCounts []int, failFrac float6
 			if err != nil {
 				return err
 			}
-			d, err := dissem.RunOpts(o, origin, core.RingCast{}, fanout, rng, dissem.Options{SkipLoad: true})
+			d, err := dissem.RunScratch(o, origin, core.RingCast{}, fanout, rng, dissem.Options{SkipLoad: true}, sc)
 			if err != nil {
 				return err
 			}

@@ -145,7 +145,9 @@ func survivalRate(o *dissem.Overlay, seed, ovTag int64, kills, trials, paralleli
 		if err != nil {
 			return nil // overlay wiped out: count the trial as failed
 		}
-		d, err := dissem.RunOpts(c, origin, core.DFlood{}, 0, rng, dissem.Options{SkipLoad: true})
+		sc := scratchPool.Get().(*dissem.Scratch)
+		d, err := dissem.RunScratch(c, origin, core.DFlood{}, 0, rng, dissem.Options{SkipLoad: true}, sc)
+		scratchPool.Put(sc)
 		if err != nil {
 			return err
 		}

@@ -145,6 +145,13 @@ const (
 // RANDCAST, index 1 is RINGCAST, matching Row's column order.
 var sweepSelectors = [2]core.Selector{core.RandCast{}, core.RingCast{}}
 
+// scratchPool shares dissemination scratch buffers across work units: each
+// unit borrows a scratch for its run(s) and returns it, so a sweep performs
+// a bounded number of buffer allocations regardless of how many thousand
+// units it executes. Scratch contents never influence results, so pooling
+// cannot affect determinism.
+var scratchPool = sync.Pool{New: func() any { return dissem.NewScratch() }}
+
 // Row is one fanout's aggregated results for both protocols.
 type Row struct {
 	Fanout int
@@ -203,7 +210,9 @@ func sweepAll(o *dissem.Overlay, cfg Config, opts dissem.Options) ([][2][]*metri
 			return err
 		}
 		rng := runner.UnitRand(cfg.Seed, tagSweep, int64(f), int64(run), int64(proto))
-		d, err := dissem.RunOpts(o, origin, sweepSelectors[proto], f, rng, opts)
+		sc := scratchPool.Get().(*dissem.Scratch)
+		d, err := dissem.RunScratch(o, origin, sweepSelectors[proto], f, rng, opts, sc)
+		scratchPool.Put(sc)
 		if err != nil {
 			return err
 		}
@@ -505,7 +514,9 @@ func RunLoad(cfg Config, fanout int) (*LoadResult, error) {
 			return err
 		}
 		rng := runner.UnitRand(cfg.Seed, tagLoad, int64(fanout), int64(run), int64(proto))
-		d, err := dissem.Run(o, origin, sweepSelectors[proto], fanout, rng)
+		sc := scratchPool.Get().(*dissem.Scratch)
+		d, err := dissem.RunScratch(o, origin, sweepSelectors[proto], fanout, rng, dissem.Options{}, sc)
+		scratchPool.Put(sc)
 		if err != nil {
 			return err
 		}

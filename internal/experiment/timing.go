@@ -7,12 +7,16 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 
 	"ringcast/internal/core"
 	"ringcast/internal/dissem"
 	"ringcast/internal/eventsim"
 	"ringcast/internal/runner"
 )
+
+// eventScratchPool is scratchPool's event-driven counterpart.
+var eventScratchPool = sync.Pool{New: func() any { return eventsim.NewScratch() }}
 
 // TimingRow is one latency model's aggregate outcome.
 type TimingRow struct {
@@ -76,14 +80,18 @@ func RunTimingInvariance(cfg Config, protocol string, fanout int) (*TimingResult
 		}
 		rng := runner.UnitRand(cfg.Seed, tagTiming, int64(m), int64(run))
 		if models[m].lat == nil {
-			d, err := dissem.RunOpts(o, origin, sel, fanout, rng, dissem.Options{SkipLoad: true})
+			sc := scratchPool.Get().(*dissem.Scratch)
+			d, err := dissem.RunScratch(o, origin, sel, fanout, rng, dissem.Options{SkipLoad: true}, sc)
+			scratchPool.Put(sc)
 			if err != nil {
 				return err
 			}
 			units[u] = outcome{d.MissRatio(), float64(d.TotalMsgs())}
 			return nil
 		}
-		ev, err := eventsim.Run(o, origin, sel, fanout, models[m].lat, rng)
+		sc := eventScratchPool.Get().(*eventsim.Scratch)
+		ev, err := eventsim.RunScratch(o, origin, sel, fanout, models[m].lat, rng, sc)
+		eventScratchPool.Put(sc)
 		if err != nil {
 			return err
 		}

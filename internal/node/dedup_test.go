@@ -77,3 +77,56 @@ func TestDedupInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// mid is shorthand for a message ID in the eviction-order tests.
+func mid(seq int) wire.MsgID { return wire.MsgID{Origin: 1, Seq: uint64(seq)} }
+
+// TestDedupEvictionOrderAcrossWraparound pins FIFO semantics across the
+// growth phase, the first eviction (exactly cap, then cap+1 insertions) and
+// repeated ring wraparound (2*cap insertions): after k evictions, exactly
+// the first k inserted IDs are gone and the most recent cap survive.
+func TestDedupEvictionOrderAcrossWraparound(t *testing.T) {
+	const capacity = 5
+	check := func(t *testing.T, c *dedupCache, inserted int) {
+		t.Helper()
+		evicted := inserted - capacity
+		if evicted < 0 {
+			evicted = 0
+		}
+		if c.Len() != min(inserted, capacity) {
+			t.Fatalf("after %d inserts Len = %d, want %d", inserted, c.Len(), min(inserted, capacity))
+		}
+		for s := 0; s < inserted; s++ {
+			want := s >= evicted // only the newest `capacity` IDs survive
+			if got := c.Contains(mid(s)); got != want {
+				t.Fatalf("after %d inserts Contains(%d) = %v, want %v", inserted, s, got, want)
+			}
+		}
+	}
+
+	t.Run("exactly cap", func(t *testing.T) {
+		c := newDedupCache(capacity)
+		for s := 0; s < capacity; s++ {
+			if !c.Add(mid(s)) {
+				t.Fatalf("insert %d not fresh", s)
+			}
+		}
+		check(t, c, capacity) // growth phase: nothing evicted yet
+	})
+
+	t.Run("cap plus one", func(t *testing.T) {
+		c := newDedupCache(capacity)
+		for s := 0; s <= capacity; s++ {
+			c.Add(mid(s))
+		}
+		check(t, c, capacity+1) // first eviction: ID 0 and only ID 0
+	})
+
+	t.Run("two cap", func(t *testing.T) {
+		c := newDedupCache(capacity)
+		for s := 0; s < 2*capacity; s++ {
+			c.Add(mid(s))
+			check(t, c, s+1) // FIFO order must hold after EVERY insert
+		}
+	})
+}

@@ -292,7 +292,7 @@ func (n *Node) cyclonStep() {
 func (n *Node) vicinityStep() {
 	n.mu.Lock()
 	n.vic.AgeAll()
-	peer, ok := n.vic.SelectPeer(n.rng, n.cyc.View().Entries())
+	peer, ok := n.vic.SelectPeer(n.rng, n.cyc.View().All())
 	var payload []view.Entry
 	if ok {
 		n.stats.VicExchanges++
@@ -399,7 +399,7 @@ func (n *Node) handleHelloAck(f *wire.Frame) {
 	for _, e := range f.Entries {
 		n.cyc.AddContact(e.Node, e.Addr)
 	}
-	n.vic.Merge(f.Entries, n.cyc.View().Entries())
+	n.vic.Merge(f.Entries, n.cyc.View().All())
 }
 
 func (n *Node) handleShuffleRequest(f *wire.Frame) {
@@ -434,7 +434,7 @@ func (n *Node) handleShuffleReply(f *wire.Frame) {
 func (n *Node) handleVicinityRequest(f *wire.Frame) {
 	n.mu.Lock()
 	reply := n.vic.Payload()
-	n.vic.Merge(f.Entries, n.cyc.View().Entries())
+	n.vic.Merge(f.Entries, n.cyc.View().All())
 	n.mu.Unlock()
 	out := &wire.Frame{
 		Kind:     wire.KindVicinityReply,
@@ -452,7 +452,7 @@ func (n *Node) handleVicinityRequest(f *wire.Frame) {
 func (n *Node) handleVicinityReply(f *wire.Frame) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.vic.Merge(f.Entries, n.cyc.View().Entries())
+	n.vic.Merge(f.Entries, n.cyc.View().All())
 }
 
 func (n *Node) handleGossip(f *wire.Frame) {
@@ -471,13 +471,18 @@ func (n *Node) handleGossip(f *wire.Frame) {
 	n.mu.Unlock()
 
 	n.deliver(Delivery{Msg: msg, From: f.From})
-	msg.Hop++
 	n.forward(msg, f.From)
 }
 
 // forward applies the dissemination policy (paper, Figure 1a) and ships the
-// message to the selected targets.
+// message to the selected targets. The hop count is incremented BEFORE the
+// send: hop h is "how many hops this copy has travelled", so the origin
+// delivers locally at hop 0 and first-hop receivers deliver at hop 1.
+// (Incrementing after delivery, as this used to, under-reported every remote
+// delivery by one and made first-hop receivers indistinguishable from the
+// origin.)
 func (n *Node) forward(msg wire.Message, from ident.ID) {
+	msg.Hop++
 	n.mu.Lock()
 	links, addrs := n.linksLocked()
 	targets := n.cfg.Selector.Select(links, from, n.cfg.Fanout, n.rng)
@@ -511,7 +516,7 @@ func (n *Node) forward(msg wire.Message, from ident.ID) {
 // linksLocked snapshots the node's current r-links and d-links plus an
 // ID-to-address map. Caller holds n.mu.
 func (n *Node) linksLocked() (core.Links, map[ident.ID]string) {
-	cycEntries := n.cyc.View().Entries()
+	cycEntries := n.cyc.View().All()
 	links := core.Links{R: make([]ident.ID, 0, len(cycEntries))}
 	addrs := make(map[ident.ID]string, len(cycEntries)+2)
 	for _, e := range cycEntries {

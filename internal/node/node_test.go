@@ -486,3 +486,71 @@ func BenchmarkNodePublish(b *testing.B) {
 		}
 	}
 }
+
+// TestDeliveredHopCounts pins the wire-visible hop semantics over a manually
+// wired 3-node chain A-B-C: the origin delivers locally at hop 0, the
+// first-hop receiver at hop 1, the second-hop receiver at hop 2. Before the
+// increment moved into forward (it used to happen only after delivery),
+// every remote delivery under-reported by one and B's delivery was
+// indistinguishable from the origin's.
+func TestDeliveredHopCounts(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	var (
+		mu   sync.Mutex
+		hops = map[ident.ID]uint16{}
+	)
+	mk := func(i int) *Node {
+		ep, err := net.Endpoint(fmt.Sprintf("chain%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testNodeConfig(i)
+		cfg.Selector = core.Flood{} // forward on every link except the sender
+		nd, err := New(cfg, ep, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := nd.ID()
+		nd.deliver = func(d Delivery) {
+			mu.Lock()
+			hops[id] = d.Msg.Hop
+			mu.Unlock()
+		}
+		return nd
+	}
+	a, b, c := mk(0), mk(1), mk(2)
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+	// Wire the chain directly (no gossip): A<->B<->C.
+	a.cyc.AddContact(b.ID(), b.Addr())
+	b.cyc.AddContact(a.ID(), a.Addr())
+	b.cyc.AddContact(c.ID(), c.Addr())
+	c.cyc.AddContact(b.ID(), b.Addr())
+
+	if _, err := a.Publish([]byte("hop check")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		done := len(hops) == 3
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := map[ident.ID]uint16{a.ID(): 0, b.ID(): 1, c.ID(): 2}
+	for id, wantHop := range want {
+		got, ok := hops[id]
+		if !ok {
+			t.Fatalf("node %v never got the message (hops=%v)", id, hops)
+		}
+		if got != wantHop {
+			t.Errorf("node %v delivered at hop %d, want %d", id, got, wantHop)
+		}
+	}
+}

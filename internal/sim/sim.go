@@ -18,7 +18,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"ringcast/internal/cyclon"
 	"ringcast/internal/ident"
@@ -114,6 +114,9 @@ type Node struct {
 	// JoinCycle records when the node entered the network (0 for initial
 	// population); lifetimes in the churn experiments derive from it.
 	JoinCycle int
+	// liveSlot is the node's position in the network's live-index set, -1
+	// once dead. Maintained by addNodeWithID and Kill.
+	liveSlot int
 }
 
 // Network is a simulated population of gossiping nodes.
@@ -126,8 +129,21 @@ type Network struct {
 	// ringIndex maps per-ring IDs back to node positions, one map per
 	// extra ring (rings 1..k-1); ring 0 uses index.
 	ringIndex []map[ident.ID]int
-	alive     int
-	cycle     int
+	// livePos lists the positions of all live nodes (order arbitrary), so
+	// RandomAlive is one uniform draw instead of rejection sampling over the
+	// whole population — O(1) even when nearly everyone is dead.
+	livePos []int32
+	alive   int
+	cycle   int
+
+	// Scratch buffers reused across cycles; Cycle is single-threaded per
+	// Network, and none of these escape a single exchange step.
+	liveScratch  []*Node
+	feedScratch  []view.Entry // stable copy of the initiator's CYCLON view
+	sentScratch  []view.Entry // initiator's VICINITY payload
+	replyScratch []view.Entry // partner's VICINITY payload
+	xfeedScratch []view.Entry // ring-r translation of the initiator's feed
+	xpeerScratch []view.Entry // ring-r translation of the partner's feed
 }
 
 // New builds a network in the paper's initial state: a star topology in
@@ -184,6 +200,7 @@ func (n *Network) addNodeWithID(id ident.ID) *Node {
 		Cyc:       cyclon.MustNew(id, "", n.cfg.Cyclon),
 		Alive:     true,
 		JoinCycle: n.cycle,
+		liveSlot:  len(n.livePos),
 	}
 	if n.cfg.UseVicinity {
 		nd.Vic = vicinity.MustNew(id, "", n.cfg.Vicinity, vicinity.RingDistance)
@@ -206,6 +223,7 @@ func (n *Network) addNodeWithID(id ident.ID) *Node {
 	}
 	n.index[id] = pos
 	n.nodes = append(n.nodes, nd)
+	n.livePos = append(n.livePos, int32(pos))
 	n.alive++
 	return nd
 }
@@ -216,12 +234,13 @@ func (n *Network) addNodeWithID(id ident.ID) *Node {
 // the stale link and retry with another partner, as a live implementation
 // would on a connection error.
 func (n *Network) Cycle() {
-	live := make([]*Node, 0, n.alive)
+	live := n.liveScratch[:0]
 	for _, nd := range n.nodes {
 		if nd.Alive {
 			live = append(live, nd)
 		}
 	}
+	n.liveScratch = live
 	n.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
 	for _, nd := range live {
 		if !nd.Alive {
@@ -261,7 +280,12 @@ func (n *Network) cyclonStep(nd *Node) {
 
 func (n *Network) vicinityStep(nd *Node) {
 	nd.Vic.AgeAll()
-	cycEntries := nd.Cyc.View().Entries()
+	// Copy the initiator's CYCLON view into scratch: a failed attempt below
+	// removes the dead peer from that view mid-loop, and the feed offered to
+	// later attempts (and the final merge) must be the pre-removal snapshot,
+	// exactly as when Entries() allocated a copy.
+	cycEntries := nd.Cyc.View().AppendTo(n.feedScratch[:0])
+	n.feedScratch = cycEntries
 	feed := cycEntries
 	if n.cfg.DisableVicinityFeed {
 		feed = nil
@@ -277,9 +301,13 @@ func (n *Network) vicinityStep(nd *Node) {
 			nd.Cyc.Remove(peerEntry.Node)
 			continue
 		}
-		sent := nd.Vic.Payload()
-		reply := peer.Vic.Payload()
-		peerFeed := peer.Cyc.View().Entries()
+		sent := nd.Vic.PayloadAppend(n.sentScratch[:0])
+		n.sentScratch = sent
+		reply := peer.Vic.PayloadAppend(n.replyScratch[:0])
+		n.replyScratch = reply
+		// The partner's feed is read zero-copy: nothing mutates the
+		// partner's CYCLON view before the merge consumes it.
+		peerFeed := peer.Cyc.View().All()
 		if n.cfg.DisableVicinityFeed {
 			peerFeed = nil
 		}
@@ -294,7 +322,8 @@ func (n *Network) vicinityStep(nd *Node) {
 // is organized over its own random ID space (Section 8).
 func (n *Network) extraVicinityStep(nd *Node, r int, vic *vicinity.Vicinity) {
 	vic.AgeAll()
-	feed := n.translateFeed(nd.Cyc.View().Entries(), r)
+	feed := n.translateFeed(n.xfeedScratch[:0], nd.Cyc.View().All(), r)
+	n.xfeedScratch = feed
 	for attempt := 0; attempt < maxGossipAttempts; attempt++ {
 		peerEntry, ok := vic.SelectPeer(n.rng, feed)
 		if !ok {
@@ -306,28 +335,33 @@ func (n *Network) extraVicinityStep(nd *Node, r int, vic *vicinity.Vicinity) {
 			continue
 		}
 		peerVic := peer.ExtraVics[r-1]
-		sent := vic.Payload()
-		reply := peerVic.Payload()
-		peerVic.Merge(sent, n.translateFeed(peer.Cyc.View().Entries(), r))
+		sent := vic.PayloadAppend(n.sentScratch[:0])
+		n.sentScratch = sent
+		reply := peerVic.PayloadAppend(n.replyScratch[:0])
+		n.replyScratch = reply
+		peerFeed := n.translateFeed(n.xpeerScratch[:0], peer.Cyc.View().All(), r)
+		n.xpeerScratch = peerFeed
+		peerVic.Merge(sent, peerFeed)
 		vic.Merge(reply, feed)
 		return
 	}
 }
 
-// translateFeed maps CYCLON entries (primary IDs) to ring-r identifiers.
-func (n *Network) translateFeed(entries []view.Entry, r int) []view.Entry {
+// translateFeed appends CYCLON entries (primary IDs) translated to ring-r
+// identifiers to dst. It returns nil (not dst) when the feed is disabled,
+// preserving the ablation's no-candidates semantics.
+func (n *Network) translateFeed(dst []view.Entry, entries []view.Entry, r int) []view.Entry {
 	if n.cfg.DisableVicinityFeed {
 		return nil
 	}
-	out := make([]view.Entry, 0, len(entries))
 	for _, e := range entries {
 		peer := n.byID(e.Node)
 		if peer == nil || len(peer.RingIDs) <= r {
 			continue
 		}
-		out = append(out, view.Entry{Node: peer.RingIDs[r], Age: e.Age})
+		dst = append(dst, view.Entry{Node: peer.RingIDs[r], Age: e.Age})
 	}
-	return out
+	return dst
 }
 
 func (n *Network) byID(id ident.ID) *Node {
@@ -388,17 +422,15 @@ func (n *Network) AliveIDs() []ident.ID {
 	return out
 }
 
-// RandomAlive returns a uniformly random live node.
+// RandomAlive returns a uniformly random live node: one draw over the
+// live-index set. The previous rejection sampling over the full population
+// degenerated to O(total/alive) expected probes after heavy churn or a
+// catastrophe (at 99% mortality, ~100 probes per call).
 func (n *Network) RandomAlive() (*Node, bool) {
-	if n.alive == 0 {
+	if len(n.livePos) == 0 {
 		return nil, false
 	}
-	for {
-		nd := n.nodes[n.rng.Intn(len(n.nodes))]
-		if nd.Alive {
-			return nd, true
-		}
-	}
+	return n.nodes[n.livePos[n.rng.Intn(len(n.livePos))]], true
 }
 
 // Kill marks the node dead, reporting whether it was alive. Dead nodes keep
@@ -410,6 +442,13 @@ func (n *Network) Kill(id ident.ID) bool {
 		return false
 	}
 	nd.Alive = false
+	// Swap-remove from the live-index set.
+	last := len(n.livePos) - 1
+	moved := n.livePos[last]
+	n.livePos[nd.liveSlot] = moved
+	n.nodes[moved].liveSlot = nd.liveSlot
+	n.livePos = n.livePos[:last]
+	nd.liveSlot = -1
 	n.alive--
 	return true
 }
@@ -464,7 +503,7 @@ func (n *Network) RingConvergence() float64 {
 		return 0
 	}
 	ids := n.AliveIDs()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	pos := make(map[ident.ID]int, len(ids))
 	for i, id := range ids {
 		pos[id] = i

@@ -312,3 +312,71 @@ func TestResolveRingIDUnknown(t *testing.T) {
 		t.Fatal("ring 0 resolution broken")
 	}
 }
+
+// TestRandomAliveAtHeavyMortality exercises the live-index sampling path
+// after a 99% catastrophe: every draw must land on a live node with exactly
+// one rng draw (the old rejection sampling made O(total/alive) ~ 100
+// expected probes per call at this mortality), and sampling must still cover
+// the whole survivor set uniformly.
+func TestRandomAliveAtHeavyMortality(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.Seed = 3
+	nw := MustNew(cfg)
+	nw.KillFraction(0.99)
+	if nw.AliveCount() != 10 {
+		t.Fatalf("alive = %d, want 10", nw.AliveCount())
+	}
+	seen := make(map[ident.ID]int)
+	for i := 0; i < 5000; i++ {
+		nd, ok := nw.RandomAlive()
+		if !ok {
+			t.Fatal("RandomAlive failed with 10 live nodes")
+		}
+		if !nd.Alive {
+			t.Fatalf("RandomAlive returned dead node %v", nd.ID)
+		}
+		seen[nd.ID]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("sampled %d distinct survivors, want all 10", len(seen))
+	}
+	// Uniformity sanity check: each survivor expects 500 draws; all should
+	// land well within [250, 750].
+	for id, n := range seen {
+		if n < 250 || n > 750 {
+			t.Errorf("survivor %v drawn %d times, want ~500", id, n)
+		}
+	}
+}
+
+// TestRandomAliveAfterChurn verifies the live-index set stays consistent
+// through interleaved kills and joins.
+func TestRandomAliveAfterChurn(t *testing.T) {
+	cfg := DefaultConfig(50)
+	cfg.Seed = 9
+	nw := MustNew(cfg)
+	for round := 0; round < 30; round++ {
+		nw.KillRandom(3)
+		for i := 0; i < 2; i++ {
+			if _, err := nw.Join(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			nd, ok := nw.RandomAlive()
+			if !ok || !nd.Alive {
+				t.Fatalf("round %d: RandomAlive returned dead/none", round)
+			}
+		}
+	}
+	// The bookkeeping must agree with a full scan.
+	live := 0
+	for _, nd := range nw.Nodes() {
+		if nd.Alive {
+			live++
+		}
+	}
+	if live != nw.AliveCount() {
+		t.Fatalf("AliveCount = %d, scan = %d", nw.AliveCount(), live)
+	}
+}

@@ -16,6 +16,11 @@ import (
 const (
 	dialTimeout  = 5 * time.Second
 	writeTimeout = 10 * time.Second
+	// acceptBackoffMin/Max bound the exponential backoff applied to
+	// repeated Accept errors. Without it a persistent error (EMFILE being
+	// the classic) turns the accept loop into a 100%-CPU busy-spin.
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 500 * time.Millisecond
 )
 
 // TCPTransport moves frames over TCP connections. Each frame is prefixed
@@ -51,6 +56,12 @@ func ListenTCP(addr string) (*TCPTransport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	return newTCPWithListener(ln), nil
+}
+
+// newTCPWithListener wraps an existing listener — split from ListenTCP so
+// tests can inject failing listener stubs into the accept loop.
+func newTCPWithListener(ln net.Listener) *TCPTransport {
 	t := &TCPTransport{
 		ln:    ln,
 		conns: make(map[string]*sendConn),
@@ -58,7 +69,7 @@ func ListenTCP(addr string) (*TCPTransport, error) {
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
-	return t, nil
+	return t
 }
 
 // Addr implements Transport.
@@ -73,6 +84,7 @@ func (t *TCPTransport) SetHandler(h Handler) {
 
 func (t *TCPTransport) acceptLoop() {
 	defer t.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := t.ln.Accept()
 		if err != nil {
@@ -81,9 +93,25 @@ func (t *TCPTransport) acceptLoop() {
 				return
 			default:
 			}
-			// Transient accept error: keep serving.
+			// Transient accept error: keep serving, but back off
+			// exponentially while the error persists so a stuck listener
+			// (EMFILE, closed fd) doesn't busy-spin the CPU.
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff < acceptBackoffMax {
+				backoff *= 2
+				if backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+			}
+			select {
+			case <-time.After(backoff):
+			case <-t.done:
+				return
+			}
 			continue
 		}
+		backoff = 0
 		t.wg.Add(1)
 		go t.serve(conn)
 	}

@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// failingListener simulates a listener whose fd has gone bad: every Accept
+// fails immediately with EMFILE, the canonical persistent accept error.
+type failingListener struct {
+	accepts atomic.Int64
+	closed  atomic.Bool
+}
+
+func (l *failingListener) Accept() (net.Conn, error) {
+	l.accepts.Add(1)
+	if l.closed.Load() {
+		return nil, net.ErrClosed
+	}
+	return nil, &net.OpError{Op: "accept", Net: "tcp", Err: syscall.EMFILE}
+}
+
+func (l *failingListener) Close() error {
+	l.closed.Store(true)
+	return nil
+}
+
+func (l *failingListener) Addr() net.Addr {
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+}
+
+// TestAcceptLoopBacksOffOnPersistentError verifies the accept loop does not
+// busy-spin when Accept fails persistently: with exponential backoff a
+// 200ms window admits only a handful of attempts (5+10+20+40+80+... ms),
+// where the unthrottled loop would make millions.
+func TestAcceptLoopBacksOffOnPersistentError(t *testing.T) {
+	ln := &failingListener{}
+	tr := newTCPWithListener(ln)
+	defer tr.Close()
+
+	time.Sleep(200 * time.Millisecond)
+	attempts := ln.accepts.Load()
+	if attempts == 0 {
+		t.Fatal("accept loop never ran")
+	}
+	// Backoff schedule admits ~7 attempts in 200ms; allow generous slack
+	// for scheduling jitter. A busy-spin would be orders of magnitude more.
+	if attempts > 50 {
+		t.Fatalf("accept loop made %d attempts in 200ms — busy-spinning, backoff broken", attempts)
+	}
+}
+
+// TestAcceptLoopBackoffUnblocksOnClose verifies Close doesn't have to wait
+// out a pending backoff sleep.
+func TestAcceptLoopBackoffUnblocksOnClose(t *testing.T) {
+	ln := &failingListener{}
+	tr := newTCPWithListener(ln)
+	time.Sleep(150 * time.Millisecond) // let the backoff grow
+
+	done := make(chan struct{})
+	go func() {
+		tr.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked on accept-loop backoff")
+	}
+}
+
+// flakyListener fails a fixed number of Accepts, succeeds exactly once
+// (handing out one pipe connection), then fails forever — the sequence that
+// distinguishes a backoff that resets on success from one that keeps
+// growing.
+type flakyListener struct {
+	mu          sync.Mutex
+	failsLeft   int
+	succeededAt atomic.Int64 // unix nanos of the successful accept, 0 = not yet
+	postSuccess atomic.Int64 // accept attempts after the success
+	closed      atomic.Bool
+	peer        net.Conn // our end of the handed-out pipe
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.closed.Load() {
+		return nil, net.ErrClosed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failsLeft > 0 {
+		l.failsLeft--
+		return nil, &net.OpError{Op: "accept", Net: "tcp", Err: syscall.EMFILE}
+	}
+	if l.succeededAt.Load() == 0 {
+		server, client := net.Pipe()
+		l.peer = client
+		l.succeededAt.Store(time.Now().UnixNano())
+		return server, nil
+	}
+	l.postSuccess.Add(1)
+	return nil, &net.OpError{Op: "accept", Net: "tcp", Err: syscall.EMFILE}
+}
+
+func (l *flakyListener) Close() error {
+	l.closed.Store(true)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.peer != nil {
+		l.peer.Close()
+	}
+	return nil
+}
+
+func (l *flakyListener) Addr() net.Addr {
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+}
+
+// TestAcceptLoopBackoffResetsAfterSuccess verifies the backoff restarts
+// from the minimum once an Accept succeeds. After 5 failures the delay has
+// grown to 80ms; with the reset, the post-success failures sleep
+// 5+10+20+40+80+160ms, admitting ~6 attempts within the 500ms observation
+// window — without the reset they would continue at 160+320ms and admit
+// only ~2.
+func TestAcceptLoopBackoffResetsAfterSuccess(t *testing.T) {
+	ln := &flakyListener{failsLeft: 5}
+	tr := newTCPWithListener(ln)
+	defer tr.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for ln.succeededAt.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("accept loop never reached the successful accept")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond)
+	attempts := ln.postSuccess.Load()
+	if attempts < 4 {
+		t.Fatalf("only %d accept attempts in 500ms after a success — backoff did not reset", attempts)
+	}
+	if attempts > 100 {
+		t.Fatalf("%d accept attempts in 500ms after a success — backoff not applied at all", attempts)
+	}
+}

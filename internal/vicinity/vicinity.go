@@ -12,9 +12,11 @@
 package vicinity
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
+	"sync"
 
 	"ringcast/internal/ident"
 	"ringcast/internal/view"
@@ -121,38 +123,81 @@ func (v *Vicinity) SelectPeer(rng *rand.Rand, fallback []view.Entry) (view.Entry
 	if e, ok := v.view.Oldest(); ok {
 		return e, true
 	}
-	candidates := make([]view.Entry, 0, len(fallback))
+	// Count eligible fallback entries, then index the k-th without building
+	// a candidate slice — one Intn draw over the same count as before.
+	eligible := 0
 	for _, e := range fallback {
 		if e.Node != v.self && !e.Node.IsNil() {
-			candidates = append(candidates, e)
+			eligible++
 		}
 	}
-	if len(candidates) == 0 {
+	if eligible == 0 {
 		return view.Entry{}, false
 	}
-	return candidates[rng.Intn(len(candidates))], true
+	k := rng.Intn(eligible)
+	for _, e := range fallback {
+		if e.Node != v.self && !e.Node.IsNil() {
+			if k == 0 {
+				return e, true
+			}
+			k--
+		}
+	}
+	return view.Entry{}, false // unreachable
 }
 
 // Payload builds the entries shipped in an exchange: the closest GossipLen-1
 // view entries plus a fresh self entry, so the receiver learns about us.
+// The result is freshly allocated and safe to retain (the live runtime ships
+// it asynchronously); the simulator uses PayloadAppend with reusable
+// buffers instead.
 func (v *Vicinity) Payload() []view.Entry {
-	entries := v.sortedByDistance(v.view.Entries())
-	n := v.cfg.GossipLen - 1
-	if n > len(entries) {
-		n = len(entries)
-	}
-	out := make([]view.Entry, 0, n+1)
-	out = append(out, entries[:n]...)
-	out = append(out, view.Entry{Node: v.self, Addr: v.addr, Age: 0})
-	return out
+	return v.PayloadAppend(make([]view.Entry, 0, v.view.Len()+1))
 }
+
+// PayloadAppend appends the exchange payload to dst and returns the extended
+// slice — the allocation-free counterpart of Payload for callers with a
+// reusable buffer.
+func (v *Vicinity) PayloadAppend(dst []view.Entry) []view.Entry {
+	base := len(dst)
+	dst = v.view.AppendTo(dst)
+	v.sortedByDistance(dst[base:])
+	n := v.cfg.GossipLen - 1
+	if n > len(dst)-base {
+		n = len(dst) - base
+	}
+	dst = dst[:base+n]
+	return append(dst, view.Entry{Node: v.self, Addr: v.addr, Age: 0})
+}
+
+// mergeScratch carries the reusable buffers of Merge/selectBalanced. Views
+// are small (tens of entries), so the buffers stay tiny; a sync.Pool shares
+// them across the thousands of Vicinity instances of a simulated network
+// without per-instance memory cost, and keeps concurrent live nodes safe.
+type mergeScratch struct {
+	pool   []view.Entry
+	out    []view.Entry
+	rest   []view.Entry
+	chosen []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(mergeScratch) }}
 
 // Merge folds candidate entries into the view, keeping the ViewSize closest
 // peers to self. feed carries additional candidates from the peer-sampling
 // layer (the CYCLON view); passing it on every cycle is what lets distant
 // nodes discover their true ring neighbours quickly.
+//
+// The candidate pool is deduplicated by sorting rather than through a map:
+// a stable sort on Node keeps insertion order within each node's run, so
+// keeping the first minimum-age entry of every run selects exactly the
+// entries the old map-based pool kept (youngest age wins, earliest-offered
+// wins ties). The pool order afterwards differs from map iteration order,
+// but both selection modes below re-sort under a total order (distance,
+// then Node), so the resulting view is identical.
 func (v *Vicinity) Merge(candidates, feed []view.Entry) {
-	pool := make(map[ident.ID]view.Entry, v.view.Len()+len(candidates)+len(feed))
+	sc := scratchPool.Get().(*mergeScratch)
+	pool := sc.pool[:0]
 	add := func(e view.Entry) {
 		if e.Node == v.self || e.Node.IsNil() {
 			return
@@ -160,11 +205,9 @@ func (v *Vicinity) Merge(candidates, feed []view.Entry) {
 		if v.cfg.MaxAge > 0 && e.Age > v.cfg.MaxAge {
 			return
 		}
-		if prev, ok := pool[e.Node]; !ok || e.Age < prev.Age {
-			pool[e.Node] = e
-		}
+		pool = append(pool, e)
 	}
-	for _, e := range v.view.Entries() {
+	for _, e := range v.view.All() {
 		add(e)
 	}
 	for _, e := range candidates {
@@ -173,37 +216,52 @@ func (v *Vicinity) Merge(candidates, feed []view.Entry) {
 	for _, e := range feed {
 		add(e)
 	}
-	merged := make([]view.Entry, 0, len(pool))
-	for _, e := range pool {
-		merged = append(merged, e)
+	// Stable generic sort: no reflection, no per-call allocation. Any stable
+	// sort yields the same permutation for a given comparator, so swapping
+	// the implementation cannot change results.
+	slices.SortStableFunc(pool, func(a, b view.Entry) int { return cmp.Compare(a.Node, b.Node) })
+	merged := pool[:0]
+	for i := 0; i < len(pool); {
+		best := pool[i]
+		j := i + 1
+		for ; j < len(pool) && pool[j].Node == best.Node; j++ {
+			if pool[j].Age < best.Age {
+				best = pool[j]
+			}
+		}
+		merged = append(merged, best)
+		i = j
 	}
 	if v.cfg.Balanced {
-		merged = v.selectBalanced(merged)
+		merged = v.selectBalanced(merged, sc)
 	} else {
 		merged = v.sortedByDistance(merged)
 		if len(merged) > v.cfg.ViewSize {
 			merged = merged[:v.cfg.ViewSize]
 		}
 	}
-	nv := view.New(v.cfg.ViewSize)
+	v.view.Reset()
 	for _, e := range merged {
-		nv.Add(e)
+		v.view.Add(e)
 	}
-	v.view = nv
+	sc.pool = pool
+	scratchPool.Put(sc)
 }
 
 // selectBalanced keeps the ViewSize/2 closest peers clockwise and the
 // ViewSize/2 closest counterclockwise, filling from the other side when one
 // direction has too few candidates. The closest peer in each direction — the
-// true ring neighbour — is therefore always retained.
-func (v *Vicinity) selectBalanced(entries []view.Entry) []view.Entry {
-	cw := append([]view.Entry(nil), entries...)
-	sort.SliceStable(cw, func(i, j int) bool {
-		di, dj := ident.Clockwise(v.self, cw[i].Node), ident.Clockwise(v.self, cw[j].Node)
-		if di != dj {
-			return di < dj
+// true ring neighbour — is therefore always retained. entries is mutated in
+// place (it is Merge's deduplicated pool); the returned slice is backed by
+// sc.out and valid until the next Merge.
+func (v *Vicinity) selectBalanced(entries []view.Entry, sc *mergeScratch) []view.Entry {
+	cw := entries
+	slices.SortStableFunc(cw, func(a, b view.Entry) int {
+		da, db := ident.Clockwise(v.self, a.Node), ident.Clockwise(v.self, b.Node)
+		if da != db {
+			return cmp.Compare(da, db)
 		}
-		return cw[i].Node < cw[j].Node
+		return cmp.Compare(a.Node, b.Node)
 	})
 	half := v.cfg.ViewSize / 2
 	if half == 0 {
@@ -213,15 +271,21 @@ func (v *Vicinity) selectBalanced(entries []view.Entry) []view.Entry {
 	if take > len(cw) {
 		take = len(cw)
 	}
-	out := make([]view.Entry, 0, v.cfg.ViewSize)
-	chosen := make(map[ident.ID]struct{}, v.cfg.ViewSize)
-	for _, e := range cw[:take] {
-		out = append(out, e)
-		chosen[e.Node] = struct{}{}
+	out := sc.out[:0]
+	chosen := sc.chosen[:0]
+	for range cw {
+		chosen = append(chosen, false)
 	}
-	// Counterclockwise: same list walked from the far end.
+	sc.chosen = chosen
+	for i, e := range cw[:take] {
+		out = append(out, e)
+		chosen[i] = true
+	}
+	// Counterclockwise: same list walked from the far end. Entries are
+	// unique by node after dedup, so positional bookkeeping replaces the
+	// old per-node set.
 	for i := len(cw) - 1; i >= 0 && len(out) < v.cfg.ViewSize; i-- {
-		if _, dup := chosen[cw[i].Node]; dup {
+		if chosen[i] {
 			continue
 		}
 		// Stop taking ccw entries once we have half from each side and the
@@ -229,19 +293,20 @@ func (v *Vicinity) selectBalanced(entries []view.Entry) []view.Entry {
 		if len(out) >= 2*half {
 			break
 		}
-		chosen[cw[i].Node] = struct{}{}
+		chosen[i] = true
 		out = append(out, cw[i])
 	}
 	// Any remaining capacity (odd view size, or one side exhausted): fill
 	// with the globally closest of the rest.
 	if len(out) < v.cfg.ViewSize && len(out) < len(cw) {
-		rest := make([]view.Entry, 0, len(cw)-len(out))
-		for _, e := range cw {
-			if _, dup := chosen[e.Node]; !dup {
+		rest := sc.rest[:0]
+		for i, e := range cw {
+			if !chosen[i] {
 				rest = append(rest, e)
 			}
 		}
 		rest = v.sortedByDistance(rest)
+		sc.rest = rest
 		for _, e := range rest {
 			if len(out) >= v.cfg.ViewSize {
 				break
@@ -249,18 +314,19 @@ func (v *Vicinity) selectBalanced(entries []view.Entry) []view.Entry {
 			out = append(out, e)
 		}
 	}
+	sc.out = out
 	return out
 }
 
 // sortedByDistance orders entries by proximity to self (closest first),
 // breaking ties by node ID so the result is deterministic.
 func (v *Vicinity) sortedByDistance(entries []view.Entry) []view.Entry {
-	sort.SliceStable(entries, func(i, j int) bool {
-		di, dj := v.dist(v.self, entries[i].Node), v.dist(v.self, entries[j].Node)
-		if di != dj {
-			return di < dj
+	slices.SortStableFunc(entries, func(a, b view.Entry) int {
+		da, db := v.dist(v.self, a.Node), v.dist(v.self, b.Node)
+		if da != db {
+			return cmp.Compare(da, db)
 		}
-		return entries[i].Node < entries[j].Node
+		return cmp.Compare(a.Node, b.Node)
 	})
 	return entries
 }
@@ -278,7 +344,7 @@ func (v *Vicinity) RingNeighbors() (pred, succ view.Entry, ok bool) {
 		haveCW, haveCCW bool
 		entCW, entCCW   view.Entry
 	)
-	for _, e := range v.view.Entries() {
+	for _, e := range v.view.All() {
 		cw := ident.Clockwise(v.self, e.Node)
 		ccw := ident.Clockwise(e.Node, v.self)
 		if cw != 0 && (!haveCW || cw < bestCW) {

@@ -95,18 +95,26 @@ func (v *View) Add(e Entry) bool {
 }
 
 // Insert adds e, updating an existing entry for the same node to the younger
-// age if one exists. It reports whether the view changed. When the view is
+// age if one exists. A non-empty Addr refreshes the stored address whenever
+// the offered entry is at least as fresh (age ties included): a node that
+// restarts on a new address re-announces itself at age 0, which must replace
+// the stale address instead of lingering until eviction. Entries that are
+// strictly older than what the view holds never overwrite the address — a
+// pre-restart entry still circulating through gossip must not resurrect a
+// dead address. Insert reports whether the view changed. When the view is
 // full and the node is absent, Insert fails like Add.
 func (v *View) Insert(e Entry) bool {
 	if i := v.indexOf(e.Node); i >= 0 {
+		changed := false
+		if e.Addr != "" && e.Age <= v.entries[i].Age && v.entries[i].Addr != e.Addr {
+			v.entries[i].Addr = e.Addr
+			changed = true
+		}
 		if e.Age < v.entries[i].Age {
 			v.entries[i].Age = e.Age
-			if e.Addr != "" {
-				v.entries[i].Addr = e.Addr
-			}
-			return true
+			changed = true
 		}
-		return false
+		return changed
 	}
 	return v.Add(e)
 }
@@ -183,12 +191,33 @@ outer:
 }
 
 // Entries returns a copy of the view's entries. Mutating the result does not
-// affect the view.
+// affect the view. Hot paths that can guarantee the view is not mutated
+// while they read should use All instead.
 func (v *View) Entries() []Entry {
 	out := make([]Entry, len(v.entries))
 	copy(out, v.entries)
 	return out
 }
+
+// All returns the view's entries without copying. The returned slice is
+// read-only and is invalidated by ANY mutating call (Add, Insert, Remove,
+// AgeAll, Reset): callers must not retain it across mutations, and must copy
+// (AppendTo) when they need a stable snapshot. This is the zero-copy
+// accessor the simulator's exchange steps are built on.
+func (v *View) All() []Entry { return v.entries }
+
+// EntryAt returns the i-th entry in internal order, 0 <= i < Len().
+func (v *View) EntryAt(i int) Entry { return v.entries[i] }
+
+// AppendTo appends a copy of the entries to dst and returns the extended
+// slice — the allocation-free counterpart of Entries for callers with a
+// reusable buffer.
+func (v *View) AppendTo(dst []Entry) []Entry {
+	return append(dst, v.entries...)
+}
+
+// Reset empties the view in place, retaining capacity.
+func (v *View) Reset() { v.entries = v.entries[:0] }
 
 // IDs returns the node IDs of all entries, in internal order.
 func (v *View) IDs() []ident.ID {

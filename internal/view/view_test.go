@@ -193,3 +193,76 @@ func TestStringSmoke(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+// TestInsertRefreshesAddr pins the restart-on-new-address fix: a non-empty
+// address must replace the stored one even when the offered age ties or is
+// older, or a restarted node keeps its stale address in peers' views until
+// eviction.
+func TestInsertRefreshesAddr(t *testing.T) {
+	v := New(4)
+	v.Add(Entry{Node: 1, Addr: "10.0.0.1:7000", Age: 5})
+
+	// Same age, new address: must update and report a change.
+	if !v.Insert(Entry{Node: 1, Addr: "10.0.0.2:7000", Age: 5}) {
+		t.Fatal("Insert with tying age and new addr reported no change")
+	}
+	if e, _ := v.Get(1); e.Addr != "10.0.0.2:7000" || e.Age != 5 {
+		t.Fatalf("entry = %v@%d/%s, want addr 10.0.0.2:7000 age 5", e.Node, e.Age, e.Addr)
+	}
+
+	// Strictly older entry with a different address: a pre-restart entry
+	// still circulating through gossip must NOT resurrect a dead address.
+	if v.Insert(Entry{Node: 1, Addr: "10.0.0.9:7000", Age: 9}) {
+		t.Fatal("Insert with strictly older age reported a change")
+	}
+	if e, _ := v.Get(1); e.Addr != "10.0.0.2:7000" || e.Age != 5 {
+		t.Fatalf("stale entry overwrote addr: got %s/%d, want 10.0.0.2:7000/5", e.Addr, e.Age)
+	}
+
+	// Younger entry with a new address (the restart case): both update.
+	if !v.Insert(Entry{Node: 1, Addr: "10.0.0.3:7000", Age: 0}) {
+		t.Fatal("Insert with younger age and new addr reported no change")
+	}
+	if e, _ := v.Get(1); e.Addr != "10.0.0.3:7000" || e.Age != 0 {
+		t.Fatalf("entry addr/age = %s/%d, want 10.0.0.3:7000/0", e.Addr, e.Age)
+	}
+
+	// Empty address never wipes a known one.
+	v.Insert(Entry{Node: 1, Addr: "", Age: 0})
+	if e, _ := v.Get(1); e.Addr != "10.0.0.3:7000" {
+		t.Fatalf("empty addr wiped stored addr: %s", e.Addr)
+	}
+
+	// Identical entry: no change.
+	if v.Insert(Entry{Node: 1, Addr: "10.0.0.3:7000", Age: 7}) {
+		t.Fatal("Insert with same addr and older age reported a change")
+	}
+}
+
+// TestAllZeroCopySemantics documents the All/AppendTo contract.
+func TestAllZeroCopySemantics(t *testing.T) {
+	v := New(4)
+	v.Add(Entry{Node: 1, Age: 1})
+	v.Add(Entry{Node: 2, Age: 2})
+	all := v.All()
+	if len(all) != 2 || all[0].Node != 1 || all[1].Node != 2 {
+		t.Fatalf("All = %v", all)
+	}
+	if v.EntryAt(1).Node != 2 {
+		t.Fatalf("EntryAt(1) = %v", v.EntryAt(1))
+	}
+	buf := make([]Entry, 0, 8)
+	got := v.AppendTo(buf)
+	if len(got) != 2 {
+		t.Fatalf("AppendTo len = %d", len(got))
+	}
+	// Mutating the copy must not affect the view.
+	got[0].Age = 99
+	if v.EntryAt(0).Age != 1 {
+		t.Fatal("AppendTo aliases view storage")
+	}
+	v.Reset()
+	if v.Len() != 0 || v.Cap() != 4 {
+		t.Fatalf("Reset: len=%d cap=%d", v.Len(), v.Cap())
+	}
+}
