@@ -73,9 +73,20 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			return err
 		}
 		// Accelerated warm-up for joiners (Section 7.3's optimization).
-		for i := 0; i < 5; i++ {
+		// Sends are asynchronous: a dead bootstrap does not fail the first
+		// Join — the dial failure surfaces on a retry — so keep gossiping
+		// and re-probing until the bootstrap's hello-ack lands in the view
+		// or the transport reports the failure.
+		deadline := time.Now().Add(10 * time.Second)
+		for len(nd.ViewIDs()) == 0 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("join %s: no response from bootstrap", *join)
+			}
 			nd.GossipNow()
 			time.Sleep(*interval / 5)
+			if err := nd.Join(*join); err != nil {
+				return fmt.Errorf("join: %w", err)
+			}
 		}
 		fmt.Fprintf(out, "joined via %s\n", *join)
 	}
@@ -116,13 +127,16 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			fmt.Fprintf(out, "[sent %s]\n", mid)
 		case <-statusC:
 			s := nd.Stats()
+			ts := nd.TransportStats()
 			pred, succ, ok := nd.RingNeighbors()
 			ring := "ring: not yet formed"
 			if ok {
 				ring = fmt.Sprintf("ring: %s <- self -> %s", pred.Node, succ.Node)
 			}
-			fmt.Fprintf(out, "[status] view=%d %s | delivered=%d dup=%d fwd=%d errs=%d\n",
-				len(nd.ViewIDs()), ring, s.Delivered, s.Duplicates, s.Forwarded, s.SendErrors)
+			fmt.Fprintf(out, "[status] view=%d %s | delivered=%d dup=%d fwd=%d errs=%d busy=%d\n",
+				len(nd.ViewIDs()), ring, s.Delivered, s.Duplicates, s.Forwarded, s.SendErrors, s.QueueFull)
+			fmt.Fprintf(out, "[transport] sent=%d frames/%d bytes queued=%d writers=%d drops=%d rejects=%d dialfail=%d\n",
+				ts.FramesSent, ts.BytesSent, ts.QueueDepth, ts.Writers, ts.Drops, ts.Rejects, ts.DialFailures)
 		case err := <-readErr:
 			return err
 		case <-sigs:

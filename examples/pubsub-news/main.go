@@ -145,5 +145,20 @@ func run() error {
 		}
 	}
 	fmt.Println("every event reached exactly its topic's subscribers")
+
+	// The transport.Stats API makes the runtime's behavior observable:
+	// frames moved, backpressure drops, and frames for topics a peer never
+	// subscribed to (strays).
+	var agg transport.Stats
+	var strays int64
+	for _, p := range all {
+		st := p.TransportStats()
+		agg.FramesSent += st.FramesSent
+		agg.BytesSent += st.BytesSent
+		agg.Drops += st.Drops
+		strays += p.StrayFrames()
+	}
+	fmt.Printf("transport totals: %d frames / %d bytes sent, %d dropped under backpressure, %d strays\n",
+		agg.FramesSent, agg.BytesSent, agg.Drops, strays)
 	return nil
 }

@@ -20,6 +20,12 @@ type Model struct {
 	// Rate is the per-cycle fraction of the population replaced
 	// (0.002 in the paper).
 	Rate float64
+
+	// frac carries the fractional remainder of Rate*alive across cycles.
+	// Without it, truncation makes k = int(Rate*alive) zero forever when
+	// Rate*alive < 1 (e.g. N=400 at the paper's 0.002/cycle), so churn
+	// sweeps silently run zero churn.
+	frac float64
 }
 
 // DefaultModel returns the paper's churn rate of 0.2% per cycle.
@@ -35,9 +41,14 @@ func (m Model) Validate() error {
 
 // Step applies one churn round to the network: kill Rate*alive random live
 // nodes, then admit the same number of fresh joiners. It returns the
-// affected IDs.
-func (m Model) Step(nw *sim.Network) (removed, added []ident.ID) {
-	k := int(m.Rate * float64(nw.AliveCount()))
+// affected IDs. The fractional part of Rate*alive is carried between calls,
+// so a sub-one-node-per-cycle rate still produces its long-run turnover
+// (4 nodes every 5 cycles at N=400, Rate=0.002) instead of rounding to
+// zero churn forever.
+func (m *Model) Step(nw *sim.Network) (removed, added []ident.ID) {
+	m.frac += m.Rate * float64(nw.AliveCount())
+	k := int(m.frac)
+	m.frac -= float64(k)
 	removed = nw.KillRandom(k)
 	added = make([]ident.ID, 0, k)
 	for i := 0; i < k; i++ {
@@ -54,7 +65,7 @@ func (m Model) Step(nw *sim.Network) (removed, added []ident.ID) {
 // cycle applies one churn step and then one gossip cycle, matching the
 // paper's "in each cycle a given percentage ... removed, and the same
 // number of new ones join".
-func (m Model) Run(nw *sim.Network, cycles int) {
+func (m *Model) Run(nw *sim.Network, cycles int) {
 	for i := 0; i < cycles; i++ {
 		m.Step(nw)
 		nw.Cycle()
@@ -67,7 +78,7 @@ func (m Model) Run(nw *sim.Network, cycles int) {
 // removed and reinserted at least once"). It stops after maxCycles
 // regardless and returns the number of cycles executed and whether full
 // turnover was reached.
-func (m Model) RunUntilTurnover(nw *sim.Network, maxCycles int) (cycles int, done bool) {
+func (m *Model) RunUntilTurnover(nw *sim.Network, maxCycles int) (cycles int, done bool) {
 	for cycles = 0; cycles < maxCycles; cycles++ {
 		if initialRemaining(nw) == 0 {
 			return cycles, true

@@ -49,7 +49,8 @@ func TestStepKeepsPopulationConstant(t *testing.T) {
 
 func TestStepZeroRate(t *testing.T) {
 	nw := testNet(t, 100, 2)
-	removed, added := (Model{}).Step(nw)
+	m := Model{}
+	removed, added := m.Step(nw)
 	if len(removed) != 0 || len(added) != 0 {
 		t.Fatal("zero-rate churn changed the network")
 	}
@@ -57,7 +58,8 @@ func TestStepZeroRate(t *testing.T) {
 
 func TestRunAdvancesCycles(t *testing.T) {
 	nw := testNet(t, 100, 3)
-	(Model{Rate: 0.02}).Run(nw, 10)
+	m := Model{Rate: 0.02}
+	m.Run(nw, 10)
 	if nw.CycleCount() != 10 {
 		t.Fatalf("cycles = %d, want 10", nw.CycleCount())
 	}
@@ -88,13 +90,43 @@ func TestRunUntilTurnover(t *testing.T) {
 
 func TestRunUntilTurnoverRespectsMax(t *testing.T) {
 	nw := testNet(t, 200, 5)
-	m := Model{Rate: 0.001} // 0 nodes per cycle at N=200: never turns over
+	// 0.2 nodes per cycle at N=200: ~10 replacements in 50 cycles, nowhere
+	// near full turnover of the 200 initial nodes.
+	m := Model{Rate: 0.001}
 	cycles, done := m.RunUntilTurnover(nw, 50)
 	if done {
 		t.Fatal("impossible turnover reported done")
 	}
 	if cycles != 50 {
 		t.Fatalf("cycles = %d, want 50", cycles)
+	}
+}
+
+// TestFractionalRateAccumulates is the regression test for the truncation
+// bug: at N=400 and the paper's 0.002/cycle, Rate*alive = 0.8, which
+// int-truncated to k=0 forever — churn sweeps at sub-one-node-per-cycle
+// rates silently ran zero churn. The fractional-remainder accumulator must
+// yield the correct long-run turnover instead.
+func TestFractionalRateAccumulates(t *testing.T) {
+	nw := testNet(t, 400, 8)
+	nw.RunCycles(5)
+	m := Model{Rate: 0.002}
+	const steps = 1000
+	totalRemoved := 0
+	for i := 0; i < steps; i++ {
+		removed, added := m.Step(nw)
+		if len(removed) != len(added) {
+			t.Fatalf("step %d: removed %d != added %d", i, len(removed), len(added))
+		}
+		totalRemoved += len(removed)
+	}
+	// Expected turnover: 0.002 * 400 * 1000 = 800 nodes, exact up to the
+	// +-1 carried in the accumulator.
+	if totalRemoved < 799 || totalRemoved > 801 {
+		t.Fatalf("long-run turnover = %d nodes over %d steps, want ~800 (old truncation bug gives 0)", totalRemoved, steps)
+	}
+	if nw.AliveCount() != 400 {
+		t.Fatalf("alive = %d, want 400", nw.AliveCount())
 	}
 }
 
@@ -134,7 +166,8 @@ func TestChurnedNetworkStaysFunctional(t *testing.T) {
 	// window — but the overwhelming majority must stay converged.
 	nw := testNet(t, 300, 7)
 	nw.WarmUp(100, 400)
-	(Model{Rate: 0.005}).Run(nw, 100)
+	m := Model{Rate: 0.005}
+	m.Run(nw, 100)
 	if conv := nw.RingConvergence(); conv < 0.85 {
 		t.Fatalf("ring convergence under churn = %.3f, want >= 0.85", conv)
 	}

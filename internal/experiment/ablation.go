@@ -107,7 +107,8 @@ func RunSelectionAblation(n, churnCycles int, rate float64, seed int64, parallel
 			return err
 		}
 		nw.RunCycles(100)
-		model.Run(nw, churnCycles)
+		armModel := model // private accumulator state per parallel arm
+		armModel.Run(nw, churnCycles)
 		stale, total := 0, 0
 		for _, nd := range nw.Nodes() {
 			if !nd.Alive {
@@ -257,7 +258,8 @@ func RunMaxAgeAblation(n, churnCycles int, rate float64, seed int64, parallelism
 			return err
 		}
 		nw.RunCycles(100)
-		model.Run(nw, churnCycles)
+		armModel := model // private accumulator state per parallel arm
+		armModel.Run(nw, churnCycles)
 		if disable {
 			res.ConvWithoutMaxAge = nw.RingConvergence()
 		} else {

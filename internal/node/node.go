@@ -100,6 +100,7 @@ type Stats struct {
 	Duplicates   uint64 // receptions suppressed by the dedup cache
 	Forwarded    uint64 // gossip messages sent onward
 	SendErrors   uint64 // transport failures (evidence of dead peers)
+	QueueFull    uint64 // forwards refused by local backpressure (peer NOT evicted)
 	Shuffles     uint64 // CYCLON exchanges initiated
 	VicExchanges uint64 // VICINITY exchanges initiated
 }
@@ -190,8 +191,19 @@ func (n *Node) Stats() Stats {
 	return n.stats
 }
 
+// TransportStats returns the underlying transport's counters: outbound
+// queue depth, drops, dial failures, frames/bytes sent.
+func (n *Node) TransportStats() transport.Stats { return n.tr.Stats() }
+
 // Join introduces the node to an existing overlay member. It sends a Hello
 // and can be called any time, including before Start.
+//
+// Transports send asynchronously, so a nil return means the Hello was
+// accepted for delivery, not that the peer answered: an unreachable
+// bootstrap surfaces as an error on a subsequent Join to the same address
+// (the transport parks the dial failure for the next send). Callers that
+// must confirm the join should retry Join until the view is non-empty —
+// see cmd/ringcast-node.
 func (n *Node) Join(addr string) error {
 	f := &wire.Frame{Kind: wire.KindHello, From: n.id, FromAddr: n.tr.Addr()}
 	if err := n.tr.Send(addr, f); err != nil {
@@ -501,9 +513,17 @@ func (n *Node) forward(msg wire.Message, from ident.ID) {
 		}
 		if err := n.tr.Send(addr, f); err != nil {
 			n.mu.Lock()
-			n.stats.SendErrors++
-			n.cyc.Remove(tgt)
-			n.vic.Remove(tgt)
+			if errors.Is(err, transport.ErrQueueFull) {
+				// Local congestion toward tgt, not evidence of its death:
+				// count it, keep the peer. Evicting a healthy peer because
+				// our own outbound queue is full would shred the ring under
+				// load.
+				n.stats.QueueFull++
+			} else {
+				n.stats.SendErrors++
+				n.cyc.Remove(tgt)
+				n.vic.Remove(tgt)
+			}
 			n.mu.Unlock()
 			continue
 		}

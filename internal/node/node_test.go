@@ -11,6 +11,7 @@ import (
 	"ringcast/internal/ident"
 	"ringcast/internal/transport"
 	"ringcast/internal/vicinity"
+	"ringcast/internal/view"
 	"ringcast/internal/wire"
 )
 
@@ -552,5 +553,61 @@ func TestDeliveredHopCounts(t *testing.T) {
 		if got != wantHop {
 			t.Errorf("node %v delivered at hop %d, want %d", id, got, wantHop)
 		}
+	}
+}
+
+// queueFullTransport accepts gossip-exchange frames but refuses every
+// dissemination payload with ErrQueueFull, simulating a saturated outbound
+// queue toward every peer.
+type queueFullTransport struct {
+	handler transport.Handler
+}
+
+func (q *queueFullTransport) Addr() string                   { return "qf" }
+func (q *queueFullTransport) SetHandler(h transport.Handler) { q.handler = h }
+func (q *queueFullTransport) Stats() transport.Stats         { return transport.Stats{} }
+func (q *queueFullTransport) Close() error                   { return nil }
+func (q *queueFullTransport) Send(to string, f *wire.Frame) error {
+	if f.Kind == wire.KindGossip {
+		return fmt.Errorf("%w: %s", transport.ErrQueueFull, to)
+	}
+	return nil
+}
+
+// TestQueueFullDoesNotEvictPeer verifies backpressure is not mistaken for
+// peer death: a forward refused with ErrQueueFull must leave the target in
+// the CYCLON and VICINITY views and be counted separately from SendErrors.
+func TestQueueFullDoesNotEvictPeer(t *testing.T) {
+	tr := &queueFullTransport{}
+	cfg := testNodeConfig(1)
+	nd, err := New(cfg, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	// Seed the views with one peer via the hello-ack path.
+	peer := view.Entry{Node: ident.ID(0xbeef), Addr: "peer-addr", Age: 0}
+	nd.handle("peer-addr", &wire.Frame{
+		Kind: wire.KindHelloAck, From: peer.Node, FromAddr: peer.Addr,
+		Entries: []view.Entry{peer},
+	})
+	if _, err := nd.Publish([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s := nd.Stats()
+	if s.QueueFull == 0 {
+		t.Fatalf("QueueFull not counted: %+v", s)
+	}
+	if s.SendErrors != 0 {
+		t.Fatalf("backpressure counted as SendErrors: %+v", s)
+	}
+	found := false
+	for _, id := range nd.ViewIDs() {
+		if id == peer.Node {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("peer evicted from CYCLON view on ErrQueueFull")
 	}
 }

@@ -59,7 +59,15 @@ func NewPeer(base transport.Transport, cfg node.Config) (*Peer, error) {
 // by other peers.
 func (p *Peer) Addr() string { return p.mux.Addr() }
 
-// Addr on Mux: delegate for convenience.
+// TransportStats returns the shared base transport's counters — outbound
+// queue depth, drops, dial failures, frames/bytes sent — aggregated across
+// every topic overlay this peer participates in.
+func (p *Peer) TransportStats() transport.Stats { return p.mux.Stats() }
+
+// StrayFrames reports frames that arrived for topics this peer is not (or
+// no longer) subscribed to. A steadily climbing count after an Unsubscribe
+// is normal: the overlay keeps forwarding until gossip ages the peer out.
+func (p *Peer) StrayFrames() int64 { return p.mux.StrayFrames() }
 
 // Subscribe joins the topic's overlay, bootstrapping from the given peers
 // (addresses of other subscribers; may be empty for the first subscriber),
@@ -124,6 +132,12 @@ func (p *Peer) Unsubscribe(topic string) error {
 	p.mu.Lock()
 	nd, ok := p.topics[topic]
 	delete(p.topics, topic)
+	if ok {
+		// Detach the route while still holding p.mu: a concurrent Subscribe
+		// to the same topic must get a fresh topicTransport from the mux,
+		// not the dying one (which nd.Close is about to mark closed).
+		p.mux.CloseTopic(topic)
+	}
 	p.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("pubsub: not subscribed to %q", topic)

@@ -2,7 +2,9 @@ package pubsub
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -263,4 +265,130 @@ func TestCloseIdempotent(t *testing.T) {
 		t.Fatal("subscribe after close accepted")
 	}
 	peers[1].Close()
+}
+
+// TestConcurrentSubscribeUnsubscribePublish hammers one fabric with
+// concurrent Subscribe/Unsubscribe/Publish/GossipNow across topics while
+// every peer's own gossip timer runs — the -race shard's coverage for the
+// pub/sub runtime. Errors like "not subscribed" are expected interleavings;
+// panics, deadlocks and data races are what the test exists to catch.
+func TestConcurrentSubscribeUnsubscribePublish(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	const nPeers = 4
+	topics := []string{"alpha", "beta", "gamma"}
+	peers := make([]*Peer, nPeers)
+	var delivered atomic.Int64
+	for i := 0; i < nPeers; i++ {
+		ep, err := net.Endpoint(fmt.Sprintf("c%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := peerConfig(i)
+		cfg.GossipInterval = 2 * time.Millisecond // real timers add interleavings
+		p, err := NewPeer(ep, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+	}
+	bootstrap := make([]string, nPeers)
+	for i, p := range peers {
+		bootstrap[i] = p.Addr()
+	}
+	deliver := func(Event) { delivered.Add(1) }
+
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *Peer) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i + 77)))
+			for iter := 0; iter < 150; iter++ {
+				topic := topics[rng.Intn(len(topics))]
+				switch rng.Intn(4) {
+				case 0:
+					_ = p.Subscribe(topic, bootstrap, deliver)
+				case 1:
+					_ = p.Unsubscribe(topic)
+				case 2:
+					_, _ = p.Publish(topic, []byte("storm"))
+				case 3:
+					p.GossipNow()
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	// The fabric must still be fully functional after the storm.
+	for _, p := range peers {
+		_ = p.Unsubscribe("alpha") // make state deterministic: nobody on alpha
+	}
+	lg := &eventLog{}
+	if err := peers[0].Subscribe("alpha", bootstrap, lg.add); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := peers[0].Publish("alpha", []byte("still alive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, 1, func() int { return lg.count("alpha", mid) })
+	for _, p := range peers {
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestUnsubscribedTopicFramesBecomeStrays pins down what happens to frames
+// that arrive for a just-unsubscribed topic: the mux drops them and counts
+// them as strays — they must not reach a handler or resubscribe the peer.
+func TestUnsubscribedTopicFramesBecomeStrays(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	eps := make([]*Peer, 2)
+	for i := range eps {
+		ep, err := net.Endpoint(fmt.Sprintf("s%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPeer(ep, peerConfig(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		eps[i] = p
+	}
+	lg0, lg1 := &eventLog{}, &eventLog{}
+	if err := eps[0].Subscribe("zeta", nil, lg0.add); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[1].Subscribe("zeta", []string{eps[0].Addr()}, lg1.add); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 20; cycle++ {
+		eps[0].GossipNow()
+		eps[1].GossipNow()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := eps[0].Unsubscribe("zeta"); err != nil {
+		t.Fatal(err)
+	}
+	// Peer 1 still has peer 0 in its topic views and keeps forwarding to it;
+	// those frames must land in peer 0's stray counter, not a handler.
+	deadline := time.Now().Add(5 * time.Second)
+	for eps[0].StrayFrames() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no stray frames counted after unsubscribe")
+		}
+		if _, err := eps[1].Publish("zeta", []byte("late")); err != nil {
+			t.Fatal(err)
+		}
+		eps[1].GossipNow()
+		time.Sleep(5 * time.Millisecond)
+	}
+	lg0.mu.Lock()
+	n := len(lg0.events)
+	lg0.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("unsubscribed peer delivered %d events", n)
+	}
 }

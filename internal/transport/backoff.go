@@ -1,0 +1,32 @@
+package transport
+
+import "time"
+
+// expBackoff throttles a loop that is failing persistently (accept or read
+// errors on a wedged socket): successive sleeps grow exponentially from
+// acceptBackoffMin to acceptBackoffMax, and a success resets the schedule.
+type expBackoff struct {
+	d time.Duration
+}
+
+// sleep waits out the next backoff step. It returns false when done closes
+// first, so callers can exit promptly on shutdown.
+func (b *expBackoff) sleep(done <-chan struct{}) bool {
+	if b.d == 0 {
+		b.d = acceptBackoffMin
+	} else if b.d < acceptBackoffMax {
+		b.d *= 2
+		if b.d > acceptBackoffMax {
+			b.d = acceptBackoffMax
+		}
+	}
+	select {
+	case <-time.After(b.d):
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// reset restarts the schedule from the minimum; call it after a success.
+func (b *expBackoff) reset() { b.d = 0 }

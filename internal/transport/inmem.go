@@ -139,7 +139,11 @@ type InMemEndpoint struct {
 	wg    sync.WaitGroup
 
 	dropped  atomic.Int64 // frames discarded because no handler was installed
-	overflow atomic.Int64 // frames dropped because the inbox was full
+	overflow atomic.Int64 // inbound frames dropped because our inbox was full
+
+	framesSent atomic.Int64
+	bytesSent  atomic.Int64
+	sendDrops  atomic.Int64 // sends swallowed by a full destination inbox
 }
 
 var _ Transport = (*InMemEndpoint)(nil)
@@ -176,14 +180,27 @@ func (e *InMemEndpoint) Send(to string, f *wire.Frame) error {
 	}
 	select {
 	case dst.inbox <- inboundFrame{remote: f.FromAddr, frame: decoded}:
+		e.framesSent.Add(1)
+		e.bytesSent.Add(int64(len(buf)))
 		return nil
 	case <-dst.done:
 		return fmt.Errorf("%w: %s", ErrUnreachable, to)
 	default:
 		// Inbox full: drop like an overflowing socket buffer. The sender
-		// sees success — loss, not peer death.
+		// sees success — loss, not peer death — but the drop is visible in
+		// both endpoints' counters.
 		dst.overflow.Add(1)
+		e.sendDrops.Add(1)
 		return nil
+	}
+}
+
+// Stats implements Transport.
+func (e *InMemEndpoint) Stats() Stats {
+	return Stats{
+		FramesSent: e.framesSent.Load(),
+		BytesSent:  e.bytesSent.Load(),
+		Drops:      e.sendDrops.Load(),
 	}
 }
 

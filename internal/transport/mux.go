@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ringcast/internal/wire"
 )
@@ -17,8 +18,9 @@ type Mux struct {
 	mu     sync.RWMutex
 	routes map[string]*topicTransport
 	closed bool
-	// strayFrames counts frames for unregistered topics (dropped).
-	strayFrames int
+	// strayFrames counts frames for unregistered topics (dropped). Atomic:
+	// dispatch is the receive hot path and must not take the write lock.
+	strayFrames atomic.Int64
 }
 
 // NewMux wraps base. The mux installs itself as the base handler; callers
@@ -34,9 +36,7 @@ func (m *Mux) dispatch(remote string, f *wire.Frame) {
 	tt := m.routes[f.Topic]
 	m.mu.RUnlock()
 	if tt == nil {
-		m.mu.Lock()
-		m.strayFrames++
-		m.mu.Unlock()
+		m.strayFrames.Add(1)
 		return
 	}
 	tt.hmu.RLock()
@@ -49,6 +49,13 @@ func (m *Mux) dispatch(remote string, f *wire.Frame) {
 
 // Addr returns the base transport's address; all topics share it.
 func (m *Mux) Addr() string { return m.base.Addr() }
+
+// Stats returns the base transport's counters; all topics share them.
+func (m *Mux) Stats() Stats { return m.base.Stats() }
+
+// StrayFrames reports how many frames arrived for topics with no route
+// (never registered, or already closed) and were dropped.
+func (m *Mux) StrayFrames() int64 { return m.strayFrames.Load() }
 
 // Topic returns the Transport for one topic, creating it on first use.
 func (m *Mux) Topic(topic string) (Transport, error) {
@@ -68,26 +75,36 @@ func (m *Mux) Topic(topic string) (Transport, error) {
 	return tt, nil
 }
 
-// CloseTopic detaches one topic without touching the base transport.
+// CloseTopic detaches one topic without touching the base transport. The
+// topic's Transport is marked closed: further Sends on it fail with
+// ErrClosed instead of silently forwarding to the base.
 func (m *Mux) CloseTopic(topic string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	tt := m.routes[topic]
 	delete(m.routes, topic)
+	m.mu.Unlock()
+	if tt != nil {
+		tt.closed.Store(true)
+	}
 }
 
 // Close detaches all topics and closes the base transport.
 func (m *Mux) Close() error {
 	m.mu.Lock()
 	m.closed = true
-	m.routes = make(map[string]*topicTransport)
+	for topic, tt := range m.routes {
+		tt.closed.Store(true)
+		delete(m.routes, topic)
+	}
 	m.mu.Unlock()
 	return m.base.Close()
 }
 
 // topicTransport stamps outgoing frames with its topic.
 type topicTransport struct {
-	mux   *Mux
-	topic string
+	mux    *Mux
+	topic  string
+	closed atomic.Bool
 
 	hmu     sync.RWMutex
 	handler Handler
@@ -98,6 +115,9 @@ var _ Transport = (*topicTransport)(nil)
 // Addr implements Transport: topics share the base address.
 func (t *topicTransport) Addr() string { return t.mux.base.Addr() }
 
+// Stats implements Transport: topics share the base counters.
+func (t *topicTransport) Stats() Stats { return t.mux.base.Stats() }
+
 // SetHandler implements Transport.
 func (t *topicTransport) SetHandler(h Handler) {
 	t.hmu.Lock()
@@ -105,8 +125,13 @@ func (t *topicTransport) SetHandler(h Handler) {
 	t.handler = h
 }
 
-// Send implements Transport, stamping the topic.
+// Send implements Transport, stamping the topic. A detached topic (its own
+// Close, CloseTopic, or Mux.Close) fails with ErrClosed — it must not keep
+// stamping frames onto the base transport.
 func (t *topicTransport) Send(to string, f *wire.Frame) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
 	stamped := *f
 	stamped.Topic = t.topic
 	return t.mux.base.Send(to, &stamped)

@@ -1,0 +1,416 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/view"
+	"ringcast/internal/wire"
+)
+
+// slowPeer is a TCP listener that accepts connections and never reads from
+// them: the pathological subscriber that used to stall every sender once the
+// kernel buffers filled.
+type slowPeer struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newSlowPeer(t *testing.T) *slowPeer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &slowPeer{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, c)
+			s.mu.Unlock()
+		}
+	}()
+	t.Cleanup(s.close)
+	return s
+}
+
+func (s *slowPeer) addr() string { return s.ln.Addr().String() }
+
+func (s *slowPeer) close() {
+	s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+}
+
+func gossipFrame(fromAddr string, seq uint64, body []byte) *wire.Frame {
+	return &wire.Frame{
+		Kind: wire.KindGossip, From: 1, FromAddr: fromAddr,
+		Msg: &wire.Message{ID: wire.MsgID{Origin: 1, Seq: seq}, Body: body},
+	}
+}
+
+// bulkyShuffle builds a droppable gossip-class frame padded with view
+// entries so a handful of frames saturate kernel socket buffers.
+func bulkyShuffle(fromAddr string, seq uint64) *wire.Frame {
+	f := &wire.Frame{Kind: wire.KindShuffleRequest, From: 1, FromAddr: fromAddr, Seq: seq}
+	addr := strings.Repeat("x", 250)
+	for i := 0; i < 64; i++ {
+		f.Entries = append(f.Entries, view.Entry{Node: ident.ID(i + 2), Addr: addr, Age: uint32(i)})
+	}
+	return f
+}
+
+// TestTCPSlowPeerDoesNotBlockSend floods a never-reading peer with droppable
+// gossip frames: every Send must return promptly (queue + drop-oldest), and
+// the overflow must be visible in Stats. Under the old synchronous path this
+// test would block for multiples of the 10s write timeout.
+func TestTCPSlowPeerDoesNotBlockSend(t *testing.T) {
+	src, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	slow := newSlowPeer(t)
+
+	const sends = 3 * sendQueueCap
+	start := time.Now()
+	for i := 0; i < sends; i++ {
+		if err := src.Send(slow.addr(), bulkyShuffle(src.Addr(), uint64(i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("%d sends to a stuck peer took %v — Send is blocking", sends, elapsed)
+	}
+	st := src.Stats()
+	if st.Drops == 0 {
+		t.Fatalf("no drops recorded after %d sends into a %d-frame queue: %+v", sends, sendQueueCap, st)
+	}
+	if st.QueueDepth > sendQueueCap {
+		t.Fatalf("queue depth %d exceeds cap %d", st.QueueDepth, sendQueueCap)
+	}
+}
+
+// TestTCPSlowPeerDoesNotDelayHealthyPeer interleaves sends to a stuck peer
+// and a healthy peer: the healthy peer's frames must all arrive, and no
+// single healthy Send may stall — the head-of-line blocking the pipeline
+// removes.
+func TestTCPSlowPeerDoesNotDelayHealthyPeer(t *testing.T) {
+	src, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	healthy, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	col := newCollector()
+	healthy.SetHandler(col.handle)
+	slow := newSlowPeer(t)
+
+	const rounds = 200
+	var worst time.Duration
+	for i := 0; i < rounds; i++ {
+		f := helloFrame(src.Addr())
+		f.Seq = uint64(i)
+		_ = src.Send(slow.addr(), f) // may drop; must not block
+		begin := time.Now()
+		if err := src.Send(healthy.Addr(), f); err != nil {
+			t.Fatalf("healthy send %d: %v", i, err)
+		}
+		if d := time.Since(begin); d > worst {
+			worst = d
+		}
+	}
+	if worst > time.Second {
+		t.Fatalf("worst healthy Send latency %v — slow peer is stalling healthy sends", worst)
+	}
+	col.waitFor(t, rounds)
+}
+
+// TestTCPQueueFullRejectsDisseminationPayload verifies the overflow policy's
+// other half: dissemination payloads are never silently shed — once the
+// queue to a stuck peer fills, Send fails fast with ErrQueueFull and the
+// reject is counted.
+func TestTCPQueueFullRejectsDisseminationPayload(t *testing.T) {
+	src, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	slow := newSlowPeer(t)
+
+	body := make([]byte, 16<<10)
+	sawReject := false
+	deadline := time.Now().Add(10 * time.Second)
+	for seq := uint64(0); time.Now().Before(deadline); seq++ {
+		begin := time.Now()
+		err := src.Send(slow.addr(), gossipFrame(src.Addr(), seq, body))
+		if d := time.Since(begin); d > 2*time.Second {
+			t.Fatalf("Send took %v — blocking on a stuck peer", d)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("err = %v, want ErrQueueFull", err)
+			}
+			sawReject = true
+			break
+		}
+	}
+	if !sawReject {
+		t.Fatal("queue to a never-reading peer never filled — backpressure broken")
+	}
+	if src.Stats().Rejects == 0 {
+		t.Fatal("ErrQueueFull not counted in Stats.Rejects")
+	}
+}
+
+// TestTCPDropOldestKeepsNewestGossip fills a queue with droppable frames and
+// checks the overflow policy evicts from the head: the last-queued frames
+// survive and are eventually delivered once the peer unfreezes. Uses an
+// initially-blocked real transport as the receiver.
+func TestTCPDropOldestKeepsNewestGossip(t *testing.T) {
+	src, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.idleTimeout = time.Hour // keep the writer pinned for the test
+	defer src.Close()
+	dst, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	col := newCollector()
+	release := make(chan struct{})
+	dst.SetHandler(func(remote string, f *wire.Frame) {
+		<-release // hold the serve goroutine: receiver "slow", then healed
+		col.handle(remote, f)
+	})
+
+	// Bulky frames so the kernel buffers saturate quickly and the queue
+	// actually overflows.
+	total := 0
+	for src.Stats().Drops == 0 {
+		if err := src.Send(dst.Addr(), bulkyShuffle(src.Addr(), uint64(total))); err != nil {
+			t.Fatalf("send %d: %v", total, err)
+		}
+		total++
+		if total > 100*sendQueueCap {
+			t.Fatal("queue never overflowed")
+		}
+	}
+	lastSeq := uint64(total - 1)
+	close(release)
+	// The newest frame must survive the drop-oldest policy.
+	deadline := time.After(10 * time.Second)
+	for {
+		col.mu.Lock()
+		var found bool
+		for _, f := range col.frames {
+			if f.Seq == lastSeq {
+				found = true
+			}
+		}
+		col.mu.Unlock()
+		if found {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("newest frame (seq %d) was dropped; drop-oldest policy broken", lastSeq)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestTCPWriterIdleEviction verifies writers are lazily spawned and evicted
+// after the idle timeout, and that a later Send transparently respawns one.
+func TestTCPWriterIdleEviction(t *testing.T) {
+	src, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.idleTimeout = 50 * time.Millisecond
+	defer src.Close()
+	dst, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	col := newCollector()
+	dst.SetHandler(col.handle)
+
+	if got := src.Stats().Writers; got != 0 {
+		t.Fatalf("writers before any send = %d", got)
+	}
+	if err := src.Send(dst.Addr(), helloFrame(src.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, 1)
+	if got := src.Stats().Writers; got != 1 {
+		t.Fatalf("writers after send = %d, want 1", got)
+	}
+	deadline := time.After(5 * time.Second)
+	for src.Stats().Writers != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("writer not evicted after idle timeout; writers = %d", src.Stats().Writers)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// Respawn on demand.
+	if err := src.Send(dst.Addr(), helloFrame(src.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, 2)
+}
+
+// TestTCPStatsCountSends verifies the frames/bytes counters move on the
+// happy path.
+func TestTCPStatsCountSends(t *testing.T) {
+	src, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	col := newCollector()
+	dst.SetHandler(col.handle)
+	const n = 20
+	for i := 0; i < n; i++ {
+		f := helloFrame(src.Addr())
+		f.Seq = uint64(i)
+		if err := src.Send(dst.Addr(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col.waitFor(t, n)
+	deadline := time.After(5 * time.Second)
+	for {
+		st := src.Stats()
+		if st.FramesSent == n && st.BytesSent > 0 && st.QueueDepth == 0 {
+			if st.Drops != 0 || st.Rejects != 0 || st.DialFailures != 0 {
+				t.Fatalf("unexpected failure counters on happy path: %+v", st)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("stats never converged: %+v", st)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestTCPCloseShedsQueuedFrames verifies Close terminates writers promptly
+// even with a full queue to a stuck peer, accounting abandoned frames.
+func TestTCPCloseShedsQueuedFrames(t *testing.T) {
+	src, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := newSlowPeer(t)
+	body := make([]byte, 8<<10)
+	for i := 0; i < sendQueueCap; i++ {
+		if err := src.Send(slow.addr(), gossipFrame(src.Addr(), uint64(i), body)); err != nil {
+			break // queue full is fine; we just want a backlog
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		src.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on a stuck writer")
+	}
+	st := src.Stats()
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after Close, want 0", st.QueueDepth)
+	}
+	if st.Writers != 0 {
+		t.Fatalf("writers %d after Close, want 0", st.Writers)
+	}
+}
+
+// TestTopicSendAfterClose covers both detach paths: a topic transport must
+// fail Sends with ErrClosed after its own Close and after Mux.Close, rather
+// than silently stamping frames onto the (possibly closed) base.
+func TestTopicSendAfterClose(t *testing.T) {
+	net1 := NewInMemNetwork()
+	baseA, _ := net1.Endpoint("a")
+	baseB, _ := net1.Endpoint("b")
+	defer baseB.Close()
+	muxA := NewMux(baseA)
+	muxB := NewMux(baseB)
+	defer muxB.Close()
+
+	tp, err := muxA.Topic("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Send("b", helloFrame("a")); err != nil {
+		t.Fatalf("send on live topic: %v", err)
+	}
+	tp.Close()
+	if err := tp.Send("b", helloFrame("a")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after topic Close = %v, want ErrClosed", err)
+	}
+
+	// Second path: Mux.Close must detach topics created before it.
+	tp2, err := muxA.Topic("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	muxA.Close()
+	if err := tp2.Send("b", helloFrame("a")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after Mux.Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseTopicDetachesSend covers the third detach path, CloseTopic
+// called directly on the mux.
+func TestCloseTopicDetachesSend(t *testing.T) {
+	net1 := NewInMemNetwork()
+	base, _ := net1.Endpoint("a")
+	mux := NewMux(base)
+	defer mux.Close()
+	tp, err := mux.Topic("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux.CloseTopic("x")
+	if err := tp.Send("b", helloFrame("a")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after CloseTopic = %v, want ErrClosed", err)
+	}
+	// A re-created topic is a fresh, usable transport.
+	tp2, err := mux.Topic("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp2 == tp {
+		t.Fatal("closed topic transport was reused")
+	}
+}

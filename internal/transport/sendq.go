@@ -1,0 +1,286 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ringcast/internal/wire"
+)
+
+// Send-pipeline tuning.
+const (
+	// sendQueueCap bounds the frames queued per destination. At gossip
+	// frame sizes (~100 bytes) a full queue is ~50 KB; at the 1 MB body
+	// limit the byte batching below still keeps single writes bounded.
+	sendQueueCap = 512
+	// maxBatchBytes caps the bytes coalesced into one Write call so a
+	// backlog of large dissemination payloads cannot produce a write that
+	// outlives the write deadline.
+	maxBatchBytes = 256 << 10
+	// defaultWriterIdle is how long a writer with an empty queue keeps its
+	// connection warm before evicting itself. Three paper-scale gossip
+	// cycles (10 s each) comfortably fit, so steady-state neighbors reuse
+	// one connection.
+	defaultWriterIdle = 30 * time.Second
+)
+
+// outFrame is one queued outbound frame, already length-prefixed.
+type outFrame struct {
+	buf       []byte
+	droppable bool
+}
+
+// peerQueue is one destination's bounded outbound queue plus the state of
+// its lazily spawned writer goroutine. Send enqueues under mu and returns;
+// the writer dials, drains the queue in coalesced batches, and evicts
+// itself after defaultWriterIdle of silence.
+type peerQueue struct {
+	addr string
+	wake chan struct{} // buffered(1): "queue went non-empty"
+
+	mu         sync.Mutex
+	q          []outFrame
+	running    bool     // writer goroutine alive
+	retired    bool     // idle-evicted and removed from the map: do not reuse
+	terminated bool     // transport closed: writer must exit, Sends fail
+	err        error    // sticky failure from the last writer, surfaced to one Send
+	conn       net.Conn // owned by the writer; closed by Close to unblock writes
+}
+
+// peer returns the queue for addr, creating it if needed.
+func (t *TCPTransport) peer(addr string) (*peerQueue, error) {
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	pq, ok := t.conns[addr]
+	if !ok {
+		pq = &peerQueue{addr: addr, wake: make(chan struct{}, 1)}
+		t.conns[addr] = pq
+	}
+	return pq, nil
+}
+
+// enqueue applies the overflow policy and hands the frame to addr's writer,
+// spawning one if none is running. It never blocks on the network.
+func (t *TCPTransport) enqueue(to string, of outFrame) error {
+	var pq *peerQueue
+	for {
+		var err error
+		pq, err = t.peer(to)
+		if err != nil {
+			return err
+		}
+		pq.mu.Lock()
+		if !pq.retired {
+			break
+		}
+		// Lost a race with idle eviction: this queue was already removed
+		// from the map. Loop to create (or find) its replacement — spawning
+		// a writer on the orphan would escape Close's termination sweep.
+		pq.mu.Unlock()
+	}
+	if pq.terminated {
+		pq.mu.Unlock()
+		return ErrClosed
+	}
+	if err := pq.err; err != nil {
+		// The previous writer died trying to reach this peer. Surface the
+		// failure to exactly one Send — the liveness signal gossip protocols
+		// expect — and let the next Send redial.
+		pq.err = nil
+		pq.mu.Unlock()
+		return err
+	}
+	if len(pq.q) >= sendQueueCap {
+		if !of.droppable {
+			pq.mu.Unlock()
+			t.rejects.Add(1)
+			return fmt.Errorf("%w: %s", ErrQueueFull, to)
+		}
+		if !dropOldestDroppable(pq) {
+			// Queue is entirely dissemination payloads; shed the new gossip
+			// frame instead — the next cycle supersedes it anyway.
+			pq.mu.Unlock()
+			t.drops.Add(1)
+			return nil
+		}
+		t.drops.Add(1)
+		t.queueDepth.Add(-1)
+	}
+	pq.q = append(pq.q, of)
+	t.queueDepth.Add(1)
+	spawn := !pq.running
+	if spawn {
+		pq.running = true
+		// wg.Add under pq.mu: Close marks terminated under the same lock, so
+		// either this writer is registered before Close's Wait, or enqueue
+		// observed terminated above and never got here.
+		t.wg.Add(1)
+		t.writers.Add(1)
+	}
+	pq.mu.Unlock()
+	if spawn {
+		go t.runWriter(pq)
+	} else {
+		select {
+		case pq.wake <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// dropOldestDroppable evicts the oldest droppable frame. Caller holds pq.mu.
+func dropOldestDroppable(pq *peerQueue) bool {
+	for i, of := range pq.q {
+		if of.droppable {
+			copy(pq.q[i:], pq.q[i+1:])
+			pq.q[len(pq.q)-1] = outFrame{} // release the buffer reference
+			pq.q = pq.q[:len(pq.q)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// runWriter is the dedicated writer goroutine for one destination: dial,
+// then drain the queue in coalesced batches until failure, transport close,
+// or idle eviction.
+func (t *TCPTransport) runWriter(pq *peerQueue) {
+	defer t.wg.Done()
+	defer t.writers.Add(-1)
+	d := net.Dialer{Timeout: dialTimeout, Cancel: t.done}
+	c, err := d.Dial("tcp", pq.addr)
+	if err != nil {
+		t.dialFailures.Add(1)
+		t.failWriter(pq, fmt.Errorf("%w: %s: %v", ErrUnreachable, pq.addr, err))
+		return
+	}
+	pq.mu.Lock()
+	if pq.terminated {
+		pq.mu.Unlock()
+		c.Close()
+		return
+	}
+	pq.conn = c
+	pq.mu.Unlock()
+
+	idle := time.NewTimer(t.idleTimeout)
+	defer idle.Stop()
+	var batch []byte
+	for {
+		batch = batch[:0]
+		n := 0
+		pq.mu.Lock()
+		for _, of := range pq.q {
+			if n > 0 && len(batch)+len(of.buf) > maxBatchBytes {
+				break
+			}
+			batch = append(batch, of.buf...)
+			n++
+		}
+		if n > 0 {
+			rem := copy(pq.q, pq.q[n:])
+			clear(pq.q[rem:]) // release sent-buffer references in the tail
+			pq.q = pq.q[:rem]
+			t.queueDepth.Add(int64(-n))
+		}
+		term := pq.terminated
+		pq.mu.Unlock()
+		if term {
+			c.Close()
+			return
+		}
+		if n == 0 {
+			// One reusable timer per writer: a time.After here would park a
+			// fresh 30s timer in the runtime heap on every drain cycle.
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(t.idleTimeout)
+			select {
+			case <-pq.wake:
+				continue
+			case <-idle.C:
+				if t.retireIfIdle(pq) {
+					c.Close()
+					return
+				}
+				continue
+			case <-t.done:
+				c.Close()
+				return
+			}
+		}
+		c.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if _, err := c.Write(batch); err != nil {
+			c.Close()
+			// The batch was consumed from the queue but never arrived.
+			t.drops.Add(int64(n))
+			t.failWriter(pq, fmt.Errorf("%w: %s: %v", ErrUnreachable, pq.addr, err))
+			return
+		}
+		t.framesSent.Add(int64(n))
+		t.bytesSent.Add(int64(len(batch)))
+	}
+}
+
+// failWriter records a writer's death: pending frames are shed (counted as
+// drops) and the error is parked for the next Send to report.
+func (t *TCPTransport) failWriter(pq *peerQueue, err error) {
+	pq.mu.Lock()
+	dropped := len(pq.q)
+	pq.q = nil
+	pq.conn = nil
+	pq.running = false
+	if !pq.terminated {
+		pq.err = err
+	}
+	pq.mu.Unlock()
+	if dropped > 0 {
+		t.drops.Add(int64(dropped))
+		t.queueDepth.Add(int64(-dropped))
+	}
+}
+
+// retireIfIdle removes an idle writer and its map entry so a quiet peer
+// costs nothing. Lock order: cmu then pq.mu, matching peer creation.
+func (t *TCPTransport) retireIfIdle(pq *peerQueue) bool {
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	if pq.terminated {
+		return true
+	}
+	if len(pq.q) > 0 {
+		return false
+	}
+	pq.running = false
+	pq.retired = true
+	pq.conn = nil
+	if t.conns[pq.addr] == pq {
+		delete(t.conns, pq.addr)
+	}
+	return true
+}
+
+// frameBytes length-prefixes a marshalled frame for the TCP stream.
+func frameBytes(f *wire.Frame) ([]byte, error) {
+	buf, err := wire.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, 4+len(buf))
+	binary.BigEndian.PutUint32(msg, uint32(len(buf)))
+	copy(msg[4:], buf)
+	return msg, nil
+}

@@ -24,31 +24,43 @@ const (
 )
 
 // TCPTransport moves frames over TCP connections. Each frame is prefixed
-// with a 4-byte big-endian length. Outbound connections are cached per
-// destination and re-dialed on failure; inbound connections are served until
-// EOF. A send error is the liveness signal gossip protocols expect.
+// with a 4-byte big-endian length. Inbound connections are served until EOF.
+//
+// The outbound half is an asynchronous per-peer pipeline (sendq.go): Send
+// marshals the frame, queues it on the destination's bounded queue and
+// returns — it never blocks on a dial or a slow receiver's write. Each
+// destination gets a dedicated writer goroutine, spawned on first use and
+// evicted after an idle period, which coalesces queued frames into batched
+// writes. A writer failure is surfaced to the next Send to that peer — the
+// liveness signal gossip protocols expect — and pending frames are shed and
+// counted in Stats.
 type TCPTransport struct {
-	ln net.Listener
+	ln          net.Listener
+	idleTimeout time.Duration // writer idle eviction; settable in tests
 
 	hmu     sync.RWMutex
 	handler Handler
 
-	cmu   sync.Mutex
-	conns map[string]*sendConn
+	cmu    sync.Mutex
+	conns  map[string]*peerQueue
+	closed bool
 
 	done    chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
 	dropped atomic.Int64
+
+	// Outbound pipeline counters (see Stats).
+	framesSent   atomic.Int64
+	bytesSent    atomic.Int64
+	queueDepth   atomic.Int64
+	writers      atomic.Int64
+	drops        atomic.Int64
+	rejects      atomic.Int64
+	dialFailures atomic.Int64
 }
 
 var _ Transport = (*TCPTransport)(nil)
-
-// sendConn serializes writes on one outbound connection.
-type sendConn struct {
-	mu sync.Mutex
-	c  net.Conn
-}
 
 // ListenTCP starts a transport listening on addr (e.g. "127.0.0.1:0").
 func ListenTCP(addr string) (*TCPTransport, error) {
@@ -63,9 +75,10 @@ func ListenTCP(addr string) (*TCPTransport, error) {
 // tests can inject failing listener stubs into the accept loop.
 func newTCPWithListener(ln net.Listener) *TCPTransport {
 	t := &TCPTransport{
-		ln:    ln,
-		conns: make(map[string]*sendConn),
-		done:  make(chan struct{}),
+		ln:          ln,
+		idleTimeout: defaultWriterIdle,
+		conns:       make(map[string]*peerQueue),
+		done:        make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -84,7 +97,7 @@ func (t *TCPTransport) SetHandler(h Handler) {
 
 func (t *TCPTransport) acceptLoop() {
 	defer t.wg.Done()
-	var backoff time.Duration
+	var backoff expBackoff
 	for {
 		conn, err := t.ln.Accept()
 		if err != nil {
@@ -96,22 +109,12 @@ func (t *TCPTransport) acceptLoop() {
 			// Transient accept error: keep serving, but back off
 			// exponentially while the error persists so a stuck listener
 			// (EMFILE, closed fd) doesn't busy-spin the CPU.
-			if backoff == 0 {
-				backoff = acceptBackoffMin
-			} else if backoff < acceptBackoffMax {
-				backoff *= 2
-				if backoff > acceptBackoffMax {
-					backoff = acceptBackoffMax
-				}
-			}
-			select {
-			case <-time.After(backoff):
-			case <-t.done:
+			if !backoff.sleep(t.done) {
 				return
 			}
 			continue
 		}
-		backoff = 0
+		backoff.reset()
 		t.wg.Add(1)
 		go t.serve(conn)
 	}
@@ -160,82 +163,55 @@ func (t *TCPTransport) serve(conn net.Conn) {
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport: marshal, queue on the destination's outbound
+// queue and return. Overflow policy: droppable gossip frames evict the
+// oldest queued droppable frame; dissemination payloads get ErrQueueFull.
 func (t *TCPTransport) Send(to string, f *wire.Frame) error {
 	select {
 	case <-t.done:
 		return ErrClosed
 	default:
 	}
-	buf, err := wire.Marshal(f)
+	msg, err := frameBytes(f)
 	if err != nil {
 		return err
 	}
-	msg := make([]byte, 4+len(buf))
-	binary.BigEndian.PutUint32(msg, uint32(len(buf)))
-	copy(msg[4:], buf)
-
-	sc, err := t.conn(to)
-	if err != nil {
-		return err
-	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if err := sc.c.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
-		t.dropConn(to, sc)
-		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
-	}
-	if _, err := sc.c.Write(msg); err != nil {
-		t.dropConn(to, sc)
-		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
-	}
-	return nil
+	return t.enqueue(to, outFrame{buf: msg, droppable: Droppable(f)})
 }
 
-// conn returns a cached outbound connection to addr, dialing if needed.
-func (t *TCPTransport) conn(addr string) (*sendConn, error) {
-	t.cmu.Lock()
-	if sc, ok := t.conns[addr]; ok {
-		t.cmu.Unlock()
-		return sc, nil
-	}
-	t.cmu.Unlock()
-
-	c, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
-	}
-	sc := &sendConn{c: c}
-	t.cmu.Lock()
-	defer t.cmu.Unlock()
-	if existing, ok := t.conns[addr]; ok {
-		// Lost the race: keep the existing connection.
-		c.Close()
-		return existing, nil
-	}
-	t.conns[addr] = sc
-	return sc, nil
-}
-
-// dropConn evicts a broken cached connection.
-func (t *TCPTransport) dropConn(addr string, sc *sendConn) {
-	sc.c.Close()
-	t.cmu.Lock()
-	defer t.cmu.Unlock()
-	if t.conns[addr] == sc {
-		delete(t.conns, addr)
+// Stats implements Transport.
+func (t *TCPTransport) Stats() Stats {
+	return Stats{
+		FramesSent:   t.framesSent.Load(),
+		BytesSent:    t.bytesSent.Load(),
+		QueueDepth:   t.queueDepth.Load(),
+		Writers:      t.writers.Load(),
+		Drops:        t.drops.Load(),
+		Rejects:      t.rejects.Load(),
+		DialFailures: t.dialFailures.Load(),
 	}
 }
 
-// Close implements Transport: stops accepting, closes every connection and
-// waits for serving goroutines to drain.
+// Close implements Transport: stops accepting, terminates every writer,
+// sheds their queues and waits for all goroutines to drain.
 func (t *TCPTransport) Close() error {
 	t.once.Do(func() {
 		close(t.done)
 		t.ln.Close()
 		t.cmu.Lock()
-		for addr, sc := range t.conns {
-			sc.c.Close()
+		t.closed = true
+		for addr, pq := range t.conns {
+			pq.mu.Lock()
+			pq.terminated = true
+			if n := len(pq.q); n > 0 {
+				pq.q = nil
+				t.drops.Add(int64(n))
+				t.queueDepth.Add(int64(-n))
+			}
+			if pq.conn != nil {
+				pq.conn.Close() // unblock a writer stuck in Write
+			}
+			pq.mu.Unlock()
 			delete(t.conns, addr)
 		}
 		t.cmu.Unlock()

@@ -25,10 +25,16 @@ type Transport interface {
 	// exactly once, before any frame is expected; frames arriving earlier
 	// are dropped.
 	SetHandler(h Handler)
-	// Send delivers one frame to the endpoint at addr. It returns an error
-	// when the destination is unreachable — which gossip protocols treat as
-	// evidence of peer death.
+	// Send hands one frame to the transport for delivery to the endpoint at
+	// addr. Send must not block on a slow destination: implementations either
+	// queue the frame (TCP), hand it to the kernel (UDP), or drop under
+	// overload. An error means the frame was NOT accepted — unreachable
+	// destinations (evidence of peer death for gossip protocols), a closed
+	// endpoint, or local backpressure (ErrQueueFull, which signals congestion
+	// rather than peer death).
 	Send(to string, f *wire.Frame) error
+	// Stats returns a snapshot of the endpoint's runtime counters.
+	Stats() Stats
 	// Close releases the endpoint. Subsequent Sends fail.
 	Close() error
 }
@@ -40,4 +46,39 @@ var (
 	// ErrUnreachable is returned when the destination does not exist or
 	// refuses delivery.
 	ErrUnreachable = errors.New("transport: destination unreachable")
+	// ErrQueueFull is returned when a non-droppable frame cannot be queued
+	// because the destination's outbound queue is at capacity. It signals
+	// local congestion, not peer death: callers should NOT evict the peer.
+	ErrQueueFull = errors.New("transport: outbound queue full")
 )
+
+// Stats is a snapshot of a transport endpoint's counters. All fields are
+// cumulative except QueueDepth and Writers, which are instantaneous gauges.
+type Stats struct {
+	// FramesSent counts frames actually written to the network.
+	FramesSent int64
+	// BytesSent counts wire bytes written (including length prefixes).
+	BytesSent int64
+	// QueueDepth is the number of frames currently queued across all peers.
+	QueueDepth int64
+	// Writers is the number of live per-peer writer goroutines.
+	Writers int64
+	// Drops counts frames accepted by Send but later discarded: overflow
+	// drop-oldest evictions, frames flushed when a peer's connection failed,
+	// and frames abandoned at Close.
+	Drops int64
+	// Rejects counts Send calls refused with ErrQueueFull (non-droppable
+	// frame, full queue). The caller saw the error, so these are accounted
+	// separately from silent Drops.
+	Rejects int64
+	// DialFailures counts outbound connection attempts that failed.
+	DialFailures int64
+}
+
+// Droppable reports whether a frame may be silently discarded under
+// backpressure. Periodic gossip exchanges (shuffles, vicinity trades,
+// handshakes) are — the next cycle supersedes them, and dropping the oldest
+// keeps the freshest view data flowing. Dissemination payloads (KindGossip)
+// are not: the application message would be lost silently, so Send reports
+// ErrQueueFull instead and lets the caller fail over to another target.
+func Droppable(f *wire.Frame) bool { return f.Kind != wire.KindGossip }

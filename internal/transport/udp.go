@@ -25,7 +25,7 @@ var ErrFrameTooLarge = errors.New("transport: frame exceeds UDP datagram limit")
 // replies (handled by the protocols' age-based eviction) rather than by
 // send errors.
 type UDPTransport struct {
-	conn *net.UDPConn
+	conn udpPacketConn
 
 	hmu     sync.RWMutex
 	handler Handler
@@ -34,9 +34,21 @@ type UDPTransport struct {
 	once    sync.Once
 	wg      sync.WaitGroup
 	dropped atomic.Int64
+
+	framesSent atomic.Int64
+	bytesSent  atomic.Int64
 }
 
 var _ Transport = (*UDPTransport)(nil)
+
+// udpPacketConn is the slice of *net.UDPConn the transport uses — an
+// interface so tests can inject failing read stubs into the read loop.
+type udpPacketConn interface {
+	ReadFromUDP(b []byte) (int, *net.UDPAddr, error)
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+	LocalAddr() net.Addr
+	Close() error
+}
 
 // ListenUDP starts a UDP transport on addr (e.g. "127.0.0.1:0").
 func ListenUDP(addr string) (*UDPTransport, error) {
@@ -48,10 +60,16 @@ func ListenUDP(addr string) (*UDPTransport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
 	}
+	return newUDPWithConn(conn), nil
+}
+
+// newUDPWithConn wraps an existing packet connection — split from ListenUDP
+// so tests can inject failing conn stubs into the read loop.
+func newUDPWithConn(conn udpPacketConn) *UDPTransport {
 	t := &UDPTransport{conn: conn, done: make(chan struct{})}
 	t.wg.Add(1)
 	go t.readLoop()
-	return t, nil
+	return t
 }
 
 // Addr implements Transport.
@@ -67,6 +85,7 @@ func (t *UDPTransport) SetHandler(h Handler) {
 func (t *UDPTransport) readLoop() {
 	defer t.wg.Done()
 	buf := make([]byte, MaxDatagram)
+	var backoff expBackoff
 	for {
 		n, _, err := t.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -75,8 +94,16 @@ func (t *UDPTransport) readLoop() {
 				return
 			default:
 			}
+			// Transient read error (ICMP port-unreachable, momentary fd
+			// trouble): keep reading, but back off exponentially while the
+			// error persists so a wedged socket doesn't busy-spin the CPU —
+			// the same policy as the TCP accept loop.
+			if !backoff.sleep(t.done) {
+				return
+			}
 			continue
 		}
+		backoff.reset()
 		f, err := wire.Unmarshal(buf[:n])
 		if err != nil {
 			continue // malformed datagram: drop
@@ -115,7 +142,18 @@ func (t *UDPTransport) Send(to string, f *wire.Frame) error {
 	if _, err := t.conn.WriteToUDP(buf, ua); err != nil {
 		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
 	}
+	t.framesSent.Add(1)
+	t.bytesSent.Add(int64(len(buf)))
 	return nil
+}
+
+// Stats implements Transport. UDP has no outbound queue: a Send either
+// reaches the kernel or errors, so the queue and drop gauges stay zero.
+func (t *UDPTransport) Stats() Stats {
+	return Stats{
+		FramesSent: t.framesSent.Load(),
+		BytesSent:  t.bytesSent.Load(),
+	}
 }
 
 // Close implements Transport.

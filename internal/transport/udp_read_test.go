@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"ringcast/internal/wire"
+)
+
+// failingUDPConn simulates a UDP socket whose fd has gone bad: every read
+// fails immediately with a transient error.
+type failingUDPConn struct {
+	reads  atomic.Int64
+	closed atomic.Bool
+}
+
+func (c *failingUDPConn) ReadFromUDP(b []byte) (int, *net.UDPAddr, error) {
+	c.reads.Add(1)
+	if c.closed.Load() {
+		return 0, nil, net.ErrClosed
+	}
+	return 0, nil, &net.OpError{Op: "read", Net: "udp", Err: syscall.ECONNREFUSED}
+}
+
+func (c *failingUDPConn) WriteToUDP(b []byte, addr *net.UDPAddr) (int, error) {
+	return len(b), nil
+}
+
+func (c *failingUDPConn) LocalAddr() net.Addr {
+	return &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+}
+
+func (c *failingUDPConn) Close() error {
+	c.closed.Store(true)
+	return nil
+}
+
+// TestUDPReadLoopBacksOffOnPersistentError verifies the read loop does not
+// hot-spin when reads fail persistently: with exponential backoff a 200ms
+// window admits only a handful of attempts (5+10+20+40+80+... ms), where the
+// unthrottled `continue` made millions.
+func TestUDPReadLoopBacksOffOnPersistentError(t *testing.T) {
+	conn := &failingUDPConn{}
+	tr := newUDPWithConn(conn)
+	defer tr.Close()
+
+	time.Sleep(200 * time.Millisecond)
+	attempts := conn.reads.Load()
+	if attempts == 0 {
+		t.Fatal("read loop never ran")
+	}
+	if attempts > 50 {
+		t.Fatalf("read loop made %d attempts in 200ms — hot-spinning, backoff broken", attempts)
+	}
+}
+
+// TestUDPReadLoopBackoffUnblocksOnClose verifies Close doesn't have to wait
+// out a pending backoff sleep.
+func TestUDPReadLoopBackoffUnblocksOnClose(t *testing.T) {
+	conn := &failingUDPConn{}
+	tr := newUDPWithConn(conn)
+	time.Sleep(150 * time.Millisecond) // let the backoff grow
+
+	done := make(chan struct{})
+	go func() {
+		tr.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked on read-loop backoff")
+	}
+}
+
+// flakyUDPConn fails a fixed number of reads, succeeds once, then fails
+// forever — distinguishing a backoff that resets on success from one that
+// keeps growing.
+type flakyUDPConn struct {
+	failingUDPConn
+	failsLeft   atomic.Int64
+	succeeded   atomic.Bool
+	postSuccess atomic.Int64
+}
+
+func (c *flakyUDPConn) ReadFromUDP(b []byte) (int, *net.UDPAddr, error) {
+	if c.closed.Load() {
+		return 0, nil, net.ErrClosed
+	}
+	if c.failsLeft.Add(-1) >= 0 {
+		return 0, nil, &net.OpError{Op: "read", Net: "udp", Err: syscall.ECONNREFUSED}
+	}
+	if c.succeeded.CompareAndSwap(false, true) {
+		// One well-formed datagram: an encoded hello frame.
+		f, err := frameBytes(helloFrame("127.0.0.1:9"))
+		if err != nil {
+			return 0, nil, err
+		}
+		n := copy(b, f[4:]) // strip the TCP length prefix; UDP frames are bare
+		return n, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9}, nil
+	}
+	c.postSuccess.Add(1)
+	return 0, nil, &net.OpError{Op: "read", Net: "udp", Err: syscall.ECONNREFUSED}
+}
+
+// TestUDPReadLoopBackoffResetsAfterSuccess verifies the backoff restarts
+// from the minimum once a read succeeds, mirroring the TCP accept loop.
+func TestUDPReadLoopBackoffResetsAfterSuccess(t *testing.T) {
+	conn := &flakyUDPConn{}
+	conn.failsLeft.Store(5)
+	tr := newUDPWithConn(conn)
+	tr.SetHandler(func(string, *wire.Frame) {})
+	defer tr.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for !conn.succeeded.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("read loop never reached the successful read")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond)
+	attempts := conn.postSuccess.Load()
+	if attempts < 4 {
+		t.Fatalf("only %d read attempts in 500ms after a success — backoff did not reset", attempts)
+	}
+	if attempts > 100 {
+		t.Fatalf("%d read attempts in 500ms after a success — backoff not applied at all", attempts)
+	}
+}
