@@ -1,4 +1,5 @@
-// Command ringcast-bench regenerates the paper's tables and figures.
+// Command ringcast-bench regenerates the paper's tables and figures, plus
+// the fault-scenario comparison built on internal/scenario.
 //
 // Every figure of the evaluation section (Section 7) has a corresponding
 // runner; by default the harness runs at a reduced scale that finishes in
@@ -8,15 +9,11 @@
 // every table is bit-identical at any parallelism; -progress shows live
 // sweep status on stderr.
 //
-// Usage:
-//
-//	ringcast-bench -fig 6            # miss ratio + complete disseminations
-//	ringcast-bench -fig 9 -paper    # catastrophic failures at paper scale
-//	ringcast-bench -fig all          # everything, including ablations
-//	ringcast-bench -fig all -paper -progress   # paper scale with live status
+// Run with -h for the full flag reference and examples.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,10 +25,38 @@ import (
 	"ringcast/internal/experiment"
 	"ringcast/internal/plot"
 	"ringcast/internal/runner"
+	"ringcast/internal/scenario"
 )
+
+// usageHeader is the long-form usage text printed by -h, ahead of the
+// generated flag reference. TestUsageCoversAllFlags asserts every
+// registered flag appears in at least one example, so the examples cannot
+// drift from the flag set again.
+const usageHeader = `Usage: ringcast-bench [flags]
+
+Regenerate the paper's evaluation tables (Section 7 figures), the design
+ablations, and the fault-scenario comparison.
+
+Examples:
+  ringcast-bench -fig 6 -n 2000 -runs 30        # miss ratio + complete disseminations
+  ringcast-bench -fig 9 -paper -progress        # catastrophic failures, paper scale, live status
+  ringcast-bench -fig all -csv out/ -seed 42    # everything + CSV series
+  ringcast-bench -fig 11 -parallel 4            # pin the worker count
+  ringcast-bench -fig 6 -plot                   # ASCII charts next to the tables
+  ringcast-bench -fig scenarios                 # the whole built-in scenario catalog
+  ringcast-bench -fig scenarios -scenario partition-heal,lossy,storm
+
+Built-in scenarios for -scenario (see internal/scenario):
+  ` + "%s" + `
+
+Flags:
+`
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "ringcast-bench:", err)
 		os.Exit(1)
 	}
@@ -39,18 +64,33 @@ func main() {
 
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ringcast-bench", flag.ContinueOnError)
+	// Parse errors surface once, via main's stderr print of the returned
+	// error; the long usage goes to out only when -h explicitly asks for it
+	// (never mixed into redirected table/CSV stdout on a flag typo).
+	fs.SetOutput(io.Discard)
+	fs.Usage = func() {}
+	printUsage := func() {
+		fmt.Fprintf(out, usageHeader, strings.Join(scenario.Names(), ", "))
+		fs.SetOutput(out)
+		fs.PrintDefaults()
+		fs.SetOutput(io.Discard)
+	}
 	var (
-		fig      = fs.String("fig", "all", "comma-separated figures to regenerate: 6,7,8,9,10,11,12,13,load,harary,ablation,trace,timing,domain,all")
-		n        = fs.Int("n", 2000, "node population")
-		runs     = fs.Int("runs", 30, "disseminations per data point")
-		seed     = fs.Int64("seed", 42, "random seed")
-		paper    = fs.Bool("paper", false, "use the paper's full scale (N=10000, 100 runs)")
-		plots    = fs.Bool("plot", false, "render ASCII charts next to the tables")
-		csvDir   = fs.String("csv", "", "directory to write CSV series into (created if needed)")
-		parallel = fs.Int("parallel", 0, "worker goroutines for the sweeps (0 = one per CPU, 1 = sequential); results are identical at any setting")
-		progress = fs.Bool("progress", false, "report live sweep progress on stderr")
+		fig       = fs.String("fig", "all", "comma-separated figures to regenerate: 6,7,8,9,10,11,12,13,load,harary,ablation,trace,timing,domain,scenarios,all")
+		n         = fs.Int("n", 2000, "node population")
+		runs      = fs.Int("runs", 30, "disseminations per data point")
+		seed      = fs.Int64("seed", 42, "random seed")
+		paper     = fs.Bool("paper", false, "use the paper's full scale (N=10000, 100 runs)")
+		plots     = fs.Bool("plot", false, "render ASCII charts next to the tables")
+		csvDir    = fs.String("csv", "", "directory to write CSV series into (created if needed)")
+		scenarios = fs.String("scenario", "all", "comma-separated scenario names for -fig scenarios (see -h for the catalog)")
+		parallel  = fs.Int("parallel", 0, "worker goroutines for the sweeps (0 = one per CPU, 1 = sequential); results are identical at any setting")
+		progress  = fs.Bool("progress", false, "report live sweep progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			printUsage()
+		}
 		return err
 	}
 	if *parallel < 0 {
@@ -71,9 +111,9 @@ func run(args []string, out io.Writer) (err error) {
 			}
 		}()
 	}
-	// scenario returns cfg with a labeled live progress reporter, so each
+	// labeled returns cfg with a labeled live progress reporter, so each
 	// long sweep of a -fig all run shows its own status line.
-	scenario := func(label string) experiment.Config {
+	labeled := func(label string) experiment.Config {
 		c := cfg
 		if *progress {
 			c.Progress = runner.ConsoleProgress(os.Stderr, label)
@@ -120,7 +160,7 @@ func run(args []string, out io.Writer) (err error) {
 	// Figures 6, 7 and 8 share one static sweep.
 	if want("6", "7", "8") {
 		fmt.Fprintf(out, "== Static fail-free network (Figures 6, 7, 8) ==\n")
-		res, err := experiment.RunStatic(scenario("static sweep"))
+		res, err := experiment.RunStatic(labeled("static sweep"))
 		if err != nil {
 			return err
 		}
@@ -157,7 +197,7 @@ func run(args []string, out io.Writer) (err error) {
 				continue // figure 10 only needs the 5% case
 			}
 			fmt.Fprintf(out, "== Catastrophic failure of %g%% (Figures 9, 10) ==\n", frac*100)
-			res, err := experiment.RunCatastrophic(scenario(fmt.Sprintf("catastrophic %g%% sweep", frac*100)), frac)
+			res, err := experiment.RunCatastrophic(labeled(fmt.Sprintf("catastrophic %g%% sweep", frac*100)), frac)
 			if err != nil {
 				return err
 			}
@@ -179,7 +219,7 @@ func run(args []string, out io.Writer) (err error) {
 
 	if want("11", "12", "13") {
 		fmt.Fprintf(out, "== Continuous churn 0.2%%/cycle (Figures 11, 12, 13) ==\n")
-		churnCfg := scenario("churn sweep")
+		churnCfg := labeled("churn sweep")
 		// Churn needs >= 1 replacement per cycle to be meaningful.
 		rate := 0.002
 		if float64(churnCfg.N)*rate < 1 {
@@ -216,7 +256,7 @@ func run(args []string, out io.Writer) (err error) {
 
 	if want("load") {
 		fmt.Fprintf(out, "== Load distribution (Section 7) ==\n")
-		res, err := experiment.RunLoad(scenario("load sweep"), 5)
+		res, err := experiment.RunLoad(labeled("load sweep"), 5)
 		if err != nil {
 			return err
 		}
@@ -276,7 +316,7 @@ func run(args []string, out io.Writer) (err error) {
 
 	if want("timing") {
 		fmt.Fprintf(out, "== Timing-model invariance (Section 7.1's unplotted check) ==\n")
-		timingCfg := scenario("timing sweep")
+		timingCfg := labeled("timing sweep")
 		timingCfg.Fanouts = []int{3}
 		for _, proto := range []string{"randcast", "ringcast"} {
 			res, err := experiment.RunTimingInvariance(timingCfg, proto, 3)
@@ -289,7 +329,7 @@ func run(args []string, out io.Writer) (err error) {
 
 	if want("trace") {
 		fmt.Fprintf(out, "== Heavy-tailed (trace-style) churn — DESIGN.md §3 substitution ==\n")
-		traceCfg := scenario("trace-churn sweep")
+		traceCfg := labeled("trace-churn sweep")
 		traceCfg.Fanouts = []int{3, 6}
 		// Median session 360 cycles = Gnutella's ~60 min at a 10 s cycle.
 		res, err := experiment.RunTraceChurn(traceCfg, 360, 1.5, 1000)
@@ -300,6 +340,42 @@ func run(args []string, out io.Writer) (err error) {
 			res.ChurnRate, res.Convergence)
 		fmt.Fprintln(out, res.MissRatioTable())
 		fmt.Fprintln(out, res.LifetimeTable())
+	}
+
+	if want("scenarios") {
+		fmt.Fprintf(out, "== Fault scenarios (internal/scenario) ==\n")
+		names := strings.Split(*scenarios, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		scs, err := scenario.ByNames(names)
+		if err != nil {
+			return err
+		}
+		results, err := experiment.RunScenarios(labeled("scenario sweeps"), scs)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			if res.SetupKilled > 0 || res.Network.Cycles > 0 {
+				fmt.Fprintf(out, "%s: killed %d at t=0; network phase %d cycles (%d joined, %d churned)\n",
+					res.Scenario, res.SetupKilled, res.Network.Cycles, res.Network.Joined, res.Network.Removed)
+			}
+		}
+		tableFanout := cfg.Fanouts[0]
+		for _, f := range cfg.Fanouts {
+			if f == 3 {
+				tableFanout = 3
+				break
+			}
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, experiment.ScenariosTable(results, tableFanout))
+		if err := writeCSV("scenarios.csv", func(w io.Writer) error {
+			return experiment.WriteScenariosCSV(w, results)
+		}); err != nil {
+			return err
+		}
 	}
 
 	if want("domain") {

@@ -2,11 +2,95 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
+
+// TestUsageCoversAllFlags regenerates the -h text and asserts every
+// registered flag appears in the hand-written examples section, so the
+// usage examples can never again drift from the flag set (as happened when
+// -parallel and -progress landed).
+func TestUsageCoversAllFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-h"}, &buf)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	usage := buf.String()
+	cut := strings.Index(usage, "Flags:")
+	if cut < 0 {
+		t.Fatalf("usage has no Flags section:\n%s", usage)
+	}
+	examples, flagRef := usage[:cut], usage[cut:]
+	matches := regexp.MustCompile(`(?m)^  -([a-z][a-z-]*)`).FindAllStringSubmatch(flagRef, -1)
+	if len(matches) < 9 {
+		t.Fatalf("flag reference lists only %d flags:\n%s", len(matches), flagRef)
+	}
+	for _, m := range matches {
+		if !strings.Contains(examples, "-"+m[1]) {
+			t.Errorf("flag -%s is not shown in any usage example", m[1])
+		}
+	}
+}
+
+func TestRunScenariosFigure(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-fig", "scenarios", "-n", "250", "-runs", "3",
+		"-scenario", "baseline, partition-heal", "-csv", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Scenario comparison", "baseline", "partition-heal", "blocked"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("scenario output missing %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "scenarios.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "scenario,fanout,protocol,hit_ratio") {
+		t.Fatalf("unexpected scenarios CSV header: %.80s", data)
+	}
+}
+
+// TestFlagTypoDoesNotPolluteStdout pins the error-routing contract: a
+// parse error must reach the caller (main prints it to stderr once), and
+// nothing — no usage text, no duplicate error — may land on stdout, which
+// scripts redirect for table/CSV data.
+func TestFlagTypoDoesNotPolluteStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paralel", "4"}, &out)
+	if err == nil {
+		t.Fatal("flag typo accepted")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout polluted on flag typo: %q", out.String())
+	}
+}
+
+func TestRunScenariosDuplicateName(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "scenarios", "-n", "100", "-scenario", "partition,partition"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate scenario names accepted: %v", err)
+	}
+}
+
+func TestRunScenariosUnknownName(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "scenarios", "-n", "100", "-scenario", "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "built-ins") {
+		t.Fatalf("unknown scenario accepted: %v", err)
+	}
+}
 
 func TestRunHararyBaselines(t *testing.T) {
 	var out bytes.Buffer

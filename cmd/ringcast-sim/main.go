@@ -4,25 +4,23 @@
 // CPU by default) with per-run derived random streams, so the summary is
 // identical at any parallelism; -progress shows live status on stderr.
 //
-// Usage:
-//
-//	ringcast-sim -n 10000 -proto ringcast -fanout 3
-//	ringcast-sim -n 10000 -proto randcast -fanout 5 -fail 0.05
-//	ringcast-sim -n 2000  -proto ringcast -fanout 3 -churn 0.002 -churn-cycles 2000
-//	ringcast-sim -n 10000 -runs 1000 -parallel 8 -progress
+// Run with -h for the full flag reference and examples.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"ringcast/internal/churn"
 	"ringcast/internal/core"
 	"ringcast/internal/dissem"
 	"ringcast/internal/metrics"
 	"ringcast/internal/runner"
+	"ringcast/internal/scenario"
 	"ringcast/internal/sim"
 )
 
@@ -33,8 +31,33 @@ const (
 	tagDissem
 )
 
+// usageHeader is the long-form usage text printed by -h, ahead of the
+// generated flag reference. TestUsageCoversAllFlags asserts every
+// registered flag appears in at least one example, so the examples cannot
+// drift from the flag set again.
+const usageHeader = `Usage: ringcast-sim [flags]
+
+Run one dissemination experiment — self-organize a network, optionally
+damage it, disseminate, summarize — without the full figure harness.
+
+Examples:
+  ringcast-sim -n 10000 -proto ringcast -fanout 3
+  ringcast-sim -n 10000 -proto randcast -fanout 5 -fail 0.05 -warmup 100
+  ringcast-sim -n 2000  -proto ringcast -churn 0.002 -churn-cycles 2000
+  ringcast-sim -n 2000  -scenario partition-heal -seed 7
+  ringcast-sim -n 10000 -runs 1000 -parallel 8 -progress
+
+Built-in scenarios for -scenario (see internal/scenario):
+  ` + "%s" + `
+
+Flags:
+`
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "ringcast-sim:", err)
 		os.Exit(1)
 	}
@@ -42,24 +65,51 @@ func main() {
 
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ringcast-sim", flag.ContinueOnError)
+	// Parse errors surface once, via main's stderr print of the returned
+	// error; the long usage goes to out only when -h explicitly asks for it
+	// (never mixed into a redirected summary on a flag typo).
+	fs.SetOutput(io.Discard)
+	fs.Usage = func() {}
+	printUsage := func() {
+		fmt.Fprintf(out, usageHeader, strings.Join(scenario.Names(), ", "))
+		fs.SetOutput(out)
+		fs.PrintDefaults()
+		fs.SetOutput(io.Discard)
+	}
 	var (
-		n           = fs.Int("n", 10000, "node population")
-		proto       = fs.String("proto", "ringcast", "protocol: ringcast, randcast, flood")
-		fanout      = fs.Int("fanout", 3, "dissemination fanout F")
-		runs        = fs.Int("runs", 100, "number of disseminations")
-		warmup      = fs.Int("warmup", 100, "warm-up cycles before freezing")
-		fail        = fs.Float64("fail", 0, "catastrophic failure fraction applied after freeze")
-		churnRate   = fs.Float64("churn", 0, "per-cycle churn rate before freezing")
-		churnCycles = fs.Int("churn-cycles", 1000, "churn cycles to run when -churn > 0")
-		seed        = fs.Int64("seed", 1, "random seed")
-		parallel    = fs.Int("parallel", 0, "worker goroutines for the dissemination runs (0 = one per CPU, 1 = sequential); results are identical at any setting")
-		progress    = fs.Bool("progress", false, "report live dissemination progress on stderr")
+		n            = fs.Int("n", 10000, "node population")
+		proto        = fs.String("proto", "ringcast", "protocol: ringcast, randcast, flood")
+		fanout       = fs.Int("fanout", 3, "dissemination fanout F")
+		runs         = fs.Int("runs", 100, "number of disseminations")
+		warmup       = fs.Int("warmup", 100, "warm-up cycles before freezing")
+		fail         = fs.Float64("fail", 0, "catastrophic failure fraction applied after freeze")
+		churnRate    = fs.Float64("churn", 0, "per-cycle churn rate before freezing")
+		churnCycles  = fs.Int("churn-cycles", 1000, "churn cycles to run when -churn > 0")
+		scenarioName = fs.String("scenario", "", "run a named fault scenario (see -h for the catalog); excludes -fail and -churn")
+		seed         = fs.Int64("seed", 1, "random seed")
+		parallel     = fs.Int("parallel", 0, "worker goroutines for the dissemination runs (0 = one per CPU, 1 = sequential); results are identical at any setting")
+		progress     = fs.Bool("progress", false, "report live dissemination progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			printUsage()
+		}
 		return err
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (0 = one worker per CPU), got %d", *parallel)
+	}
+	if *scenarioName != "" && (*fail > 0 || *churnRate > 0) {
+		return fmt.Errorf("-scenario cannot be combined with -fail or -churn (fold them into the scenario timeline instead)")
+	}
+	var sc scenario.Scenario
+	haveScenario := false
+	if *scenarioName != "" {
+		var ok bool
+		if sc, ok = scenario.Builtin(*scenarioName); !ok {
+			return fmt.Errorf("unknown scenario %q (built-ins: %s)", *scenarioName, strings.Join(scenario.Names(), ", "))
+		}
+		haveScenario = true
 	}
 	if *progress {
 		// A failing run leaves its \r status line unfinished; terminate it
@@ -94,12 +144,29 @@ func run(args []string, out io.Writer) (err error) {
 		model.Run(nw, *churnCycles)
 		fmt.Fprintf(out, "after churn: %d alive, ring convergence %.4f\n", nw.AliveCount(), nw.RingConvergence())
 	}
+	if haveScenario {
+		if rep := scenario.RunNetworkPhase(nw, sc); rep.Cycles > 0 {
+			fmt.Fprintf(out, "scenario %s network phase: %d cycles, %d joined, %d churned out; %d alive, ring convergence %.4f\n",
+				sc.Name, rep.Cycles, rep.Joined, rep.Removed, nw.AliveCount(), nw.RingConvergence())
+		}
+	}
 
 	o := dissem.Snapshot(nw)
 	if *fail > 0 {
 		killed := o.KillFraction(*fail, nw.Rand())
 		fmt.Fprintf(out, "catastrophic failure: killed %d nodes (no self-healing)\n", killed)
 	}
+	var comp *scenario.Compiled
+	if haveScenario {
+		comp, err = scenario.Compile(sc, o)
+		if err != nil {
+			return err
+		}
+		if killed := comp.ApplySetup(o, nw.Rand()); killed > 0 {
+			fmt.Fprintf(out, "scenario %s: killed %d nodes at time zero\n", sc.Name, killed)
+		}
+	}
+	withFaults := comp != nil && comp.NeedsRuntime()
 
 	// Fan the independent dissemination runs across the worker pool; each
 	// run derives its own random streams from the master seed and its index,
@@ -116,7 +183,16 @@ func run(args []string, out io.Writer) (err error) {
 			return err
 		}
 		rng := runner.UnitRand(*seed, tagDissem, int64(r))
-		d, err := dissem.RunOpts(o, origin, sel, *fanout, rng, dissem.Options{SkipLoad: true})
+		opts := dissem.Options{SkipLoad: true}
+		var st *scenario.State
+		if withFaults {
+			st = comp.Get()
+			opts.Faults = st
+		}
+		d, err := dissem.RunOpts(o, origin, sel, *fanout, rng, opts)
+		if st != nil {
+			comp.Put(st)
+		}
 		if err != nil {
 			return err
 		}
@@ -138,5 +214,8 @@ func run(args []string, out io.Writer) (err error) {
 	fmt.Fprintf(out, "  mean hops:               %.2f (max %d)\n", agg.MeanHops, agg.MaxHops)
 	fmt.Fprintf(out, "  msgs/dissemination:      %.0f virgin + %.0f redundant + %.0f lost\n",
 		agg.MeanVirgin, agg.MeanRedundant, agg.MeanLost)
+	if withFaults {
+		fmt.Fprintf(out, "  blocked by faults:       %.0f msgs/dissemination\n", agg.MeanBlocked)
+	}
 	return nil
 }

@@ -2,9 +2,85 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
+	"regexp"
 	"strings"
 	"testing"
 )
+
+// TestUsageCoversAllFlags regenerates the -h text and asserts every
+// registered flag appears in the hand-written examples section, so the
+// usage examples can never again drift from the flag set (as happened when
+// -parallel and -progress landed).
+func TestUsageCoversAllFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-h"}, &buf)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	usage := buf.String()
+	cut := strings.Index(usage, "Flags:")
+	if cut < 0 {
+		t.Fatalf("usage has no Flags section:\n%s", usage)
+	}
+	examples, flagRef := usage[:cut], usage[cut:]
+	matches := regexp.MustCompile(`(?m)^  -([a-z][a-z-]*)`).FindAllStringSubmatch(flagRef, -1)
+	if len(matches) < 10 {
+		t.Fatalf("flag reference lists only %d flags:\n%s", len(matches), flagRef)
+	}
+	for _, m := range matches {
+		if !strings.Contains(examples, "-"+m[1]) {
+			t.Errorf("flag -%s is not shown in any usage example", m[1])
+		}
+	}
+}
+
+// TestFlagTypoDoesNotPolluteStdout pins the error-routing contract: a
+// parse error must reach the caller (main prints it to stderr once), and
+// nothing — no usage text, no duplicate error — may land on stdout, which
+// scripts redirect for the summary.
+func TestFlagTypoDoesNotPolluteStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paralel", "4"}, &out)
+	if err == nil {
+		t.Fatal("flag typo accepted")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout polluted on flag typo: %q", out.String())
+	}
+}
+
+func TestRunScenarioFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "300", "-runs", "4", "-scenario", "partition"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "blocked by faults:") {
+		t.Fatalf("scenario summary missing blocked line:\n%s", s)
+	}
+	if strings.Contains(s, "complete disseminations: 100%") {
+		t.Fatalf("partitioned dissemination reported complete:\n%s", s)
+	}
+}
+
+func TestRunScenarioUnknown(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "100", "-scenario", "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "built-ins") {
+		t.Fatalf("unknown scenario accepted: %v", err)
+	}
+}
+
+func TestRunScenarioConflictsWithFail(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "100", "-scenario", "lossy", "-fail", "0.1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-scenario") {
+		t.Fatalf("conflicting flags accepted: %v", err)
+	}
+}
 
 func TestRunStaticRingCast(t *testing.T) {
 	var out bytes.Buffer

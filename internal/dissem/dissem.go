@@ -234,6 +234,27 @@ func (o *Overlay) KillFraction(frac float64, rng *rand.Rand) int {
 	return k
 }
 
+// KillPositions marks the given snapshot positions dead; positions that
+// are already dead (or out of range) are left unchanged and not counted.
+// It is the deterministic counterpart of KillFraction, used by the
+// scenario engine's correlated regional failures: the victim set is
+// resolved at compile time (a ring arc or an ident prefix), so no
+// randomness is consumed. It returns how many nodes transitioned from
+// live to dead.
+func (o *Overlay) KillPositions(pos []int32) int {
+	killed := 0
+	for _, p := range pos {
+		if p >= 0 && int(p) < len(o.alive) && o.alive[p] {
+			o.alive[p] = false
+			killed++
+		}
+	}
+	if killed > 0 {
+		o.rebuildLive()
+	}
+	return killed
+}
+
 // RandomAliveOrigin picks a uniformly random live node to post a message
 // from: one draw over the cached live positions (same ascending order the
 // old per-call scan built, so draws are bit-identical), with no per-call
@@ -263,7 +284,10 @@ func (o *Overlay) DGraph() *graph.Directed {
 func (o *Overlay) AliveSlice() []bool { return append([]bool(nil), o.alive...) }
 
 // delivery is one in-flight message copy. Both endpoints are dense overlay
-// positions; from is core.NilPos for the origin's own sends.
+// positions; from is always the forwarding node's position (the origin's
+// own sends carry the origin's position — core.NilPos appears only as the
+// selection-exclusion argument, never on a queued copy), so FaultModel
+// implementations may index by from without guarding.
 type delivery struct {
 	to   int32
 	from int32
@@ -297,6 +321,30 @@ func (sc *Scratch) notifiedBuf(n int) []bool {
 	return sc.notified
 }
 
+// FaultModel injects scenario faults into a dissemination run. The engine
+// calls HopStart at every hop boundary (0 before the origin forwards, then h
+// before the arrivals of hop h are processed), consults Dead for
+// scenario-killed nodes on every delivery, and consults Deliver for every
+// message copy in flight (partitions and loss). Implementations must be
+// deterministic given the run's rng: any randomness they consume (loss
+// draws) comes from the same per-unit stream as target selection, so runs
+// remain bit-identical at any parallelism. A FaultModel carries per-run
+// state and must not be shared between concurrent runs; Begin resets it.
+// internal/scenario compiles fault timelines into this interface.
+type FaultModel interface {
+	// Begin resets per-run state before a dissemination starts.
+	Begin()
+	// HopStart applies all timeline events scheduled at hop boundaries <= h.
+	HopStart(h int)
+	// Dead reports whether node i has been killed by a timeline event.
+	// Overlay-level liveness is checked separately by the engine.
+	Dead(i int32) bool
+	// Deliver reports whether the in-flight copy from->to survives the
+	// currently active partition and loss faults. A false return means the
+	// copy is dropped and counted as Blocked.
+	Deliver(from, to int32, rng *rand.Rand) bool
+}
+
 // Options tunes what a dissemination run records.
 type Options struct {
 	// SkipLoad omits the per-node sent/received arrays (O(N) memory per
@@ -305,6 +353,10 @@ type Options struct {
 	// RecordMissed collects the IDs of live nodes that were never notified,
 	// for the lifetime-vs-miss analysis of Figure 13.
 	RecordMissed bool
+	// Faults, when non-nil, injects scenario faults (partitions, loss,
+	// correlated kills) into the run. Nil means the fail-free fast path with
+	// exactly the pre-scenario randomness consumption.
+	Faults FaultModel
 }
 
 // Run disseminates one message from origin over the overlay using the given
@@ -386,15 +438,27 @@ func RunScratch(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng 
 		return out
 	}
 
+	faults := opts.Faults
+	if faults != nil {
+		faults.Begin()
+		faults.HopStart(0)
+	}
 	frontier := forward(int32(oi), core.NilPos, sc.frontier[:0])
 	next := sc.next[:0]
-	for len(frontier) > 0 {
+	for hop := 1; len(frontier) > 0; hop++ {
+		if faults != nil {
+			faults.HopStart(hop)
+		}
 		next = next[:0]
 		for _, dl := range frontier {
+			if faults != nil && !faults.Deliver(dl.from, dl.to, rng) {
+				d.Blocked++
+				continue
+			}
 			if d.RecvPerNode != nil {
 				d.RecvPerNode[dl.to]++
 			}
-			if !o.alive[dl.to] {
+			if !o.alive[dl.to] || (faults != nil && faults.Dead(dl.to)) {
 				d.Lost++
 				continue
 			}
@@ -419,7 +483,9 @@ func RunScratch(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng 
 	}
 	if opts.RecordMissed {
 		for i, n := range notified {
-			if !n && o.alive[i] {
+			// Nodes killed mid-run by a fault timeline were not missed — they
+			// left the population — so they are excluded like overlay deaths.
+			if !n && o.alive[i] && (faults == nil || !faults.Dead(int32(i))) {
 				d.Missed = append(d.Missed, o.ids[i])
 			}
 		}

@@ -48,6 +48,9 @@ type Result struct {
 	AliveTotal, Reached int
 	// Virgin, Redundant and Lost split the message overhead as in Figure 8.
 	Virgin, Redundant, Lost int
+	// Blocked counts copies dropped in flight by injected faults
+	// (partitions, loss) when the run executes under a FaultModel.
+	Blocked int
 	// CompletionTime is when the last first-time delivery happened.
 	CompletionTime float64
 	// Deliveries is the total number of message copies delivered.
@@ -69,10 +72,39 @@ func (r *Result) MissRatio() float64 { return 1 - r.HitRatio() }
 func (r *Result) Complete() bool { return r.Reached == r.AliveTotal }
 
 // TotalMsgs is the total number of point-to-point messages sent.
-func (r *Result) TotalMsgs() int { return r.Virgin + r.Redundant + r.Lost }
+func (r *Result) TotalMsgs() int { return r.Virgin + r.Redundant + r.Lost + r.Blocked }
+
+// FaultModel injects scenario faults into an event-driven run. It is the
+// continuous-time twin of dissem.FaultModel: instead of hop boundaries, the
+// engine schedules one sentinel event per entry of EventTimes on its heap —
+// sentinels sort before same-time deliveries — and calls AdvanceTo when a
+// sentinel pops. Dead and Deliver follow the hop engine's semantics, and the
+// same determinism contract applies: all randomness comes from the run's
+// rng, per-run state is reset by Begin, and a model must not be shared
+// between concurrent runs. internal/scenario's State implements both fault
+// interfaces, which is what makes the cross-surface invariance test
+// possible (same scenario, hop engine vs event engine at constant latency,
+// identical reached counts).
+type FaultModel interface {
+	// Begin resets per-run state before a dissemination starts.
+	Begin()
+	// EventTimes lists the times (ascending) at which timeline events fire;
+	// the engine schedules a sentinel heap entry for each.
+	EventTimes() []float64
+	// AdvanceTo applies all timeline events scheduled at times <= t.
+	AdvanceTo(t float64)
+	// Dead reports whether node i has been killed by a timeline event.
+	Dead(i int32) bool
+	// Deliver reports whether the in-flight copy from->to survives the
+	// currently active partition and loss faults.
+	Deliver(from, to int32, rng *rand.Rand) bool
+}
 
 // event is one in-flight message copy. Endpoints are dense overlay
-// positions; from is core.NilPos for the origin's own sends.
+// positions; from is always the forwarding node's position (the origin's
+// own sends carry the origin's position — core.NilPos appears only as the
+// selection-exclusion argument, never on a scheduled copy), so FaultModel
+// implementations may index by from without guarding.
 type event struct {
 	at   float64
 	to   int32
@@ -124,6 +156,19 @@ func Run(o *dissem.Overlay, origin ident.ID, sel core.Selector, fanout int, lat 
 // RunScratch is Run with caller-managed scratch buffers (see Scratch). A nil
 // scratch allocates a private one.
 func RunScratch(o *dissem.Overlay, origin ident.ID, sel core.Selector, fanout int, lat LatencyFunc, rng *rand.Rand, sc *Scratch) (*Result, error) {
+	return RunFaults(o, origin, sel, fanout, lat, rng, nil, sc)
+}
+
+// sentinelPos marks a heap entry as a fault-timeline sentinel rather than a
+// message copy. Real deliveries always target positions >= 0.
+const sentinelPos int32 = -1
+
+// RunFaults is RunScratch with an optional fault model: timeline events are
+// scheduled as sentinel entries on the engine's event heap and applied in
+// time order, interleaved with deliveries (a sentinel sorts before
+// same-time deliveries). A nil faults runs the fail-free fast path with
+// exactly the pre-scenario randomness consumption.
+func RunFaults(o *dissem.Overlay, origin ident.ID, sel core.Selector, fanout int, lat LatencyFunc, rng *rand.Rand, faults FaultModel, sc *Scratch) (*Result, error) {
 	if sel == nil {
 		return nil, fmt.Errorf("eventsim: selector must not be nil")
 	}
@@ -157,6 +202,17 @@ func RunScratch(o *dissem.Overlay, origin ident.ID, sel core.Selector, fanout in
 	q := &sc.q
 	*q = (*q)[:0]
 	seq := 0
+	if faults != nil {
+		faults.Begin()
+		// Sentinels are pushed before anything else, so at equal times their
+		// lower sequence numbers pop them ahead of deliveries — the
+		// continuous-time analogue of applying events at a hop boundary
+		// before the hop's arrivals are processed.
+		for _, t := range faults.EventTimes() {
+			seq++
+			heap.Push(q, event{at: t, to: sentinelPos, seq: seq})
+		}
+	}
 	emit := func(i, from int32, now float64) {
 		sc.targets = sc.targets[:0]
 		if posSel != nil {
@@ -184,8 +240,16 @@ func RunScratch(o *dissem.Overlay, origin ident.ID, sel core.Selector, fanout in
 
 	for q.Len() > 0 {
 		ev := heap.Pop(q).(event)
+		if ev.to == sentinelPos {
+			faults.AdvanceTo(ev.at)
+			continue
+		}
+		if faults != nil && !faults.Deliver(ev.from, ev.to, rng) {
+			res.Blocked++
+			continue
+		}
 		res.Deliveries++
-		if !o.IsAlive(int(ev.to)) {
+		if !o.IsAlive(int(ev.to)) || (faults != nil && faults.Dead(ev.to)) {
 			res.Lost++
 			continue
 		}

@@ -31,6 +31,7 @@ import (
 	"ringcast/internal/dissem"
 	"ringcast/internal/metrics"
 	"ringcast/internal/runner"
+	"ringcast/internal/scenario"
 	"ringcast/internal/sim"
 	"ringcast/internal/stats"
 )
@@ -193,8 +194,16 @@ func warmNetwork(cfg Config) (*sim.Network, int, float64, error) {
 // [fanoutIdx][protoIdx][run]. Both protocols of a (fanout, run) pair draw
 // the same origin — the paper's paired comparison — while each unit
 // disseminates with its own derived random stream.
-func sweepAll(o *dissem.Overlay, cfg Config, opts dissem.Options) ([][2][]*metrics.Dissemination, error) {
+//
+// comp, when non-nil and carrying runtime faults, injects the compiled
+// scenario into every unit: each unit borrows a per-run fault State, so the
+// shared overlay and compiled timeline stay read-only and results remain
+// bit-identical at any parallelism. A scenario whose only events are
+// time-zero kills (the classic catastrophe) takes the faults-free fast path
+// and consumes exactly the pre-scenario randomness.
+func sweepAll(o *dissem.Overlay, cfg Config, opts dissem.Options, comp *scenario.Compiled) ([][2][]*metrics.Dissemination, error) {
 	nf, nr := len(cfg.Fanouts), cfg.Runs
+	withFaults := comp != nil && comp.NeedsRuntime()
 	out := make([][2][]*metrics.Dissemination, nf)
 	for i := range out {
 		out[i][0] = make([]*metrics.Dissemination, nr)
@@ -210,9 +219,18 @@ func sweepAll(o *dissem.Overlay, cfg Config, opts dissem.Options) ([][2][]*metri
 			return err
 		}
 		rng := runner.UnitRand(cfg.Seed, tagSweep, int64(f), int64(run), int64(proto))
+		unitOpts := opts
+		var st *scenario.State
+		if withFaults {
+			st = comp.Get()
+			unitOpts.Faults = st
+		}
 		sc := scratchPool.Get().(*dissem.Scratch)
-		d, err := dissem.RunScratch(o, origin, sweepSelectors[proto], f, rng, opts, sc)
+		d, err := dissem.RunScratch(o, origin, sweepSelectors[proto], f, rng, unitOpts, sc)
 		scratchPool.Put(sc)
+		if st != nil {
+			comp.Put(st)
+		}
 		if err != nil {
 			return err
 		}
@@ -250,7 +268,7 @@ func SweepOverlay(o *dissem.Overlay, cfg Config) ([]Row, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	all, err := sweepAll(o, cfg, dissem.Options{SkipLoad: true})
+	all, err := sweepAll(o, cfg, dissem.Options{SkipLoad: true}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -286,32 +304,22 @@ func RunStatic(cfg Config) (*Result, error) {
 // the overlay is frozen, failFraction of the nodes are killed at once, and
 // disseminations run over the damaged overlay with no chance to self-heal
 // (the paper's deliberate worst case).
+//
+// Since the scenario engine landed, the catastrophe is just a named
+// one-event timeline executed by RunScenario; the port is byte-identical to
+// the dedicated implementation it replaced (the time-zero uniform kill
+// draws from the same sequential stream, and a kill-only scenario sweeps on
+// the faults-free fast path).
 func RunCatastrophic(cfg Config, failFraction float64) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	if failFraction <= 0 || failFraction >= 1 {
 		return nil, fmt.Errorf("experiment: fail fraction must be in (0,1), got %v", failFraction)
 	}
-	nw, cycles, conv, err := warmNetwork(cfg)
+	res, err := RunScenario(cfg, scenario.Catastrophic(failFraction))
 	if err != nil {
 		return nil, err
 	}
-	o := dissem.Snapshot(nw)
-	o.KillFraction(failFraction, nw.Rand())
-	rows, err := SweepOverlay(o, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Scenario:     fmt.Sprintf("catastrophic-%g%%", failFraction*100),
-		N:            cfg.N,
-		Runs:         cfg.Runs,
-		FailFraction: failFraction,
-		WarmupUsed:   cycles,
-		Convergence:  conv,
-		Rows:         rows,
-	}, nil
+	res.FailFraction = failFraction
+	return &res.Result, nil
 }
 
 // ChurnResult extends Result with the lifetime analyses of Figures 12-13.
@@ -438,7 +446,7 @@ func churnSweep(cfg Config, nw *sim.Network, warmCycles int) (*ChurnResult, erro
 	lifetimes.AddAll(churn.Lifetimes(nw))
 	byID := churn.LifetimeByID(nw)
 
-	all, err := sweepAll(o, cfg, dissem.Options{SkipLoad: true, RecordMissed: true})
+	all, err := sweepAll(o, cfg, dissem.Options{SkipLoad: true, RecordMissed: true}, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,187 @@
+// Scenario sweeps: the experiment-engine driver for internal/scenario.
+// RunScenario executes one fault timeline end to end — warm-up, network
+// phase, overlay freeze, timeline compilation, parallel fanout sweep under
+// the compiled fault model — and RunScenarios compares a whole catalog,
+// with table and CSV output per scenario per protocol. The parallel
+// execution contract matches every other sweep: units derive their streams
+// from (fanout, run, protocol), fault state is per-unit, folds walk index
+// order, so output is bit-identical at any Config.Parallelism.
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ringcast/internal/dissem"
+	"ringcast/internal/metrics"
+	"ringcast/internal/scenario"
+)
+
+// ScenarioResult is a Result annotated with scenario bookkeeping.
+type ScenarioResult struct {
+	Result
+	// SetupKilled is how many nodes died to time-zero kill events before
+	// the sweep (uniform catastrophes, regional kills at hop 0).
+	SetupKilled int
+	// Network reports the pre-freeze network phase (flash crowds, churn
+	// steps); zero when the timeline has no network-phase events.
+	Network scenario.NetworkReport
+}
+
+// RunScenario executes one scenario: the network warms up per Section 7.1,
+// the scenario's network phase runs (flash crowds, churn steps), the
+// overlay freezes, the dissemination timeline compiles against the
+// snapshot, time-zero kills apply once from the network's sequential
+// stream, and the standard (protocol, fanout, run) sweep executes under the
+// compiled fault model.
+func RunScenario(cfg Config, sc scenario.Scenario) (*ScenarioResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	nw, cycles, conv, err := warmNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := scenario.RunNetworkPhase(nw, sc)
+	if rep.Cycles > 0 {
+		// The network phase moved the membership; report the convergence the
+		// sweep actually freezes.
+		conv = nw.RingConvergence()
+	}
+	o := dissem.Snapshot(nw)
+	comp, err := scenario.Compile(sc, o)
+	if err != nil {
+		return nil, err
+	}
+	killed := comp.ApplySetup(o, nw.Rand())
+	all, err := sweepAll(o, cfg, dissem.Options{SkipLoad: true}, comp)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResult{
+		Result: Result{
+			Scenario:    sc.Name,
+			N:           cfg.N,
+			Runs:        cfg.Runs,
+			WarmupUsed:  cycles,
+			Convergence: conv,
+			Rows:        foldRows(cfg, all),
+		},
+		SetupKilled: killed,
+		Network:     rep,
+	}, nil
+}
+
+// RunScenarios executes the given scenarios in order, sharing one Config.
+// Each scenario warms its own network from cfg.Seed (network phases mutate
+// membership, so snapshots cannot be shared), then sweeps in parallel;
+// output is bit-identical at any Config.Parallelism.
+func RunScenarios(cfg Config, scs []scenario.Scenario) ([]*ScenarioResult, error) {
+	if len(scs) == 0 {
+		return nil, fmt.Errorf("experiment: at least one scenario required")
+	}
+	seen := make(map[string]struct{}, len(scs))
+	for _, sc := range scs {
+		if _, dup := seen[sc.Name]; dup {
+			return nil, fmt.Errorf("experiment: duplicate scenario %q", sc.Name)
+		}
+		seen[sc.Name] = struct{}{}
+	}
+	out := make([]*ScenarioResult, 0, len(scs))
+	for _, sc := range scs {
+		res, err := RunScenario(cfg, sc)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ScenariosTable renders the scenario comparison at one fanout: hit ratio,
+// completeness, the overhead split (virgin/redundant/lost/blocked) and the
+// completion time in hops, per scenario per protocol. Hops are the
+// completion-time axis of the hop-synchronous surface; Section 7.1's timing
+// invariance is what makes them proportional to wall-clock completion under
+// any latency model.
+func ScenariosTable(results []*ScenarioResult, fanout int) string {
+	var sb strings.Builder
+	if len(results) == 0 {
+		return ""
+	}
+	fmt.Fprintf(&sb, "Scenario comparison — fanout %d, N=%d, %d runs/point\n",
+		fanout, results[0].N, results[0].Runs)
+	w := newTable(&sb)
+	fmt.Fprintln(w, "scenario\tprotocol\thit\tcomplete\tvirgin\tredundant\tlost\tblocked\thops")
+	for _, res := range results {
+		row, ok := res.row(fanout)
+		if !ok {
+			fmt.Fprintf(w, "%s\t(fanout %d not in sweep)\n", res.Scenario, fanout)
+			continue
+		}
+		fmt.Fprintf(w, "%s\tRandCast\t%s\t%.0f%%\t%.0f\t%.0f\t%.0f\t%.0f\t%.1f\n",
+			res.Scenario, pct(1-row.Rand.MeanMissRatio), row.Rand.CompleteFraction*100,
+			row.Rand.MeanVirgin, row.Rand.MeanRedundant, row.Rand.MeanLost, row.Rand.MeanBlocked, row.Rand.MeanHops)
+		fmt.Fprintf(w, "%s\tRingCast\t%s\t%.0f%%\t%.0f\t%.0f\t%.0f\t%.0f\t%.1f\n",
+			res.Scenario, pct(1-row.Ring.MeanMissRatio), row.Ring.CompleteFraction*100,
+			row.Ring.MeanVirgin, row.Ring.MeanRedundant, row.Ring.MeanLost, row.Ring.MeanBlocked, row.Ring.MeanHops)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// WriteScenariosCSV emits the scenario comparison in long form: one row per
+// (scenario, fanout, protocol) with the full metric set. Columns:
+//
+//	scenario          timeline name
+//	fanout            dissemination fanout F
+//	protocol          RandCast or RingCast
+//	hit_ratio         mean fraction of live nodes reached
+//	miss_ratio        1 - hit_ratio
+//	complete_fraction share of runs reaching every live node
+//	virgin            mean copies delivered to first-time receivers
+//	redundant         mean copies delivered to already-notified receivers
+//	lost              mean copies addressed to dead nodes
+//	blocked           mean copies dropped in flight by partitions/loss
+//	mean_hops         mean completion time in hops
+//	max_hops          worst completion time in hops
+func WriteScenariosCSV(w io.Writer, results []*ScenarioResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"scenario", "fanout", "protocol",
+		"hit_ratio", "miss_ratio", "complete_fraction",
+		"virgin", "redundant", "lost", "blocked",
+		"mean_hops", "max_hops",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, res := range results {
+		for _, row := range res.Rows {
+			for _, p := range [2]struct {
+				name string
+				agg  metrics.Agg
+			}{{"RandCast", row.Rand}, {"RingCast", row.Ring}} {
+				rec := []string{
+					res.Scenario,
+					strconv.Itoa(row.Fanout),
+					p.name,
+					f(1 - p.agg.MeanMissRatio), f(p.agg.MeanMissRatio), f(p.agg.CompleteFraction),
+					f(p.agg.MeanVirgin), f(p.agg.MeanRedundant), f(p.agg.MeanLost), f(p.agg.MeanBlocked),
+					f(p.agg.MeanHops), strconv.Itoa(p.agg.MaxHops),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/scenario"
+)
+
+func scenarioTestConfig() Config {
+	cfg := Scaled(250, 4)
+	cfg.Fanouts = []int{2, 3}
+	cfg.Seed = 21
+	return cfg
+}
+
+// TestRunScenariosParallelDeterminism asserts the acceptance criterion:
+// RunScenarios output is bit-identical at any parallelism, including
+// scenarios with per-copy loss draws and mid-flight events.
+func TestRunScenariosParallelDeterminism(t *testing.T) {
+	scs := []scenario.Scenario{
+		{Name: "partition-heal", Events: []scenario.Event{scenario.Partition(0, 2), scenario.Heal(4)}},
+		{Name: "lossy", Events: []scenario.Event{scenario.Loss(0, 0.2)}},
+		{Name: "regional", Events: []scenario.Event{scenario.ArcKill(0, 0.25, ident.Nil)}},
+	}
+	var outputs []string
+	for _, p := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		cfg := scenarioTestConfig()
+		cfg.Parallelism = p
+		results, err := RunScenarios(cfg, scs)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteScenariosCSV(&buf, results); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(ScenariosTable(results, 3))
+		outputs = append(outputs, buf.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("scenario output depends on parallelism:\n--- P=1 ---\n%s\n--- variant %d ---\n%s",
+				outputs[0], i, outputs[i])
+		}
+	}
+}
+
+// TestBaselineScenarioMatchesStatic pins the engine to the reference: an
+// empty timeline must reproduce the static sweep byte for byte.
+func TestBaselineScenarioMatchesStatic(t *testing.T) {
+	cfg := scenarioTestConfig()
+	static, err := RunStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunScenario(cfg, scenario.Scenario{Name: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := static.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("baseline scenario != static sweep:\n--- static ---\n%s\n--- baseline ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestCatastrophicIsScenarioPort guards the port: the public
+// RunCatastrophic must stay equivalent to running the named catastrophic
+// scenario directly.
+func TestCatastrophicIsScenarioPort(t *testing.T) {
+	cfg := scenarioTestConfig()
+	direct, err := RunCatastrophic(cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaEngine, err := RunScenario(cfg, scenario.Catastrophic(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Scenario != "catastrophic-5%" {
+		t.Errorf("scenario label drifted: %q", direct.Scenario)
+	}
+	if direct.FailFraction != 0.05 {
+		t.Errorf("fail fraction not set: %v", direct.FailFraction)
+	}
+	var a, b bytes.Buffer
+	if err := direct.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaEngine.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("RunCatastrophic diverged from the scenario engine")
+	}
+	if direct.MissRatioTable() != viaEngine.MissRatioTable() {
+		t.Fatal("catastrophic tables diverged")
+	}
+}
+
+// TestRunScenarioPartition checks the macroscopic partition semantics
+// through the full experiment path.
+func TestRunScenarioPartition(t *testing.T) {
+	cfg := scenarioTestConfig()
+	res, err := RunScenario(cfg, scenario.Scenario{
+		Name:   "partition",
+		Events: []scenario.Event{scenario.Partition(0, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		for _, agg := range []struct {
+			name string
+			m    float64
+			c    float64
+			b    float64
+		}{
+			{"RandCast", row.Rand.MeanMissRatio, row.Rand.CompleteFraction, row.Rand.MeanBlocked},
+			{"RingCast", row.Ring.MeanMissRatio, row.Ring.CompleteFraction, row.Ring.MeanBlocked},
+		} {
+			if agg.c != 0 {
+				t.Errorf("F=%d %s: complete disseminations across an unhealed partition", row.Fanout, agg.name)
+			}
+			if agg.m < 0.3 {
+				t.Errorf("F=%d %s: miss ratio %v too low for a 2-way partition", row.Fanout, agg.name, agg.m)
+			}
+			if agg.b == 0 {
+				t.Errorf("F=%d %s: no blocked copies recorded", row.Fanout, agg.name)
+			}
+		}
+	}
+}
+
+// TestRunScenarioFlashCrowd checks the network phase integrates joiners
+// before the freeze.
+func TestRunScenarioFlashCrowd(t *testing.T) {
+	cfg := scenarioTestConfig()
+	res, err := RunScenario(cfg, scenario.Scenario{
+		Name:         "flashcrowd",
+		Events:       []scenario.Event{scenario.FlashCrowd(0, 0.25)},
+		SettleCycles: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.N / 4; res.Network.Joined != want {
+		t.Errorf("joined %d, want %d", res.Network.Joined, want)
+	}
+	if res.Network.Cycles != 21 {
+		t.Errorf("network phase ran %d cycles, want 21", res.Network.Cycles)
+	}
+	if res.SetupKilled != 0 {
+		t.Errorf("flash crowd killed %d nodes", res.SetupKilled)
+	}
+}
+
+func TestRunScenariosRejectsBadInput(t *testing.T) {
+	cfg := scenarioTestConfig()
+	if _, err := RunScenarios(cfg, nil); err == nil {
+		t.Error("empty scenario list accepted")
+	}
+	dup := []scenario.Scenario{{Name: "x"}, {Name: "x"}}
+	if _, err := RunScenarios(cfg, dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate scenario names accepted: %v", err)
+	}
+	bad := []scenario.Scenario{{Name: "bad", Events: []scenario.Event{scenario.Heal(0)}}}
+	if _, err := RunScenarios(cfg, bad); err == nil || !strings.Contains(err.Error(), "heal") {
+		t.Errorf("invalid timeline accepted: %v", err)
+	}
+}
+
+func TestScenariosTableShape(t *testing.T) {
+	cfg := scenarioTestConfig()
+	results, err := RunScenarios(cfg, []scenario.Scenario{
+		{Name: "baseline"},
+		{Name: "lossy", Events: []scenario.Event{scenario.Loss(0, 0.5)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := ScenariosTable(results, 3)
+	for _, want := range []string{"Scenario comparison", "baseline", "lossy", "RandCast", "RingCast", "blocked"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteScenariosCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 2 scenarios x 2 fanouts x 2 protocols.
+	if len(lines) != 1+8 {
+		t.Errorf("CSV has %d lines, want 9:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "scenario,fanout,protocol,hit_ratio") {
+		t.Errorf("CSV header drifted: %s", lines[0])
+	}
+}

@@ -2,6 +2,10 @@
 // dissemination overlays: strong connectivity (the requirement for
 // deterministic complete dissemination, paper Section 3), reachability,
 // degree statistics, and partition counting after failures.
+//
+// Every algorithm is a pure, deterministic function of its input graph —
+// no randomness, no iteration-order dependence — so analyses are safe to
+// run from parallel experiment workers without perturbing results.
 package graph
 
 // Directed is a directed graph over nodes 0..N-1 in adjacency-list form.

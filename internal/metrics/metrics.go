@@ -22,6 +22,11 @@ type Dissemination struct {
 	// Lost counts messages sent to dead nodes (catastrophic-failure and
 	// churn scenarios).
 	Lost int
+	// Blocked counts messages dropped in flight by an injected fault — a
+	// network partition or per-link loss from a scenario timeline
+	// (internal/scenario). Blocked copies never reach their destination, so
+	// they appear in no other counter. Zero outside fault scenarios.
+	Blocked int
 	// CumNotified[h] is the cumulative number of notified nodes after hop h;
 	// CumNotified[0] == 1 (the origin).
 	CumNotified []int
@@ -60,7 +65,7 @@ func (d *Dissemination) Hops() int {
 }
 
 // TotalMsgs is the total number of point-to-point messages sent.
-func (d *Dissemination) TotalMsgs() int { return d.Virgin + d.Redundant + d.Lost }
+func (d *Dissemination) TotalMsgs() int { return d.Virgin + d.Redundant + d.Lost + d.Blocked }
 
 // Agg aggregates repeated dissemination experiments for one configuration —
 // one data point of a paper figure.
@@ -74,6 +79,9 @@ type Agg struct {
 	// MeanVirgin, MeanRedundant and MeanLost average the message overhead
 	// split (Figure 8).
 	MeanVirgin, MeanRedundant, MeanLost float64
+	// MeanBlocked averages the copies dropped in flight by injected faults
+	// (partitions, loss). Zero outside scenario experiments.
+	MeanBlocked float64
 	// MeanHops averages dissemination latency in hops.
 	MeanHops float64
 	// MaxHops is the worst dissemination latency observed.
@@ -122,6 +130,7 @@ func (a *Accumulator) Add(d *Dissemination) {
 	a.agg.MeanVirgin += float64(d.Virgin)
 	a.agg.MeanRedundant += float64(d.Redundant)
 	a.agg.MeanLost += float64(d.Lost)
+	a.agg.MeanBlocked += float64(d.Blocked)
 	a.agg.MeanHops += float64(d.Hops())
 	if h := d.Hops(); h > a.agg.MaxHops {
 		a.agg.MaxHops = h
@@ -146,6 +155,7 @@ func (a *Accumulator) Finalize() Agg {
 	out.MeanVirgin /= n
 	out.MeanRedundant /= n
 	out.MeanLost /= n
+	out.MeanBlocked /= n
 	out.MeanHops /= n
 	out.NotReachedByHop = make([]float64, out.MaxHops+1)
 	for _, r := range a.runs {

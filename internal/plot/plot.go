@@ -2,6 +2,10 @@
 // bench harness can show the *shape* of each paper figure (exponential
 // miss-ratio decay, progress curves, log-log lifetime distributions)
 // directly in a terminal.
+//
+// Rendering is a pure function of the input series — fixed scales, fixed
+// glyph ramps, no randomness — so chart output is byte-stable and safe to
+// assert on in tests, exactly like the tables it accompanies.
 package plot
 
 import (

@@ -1,0 +1,120 @@
+// Built-in scenario catalog: the named timelines exposed on ringcast-bench
+// and ringcast-sim. Each is population-independent (kills and crowds are
+// fractions, partitions are arc counts), so the same name runs at test
+// scale and at the paper's 10,000 nodes.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"ringcast/internal/ident"
+)
+
+// Builtins returns the built-in scenario catalog in presentation order.
+func Builtins() []Scenario {
+	return []Scenario{
+		{
+			// The fail-free reference: identical to the static sweep.
+			Name: "baseline",
+		},
+		{
+			// Section 7.2's catastrophic failure as a timeline event.
+			Name:   "catastrophe",
+			Events: []Event{UniformKill(0.05)},
+		},
+		{
+			// Correlated regional failure: one contiguous quarter of the
+			// ring dies at once — the worst case for RingCast's d-links,
+			// which a uniform kill never produces.
+			Name:   "regional",
+			Events: []Event{ArcKill(0, 0.25, ident.Nil)},
+		},
+		{
+			// A clean two-way network split for the whole dissemination.
+			Name:   "partition",
+			Events: []Event{Partition(0, 2)},
+		},
+		{
+			// The split heals at hop 4, while copies are still in flight.
+			Name:   "partition-heal",
+			Events: []Event{Partition(0, 2), Heal(4)},
+		},
+		{
+			// Uniform 10% per-copy message loss on every link.
+			Name:   "lossy",
+			Events: []Event{Loss(0, 0.10)},
+		},
+		{
+			// A link-quality collapse mid-dissemination: 1% loss degrades
+			// to 30% at hop 3.
+			Name:   "lossy-degrade",
+			Events: []Event{Loss(0, 0.01), Loss(3, 0.30)},
+		},
+		{
+			// A quarter of the population joins at once, then the network
+			// settles briefly before the overlay freezes — young views are
+			// still integrating when the message is posted.
+			Name:         "flashcrowd",
+			Events:       []Event{FlashCrowd(0, 0.25)},
+			SettleCycles: 20,
+		},
+		{
+			// Churn at the paper's rate steps up 10x at cycle 20.
+			Name:         "churn-surge",
+			Events:       []Event{ChurnRate(0, 0.002), ChurnRate(20, 0.02)},
+			SettleCycles: 20,
+		},
+		{
+			// Everything at once: a three-way partition under light loss, a
+			// regional kill at hop 2, and a heal at hop 5.
+			Name: "storm",
+			Events: []Event{
+				Partition(0, 3),
+				Loss(0, 0.02),
+				ArcKill(2, 0.10, ident.Nil),
+				Heal(5),
+			},
+		},
+	}
+}
+
+// Builtin looks a built-in scenario up by name.
+func Builtin(name string) (Scenario, bool) {
+	for _, sc := range Builtins() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names returns the built-in scenario names in presentation order.
+func Names() []string {
+	all := Builtins()
+	names := make([]string, len(all))
+	for i, sc := range all {
+		names[i] = sc.Name
+	}
+	return names
+}
+
+// ByNames resolves a comma-free list of built-in names ("all" or empty
+// resolves the whole catalog, preserving catalog order and input order
+// otherwise). Unknown names produce an error listing the catalog.
+func ByNames(names []string) ([]Scenario, error) {
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		return Builtins(), nil
+	}
+	out := make([]Scenario, 0, len(names))
+	for _, name := range names {
+		sc, ok := Builtin(name)
+		if !ok {
+			known := Names()
+			sort.Strings(known)
+			return nil, fmt.Errorf("scenario: unknown scenario %q (built-ins: %v)", name, known)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}

@@ -1,0 +1,307 @@
+// Compilation: a Scenario's dissemination timeline is resolved against one
+// frozen overlay snapshot into a Compiled, and each sweep unit then borrows
+// a lightweight State (per-run cursor + active-fault flags) from it. All
+// node-set resolution — partition arcs, regional victim sets — happens here,
+// once, with no randomness, so the per-copy fault checks on the hot path
+// are array lookups.
+package scenario
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ringcast/internal/dissem"
+	"ringcast/internal/eventsim"
+	"ringcast/internal/ident"
+)
+
+// flightEvent is one resolved in-flight (At > 0) timeline event.
+type flightEvent struct {
+	at     float64
+	kind   Kind
+	rate   float64 // KindLoss
+	groups []int32 // KindPartition: arc index per overlay position
+	kills  []int32 // KindArcKill / KindPrefixKill: victim positions
+}
+
+// Compiled is a scenario resolved against one overlay snapshot. It is
+// immutable after Compile and safe to share across concurrent sweep units;
+// all mutable per-run state lives in States obtained from it.
+type Compiled struct {
+	sc Scenario
+	n  int
+
+	// setup holds the At == 0 kill events in timeline order; applied once to
+	// the shared overlay by ApplySetup, exactly as the pre-scenario
+	// catastrophic sweep killed before sweeping.
+	setup []flightEvent
+
+	// initialLoss and initialGroups are the At == 0 runtime faults (loss
+	// rate, partition) every run starts under.
+	initialLoss   float64
+	initialGroups []int32
+
+	// flight holds the At > 0 events in time order; times mirrors their
+	// fire times for the event-driven engine's sentinel scheduling.
+	flight []flightEvent
+	times  []float64
+
+	flightKills bool // any mid-run kill events (States need a dead bitmap)
+
+	pool sync.Pool // of *State
+}
+
+// Compile validates the scenario and resolves its dissemination timeline
+// against the overlay snapshot: partition events get a per-position ring-arc
+// assignment, regional kills get explicit victim sets. Group and victim
+// resolution uses the snapshot's liveness as of compilation; it consumes no
+// randomness.
+func Compile(sc Scenario, o *dissem.Overlay) (*Compiled, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{sc: sc, n: o.N()}
+	for _, e := range sc.sortedEvents(false) {
+		fe := flightEvent{at: float64(e.At), kind: e.Kind, rate: e.Rate}
+		switch e.Kind {
+		case KindPartition:
+			fe.groups = assignArcs(o, e.Groups)
+		case KindArcKill:
+			fe.kills = arcVictims(o, e.Fraction, e.Start)
+		case KindPrefixKill:
+			fe.kills = prefixVictims(o, e.Prefix, e.PrefixBits)
+		case KindUniformKill:
+			fe.rate = e.Fraction // carried to ApplySetup
+		}
+		switch {
+		case e.At == 0 && (e.Kind == KindUniformKill || e.Kind == KindArcKill || e.Kind == KindPrefixKill):
+			c.setup = append(c.setup, fe)
+		case e.At == 0 && e.Kind == KindLoss:
+			c.initialLoss = e.Rate
+		case e.At == 0 && e.Kind == KindPartition:
+			c.initialGroups = fe.groups
+		case e.At == 0 && e.Kind == KindHeal:
+			c.initialGroups = nil
+		default:
+			c.flight = append(c.flight, fe)
+			c.times = append(c.times, fe.at)
+			if fe.kind == KindArcKill || fe.kind == KindPrefixKill {
+				c.flightKills = true
+			}
+		}
+	}
+	c.pool.New = func() any { return c.newState() }
+	return c, nil
+}
+
+// ApplySetup applies the time-zero kill events once to the shared overlay
+// and returns how many nodes died. Uniform kills draw their victims from
+// rng — the caller's sequential stream, by convention the warmed network's
+// own rng, which is exactly how the pre-scenario catastrophic sweep drew
+// them. Regional kills are deterministic. Call ApplySetup exactly once,
+// before the sweep begins.
+func (c *Compiled) ApplySetup(o *dissem.Overlay, rng *rand.Rand) int {
+	killed := 0
+	for _, e := range c.setup {
+		switch e.kind {
+		case KindUniformKill:
+			killed += o.KillFraction(e.rate, rng)
+		case KindArcKill, KindPrefixKill:
+			killed += o.KillPositions(e.kills)
+		}
+	}
+	return killed
+}
+
+// NeedsRuntime reports whether runs must execute under a fault model: true
+// when the scenario has in-flight events or starts under a partition or a
+// positive loss rate. When false, the sweep runs the engines' fail-free
+// fast path and consumes exactly the pre-scenario randomness — which is
+// what makes the catastrophic port byte-identical.
+func (c *Compiled) NeedsRuntime() bool {
+	return len(c.flight) > 0 || c.initialGroups != nil || c.initialLoss > 0
+}
+
+// Scenario returns the compiled scenario.
+func (c *Compiled) Scenario() Scenario { return c.sc }
+
+// Get borrows a reset State from the compiled scenario's pool; Put returns
+// it. Pooling bounds allocations by worker count rather than unit count,
+// mirroring the experiment engine's scratch pools; State contents never
+// influence results (Begin resets everything), so pooling cannot perturb
+// determinism.
+func (c *Compiled) Get() *State {
+	st := c.pool.Get().(*State)
+	st.Begin()
+	return st
+}
+
+// Put returns a State obtained from Get to the pool.
+func (c *Compiled) Put(st *State) { c.pool.Put(st) }
+
+// State is the per-run fault cursor over a Compiled timeline. It implements
+// both dissem.FaultModel (hop boundaries) and eventsim.FaultModel (sentinel
+// times), which is what keeps the two simulation surfaces in lockstep: the
+// same resolved events, applied at the same logical boundaries, with the
+// same randomness. A State must not be shared between concurrent runs.
+type State struct {
+	c      *Compiled
+	next   int
+	loss   float64
+	groups []int32
+	dead   []bool
+}
+
+var (
+	_ dissem.FaultModel   = (*State)(nil)
+	_ eventsim.FaultModel = (*State)(nil)
+)
+
+func (c *Compiled) newState() *State {
+	st := &State{c: c}
+	if c.flightKills {
+		st.dead = make([]bool, c.n)
+	}
+	return st
+}
+
+// NewState returns a fresh, reset State. Prefer Get/Put in sweeps.
+func (c *Compiled) NewState() *State {
+	st := c.newState()
+	st.Begin()
+	return st
+}
+
+// Begin implements dissem.FaultModel and eventsim.FaultModel.
+func (st *State) Begin() {
+	st.next = 0
+	st.loss = st.c.initialLoss
+	st.groups = st.c.initialGroups
+	if st.dead != nil {
+		clear(st.dead)
+	}
+}
+
+// HopStart implements dissem.FaultModel: hop boundary h fires all events
+// scheduled at times <= h.
+func (st *State) HopStart(h int) { st.AdvanceTo(float64(h)) }
+
+// EventTimes implements eventsim.FaultModel.
+func (st *State) EventTimes() []float64 { return st.c.times }
+
+// AdvanceTo implements eventsim.FaultModel: applies all in-flight events
+// with fire times <= t, in timeline order.
+func (st *State) AdvanceTo(t float64) {
+	for st.next < len(st.c.flight) && st.c.flight[st.next].at <= t {
+		e := &st.c.flight[st.next]
+		st.next++
+		switch e.kind {
+		case KindPartition:
+			st.groups = e.groups
+		case KindHeal:
+			st.groups = nil
+		case KindLoss:
+			st.loss = e.rate
+		case KindArcKill, KindPrefixKill:
+			for _, p := range e.kills {
+				st.dead[p] = true
+			}
+		}
+	}
+}
+
+// Dead implements dissem.FaultModel and eventsim.FaultModel.
+func (st *State) Dead(i int32) bool { return st.dead != nil && st.dead[i] }
+
+// Deliver implements dissem.FaultModel and eventsim.FaultModel: a copy is
+// blocked when an active partition separates the endpoints (no rng
+// consumed), otherwise dropped with the active loss rate (one rng draw per
+// copy, only while the rate is positive — so a scenario with loss switched
+// off consumes exactly the fail-free randomness).
+func (st *State) Deliver(from, to int32, rng *rand.Rand) bool {
+	if st.groups != nil && st.groups[from] != st.groups[to] {
+		return false
+	}
+	if st.loss > 0 && rng.Float64() < st.loss {
+		return false
+	}
+	return true
+}
+
+// assignArcs splits the identifier ring into k contiguous arcs of
+// near-equal population (first n mod k arcs get one extra node) and returns
+// the arc index of every overlay position. Dead nodes are assigned by their
+// ID like everyone else, so a copy addressed to a dead node in the sender's
+// own arc still counts as Lost rather than Blocked.
+func assignArcs(o *dissem.Overlay, k int) []int32 {
+	order := positionsByID(o, false)
+	groups := make([]int32, len(order))
+	n := len(order)
+	base, extra := n/k, n%k
+	idx, bound, g := 0, 0, int32(0)
+	for arc := 0; arc < k; arc++ {
+		size := base
+		if arc < extra {
+			size++
+		}
+		bound += size
+		for ; idx < bound; idx++ {
+			groups[order[idx]] = g
+		}
+		g++
+	}
+	return groups
+}
+
+// arcVictims resolves a regional arc kill: the int(fraction*live) live
+// nodes clockwise from start (Nil starts at the lowest ID), in ring order,
+// wrapping.
+func arcVictims(o *dissem.Overlay, fraction float64, start ident.ID) []int32 {
+	live := positionsByID(o, true)
+	if len(live) == 0 {
+		return nil
+	}
+	k := int(fraction * float64(len(live)))
+	if k > len(live) {
+		k = len(live)
+	}
+	ids := o.IDs()
+	first := sort.Search(len(live), func(i int) bool { return ids[live[i]] >= start })
+	victims := make([]int32, 0, k)
+	for i := 0; i < k; i++ {
+		victims = append(victims, live[(first+i)%len(live)])
+	}
+	return victims
+}
+
+// prefixVictims resolves a prefix kill: every position (live or dead) whose
+// top bits identifier bits equal prefix.
+func prefixVictims(o *dissem.Overlay, prefix uint64, bits int) []int32 {
+	shift := uint(64 - bits)
+	if bits < 64 {
+		prefix &= (1 << uint(bits)) - 1
+	}
+	var victims []int32
+	for i, id := range o.IDs() {
+		if uint64(id)>>shift == prefix {
+			victims = append(victims, int32(i))
+		}
+	}
+	return victims
+}
+
+// positionsByID returns overlay positions sorted by identifier (ring
+// order), optionally restricted to live nodes.
+func positionsByID(o *dissem.Overlay, liveOnly bool) []int32 {
+	ids := o.IDs()
+	out := make([]int32, 0, len(ids))
+	for i := range ids {
+		if liveOnly && !o.IsAlive(i) {
+			continue
+		}
+		out = append(out, int32(i))
+	}
+	sort.Slice(out, func(a, b int) bool { return ids[out[a]] < ids[out[b]] })
+	return out
+}

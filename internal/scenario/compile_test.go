@@ -1,0 +1,297 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/ident"
+)
+
+// testOverlay builds a deterministic overlay of n nodes with evenly spaced
+// IDs: node i has ID base*(i+1), a d-link ring in ID order, and a few
+// r-links. Evenly spaced IDs make arc and prefix resolution predictable.
+func testOverlay(t *testing.T, n int) *dissem.Overlay {
+	t.Helper()
+	ids := make([]ident.ID, n)
+	base := ^uint64(0)/uint64(n) + 1
+	for i := range ids {
+		// base*i + 1 ascends with i and never wraps or hits Nil, so position
+		// order equals ring order.
+		ids[i] = ident.ID(base*uint64(i) + 1)
+	}
+	links := make([]core.Links, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range links {
+		links[i].D = []ident.ID{ids[(i+n-1)%n], ids[(i+1)%n]}
+		for k := 0; k < 5; k++ {
+			links[i].R = append(links[i].R, ids[rng.Intn(n)])
+		}
+	}
+	o, err := dissem.FromLinks(ids, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestCompileEmptyTimeline(t *testing.T) {
+	o := testOverlay(t, 40)
+	c, err := Compile(Scenario{Name: "empty"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NeedsRuntime() {
+		t.Error("empty timeline claims runtime faults")
+	}
+	if killed := c.ApplySetup(o, rand.New(rand.NewSource(1))); killed != 0 {
+		t.Errorf("empty timeline killed %d nodes", killed)
+	}
+	if o.AliveCount() != 40 {
+		t.Errorf("alive count changed: %d", o.AliveCount())
+	}
+}
+
+func TestCompilePartitionArcs(t *testing.T) {
+	o := testOverlay(t, 10)
+	c, err := Compile(Scenario{Name: "p", Events: []Event{Partition(0, 3)}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.NeedsRuntime() {
+		t.Fatal("partition at 0 needs runtime faults")
+	}
+	st := c.NewState()
+	// Node IDs ascend with position in testOverlay, so arcs must be
+	// contiguous position ranges of sizes 4, 3, 3.
+	wantSizes := []int{4, 3, 3}
+	sizes := make(map[int32]int)
+	prev := int32(0)
+	for i := 0; i < 10; i++ {
+		g := groupOf(t, st, int32(i))
+		if g < prev {
+			t.Errorf("arcs not contiguous in ring order: node %d group %d after %d", i, g, prev)
+		}
+		prev = g
+		sizes[g]++
+	}
+	for g, want := range wantSizes {
+		if sizes[int32(g)] != want {
+			t.Errorf("arc %d size %d, want %d", g, sizes[int32(g)], want)
+		}
+	}
+	// Cross-arc copies blocked, intra-arc copies delivered.
+	rng := rand.New(rand.NewSource(1))
+	if st.Deliver(0, 1, rng) != true {
+		t.Error("intra-arc copy blocked")
+	}
+	if st.Deliver(0, 9, rng) != false {
+		t.Error("cross-arc copy delivered")
+	}
+}
+
+// groupOf probes a State's arc assignment via Deliver against itself.
+func groupOf(t *testing.T, st *State, i int32) int32 {
+	t.Helper()
+	if st.groups == nil {
+		t.Fatal("no active partition")
+	}
+	return st.groups[i]
+}
+
+func TestCompilePartitionHealedAtZeroIsFaultFree(t *testing.T) {
+	o := testOverlay(t, 12)
+	c, err := Compile(Scenario{Name: "ph", Events: []Event{Partition(0, 2), Heal(0)}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NeedsRuntime() {
+		t.Error("partition healed at time zero should compile to the fault-free fast path")
+	}
+}
+
+func TestCompileLossZeroIsFaultFree(t *testing.T) {
+	o := testOverlay(t, 12)
+	c, err := Compile(Scenario{Name: "l0", Events: []Event{Loss(0, 0)}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NeedsRuntime() {
+		t.Error("zero loss rate should compile to the fault-free fast path")
+	}
+}
+
+func TestCompileLossOneBlocksEverything(t *testing.T) {
+	o := testOverlay(t, 30)
+	c, err := Compile(Scenario{Name: "l1", Events: []Event{Loss(0, 1)}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.NeedsRuntime() {
+		t.Fatal("full loss needs runtime faults")
+	}
+	st := c.Get()
+	defer c.Put(st)
+	rng := rand.New(rand.NewSource(3))
+	origin := o.IDs()[0]
+	d, err := dissem.RunScratch(o, origin, core.RingCast{}, 3, rng,
+		dissem.Options{SkipLoad: true, Faults: st}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reached != 1 {
+		t.Errorf("reached %d under total loss, want origin only", d.Reached)
+	}
+	if d.Virgin != 0 || d.Redundant != 0 || d.Lost != 0 {
+		t.Errorf("deliveries leaked through total loss: %+v", d)
+	}
+	if d.Blocked == 0 {
+		t.Error("no copies recorded as blocked")
+	}
+}
+
+func TestCompileArcKillSetup(t *testing.T) {
+	o := testOverlay(t, 40)
+	c, err := Compile(Scenario{Name: "arc", Events: []Event{ArcKill(0, 0.25, ident.Nil)}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NeedsRuntime() {
+		t.Error("time-zero arc kill should not need runtime faults")
+	}
+	killed := c.ApplySetup(o, rand.New(rand.NewSource(1)))
+	if killed != 10 {
+		t.Fatalf("killed %d, want 10", killed)
+	}
+	if o.AliveCount() != 30 {
+		t.Fatalf("alive %d, want 30", o.AliveCount())
+	}
+	// Victims are the lowest-ID quarter (arc start Nil = lowest ID), which
+	// in testOverlay are positions 0..9.
+	for i := 0; i < 40; i++ {
+		wantDead := i < 10
+		if o.IsAlive(i) == wantDead {
+			t.Errorf("position %d alive=%v, want dead=%v", i, o.IsAlive(i), wantDead)
+		}
+	}
+}
+
+func TestCompileArcKillWholeRing(t *testing.T) {
+	o := testOverlay(t, 16)
+	c, err := Compile(Scenario{Name: "all", Events: []Event{ArcKill(0, 1, ident.Nil)}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed := c.ApplySetup(o, rand.New(rand.NewSource(1))); killed != 16 {
+		t.Errorf("killed %d, want 16", killed)
+	}
+	if o.AliveCount() != 0 {
+		t.Errorf("alive %d after full arc kill", o.AliveCount())
+	}
+}
+
+func TestCompileArcKillStartAnchor(t *testing.T) {
+	o := testOverlay(t, 8)
+	// Anchor at the ID of position 6: victims must be positions 6, 7, 0
+	// (wrapping clockwise).
+	start := o.IDs()[6]
+	c, err := Compile(Scenario{Name: "anchored", Events: []Event{ArcKill(0, 0.375, start)}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ApplySetup(o, rand.New(rand.NewSource(1)))
+	wantDead := map[int]bool{6: true, 7: true, 0: true}
+	for i := 0; i < 8; i++ {
+		if o.IsAlive(i) == wantDead[i] {
+			t.Errorf("position %d alive=%v, want dead=%v", i, o.IsAlive(i), wantDead[i])
+		}
+	}
+}
+
+func TestCompilePrefixKill(t *testing.T) {
+	o := testOverlay(t, 32)
+	// testOverlay spaces IDs evenly, so the top 2 bits split positions into
+	// quarters; prefix 0b11 selects the top quarter (positions 23..30 hold
+	// IDs with top bits 11 — compute instead of guessing).
+	want := 0
+	for i := 0; i < 32; i++ {
+		if uint64(o.IDs()[i])>>62 == 0b11 {
+			want++
+		}
+	}
+	c, err := Compile(Scenario{Name: "prefix", Events: []Event{PrefixKill(0, 0b11, 2)}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed := c.ApplySetup(o, rand.New(rand.NewSource(1))); killed != want {
+		t.Errorf("killed %d, want %d", killed, want)
+	}
+	for i := 0; i < 32; i++ {
+		wantDead := uint64(o.IDs()[i])>>62 == 0b11
+		if o.IsAlive(i) == wantDead {
+			t.Errorf("position %d (id %v) alive=%v, want dead=%v", i, o.IDs()[i], o.IsAlive(i), wantDead)
+		}
+	}
+}
+
+func TestCompileMidRunKillAndHeal(t *testing.T) {
+	o := testOverlay(t, 20)
+	sc := Scenario{Name: "mid", Events: []Event{
+		Partition(0, 2),
+		ArcKill(2, 0.25, ident.Nil),
+		Heal(4),
+	}}
+	c, err := Compile(sc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Get()
+	defer c.Put(st)
+	if st.Dead(0) {
+		t.Error("victim dead before its event fired")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if st.Deliver(0, 19, rng) {
+		t.Error("cross-arc copy delivered before heal")
+	}
+	st.HopStart(1)
+	if st.Dead(0) {
+		t.Error("victim dead at hop 1")
+	}
+	st.HopStart(2)
+	if !st.Dead(0) || !st.Dead(4) || st.Dead(5) {
+		t.Errorf("arc kill at hop 2 wrong: dead(0)=%v dead(4)=%v dead(5)=%v",
+			st.Dead(0), st.Dead(4), st.Dead(5))
+	}
+	st.HopStart(4)
+	if !st.Deliver(0, 19, rng) {
+		t.Error("cross-arc copy still blocked after heal")
+	}
+	// Begin must reset everything for the next pooled run.
+	st.Begin()
+	if st.Dead(0) {
+		t.Error("Begin did not clear mid-run deaths")
+	}
+	if st.Deliver(0, 19, rng) {
+		t.Error("Begin did not restore the initial partition")
+	}
+}
+
+func TestUniformKillDrawsFromCallerStream(t *testing.T) {
+	// The same seed must kill the same nodes the overlay's own KillFraction
+	// would, preserving the catastrophic sweep byte-for-byte.
+	oA := testOverlay(t, 50)
+	oB := testOverlay(t, 50)
+	c, err := Compile(Scenario{Name: "kill", Events: []Event{UniformKill(0.2)}}, oA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ApplySetup(oA, rand.New(rand.NewSource(99)))
+	oB.KillFraction(0.2, rand.New(rand.NewSource(99)))
+	for i := 0; i < 50; i++ {
+		if oA.IsAlive(i) != oB.IsAlive(i) {
+			t.Fatalf("position %d: scenario alive=%v, direct alive=%v", i, oA.IsAlive(i), oB.IsAlive(i))
+		}
+	}
+}

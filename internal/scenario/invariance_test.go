@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/eventsim"
+	"ringcast/internal/ident"
+	"ringcast/internal/sim"
+)
+
+// warmedOverlay builds and freezes a converged small network, the realistic
+// substrate for the invariance checks.
+func warmedOverlay(t *testing.T, n int) *dissem.Overlay {
+	t.Helper()
+	cfg := sim.DefaultConfig(n)
+	cfg.Seed = 11
+	nw := sim.MustNew(cfg)
+	if _, conv := nw.WarmUp(100, 1000); conv < 1 {
+		t.Fatalf("ring did not converge: %v", conv)
+	}
+	return dissem.Snapshot(nw)
+}
+
+// TestCrossSurfaceInvariance asserts the issue's core determinism claim:
+// the same compiled scenario, driven through the hop-synchronous engine and
+// through the event-driven engine at constant unit latency (so delivery
+// times coincide with hop indices), produces identical reached counts and
+// identical overhead splits — both surfaces consume the same randomness in
+// the same order. The zero-latency variant covers scenarios whose events
+// all fire at time zero (all deliveries then pop at t=0, before any later
+// sentinel could fire).
+func TestCrossSurfaceInvariance(t *testing.T) {
+	o := warmedOverlay(t, 250)
+	scenarios := []Scenario{
+		{Name: "partition", Events: []Event{Partition(0, 2)}},
+		{Name: "partition-heal", Events: []Event{Partition(0, 2), Heal(4)}},
+		{Name: "lossy", Events: []Event{Loss(0, 0.3)}},
+		{Name: "lossy-degrade", Events: []Event{Loss(0, 0.05), Loss(3, 0.6)}},
+		{Name: "regional-mid-run", Events: []Event{ArcKill(2, 0.25, ident.Nil)}},
+		{Name: "storm", Events: []Event{Partition(0, 3), Loss(0, 0.1), ArcKill(2, 0.2, ident.Nil), Heal(5)}},
+	}
+	for _, sc := range scenarios {
+		for _, sel := range []core.Selector{core.RandCast{}, core.RingCast{}} {
+			t.Run(sc.Name+"/"+sel.Name(), func(t *testing.T) {
+				shared := o.Clone()
+				comp, err := Compile(sc, shared)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comp.ApplySetup(shared, rand.New(rand.NewSource(5)))
+				for run := int64(0); run < 5; run++ {
+					origin, err := shared.RandomAliveOrigin(rand.New(rand.NewSource(100 + run)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					stHop, stEv := comp.Get(), comp.Get()
+					hop, err := dissem.RunScratch(shared, origin, sel, 3,
+						rand.New(rand.NewSource(run)),
+						dissem.Options{SkipLoad: true, Faults: stHop}, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ev, err := eventsim.RunFaults(shared, origin, sel, 3,
+						eventsim.ConstantLatency(1), rand.New(rand.NewSource(run)), stEv, nil)
+					comp.Put(stHop)
+					comp.Put(stEv)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if hop.Reached != ev.Reached {
+						t.Fatalf("run %d: hop reached %d, event reached %d", run, hop.Reached, ev.Reached)
+					}
+					if hop.Virgin != ev.Virgin || hop.Redundant != ev.Redundant ||
+						hop.Lost != ev.Lost || hop.Blocked != ev.Blocked {
+						t.Fatalf("run %d: overhead split diverged: hop {v%d r%d l%d b%d}, event {v%d r%d l%d b%d}",
+							run, hop.Virgin, hop.Redundant, hop.Lost, hop.Blocked,
+							ev.Virgin, ev.Redundant, ev.Lost, ev.Blocked)
+					}
+					if hops := float64(hop.Hops()); ev.CompletionTime != hops {
+						t.Fatalf("run %d: completion time %v != hop count %v", run, ev.CompletionTime, hops)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCrossSurfaceInvarianceZeroLatency pins the zero-latency case from the
+// issue: with every event at time zero and ConstantLatency(0), the event
+// engine processes all copies at t=0 in emission order — the exact BFS
+// order of the hop engine — so reached counts match to the copy.
+func TestCrossSurfaceInvarianceZeroLatency(t *testing.T) {
+	o := warmedOverlay(t, 200)
+	sc := Scenario{Name: "zero", Events: []Event{Partition(0, 2), Loss(0, 0.25)}}
+	shared := o.Clone()
+	comp, err := Compile(sc, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp.ApplySetup(shared, rand.New(rand.NewSource(5)))
+	for run := int64(0); run < 8; run++ {
+		origin, err := shared.RandomAliveOrigin(rand.New(rand.NewSource(300 + run)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stHop, stEv := comp.Get(), comp.Get()
+		hop, err := dissem.RunScratch(shared, origin, core.RingCast{}, 4,
+			rand.New(rand.NewSource(run)),
+			dissem.Options{SkipLoad: true, Faults: stHop}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := eventsim.RunFaults(shared, origin, core.RingCast{}, 4,
+			eventsim.ConstantLatency(0), rand.New(rand.NewSource(run)), stEv, nil)
+		comp.Put(stHop)
+		comp.Put(stEv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hop.Reached != ev.Reached || hop.Blocked != ev.Blocked {
+			t.Fatalf("run %d: hop {reached %d, blocked %d} != event {reached %d, blocked %d}",
+				run, hop.Reached, hop.Blocked, ev.Reached, ev.Blocked)
+		}
+	}
+}
+
+// TestPartitionConfinesDissemination checks the macroscopic partition
+// semantics: an unhealed two-way split confines every copy to the origin's
+// arc, while a heal lets late copies cross — so the healed run must reach
+// strictly more nodes whenever the dissemination is still alive at heal
+// time.
+func TestPartitionConfinesDissemination(t *testing.T) {
+	o := warmedOverlay(t, 300)
+	split := o.Clone()
+	comp, err := Compile(Scenario{Name: "p2", Events: []Event{Partition(0, 2)}}, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, err := split.RandomAliveOrigin(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := comp.Get()
+	d, err := dissem.RunScratch(split, origin, core.RingCast{}, 3,
+		rand.New(rand.NewSource(2)), dissem.Options{SkipLoad: true, Faults: st}, nil)
+	comp.Put(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arcs split 300 nodes into 150/150; the origin's arc bounds the spread.
+	if d.Reached > 150 {
+		t.Errorf("partitioned dissemination escaped its arc: reached %d > 150", d.Reached)
+	}
+	if d.Reached < 100 {
+		t.Errorf("dissemination did not fill its arc: reached %d", d.Reached)
+	}
+	if d.Blocked == 0 {
+		t.Error("no copies blocked at the partition boundary")
+	}
+	if d.Complete() {
+		t.Error("partitioned dissemination reported complete")
+	}
+}
+
+// TestNetworkPhase exercises flash crowds and churn steps against a live
+// simulated network.
+func TestNetworkPhase(t *testing.T) {
+	cfg := sim.DefaultConfig(200)
+	cfg.Seed = 3
+	nw := sim.MustNew(cfg)
+	nw.WarmUp(30, 300)
+
+	rep := RunNetworkPhase(nw, Scenario{Name: "none"})
+	if rep != (NetworkReport{}) {
+		t.Errorf("empty scenario ran a network phase: %+v", rep)
+	}
+
+	before := nw.AliveCount()
+	rep = RunNetworkPhase(nw, Scenario{
+		Name:         "crowd",
+		Events:       []Event{FlashCrowd(0, 0.25)},
+		SettleCycles: 5,
+	})
+	if rep.Joined != before/4 {
+		t.Errorf("joined %d, want %d", rep.Joined, before/4)
+	}
+	if rep.Cycles != 6 {
+		t.Errorf("cycles %d, want 6", rep.Cycles)
+	}
+	if nw.AliveCount() != before+rep.Joined {
+		t.Errorf("alive %d, want %d", nw.AliveCount(), before+rep.Joined)
+	}
+
+	alive := nw.AliveCount()
+	rep = RunNetworkPhase(nw, Scenario{
+		Name:         "surge",
+		Events:       []Event{ChurnRate(0, 0.05), ChurnRate(3, 0.1)},
+		SettleCycles: 2,
+	})
+	if rep.Cycles != 6 {
+		t.Errorf("cycles %d, want 6", rep.Cycles)
+	}
+	if rep.Removed == 0 || rep.Replaced == 0 {
+		t.Errorf("churn steps produced no turnover: %+v", rep)
+	}
+	if nw.AliveCount() != alive-rep.Removed+rep.Replaced {
+		t.Errorf("alive %d after churn, want %d", nw.AliveCount(), alive-rep.Removed+rep.Replaced)
+	}
+}

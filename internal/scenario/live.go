@@ -1,0 +1,179 @@
+// Live surface: a Driver programs a fleet of transport.FaultInjector
+// wrappers from the same timeline the simulators execute, so one scenario
+// definition drives real nodes over real sockets. Time here is a step
+// counter the orchestrator advances (typically one step per gossip
+// interval); the driver applies each event exactly once, in timeline
+// order, when the step counter reaches its At.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/transport"
+)
+
+// Member is one live node under scenario control.
+type Member struct {
+	// Addr is the node's transport address (FaultInjector.Addr()).
+	Addr string
+	// ID is the node's ring identifier, used to resolve partition arcs and
+	// regional kills exactly as the simulators resolve them.
+	ID ident.ID
+	// Faults is the node's transport wrapper.
+	Faults *transport.FaultInjector
+}
+
+// Driver applies a scenario's dissemination timeline to live members.
+type Driver struct {
+	sc      Scenario
+	members []Member
+	// byRing caches members sorted by ID (ring order).
+	byRing []int
+	next   int
+	step   int
+	events []Event
+	// OnKill, when non-nil, is invoked for every member selected by an
+	// arc or prefix kill; the orchestrator owns actually stopping the node
+	// (the driver cannot and should not reach into node lifecycles).
+	OnKill func(m Member)
+	killed map[string]bool
+}
+
+// NewDriver validates the scenario and prepares a live driver over the
+// given members. Network-phase events (flash crowds, churn steps) are
+// orchestration concerns in a live deployment and are ignored here; the
+// dissemination timeline (partitions, heals, kills, loss) is applied.
+func NewDriver(sc Scenario, members []Member) (*Driver, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	for i, m := range members {
+		if m.Faults == nil {
+			return nil, fmt.Errorf("scenario: member %d (%s) has no fault injector", i, m.Addr)
+		}
+	}
+	d := &Driver{
+		sc:      sc,
+		members: members,
+		events:  sc.sortedEvents(false),
+		killed:  make(map[string]bool),
+	}
+	d.byRing = make([]int, len(members))
+	for i := range members {
+		d.byRing[i] = i
+	}
+	sort.Slice(d.byRing, func(a, b int) bool {
+		return members[d.byRing[a]].ID < members[d.byRing[b]].ID
+	})
+	return d, nil
+}
+
+// Step returns the driver's current step counter.
+func (d *Driver) Step() int { return d.step }
+
+// Advance moves the step counter to step (monotonic; lower values are
+// ignored) and applies every not-yet-applied event with At <= step, in
+// timeline order.
+func (d *Driver) Advance(step int) {
+	if step > d.step {
+		d.step = step
+	}
+	for d.next < len(d.events) && d.events[d.next].At <= d.step {
+		d.apply(d.events[d.next])
+		d.next++
+	}
+}
+
+func (d *Driver) apply(e Event) {
+	switch e.Kind {
+	case KindPartition:
+		d.partition(e.Groups)
+	case KindHeal:
+		for _, m := range d.members {
+			m.Faults.HealAll()
+		}
+	case KindLoss:
+		for _, m := range d.members {
+			m.Faults.SetLoss(e.Rate)
+		}
+	case KindArcKill:
+		d.kill(d.arcVictims(e.Fraction, e.Start))
+	case KindPrefixKill:
+		d.kill(d.prefixVictims(e.Prefix, e.PrefixBits))
+	case KindUniformKill:
+		// A live uniform kill needs a randomness policy the orchestrator
+		// should own; kill an arc of equal size instead of guessing one.
+		d.kill(d.arcVictims(e.Fraction, ident.Nil))
+	}
+}
+
+// partition splits the members into k contiguous ring arcs and blocks
+// every cross-arc pair in both directions, mirroring assignArcs.
+func (d *Driver) partition(k int) {
+	n := len(d.byRing)
+	group := make([]int, n) // group[rank] = arc of the rank-th member
+	base, extra := n/k, n%k
+	idx, bound := 0, 0
+	for arc := 0; arc < k; arc++ {
+		size := base
+		if arc < extra {
+			size++
+		}
+		bound += size
+		for ; idx < bound; idx++ {
+			group[idx] = arc
+		}
+	}
+	for a, ia := range d.byRing {
+		for b, ib := range d.byRing {
+			if group[a] != group[b] {
+				d.members[ia].Faults.Block(d.members[ib].Addr)
+			}
+		}
+	}
+}
+
+func (d *Driver) arcVictims(fraction float64, start ident.ID) []Member {
+	n := len(d.byRing)
+	if n == 0 {
+		return nil
+	}
+	k := int(fraction * float64(n))
+	if k > n {
+		k = n
+	}
+	first := sort.Search(n, func(i int) bool { return d.members[d.byRing[i]].ID >= start })
+	victims := make([]Member, 0, k)
+	for i := 0; i < k; i++ {
+		victims = append(victims, d.members[d.byRing[(first+i)%n]])
+	}
+	return victims
+}
+
+func (d *Driver) prefixVictims(prefix uint64, bits int) []Member {
+	shift := uint(64 - bits)
+	if bits < 64 {
+		prefix &= (1 << uint(bits)) - 1
+	}
+	var victims []Member
+	for _, m := range d.members {
+		if uint64(m.ID)>>shift == prefix {
+			victims = append(victims, m)
+		}
+	}
+	return victims
+}
+
+func (d *Driver) kill(victims []Member) {
+	for _, m := range victims {
+		if d.killed[m.Addr] {
+			continue
+		}
+		d.killed[m.Addr] = true
+		if d.OnKill != nil {
+			d.OnKill(m)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Network phase: a scenario's pre-freeze events — flash-crowd join bursts
+// and churn-rate steps — act on the living, gossiping sim.Network, before
+// the overlay freezes and the dissemination timeline takes over. The phase
+// is inherently sequential (each gossip cycle depends on the previous one,
+// exactly like warm-up and the Section 7.3 churn phase) and consumes only
+// the network's own seeded stream, so it is deterministic for a given
+// scenario, population and seed.
+package scenario
+
+import (
+	"ringcast/internal/churn"
+	"ringcast/internal/sim"
+)
+
+// NetworkReport summarizes a scenario's network phase.
+type NetworkReport struct {
+	// Cycles is how many gossip cycles the phase ran (0 when the scenario
+	// has no network-phase events).
+	Cycles int
+	// Joined counts flash-crowd joiners admitted during the phase.
+	Joined int
+	// Removed and Replaced count churn departures and arrivals.
+	Removed, Replaced int
+}
+
+// RunNetworkPhase interleaves the scenario's network-phase events with
+// gossip cycles, mirroring the paper's churn methodology ("in each cycle a
+// given percentage ... removed, and the same number of new ones join"): at
+// each cycle the due events fire (joins happen, the churn rate steps), then
+// one churn step runs at the current rate, then one gossip cycle. The phase
+// spans the last event's cycle plus SettleCycles; with no network-phase
+// events it is a no-op regardless of SettleCycles.
+func RunNetworkPhase(nw *sim.Network, sc Scenario) NetworkReport {
+	events := sc.sortedEvents(true)
+	if len(events) == 0 {
+		return NetworkReport{}
+	}
+	last := events[len(events)-1].At
+	total := last + 1 + sc.SettleCycles
+	var rep NetworkReport
+	var model churn.Model
+	next := 0
+	for cyc := 0; cyc < total; cyc++ {
+		for next < len(events) && events[next].At == cyc {
+			e := events[next]
+			next++
+			switch e.Kind {
+			case KindFlashCrowd:
+				count := e.Count
+				if count == 0 {
+					count = int(e.Fraction * float64(nw.AliveCount()))
+					if count < 1 {
+						count = 1
+					}
+				}
+				for i := 0; i < count; i++ {
+					if _, err := nw.Join(); err != nil {
+						break // network emptied out; nothing to bootstrap from
+					}
+					rep.Joined++
+				}
+			case KindChurnRate:
+				model.Rate = e.Rate
+			}
+		}
+		if model.Rate > 0 {
+			removed, added := model.Step(nw)
+			rep.Removed += len(removed)
+			rep.Replaced += len(added)
+		}
+		nw.Cycle()
+		rep.Cycles++
+	}
+	return rep
+}

@@ -1,0 +1,285 @@
+// Package scenario is the deterministic fault-scenario engine: it turns the
+// paper's hard-coded robustness experiments (Section 7.2's catastrophic
+// failure, Section 7.3's continuous churn) into a composable, declarative
+// vocabulary. A Scenario is a timeline of typed events — network partitions
+// into ring arcs with optional healing, correlated regional kills (a
+// contiguous ring arc or an ident prefix), uniform catastrophic kills,
+// per-link message loss, flash-crowd join bursts, and churn-rate steps —
+// that compiles against a frozen overlay snapshot and then drives all three
+// execution surfaces:
+//
+//   - the hop-synchronous engine (internal/dissem), events applied at hop
+//     boundaries via dissem.FaultModel;
+//   - the discrete-event engine (internal/eventsim), events scheduled as
+//     sentinel entries on the existing heap via eventsim.FaultModel;
+//   - the live runtime, via the fault-injecting transport wrapper
+//     (transport.FaultInjector) programmed by a Driver.
+//
+// Determinism contract: compilation resolves every victim set and partition
+// arc against the snapshot with no randomness; the only random draws are
+// (a) uniform kills at time zero, applied once to the shared overlay with
+// the caller's sequential rng, exactly as Section 7.2's sweep always did,
+// and (b) per-copy loss draws, taken from the same per-unit stream as
+// target selection. Per-run fault state lives in a State, so parallel sweep
+// units never share mutable scenario data and results are bit-identical at
+// any parallelism.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"ringcast/internal/ident"
+)
+
+// Kind discriminates timeline event types.
+type Kind int
+
+// Timeline event kinds. Partition, Heal, UniformKill, ArcKill, PrefixKill
+// and Loss act on the dissemination surfaces (At is a hop boundary);
+// FlashCrowd and ChurnRate act on the pre-freeze network phase (At is a
+// gossip cycle).
+const (
+	// KindPartition splits the network into Groups contiguous ring arcs;
+	// message copies crossing arc boundaries are dropped until a Heal.
+	KindPartition Kind = iota + 1
+	// KindHeal dissolves the active partition.
+	KindHeal
+	// KindUniformKill kills Fraction of the live nodes uniformly at random —
+	// the paper's catastrophic failure (Section 7.2). Only valid at At == 0:
+	// the victims are drawn once from the caller's sequential rng before the
+	// sweep, which is what keeps parallel sweeps bit-identical.
+	KindUniformKill
+	// KindArcKill kills a contiguous ring arc covering Fraction of the live
+	// nodes, clockwise from Start — a correlated regional failure by ring
+	// distance (e.g. one data centre when IDs encode locality, Section 8).
+	KindArcKill
+	// KindPrefixKill kills every node whose top PrefixBits identifier bits
+	// equal Prefix — a correlated regional failure by ident prefix, matching
+	// the domain-encoded IDs of ident.DomainID.
+	KindPrefixKill
+	// KindLoss sets the per-copy message loss rate to Rate (each in-flight
+	// copy is dropped independently with probability Rate).
+	KindLoss
+	// KindFlashCrowd makes Count fresh nodes (or Fraction of the current
+	// population when Count is zero) join at once during the network phase.
+	KindFlashCrowd
+	// KindChurnRate sets the artificial churn rate (churn.Model) to Rate
+	// from cycle At of the network phase onward.
+	KindChurnRate
+)
+
+// String names the kind for error messages and tables.
+func (k Kind) String() string {
+	switch k {
+	case KindPartition:
+		return "partition"
+	case KindHeal:
+		return "heal"
+	case KindUniformKill:
+		return "uniform-kill"
+	case KindArcKill:
+		return "arc-kill"
+	case KindPrefixKill:
+		return "prefix-kill"
+	case KindLoss:
+		return "loss"
+	case KindFlashCrowd:
+		return "flash-crowd"
+	case KindChurnRate:
+		return "churn-rate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one entry of a scenario timeline. Only the fields relevant to
+// its Kind are consulted; the builder functions (Partition, Loss, ...) fill
+// them correctly.
+type Event struct {
+	// At is when the event fires: a hop boundary for dissemination events
+	// (0 = before the origin forwards), a gossip cycle for network events.
+	At int
+	// Kind selects the event type.
+	Kind Kind
+	// Groups is the number of ring arcs a partition splits the network into.
+	Groups int
+	// Fraction parameterizes kills (fraction of live nodes) and flash
+	// crowds (fraction of the current population joining).
+	Fraction float64
+	// Start anchors an arc kill: the first victim is the first live ID
+	// clockwise from Start (Nil starts at the lowest ID).
+	Start ident.ID
+	// Prefix and PrefixBits select prefix-kill victims: nodes whose top
+	// PrefixBits bits equal Prefix.
+	Prefix     uint64
+	PrefixBits int
+	// Rate parameterizes loss (per-copy drop probability) and churn steps
+	// (per-cycle replacement fraction).
+	Rate float64
+	// Count is a flash crowd's absolute joiner count (0 = use Fraction).
+	Count int
+}
+
+// Scenario is a named fault timeline.
+type Scenario struct {
+	// Name labels the scenario in tables, CSV and CLI flags.
+	Name string
+	// Events is the timeline; order within one At is preserved.
+	Events []Event
+	// SettleCycles extends the network phase: after the last network-phase
+	// event fires, the network keeps gossiping (and churning at the current
+	// rate) for this many extra cycles before the overlay freezes. Ignored
+	// when the timeline has no network-phase events.
+	SettleCycles int
+}
+
+// Partition returns an event splitting the network into groups contiguous
+// ring arcs at hop boundary at.
+func Partition(at, groups int) Event {
+	return Event{At: at, Kind: KindPartition, Groups: groups}
+}
+
+// Heal returns an event dissolving the active partition at hop boundary at.
+func Heal(at int) Event { return Event{At: at, Kind: KindHeal} }
+
+// UniformKill returns a time-zero catastrophic failure of fraction of the
+// live nodes, drawn uniformly at random (Section 7.2).
+func UniformKill(fraction float64) Event {
+	return Event{Kind: KindUniformKill, Fraction: fraction}
+}
+
+// ArcKill returns an event killing a contiguous ring arc covering fraction
+// of the live nodes, clockwise from start, at hop boundary at.
+func ArcKill(at int, fraction float64, start ident.ID) Event {
+	return Event{At: at, Kind: KindArcKill, Fraction: fraction, Start: start}
+}
+
+// PrefixKill returns an event killing every node whose top bits identifier
+// bits equal prefix, at hop boundary at.
+func PrefixKill(at int, prefix uint64, bits int) Event {
+	return Event{At: at, Kind: KindPrefixKill, Prefix: prefix, PrefixBits: bits}
+}
+
+// Loss returns an event setting the per-copy loss rate from hop boundary at
+// onward. Rate 0 switches loss off; rate 1 drops everything.
+func Loss(at int, rate float64) Event { return Event{At: at, Kind: KindLoss, Rate: rate} }
+
+// FlashCrowd returns a network-phase event: fraction of the current
+// population joins at cycle at.
+func FlashCrowd(at int, fraction float64) Event {
+	return Event{At: at, Kind: KindFlashCrowd, Fraction: fraction}
+}
+
+// FlashCrowdCount is FlashCrowd with an absolute joiner count.
+func FlashCrowdCount(at, count int) Event {
+	return Event{At: at, Kind: KindFlashCrowd, Count: count}
+}
+
+// ChurnRate returns a network-phase event setting the artificial churn rate
+// from cycle at onward.
+func ChurnRate(at int, rate float64) Event {
+	return Event{At: at, Kind: KindChurnRate, Rate: rate}
+}
+
+// Catastrophic is the Section 7.2 sweep as a scenario: a single uniform
+// kill of failFraction at time zero, named exactly as the experiment
+// runners always labelled it, so porting the catastrophic sweep onto the
+// scenario engine changes no output byte.
+func Catastrophic(failFraction float64) Scenario {
+	return Scenario{
+		Name:   fmt.Sprintf("catastrophic-%g%%", failFraction*100),
+		Events: []Event{UniformKill(failFraction)},
+	}
+}
+
+// isNetworkKind reports whether k acts on the pre-freeze network phase.
+func isNetworkKind(k Kind) bool { return k == KindFlashCrowd || k == KindChurnRate }
+
+// sortedEvents returns the events ordered stably by At (declaration order
+// preserved within one At), filtered to network or dissemination kinds.
+func (s Scenario) sortedEvents(network bool) []Event {
+	out := make([]Event, 0, len(s.Events))
+	for _, e := range s.Events {
+		if isNetworkKind(e.Kind) == network {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Validate checks the timeline for structural errors: parameter ranges,
+// uniform kills after time zero, overlapping partitions, and heals with no
+// partition to heal.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name must not be empty")
+	}
+	if s.SettleCycles < 0 {
+		return fmt.Errorf("scenario %s: settle cycles must be >= 0, got %d", s.Name, s.SettleCycles)
+	}
+	for i, e := range s.Events {
+		if e.At < 0 {
+			return fmt.Errorf("scenario %s: event %d (%s) at negative time %d", s.Name, i, e.Kind, e.At)
+		}
+		switch e.Kind {
+		case KindPartition:
+			if e.Groups < 2 {
+				return fmt.Errorf("scenario %s: partition needs >= 2 groups, got %d", s.Name, e.Groups)
+			}
+		case KindHeal:
+			// ordering checked below
+		case KindUniformKill:
+			if e.At != 0 {
+				return fmt.Errorf("scenario %s: uniform kill only supported at time 0 (got %d): mid-run victims would need randomness outside the per-unit streams", s.Name, e.At)
+			}
+			if e.Fraction <= 0 || e.Fraction >= 1 {
+				return fmt.Errorf("scenario %s: uniform kill fraction must be in (0,1), got %v", s.Name, e.Fraction)
+			}
+		case KindArcKill:
+			if e.Fraction <= 0 || e.Fraction > 1 {
+				return fmt.Errorf("scenario %s: arc kill fraction must be in (0,1], got %v", s.Name, e.Fraction)
+			}
+		case KindPrefixKill:
+			if e.PrefixBits < 1 || e.PrefixBits > 64 {
+				return fmt.Errorf("scenario %s: prefix bits must be in 1..64, got %d", s.Name, e.PrefixBits)
+			}
+		case KindLoss:
+			if e.Rate < 0 || e.Rate > 1 {
+				return fmt.Errorf("scenario %s: loss rate must be in [0,1], got %v", s.Name, e.Rate)
+			}
+		case KindFlashCrowd:
+			if e.Count < 0 {
+				return fmt.Errorf("scenario %s: flash crowd count must be >= 0, got %d", s.Name, e.Count)
+			}
+			if e.Count == 0 && e.Fraction <= 0 {
+				return fmt.Errorf("scenario %s: flash crowd needs a count or a positive fraction", s.Name)
+			}
+		case KindChurnRate:
+			if e.Rate < 0 || e.Rate >= 1 {
+				return fmt.Errorf("scenario %s: churn rate must be in [0,1), got %v", s.Name, e.Rate)
+			}
+		default:
+			return fmt.Errorf("scenario %s: event %d has unknown kind %d", s.Name, i, int(e.Kind))
+		}
+	}
+	// Partition/heal ordering over the time-sorted dissemination timeline:
+	// at most one partition active at a time, and a heal must heal something.
+	active := false
+	for _, e := range s.sortedEvents(false) {
+		switch e.Kind {
+		case KindPartition:
+			if active {
+				return fmt.Errorf("scenario %s: overlapping partitions (second partition at hop %d before a heal)", s.Name, e.At)
+			}
+			active = true
+		case KindHeal:
+			if !active {
+				return fmt.Errorf("scenario %s: heal at hop %d with no partition to heal", s.Name, e.At)
+			}
+			active = false
+		}
+	}
+	return nil
+}

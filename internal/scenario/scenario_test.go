@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"ringcast/internal/ident"
+)
+
+// TestValidateTable drives Scenario.Validate over the structural edge
+// cases: empty timelines, partition/heal ordering, and parameter bounds
+// (loss rates 0 and 1 are both legal; everything outside [0,1] is not).
+func TestValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		sc      Scenario
+		wantErr string // empty = valid
+	}{
+		{"empty timeline", Scenario{Name: "empty"}, ""},
+		{"unnamed", Scenario{}, "name"},
+		{"negative time", Scenario{Name: "x", Events: []Event{{At: -1, Kind: KindLoss}}}, "negative time"},
+		{"loss rate zero", Scenario{Name: "x", Events: []Event{Loss(0, 0)}}, ""},
+		{"loss rate one", Scenario{Name: "x", Events: []Event{Loss(0, 1)}}, ""},
+		{"loss rate above one", Scenario{Name: "x", Events: []Event{Loss(0, 1.01)}}, "loss rate"},
+		{"loss rate negative", Scenario{Name: "x", Events: []Event{Loss(2, -0.5)}}, "loss rate"},
+		{"partition ok", Scenario{Name: "x", Events: []Event{Partition(0, 2)}}, ""},
+		{"partition one group", Scenario{Name: "x", Events: []Event{Partition(0, 1)}}, ">= 2 groups"},
+		{"partition heal partition", Scenario{Name: "x", Events: []Event{Partition(0, 2), Heal(3), Partition(5, 4)}}, ""},
+		{"overlapping partitions", Scenario{Name: "x", Events: []Event{Partition(0, 2), Partition(3, 3)}}, "overlapping partitions"},
+		{"heal before partition", Scenario{Name: "x", Events: []Event{Heal(2), Partition(5, 2)}}, "no partition to heal"},
+		// Declaration order scrambled: sorting by At must drive the
+		// ordering check, so the heal at hop 2 still precedes the
+		// partition at hop 5.
+		{"heal before partition declared late", Scenario{Name: "x", Events: []Event{Partition(5, 2), Heal(2)}}, "no partition to heal"},
+		{"heal alone", Scenario{Name: "x", Events: []Event{Heal(0)}}, "no partition to heal"},
+		{"uniform kill ok", Scenario{Name: "x", Events: []Event{UniformKill(0.05)}}, ""},
+		{"uniform kill mid-run", Scenario{Name: "x", Events: []Event{{At: 3, Kind: KindUniformKill, Fraction: 0.05}}}, "time 0"},
+		{"uniform kill full", Scenario{Name: "x", Events: []Event{UniformKill(1)}}, "fraction"},
+		{"arc kill full ring", Scenario{Name: "x", Events: []Event{ArcKill(0, 1, ident.Nil)}}, ""},
+		{"arc kill zero", Scenario{Name: "x", Events: []Event{ArcKill(0, 0, ident.Nil)}}, "fraction"},
+		{"prefix kill ok", Scenario{Name: "x", Events: []Event{PrefixKill(1, 0b101, 3)}}, ""},
+		{"prefix kill no bits", Scenario{Name: "x", Events: []Event{PrefixKill(1, 1, 0)}}, "prefix bits"},
+		{"prefix kill too many bits", Scenario{Name: "x", Events: []Event{PrefixKill(1, 1, 65)}}, "prefix bits"},
+		{"flash crowd fraction", Scenario{Name: "x", Events: []Event{FlashCrowd(0, 0.25)}}, ""},
+		{"flash crowd count", Scenario{Name: "x", Events: []Event{FlashCrowdCount(0, 10)}}, ""},
+		{"flash crowd empty", Scenario{Name: "x", Events: []Event{{Kind: KindFlashCrowd}}}, "count or a positive fraction"},
+		{"churn rate ok", Scenario{Name: "x", Events: []Event{ChurnRate(0, 0.002)}}, ""},
+		{"churn rate one", Scenario{Name: "x", Events: []Event{ChurnRate(0, 1)}}, "churn rate"},
+		{"negative settle", Scenario{Name: "x", SettleCycles: -1}, "settle"},
+		{"unknown kind", Scenario{Name: "x", Events: []Event{{Kind: Kind(99)}}}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestBuiltinsValidateAndResolve(t *testing.T) {
+	if len(Builtins()) == 0 {
+		t.Fatal("empty builtin catalog")
+	}
+	for _, sc := range Builtins() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("builtin %s invalid: %v", sc.Name, err)
+		}
+		if got, ok := Builtin(sc.Name); !ok || got.Name != sc.Name {
+			t.Errorf("builtin %s not resolvable by name", sc.Name)
+		}
+	}
+	if _, ok := Builtin("definitely-not-a-scenario"); ok {
+		t.Error("unknown name resolved")
+	}
+	if _, err := ByNames([]string{"nope"}); err == nil || !strings.Contains(err.Error(), "built-ins") {
+		t.Errorf("unknown name in ByNames: %v", err)
+	}
+	all, err := ByNames(nil)
+	if err != nil || len(all) != len(Builtins()) {
+		t.Errorf("ByNames(nil) = %d scenarios, err %v", len(all), err)
+	}
+	two, err := ByNames([]string{"lossy", "baseline"})
+	if err != nil || len(two) != 2 || two[0].Name != "lossy" || two[1].Name != "baseline" {
+		t.Errorf("ByNames order not preserved: %v, %v", two, err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindPartition; k <= KindChurnRate; k++ {
+		if s := k.String(); strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind string: %s", Kind(99))
+	}
+}

@@ -2,6 +2,11 @@
 // experiment tables: summaries, percentiles, integer histograms (for the
 // lifetime distributions of Figures 12–13), and load-balance measures
 // (for the paper's uniform-load claim in Section 7).
+//
+// All computations are deterministic: summaries and Gini coefficients fold
+// their inputs in a fixed order and histograms sort on read, so the same
+// samples always render the same table bytes regardless of how many
+// workers produced them.
 package stats
 
 import (

@@ -1,8 +1,18 @@
-// Package transport abstracts how live nodes exchange wire frames. Two
-// implementations ship with the library: an in-memory transport for tests,
-// examples and single-process clusters (with fault injection for failure
-// experiments), and a TCP transport for real deployments. A topic Mux layers
-// pub/sub routing on top of any base transport.
+// Package transport abstracts how live nodes exchange wire frames — the
+// socket layer under the paper's deployment story (Section 8's topic-based
+// middleware, one overlay per topic). Implementations: an in-memory fabric
+// for tests, examples and single-process clusters, TCP and UDP endpoints
+// for real deployments, a topic Mux that layers pub/sub routing on top of
+// any base transport, and a FaultInjector wrapper that black-holes,
+// degrades or delays links under control of the scenario engine
+// (internal/scenario).
+//
+// Determinism contract: live transports are inherently asynchronous —
+// frame interleaving depends on goroutine and kernel scheduling, unlike the
+// simulators — but every injected fault is reproducible: the FaultInjector
+// draws loss from its own seeded stream, and the InMemNetwork's injected
+// loss is seeded the same way. Counters (Stats) are monotonic and safe to
+// read concurrently.
 package transport
 
 import (

@@ -1,11 +1,15 @@
 // Package wire defines the binary message format spoken between live
-// RingCast nodes: gossip exchanges (CYCLON shuffles, VICINITY view trades),
-// bootstrap handshakes, and disseminated application messages.
+// RingCast nodes: gossip exchanges (CYCLON shuffles, VICINITY view trades
+// — the two layers of the paper's Section 6 architecture), bootstrap
+// handshakes, and disseminated application messages.
 //
 // The encoding is a compact, explicit big-endian format with hard size
 // limits, so a malformed or malicious frame cannot cause unbounded
-// allocation. Framing (length prefixes on the stream) is the transport's
-// job; this package encodes single frames.
+// allocation. It is fully deterministic: Marshal is a pure function of the
+// frame (no maps, no randomness), so equal frames produce equal bytes and
+// the in-memory transport's codec round trip exercises exactly the bytes
+// TCP would carry. Framing (length prefixes on the stream) is the
+// transport's job; this package encodes single frames.
 package wire
 
 import (
