@@ -729,3 +729,32 @@ func BenchmarkSoakPubSubInMem(b *testing.B) { benchmarkSoak(b, false) }
 // shed traffic, and — the point of the pipeline — Publish latency at the
 // healthy origin stays bounded instead of stalling on the 10s write timeout.
 func BenchmarkSoakPubSubTCP(b *testing.B) { benchmarkSoak(b, true) }
+
+// BenchmarkRunScale measures one small scale step end to end: converged
+// bootstrap, mixing cycles, arena freeze (compacted snapshot), and the
+// three-protocol dissemination sweep. It is the bench-smoke sentinel for
+// the million-node engine — the curated large-N numbers live in
+// BENCH_PR5.json; this keeps the path exercised and its allocation count
+// on the public record every CI run.
+func BenchmarkRunScale(b *testing.B) {
+	cfg := experiment.ScaleConfig{
+		Ns:     []int{2000},
+		Fanout: 5,
+		Runs:   5,
+		Cycles: 10,
+		Seed:   42,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunScale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ring := res.Steps[0].Points[0]
+		if ring.HitRatio != 1 {
+			b.Fatalf("ringcast hit ratio %v at N=2000", ring.HitRatio)
+		}
+		b.ReportMetric(ring.Hops.Mean, "hops")
+		b.ReportMetric(float64(res.Steps[0].HeapBytes)/(1<<20), "heapMB")
+	}
+}

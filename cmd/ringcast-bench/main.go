@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"path/filepath"
@@ -45,6 +46,8 @@ Examples:
   ringcast-bench -fig 6 -plot                   # ASCII charts next to the tables
   ringcast-bench -fig scenarios                 # the whole built-in scenario catalog
   ringcast-bench -fig scenarios -scenario partition-heal,lossy,storm
+  ringcast-bench -fig scale -progress           # N=1e3..1e6 hops-vs-logN sweep
+  ringcast-bench -fig scale -scale-ns 1000,50000 -scale-runs 5 -scale-cycles 30 -scale-fanout 5
 
 Built-in scenarios for -scenario (see internal/scenario):
   ` + "%s" + `
@@ -76,7 +79,7 @@ func run(args []string, out io.Writer) (err error) {
 		fs.SetOutput(io.Discard)
 	}
 	var (
-		fig       = fs.String("fig", "all", "comma-separated figures to regenerate: 6,7,8,9,10,11,12,13,load,harary,ablation,trace,timing,domain,scenarios,all")
+		fig       = fs.String("fig", "all", "comma-separated figures to regenerate: 6,7,8,9,10,11,12,13,load,harary,ablation,trace,timing,domain,scenarios,scale,all")
 		n         = fs.Int("n", 2000, "node population")
 		runs      = fs.Int("runs", 30, "disseminations per data point")
 		seed      = fs.Int64("seed", 42, "random seed")
@@ -86,6 +89,11 @@ func run(args []string, out io.Writer) (err error) {
 		scenarios = fs.String("scenario", "all", "comma-separated scenario names for -fig scenarios (see -h for the catalog)")
 		parallel  = fs.Int("parallel", 0, "worker goroutines for the sweeps (0 = one per CPU, 1 = sequential); results are identical at any setting")
 		progress  = fs.Bool("progress", false, "report live sweep progress on stderr")
+
+		scaleNs     = fs.String("scale-ns", "1000,10000,100000,1000000", "comma-separated populations for -fig scale (which only runs when requested explicitly, never via -fig all)")
+		scaleRuns   = fs.Int("scale-runs", 10, "disseminations per (N, protocol) point for -fig scale")
+		scaleCycles = fs.Int("scale-cycles", 30, "gossip mixing cycles before each -fig scale freeze")
+		scaleFanout = fs.Int("scale-fanout", 5, "dissemination fanout for -fig scale")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -374,6 +382,39 @@ func run(args []string, out io.Writer) (err error) {
 		if err := writeCSV("scenarios.csv", func(w io.Writer) error {
 			return experiment.WriteScenariosCSV(w, results)
 		}); err != nil {
+			return err
+		}
+	}
+
+	// The scale sweep only runs when asked for by name: its default axis
+	// tops out at a million nodes, a different wall-clock class than the
+	// paper figures -fig all regenerates.
+	if requested["scale"] {
+		fmt.Fprintf(out, "== Scale sweep: hit ratio and hops vs N (paper's \"logarithmic in N\" claim) ==\n")
+		scaleCfg := experiment.DefaultScaleConfig()
+		scaleCfg.Ns = scaleCfg.Ns[:0]
+		for _, s := range strings.Split(*scaleNs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("-scale-ns: %w", err)
+			}
+			scaleCfg.Ns = append(scaleCfg.Ns, n)
+		}
+		scaleCfg.Runs = *scaleRuns
+		scaleCfg.Cycles = *scaleCycles
+		scaleCfg.Fanout = *scaleFanout
+		scaleCfg.Seed = *seed
+		scaleCfg.Parallelism = *parallel
+		if *progress {
+			scaleCfg.Progress = runner.ConsoleProgress(os.Stderr, "scale sweep")
+		}
+		res, err := experiment.RunScale(scaleCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Table())
+		fmt.Fprintln(out, res.HopsVsLogNTable())
+		if err := writeCSV("scale.csv", res.WriteCSV); err != nil {
 			return err
 		}
 	}

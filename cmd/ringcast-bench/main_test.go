@@ -210,3 +210,52 @@ func TestRunWritesCSV(t *testing.T) {
 		t.Fatal("progress CSV missing")
 	}
 }
+
+// TestRunScaleFigure drives -fig scale end to end at a tiny axis: table,
+// hops-vs-logN series and CSV must all land, and the default million-node
+// axis must NOT run as part of -fig all.
+func TestRunScaleFigure(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-fig", "scale", "-scale-ns", "200,400", "-scale-runs", "3",
+		"-scale-cycles", "5", "-scale-fanout", "4", "-csv", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scale sweep", "hops/log2N", "ring-only", "log2(N)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("scale output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "scale.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "n,protocol,runs,cycles,convergence") {
+		t.Fatalf("unexpected scale CSV header: %.80s", data)
+	}
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n")
+	if lines != 6 { // header + 2 Ns x 3 protocols, minus trailing newline
+		t.Fatalf("scale CSV rows: %d", lines)
+	}
+}
+
+// TestScaleNotInAll pins that -fig all skips the scale sweep (its default
+// axis is a million nodes).
+func TestScaleNotInAll(t *testing.T) {
+	var out bytes.Buffer
+	// Invalid -scale-ns would fail the run if the scale branch executed.
+	if err := run([]string{"-fig", "999", "-scale-ns", "bogus"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Scale sweep") {
+		t.Fatal("scale ran without being requested")
+	}
+}
+
+func TestScaleBadNs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "scale", "-scale-ns", "12,x"}, &out); err == nil {
+		t.Fatal("bad -scale-ns accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Compact overlay arena: the struct-of-arrays representation of a whole
+// overlay's resolved links. Prior to it, every node carried a PosLinks value
+// (two slice headers, 48 bytes) pointing into two shared backing arrays;
+// at a million nodes those headers alone cost ~48 MB and doubled the
+// pointer-chasing of the hop loop. The arena keeps one flat []int32 buffer
+// holding every node's links (R-block then D-block, per node, contiguous)
+// plus a 2n+1 offset table, so per-node overhead is exactly two int32
+// offsets and PosLinks views are materialized on demand for free.
+//
+// The arena is deterministic: its contents are a pure function of the
+// links it was built from — builders that fill it in parallel (see
+// dissem's shard-parallel construction) must produce the same bytes at any
+// worker count, so random target selections over arena views stay
+// rng-identical to the ID path at any parallelism.
+package core
+
+import "fmt"
+
+// PosArena is the compact storage for all nodes' resolved links: one flat
+// []int32 buffer plus per-node offsets. Node i's random links occupy
+// buf[off[2i]:off[2i+1]] and its deterministic links buf[off[2i+1]:off[2i+2]],
+// so a node's whole neighbourhood is one contiguous block and the arena
+// carries no per-node slice headers (SoA layout). Values follow the PosLinks
+// conventions: >= 0 are overlay positions, NilPos marks nil links, <= -2 are
+// distinct-per-ID placeholders for links whose target is absent from the
+// overlay.
+//
+// An arena is immutable after construction (the writable RSlot/DSlot
+// accessors exist only for builders) and therefore safe to share across
+// concurrent readers — clones of an overlay all read the same arena.
+type PosArena struct {
+	off []int32
+	buf []int32
+}
+
+// NewPosArena allocates an arena for len(rLens) nodes whose node i reserves
+// rLens[i] random-link slots and dLens[i] deterministic-link slots. Slots are
+// zero-filled; builders fill them through RSlot/DSlot. It panics when the
+// length of the two count slices differs or the total link count overflows
+// the int32 offset space (2^31-1 links — at the paper's view lengths that is
+// tens of millions of nodes, beyond any single-process simulation).
+func NewPosArena(rLens, dLens []int) *PosArena {
+	if len(rLens) != len(dLens) {
+		panic(fmt.Sprintf("core: arena count slices disagree (%d vs %d nodes)", len(rLens), len(dLens)))
+	}
+	n := len(rLens)
+	off := make([]int32, 2*n+1)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += rLens[i]
+		if total < 0 || int64(total) > int64(1<<31-1) {
+			panic("core: arena link count overflows int32 offsets")
+		}
+		off[2*i+1] = int32(total)
+		total += dLens[i]
+		if total < 0 || int64(total) > int64(1<<31-1) {
+			panic("core: arena link count overflows int32 offsets")
+		}
+		off[2*i+2] = int32(total)
+	}
+	return &PosArena{off: off, buf: make([]int32, total)}
+}
+
+// N returns the number of nodes the arena holds links for.
+func (a *PosArena) N() int { return (len(a.off) - 1) / 2 }
+
+// LinkCount returns the total number of link slots in the arena.
+func (a *PosArena) LinkCount() int { return len(a.buf) }
+
+// Links returns node i's resolved links as a PosLinks view into the arena.
+// The view is valid as long as the arena lives; callers must not mutate it.
+func (a *PosArena) Links(i int) PosLinks {
+	r0, r1, d1 := a.off[2*i], a.off[2*i+1], a.off[2*i+2]
+	return PosLinks{R: a.buf[r0:r1:r1], D: a.buf[r1:d1:d1]}
+}
+
+// RSlot returns the writable random-link block of node i. It exists for
+// arena builders only (shards fill disjoint node ranges concurrently);
+// mutating an arena that is already being read is a data race.
+func (a *PosArena) RSlot(i int) []int32 {
+	r0, r1 := a.off[2*i], a.off[2*i+1]
+	return a.buf[r0:r1:r1]
+}
+
+// DSlot returns the writable deterministic-link block of node i, under the
+// same builder-only contract as RSlot.
+func (a *PosArena) DSlot(i int) []int32 {
+	r1, d1 := a.off[2*i+1], a.off[2*i+2]
+	return a.buf[r1:d1:d1]
+}
+
+// Patch overwrites the arena slot at flat index slot (an index into the
+// arena's buffer, as recovered by builders from a slice returned by
+// RSlot/DSlot). Builder-only, like RSlot.
+func (a *PosArena) Patch(slot int, p int32) { a.buf[slot] = p }
+
+// SlotBase returns the flat buffer index of the first slot of node i's
+// random block — the base builders add link offsets to when recording slots
+// for deferred patching.
+func (a *PosArena) SlotBase(i int) int { return int(a.off[2*i]) }

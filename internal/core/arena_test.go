@@ -1,0 +1,94 @@
+package core
+
+import "testing"
+
+// TestArenaLayout pins the offset arithmetic: per-node R/D blocks are
+// contiguous, disjoint, and writable through the builder slots.
+func TestArenaLayout(t *testing.T) {
+	a := NewPosArena([]int{2, 0, 3}, []int{1, 2, 0})
+	if a.N() != 3 {
+		t.Fatalf("N=%d", a.N())
+	}
+	if a.LinkCount() != 8 {
+		t.Fatalf("LinkCount=%d", a.LinkCount())
+	}
+	// Fill every slot with a distinct value via the builder accessors.
+	next := int32(10)
+	for i := 0; i < a.N(); i++ {
+		for k, s := 0, a.RSlot(i); k < len(s); k++ {
+			s[k] = next
+			next++
+		}
+		for k, s := 0, a.DSlot(i); k < len(s); k++ {
+			s[k] = next
+			next++
+		}
+	}
+	wantR := [][]int32{{10, 11}, {}, {15, 16, 17}}
+	wantD := [][]int32{{12}, {13, 14}, {}}
+	for i := 0; i < a.N(); i++ {
+		l := a.Links(i)
+		if len(l.R) != len(wantR[i]) || len(l.D) != len(wantD[i]) {
+			t.Fatalf("node %d lens: R %d D %d", i, len(l.R), len(l.D))
+		}
+		for k, v := range wantR[i] {
+			if l.R[k] != v {
+				t.Fatalf("node %d R[%d]=%d want %d", i, k, l.R[k], v)
+			}
+		}
+		for k, v := range wantD[i] {
+			if l.D[k] != v {
+				t.Fatalf("node %d D[%d]=%d want %d", i, k, l.D[k], v)
+			}
+		}
+	}
+	// Views must not allow appends to bleed into the neighbour's block.
+	r0 := a.Links(0).R
+	r0 = append(r0, 99)
+	if a.Links(0).D[0] != 12 {
+		t.Fatalf("append through view corrupted the next block: %v", a.Links(0).D)
+	}
+	_ = r0
+}
+
+// TestArenaPatch pins the deferred-patch path builders use for dangling
+// links: SlotBase + offset addressing hits the intended slot.
+func TestArenaPatch(t *testing.T) {
+	a := NewPosArena([]int{1, 2}, []int{1, 1})
+	base1 := a.SlotBase(1)
+	a.Patch(base1+1, -5) // node 1's second R slot
+	if got := a.Links(1).R[1]; got != -5 {
+		t.Fatalf("patched slot reads %d", got)
+	}
+	a.Patch(base1+2, -7) // node 1's D slot follows its R block
+	if got := a.Links(1).D[0]; got != -7 {
+		t.Fatalf("patched D slot reads %d", got)
+	}
+}
+
+// TestArenaEmpty covers the degenerate shapes.
+func TestArenaEmpty(t *testing.T) {
+	a := NewPosArena(nil, nil)
+	if a.N() != 0 || a.LinkCount() != 0 {
+		t.Fatalf("empty arena N=%d links=%d", a.N(), a.LinkCount())
+	}
+	b := NewPosArena([]int{0}, []int{0})
+	l := b.Links(0)
+	if len(l.R) != 0 || len(l.D) != 0 {
+		t.Fatalf("zero-link node has links %v", l)
+	}
+}
+
+// TestArenaPanics pins the builder misuse guards.
+func TestArenaPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("mismatched counts", func() { NewPosArena([]int{1}, []int{1, 2}) })
+	mustPanic("offset overflow", func() { NewPosArena([]int{1 << 30, 1 << 30, 1 << 30}, []int{0, 0, 0}) })
+}

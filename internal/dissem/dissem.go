@@ -18,6 +18,7 @@ import (
 	"ringcast/internal/graph"
 	"ringcast/internal/ident"
 	"ringcast/internal/metrics"
+	"ringcast/internal/runner"
 	"ringcast/internal/sim"
 )
 
@@ -25,12 +26,16 @@ import (
 // outgoing links plus liveness flags (liveness is mutable so that
 // catastrophic failures can be applied to a shared snapshot cheaply).
 type Overlay struct {
-	ids   []ident.ID
+	ids []ident.ID
+	// links holds the ID-level link sets. Compact() releases it for
+	// large-scale runs that only need the resolved arena.
 	links []core.Links
-	// pos holds links resolved to dense positions (core.PosLinks), computed
-	// once at Snapshot/FromLinks time so the dissemination hot path never
-	// consults the ID index. Shared by clones: topology is immutable.
-	pos   []core.PosLinks
+	// arena holds all links resolved to dense positions in one flat int32
+	// buffer with per-node offsets (core.PosArena), computed once at
+	// Snapshot/FromLinks time so the dissemination hot path never consults
+	// the ID index and carries no per-node slice headers. Shared by clones:
+	// topology is immutable.
+	arena *core.PosArena
 	alive []bool
 	// live caches the positions of live nodes in ascending order. It is
 	// rebuilt eagerly at every liveness change (construction, KillFraction,
@@ -51,53 +56,102 @@ func (o *Overlay) rebuildLive() {
 	}
 }
 
-// resolveLinks computes o.pos from o.links and o.index. Every node position
-// fits in int32 (populations beyond 2^31 nodes are out of scope); all R and
-// D positions share two backing arrays, so a snapshot's whole topology is
-// two contiguous int32 blocks — cache-friendly for the hop loop.
-func (o *Overlay) resolveLinks() {
-	totalR, totalD := 0, 0
-	for _, l := range o.links {
-		totalR += len(l.R)
-		totalD += len(l.D)
-	}
-	bufR := make([]int32, 0, totalR)
-	bufD := make([]int32, 0, totalD)
-	var unknown map[ident.ID]int32
-	resolve := func(id ident.ID) int32 {
-		if id.IsNil() {
-			return core.NilPos
-		}
-		if i, ok := o.index[id]; ok {
-			return int32(i)
-		}
-		// Dangling link to an ID outside the snapshot: distinct IDs get
-		// distinct placeholders so selection dedups them exactly as the ID
-		// path would.
-		p, ok := unknown[id]
-		if !ok {
-			if unknown == nil {
-				unknown = make(map[ident.ID]int32)
-			}
-			p = int32(-2 - len(unknown))
-			unknown[id] = p
-		}
-		return p
-	}
-	o.pos = make([]core.PosLinks, len(o.links))
+// arenaShardNodes is the fixed shard granularity of parallel arena
+// construction: shard boundaries depend only on N, never on the worker
+// count, which is one half of why the built arena is bit-identical at any
+// parallelism (the other half is the sequential placeholder patch pass).
+const arenaShardNodes = 4096
+
+// unresolvedSlot marks an arena slot whose link ID was absent from the
+// snapshot index during the parallel fill; the sequential patch pass
+// replaces it with a deterministic per-ID placeholder.
+const unresolvedSlot int32 = -1 << 31
+
+// pendingSlot records one arena slot awaiting a dangling-link placeholder.
+type pendingSlot struct {
+	slot int
+	id   ident.ID
+}
+
+// resolveLinks builds o.arena from o.links and o.index: all nodes' resolved
+// links in one flat []int32 arena with per-node offsets (core.PosArena).
+// Every node position fits in int32 (populations beyond 2^31 nodes are out
+// of scope). The fill is fanned across the worker pool in fixed-size node
+// shards — each shard writes a disjoint arena region, so no synchronization
+// is needed — and links pointing at IDs absent from the snapshot are then
+// patched sequentially in arena order: distinct unknown IDs get distinct
+// placeholders (-2, -3, ...) numbered by first occurrence in node order,
+// exactly the numbering the sequential builder always produced, so arenas
+// are bit-identical at any parallelism.
+func (o *Overlay) resolveLinks(parallelism int) {
+	n := len(o.links)
+	rLens := make([]int, n)
+	dLens := make([]int, n)
 	for i, l := range o.links {
-		startR, startD := len(bufR), len(bufD)
-		for _, id := range l.R {
-			bufR = append(bufR, resolve(id))
+		rLens[i] = len(l.R)
+		dLens[i] = len(l.D)
+	}
+	arena := core.NewPosArena(rLens, dLens)
+	shards := (n + arenaShardNodes - 1) / arenaShardNodes
+	pending := make([][]pendingSlot, shards)
+	// The per-shard closure only reads o.index and o.links and writes its
+	// own arena region and pending list, so Map's determinism contract
+	// holds trivially; errors are impossible.
+	_ = runner.Map(parallelism, shards, nil, func(s int) error {
+		lo := s * arenaShardNodes
+		hi := lo + arenaShardNodes
+		if hi > n {
+			hi = n
 		}
-		for _, id := range l.D {
-			bufD = append(bufD, resolve(id))
+		var pend []pendingSlot
+		for i := lo; i < hi; i++ {
+			base := arena.SlotBase(i)
+			r := arena.RSlot(i)
+			for k, id := range o.links[i].R {
+				r[k] = o.resolveOne(id, base+k, &pend)
+			}
+			d := arena.DSlot(i)
+			for k, id := range o.links[i].D {
+				d[k] = o.resolveOne(id, base+len(r)+k, &pend)
+			}
 		}
-		o.pos[i] = core.PosLinks{
-			R: bufR[startR:len(bufR):len(bufR)],
-			D: bufD[startD:len(bufD):len(bufD)],
+		pending[s] = pend
+		return nil
+	})
+	// Sequential patch pass: shards ascend in node order and each shard's
+	// pending list is in slot order, so first-occurrence numbering is a pure
+	// function of the links — independent of how many workers filled.
+	var unknown map[ident.ID]int32
+	for _, pend := range pending {
+		for _, p := range pend {
+			ph, ok := unknown[p.id]
+			if !ok {
+				if unknown == nil {
+					unknown = make(map[ident.ID]int32)
+				}
+				ph = int32(-2 - len(unknown))
+				unknown[p.id] = ph
+			}
+			arena.Patch(p.slot, ph)
 		}
 	}
+	o.arena = arena
+}
+
+// resolveOne maps one link ID to its arena value: the dense position when
+// the ID is in the snapshot, NilPos for nil links, and the unresolved
+// sentinel (recorded in pend for the sequential patch pass) for dangling
+// links, so distinct unknown IDs end up with distinct placeholders and
+// selection dedups them exactly as the ID path would.
+func (o *Overlay) resolveOne(id ident.ID, slot int, pend *[]pendingSlot) int32 {
+	if id.IsNil() {
+		return core.NilPos
+	}
+	if i, ok := o.index[id]; ok {
+		return int32(i)
+	}
+	*pend = append(*pend, pendingSlot{slot: slot, id: id})
+	return unresolvedSlot
 }
 
 // Snapshot captures the current overlay of a simulated network: r-links are
@@ -106,6 +160,15 @@ func (o *Overlay) resolveLinks() {
 // pointing *at* them must keep dangling, as in the paper's no-self-healing
 // failure experiments).
 func Snapshot(nw *sim.Network) *Overlay {
+	return SnapshotParallel(nw, 0)
+}
+
+// SnapshotParallel is Snapshot with an explicit worker count for the arena
+// construction (0 = one worker per CPU, 1 = the reference sequential build).
+// The built overlay is bit-identical at any parallelism; the knob exists for
+// callers that must bound snapshot-time goroutines and for the determinism
+// property tests.
+func SnapshotParallel(nw *sim.Network, parallelism int) *Overlay {
 	nodes := nw.Nodes()
 	o := &Overlay{
 		ids:   make([]ident.ID, len(nodes)),
@@ -139,7 +202,7 @@ func Snapshot(nw *sim.Network) *Overlay {
 		}
 		o.links[i] = l
 	}
-	o.resolveLinks()
+	o.resolveLinks(parallelism)
 	o.rebuildLive()
 	return o
 }
@@ -148,6 +211,13 @@ func Snapshot(nw *sim.Network) *Overlay {
 // static Section 3 baselines and idealized-topology ablations. ids[i] must
 // be unique and non-nil.
 func FromLinks(ids []ident.ID, links []core.Links) (*Overlay, error) {
+	return FromLinksParallel(ids, links, 0)
+}
+
+// FromLinksParallel is FromLinks with an explicit worker count for the
+// arena construction, under the same bit-identical contract as
+// SnapshotParallel.
+func FromLinksParallel(ids []ident.ID, links []core.Links, parallelism int) (*Overlay, error) {
 	if len(ids) != len(links) {
 		return nil, fmt.Errorf("dissem: %d ids but %d link sets", len(ids), len(links))
 	}
@@ -167,7 +237,7 @@ func FromLinks(ids []ident.ID, links []core.Links) (*Overlay, error) {
 		o.index[id] = i
 		o.alive[i] = true
 	}
-	o.resolveLinks()
+	o.resolveLinks(parallelism)
 	o.rebuildLive()
 	return o, nil
 }
@@ -178,8 +248,28 @@ func (o *Overlay) N() int { return len(o.ids) }
 // IDs returns the node IDs in snapshot order. Callers must not mutate.
 func (o *Overlay) IDs() []ident.ID { return o.ids }
 
-// Links returns node i's outgoing links. Callers must not mutate.
-func (o *Overlay) Links(i int) core.Links { return o.links[i] }
+// Links returns node i's outgoing links. Callers must not mutate. After
+// Compact the ID-level links are gone and Links returns the zero value.
+func (o *Overlay) Links(i int) core.Links {
+	if o.links == nil {
+		return core.Links{}
+	}
+	return o.links[i]
+}
+
+// Compact releases the overlay's ID-level link sets, keeping only the
+// resolved arena (plus IDs, liveness and the origin index). At a million
+// nodes the per-node []ident.ID slices cost hundreds of megabytes that the
+// dissemination hot path never touches — the scale runner drops them right
+// after the snapshot. A compacted overlay supports every built-in selector
+// (they all select over positions); only the foreign-Selector fallback of
+// RunScratch, which needs ID links, refuses to run.
+func (o *Overlay) Compact() { o.links = nil }
+
+// Compacted reports whether Compact released the ID-level links. Engines
+// that fall back to ID selection for foreign selectors must check it and
+// refuse instead of silently selecting over empty link sets.
+func (o *Overlay) Compacted() bool { return o.links == nil }
 
 // AliveCount returns the number of live nodes.
 func (o *Overlay) AliveCount() int { return len(o.live) }
@@ -193,7 +283,7 @@ func (o *Overlay) Clone() *Overlay {
 	c := &Overlay{
 		ids:   o.ids,
 		links: o.links,
-		pos:   o.pos,
+		arena: o.arena,
 		alive: append([]bool(nil), o.alive...),
 		live:  append([]int32(nil), o.live...),
 		index: o.index,
@@ -207,9 +297,13 @@ func (o *Overlay) Pos(id ident.ID) (int, bool) {
 	return i, ok
 }
 
-// PosLinks returns node i's outgoing links resolved to positions. Callers
-// must not mutate.
-func (o *Overlay) PosLinks(i int) core.PosLinks { return o.pos[i] }
+// PosLinks returns node i's outgoing links resolved to positions — a view
+// into the overlay's arena. Callers must not mutate.
+func (o *Overlay) PosLinks(i int) core.PosLinks { return o.arena.Links(i) }
+
+// Arena returns the overlay's compact resolved-link arena. Callers must
+// treat it as read-only; it is shared by every clone of the overlay.
+func (o *Overlay) Arena() *core.PosArena { return o.arena }
 
 // KillFraction marks a uniformly random fraction of live nodes dead —
 // the catastrophic failure of Section 7.2 applied to the frozen overlay
@@ -267,13 +361,16 @@ func (o *Overlay) RandomAliveOrigin(rng *rand.Rand) (ident.ID, error) {
 }
 
 // DGraph projects the overlay's d-links onto a graph.Directed for
-// structural analysis (ring partition counting etc.).
+// structural analysis (ring partition counting etc.). It reads the resolved
+// arena — negative values (nil links and dangling placeholders) are exactly
+// the links the old ID-index lookup skipped — so it works on compacted
+// overlays too.
 func (o *Overlay) DGraph() *graph.Directed {
 	g := graph.NewDirected(len(o.ids))
-	for i, l := range o.links {
-		for _, d := range l.D {
-			if j, ok := o.index[d]; ok {
-				g.AddEdge(i, j)
+	for i := range o.ids {
+		for _, d := range o.arena.Links(i).D {
+			if d >= 0 {
+				g.AddEdge(i, int(d))
 			}
 		}
 	}
@@ -293,6 +390,30 @@ type delivery struct {
 	from int32
 }
 
+// Bitmap is a packed per-node bit set: one bit per overlay position in
+// []uint64 words, so the notified set of a million-node run costs 125 KB
+// instead of a megabyte of bools and clears in a single memclr. Sized once
+// per unit via Reuse and pooled with the run scratch.
+type Bitmap []uint64
+
+// Reuse returns a zeroed bitmap covering n bits, reusing b's storage when
+// it is large enough.
+func (b Bitmap) Reuse(n int) Bitmap {
+	words := (n + 63) >> 6
+	if cap(b) < words {
+		return make(Bitmap, words)
+	}
+	b = b[:words]
+	clear(b)
+	return b
+}
+
+// Get reports whether bit i is set.
+func (b Bitmap) Get(i int32) bool { return b[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bitmap) Set(i int32) { b[uint32(i)>>6] |= 1 << (uint32(i) & 63) }
+
 // Scratch holds the reusable buffers of the dissemination engine: the
 // notified bitmap, the two frontier queues, the per-node target buffer and
 // the selector's sampling pool. Reusing one Scratch across the runs of a
@@ -300,7 +421,7 @@ type delivery struct {
 // returned metrics are freshly allocated. A Scratch must not be shared
 // between concurrent runs. The zero value is ready to use.
 type Scratch struct {
-	notified []bool
+	notified Bitmap
 	frontier []delivery
 	next     []delivery
 	targets  []int32
@@ -309,17 +430,6 @@ type Scratch struct {
 
 // NewScratch returns an empty scratch; buffers grow on first use.
 func NewScratch() *Scratch { return &Scratch{} }
-
-// notifiedBuf returns a zeroed []bool of length n, reusing prior capacity.
-func (sc *Scratch) notifiedBuf(n int) []bool {
-	if cap(sc.notified) < n {
-		sc.notified = make([]bool, n)
-	} else {
-		sc.notified = sc.notified[:n]
-		clear(sc.notified)
-	}
-	return sc.notified
-}
 
 // FaultModel injects scenario faults into a dissemination run. The engine
 // calls HopStart at every hop boundary (0 before the origin forwards, then h
@@ -391,8 +501,12 @@ func RunScratch(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng 
 	}
 	// All built-in selectors choose over resolved positions; foreign
 	// Selector implementations fall back to ID selection with a per-target
-	// index lookup.
+	// index lookup — which needs the ID-level links a compacted overlay no
+	// longer carries.
 	posSel, _ := sel.(core.PosSelector)
+	if posSel == nil && o.Compacted() {
+		return nil, fmt.Errorf("dissem: selector %s needs ID links, but the overlay was compacted", sel.Name())
+	}
 
 	d := &metrics.Dissemination{
 		AliveTotal: o.AliveCount(),
@@ -402,9 +516,10 @@ func RunScratch(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng 
 		d.SentPerNode = make([]int, len(o.ids))
 		d.RecvPerNode = make([]int, len(o.ids))
 	}
-	notified := sc.notifiedBuf(len(o.ids))
+	sc.notified = sc.notified.Reuse(len(o.ids))
+	notified := sc.notified
 
-	notified[oi] = true
+	notified.Set(int32(oi))
 	d.Reached = 1
 	d.CumNotified = append(d.CumNotified, 1)
 
@@ -414,7 +529,7 @@ func RunScratch(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng 
 	forward := func(i, from int32, out []delivery) []delivery {
 		sc.targets = sc.targets[:0]
 		if posSel != nil {
-			sc.targets = posSel.SelectPos(sc.targets, &sc.sel, o.pos[i], from, fanout, rng)
+			sc.targets = posSel.SelectPos(sc.targets, &sc.sel, o.arena.Links(int(i)), from, fanout, rng)
 		} else {
 			fromID := ident.Nil
 			if from >= 0 {
@@ -462,12 +577,12 @@ func RunScratch(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng 
 				d.Lost++
 				continue
 			}
-			if notified[dl.to] {
+			if notified.Get(dl.to) {
 				d.Redundant++
 				continue
 			}
 			d.Virgin++
-			notified[dl.to] = true
+			notified.Set(dl.to)
 			d.Reached++
 			next = forward(dl.to, dl.from, next)
 		}
@@ -482,10 +597,10 @@ func RunScratch(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng 
 		d.CumNotified = d.CumNotified[:len(d.CumNotified)-1]
 	}
 	if opts.RecordMissed {
-		for i, n := range notified {
+		for i := range o.ids {
 			// Nodes killed mid-run by a fault timeline were not missed — they
 			// left the population — so they are excluded like overlay deaths.
-			if !n && o.alive[i] && (faults == nil || !faults.Dead(int32(i))) {
+			if !notified.Get(int32(i)) && o.alive[i] && (faults == nil || !faults.Dead(int32(i))) {
 				d.Missed = append(d.Missed, o.ids[i])
 			}
 		}

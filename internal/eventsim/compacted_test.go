@@ -1,0 +1,50 @@
+package eventsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/ident"
+)
+
+// idOnlySelector forces the ID-path fallback (it is not a core.PosSelector).
+type idOnlySelector struct{}
+
+func (idOnlySelector) Name() string { return "id-only" }
+func (idOnlySelector) Select(links core.Links, from ident.ID, fanout int, rng *rand.Rand) []ident.ID {
+	return core.RingCast{}.Select(links, from, fanout, rng)
+}
+
+// TestCompactedOverlayForeignSelector pins the guard: a foreign selector on
+// a compacted overlay must error instead of silently selecting over empty
+// link sets and reporting a one-node "success".
+func TestCompactedOverlayForeignSelector(t *testing.T) {
+	gen := ident.NewGenerator(1)
+	const n = 8
+	ids := make([]ident.ID, n)
+	for i := range ids {
+		ids[i] = gen.Next()
+	}
+	links := make([]core.Links, n)
+	for i := range links {
+		links[i].D = []ident.ID{ids[(i+1)%n], ids[(i+n-1)%n]}
+	}
+	o, err := dissem.FromLinks(ids, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Compact()
+	if _, err := Run(o, ids[0], idOnlySelector{}, 2, ConstantLatency(1), rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("foreign selector on compacted overlay did not error")
+	}
+	// Built-in selectors keep working on the compacted overlay.
+	res, err := Run(o, ids[0], core.RingCast{}, 2, ConstantLatency(1), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != n {
+		t.Fatalf("ring dissemination reached %d/%d", res.Reached, n)
+	}
+}

@@ -137,7 +137,7 @@ func (q *eventQueue) Pop() interface{} {
 // across runs within a sweep unit removes all per-run allocation. A Scratch
 // must not be shared between concurrent runs; the zero value is ready.
 type Scratch struct {
-	notified []bool
+	notified dissem.Bitmap
 	q        eventQueue
 	targets  []int32
 	sel      core.PosScratch
@@ -186,17 +186,14 @@ func RunFaults(o *dissem.Overlay, origin ident.ID, sel core.Selector, fanout int
 		sc = NewScratch()
 	}
 	posSel, _ := sel.(core.PosSelector)
+	if posSel == nil && o.Compacted() {
+		return nil, fmt.Errorf("eventsim: selector %s needs ID links, but the overlay was compacted", sel.Name())
+	}
 
 	res := &Result{AliveTotal: o.AliveCount()}
+	sc.notified = sc.notified.Reuse(o.N())
 	notified := sc.notified
-	if cap(notified) < o.N() {
-		notified = make([]bool, o.N())
-	} else {
-		notified = notified[:o.N()]
-		clear(notified)
-	}
-	sc.notified = notified
-	notified[oi] = true
+	notified.Set(int32(oi))
 	res.Reached = 1
 
 	q := &sc.q
@@ -253,12 +250,12 @@ func RunFaults(o *dissem.Overlay, origin ident.ID, sel core.Selector, fanout int
 			res.Lost++
 			continue
 		}
-		if notified[ev.to] {
+		if notified.Get(ev.to) {
 			res.Redundant++
 			continue
 		}
 		res.Virgin++
-		notified[ev.to] = true
+		notified.Set(ev.to)
 		res.Reached++
 		res.CompletionTime = ev.at
 		emit(ev.to, ev.from, ev.at)

@@ -11,6 +11,7 @@
 //	RunChurn         -> Figures 11, 12, 13     (continuous artificial churn)
 //	RunLoad          -> Section 7's uniform-load claim
 //	RunFloodBaselines-> Section 3's deterministic-overlay baselines
+//	RunScale         -> the logarithmic-latency headline at N up to 1e6
 //
 // Execution model: warm-up and churn phases are inherently sequential (each
 // gossip cycle depends on the previous one), but everything after the
@@ -140,6 +141,7 @@ const (
 	tagFloodTrial
 	tagMultiRing
 	tagReplica
+	tagScale
 )
 
 // sweepSelectors fixes the protocol axis of the unit grid: index 0 is

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ringcast/internal/scenario"
+)
+
+// -update regenerates the golden files instead of diffing against them:
+//
+//	go test ./internal/experiment/ -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenConfig is the small-N setup every golden artifact is produced
+// with. It must never change: the files under testdata/golden pin the
+// exact output bytes of this configuration, so any hot-path refactor that
+// perturbs a single rng draw, fold order, or formatting decision fails
+// TestGolden instead of surviving until a manual byte-compare run.
+func goldenConfig(parallelism int) Config {
+	cfg := Scaled(150, 5)
+	cfg.Fanouts = []int{1, 2, 3, 4}
+	cfg.Seed = 7
+	cfg.Parallelism = parallelism
+	return cfg
+}
+
+// goldenArtifacts renders every golden artifact at the given parallelism:
+// the static sweep, the catastrophic-5% sweep, and two fault scenarios
+// (partition-heal and lossy), each as both the human table and the CSV.
+func goldenArtifacts(t *testing.T, parallelism int) map[string][]byte {
+	t.Helper()
+	cfg := goldenConfig(parallelism)
+	out := make(map[string][]byte)
+
+	static, err := RunStatic(cfg)
+	if err != nil {
+		t.Fatalf("static sweep: %v", err)
+	}
+	var tbl bytes.Buffer
+	fmt.Fprint(&tbl, static.MissRatioTable())
+	fmt.Fprint(&tbl, static.CompleteTable())
+	fmt.Fprint(&tbl, static.OverheadTable())
+	fmt.Fprint(&tbl, static.ProgressTable(2, 3))
+	out["static.txt"] = append([]byte(nil), tbl.Bytes()...)
+	var csvBuf bytes.Buffer
+	if err := static.WriteCSV(&csvBuf); err != nil {
+		t.Fatalf("static CSV: %v", err)
+	}
+	out["static.csv"] = append([]byte(nil), csvBuf.Bytes()...)
+
+	cat, err := RunCatastrophic(cfg, 0.05)
+	if err != nil {
+		t.Fatalf("catastrophic sweep: %v", err)
+	}
+	tbl.Reset()
+	fmt.Fprint(&tbl, cat.MissRatioTable())
+	fmt.Fprint(&tbl, cat.CompleteTable())
+	fmt.Fprint(&tbl, cat.OverheadTable())
+	out["catastrophic.txt"] = append([]byte(nil), tbl.Bytes()...)
+	csvBuf.Reset()
+	if err := cat.WriteCSV(&csvBuf); err != nil {
+		t.Fatalf("catastrophic CSV: %v", err)
+	}
+	out["catastrophic.csv"] = append([]byte(nil), csvBuf.Bytes()...)
+
+	scs, err := scenario.ByNames([]string{"partition-heal", "lossy"})
+	if err != nil {
+		t.Fatalf("scenarios: %v", err)
+	}
+	results, err := RunScenarios(cfg, scs)
+	if err != nil {
+		t.Fatalf("scenario sweeps: %v", err)
+	}
+	out["scenarios.txt"] = []byte(ScenariosTable(results, 3))
+	csvBuf.Reset()
+	if err := WriteScenariosCSV(&csvBuf, results); err != nil {
+		t.Fatalf("scenarios CSV: %v", err)
+	}
+	out["scenarios.csv"] = append([]byte(nil), csvBuf.Bytes()...)
+
+	return out
+}
+
+// TestGolden diffs the current output of the static, catastrophic and
+// scenario pipelines byte-for-byte against the committed golden files, at
+// parallelism 1, 2 and 4 (all three must render the same bytes — the
+// engine's determinism contract). Run with -update to regenerate after an
+// intentional output change.
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweeps are not -short")
+	}
+	reference := goldenArtifacts(t, 1)
+	for _, p := range []int{2, 4} {
+		got := goldenArtifacts(t, p)
+		for name, want := range reference {
+			if !bytes.Equal(got[name], want) {
+				t.Errorf("%s: parallelism %d diverges from parallelism 1", name, p)
+			}
+		}
+	}
+	dir := filepath.Join("testdata", "golden")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range reference {
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for name, want := range reference {
+		golden, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing golden file %s (run with -update to create): %v", name, err)
+		}
+		if !bytes.Equal(golden, want) {
+			t.Errorf("%s: output diverges from golden file (run with -update if the change is intentional)\n got %d bytes, want %d bytes\n%s",
+				name, len(want), len(golden), diffPreview(golden, want))
+		}
+	}
+}
+
+// diffPreview locates the first differing byte and shows a short context
+// window from both sides, so a golden failure points at the divergence.
+func diffPreview(want, got []byte) string {
+	i := 0
+	for i < len(want) && i < len(got) && want[i] == got[i] {
+		i++
+	}
+	window := func(b []byte) string {
+		lo := i - 40
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + 40
+		if hi > len(b) {
+			hi = len(b)
+		}
+		return string(b[lo:hi])
+	}
+	return fmt.Sprintf("first divergence at byte %d:\n golden: %q\n now:    %q", i, window(want), window(got))
+}

@@ -1,0 +1,37 @@
+// Process-memory probe for the scale reports: peak resident set from the
+// kernel's accounting, with a graceful zero on platforms that do not
+// expose it. Deterministic experiment output never depends on these
+// numbers — they are reporting-only columns.
+package experiment
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// peakRSSBytes returns the process's peak resident set size in bytes, read
+// from /proc/self/status (VmHWM). It returns 0 when the information is
+// unavailable (non-Linux platforms); callers must treat 0 as "unknown",
+// not "no memory".
+func peakRSSBytes() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

@@ -1,0 +1,411 @@
+// Scale sweep: the million-node headline experiment. The paper claims the
+// hybrid protocol keeps its 100% hit ratio while hop counts grow only
+// logarithmically in N; the figures stop at N=10,000. RunScale extends the
+// axis to a million nodes: per N it builds a converged network
+// (sim.NewConverged — the star-bootstrap warm-up is computationally out of
+// reach at this scale and Section 7.1 argues frozen-overlay dissemination
+// does not depend on it), gossips a configurable number of real mixing
+// cycles, freezes a compacted arena snapshot, drops the simulator, and
+// sweeps disseminations for each protocol with the standard per-unit
+// derived random streams — so every table and CSV is bit-identical at any
+// Parallelism. Memory columns (peak RSS, heap, allocs) are reporting-only
+// and naturally machine-dependent.
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/runner"
+	"ringcast/internal/sim"
+	"ringcast/internal/stats"
+)
+
+// ScaleProtocols is the protocol axis of the scale sweep, in sweep order:
+// the hybrid protocol, its random-links-only half (RandCast over the same
+// overlay) and its ring-only half (deterministic flooding over the d-links).
+var ScaleProtocols = []string{"ringcast", "rps-only", "ring-only"}
+
+// scaleSelector maps a scale-protocol name to its selector.
+func scaleSelector(name string) (core.Selector, error) {
+	switch name {
+	case "ringcast":
+		return core.RingCast{}, nil
+	case "rps-only":
+		return core.RandCast{}, nil
+	case "ring-only":
+		return core.DFlood{}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown scale protocol %q (have %s)",
+			name, strings.Join(ScaleProtocols, ", "))
+	}
+}
+
+// ScaleConfig parameterizes RunScale.
+type ScaleConfig struct {
+	// Ns is the population axis, ascending (e.g. 1e3 ... 1e6).
+	Ns []int
+	// Fanout is the dissemination fanout F every point runs at.
+	Fanout int
+	// Runs is the number of disseminations per (N, protocol) point.
+	Runs int
+	// Cycles is how many real gossip cycles mix the converged bootstrap
+	// before the overlay freezes (>= 1).
+	Cycles int
+	// Protocols selects the protocol axis; nil means ScaleProtocols.
+	Protocols []string
+	// Seed drives all randomness; per-unit streams derive from it exactly
+	// as in the figure sweeps.
+	Seed int64
+	// Parallelism is the sweep worker count (0 = one per CPU); results are
+	// bit-identical at any setting.
+	Parallelism int
+	// Progress, when non-nil, receives live unit-completion updates.
+	Progress runner.Progress
+}
+
+// DefaultScaleConfig returns the standard scale axis: N = 1e3..1e6, F=5,
+// 10 runs per point, 30 mixing cycles.
+func DefaultScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		Ns:     []int{1_000, 10_000, 100_000, 1_000_000},
+		Fanout: 5,
+		Runs:   10,
+		Cycles: 30,
+		Seed:   42,
+	}
+}
+
+func (c ScaleConfig) validate() error {
+	if len(c.Ns) == 0 {
+		return fmt.Errorf("experiment: scale sweep needs at least one N")
+	}
+	for _, n := range c.Ns {
+		if n < 2 {
+			return fmt.Errorf("experiment: scale N must be >= 2, got %d", n)
+		}
+	}
+	if c.Fanout < 1 {
+		return fmt.Errorf("experiment: scale fanout must be >= 1, got %d", c.Fanout)
+	}
+	if c.Runs < 1 {
+		return fmt.Errorf("experiment: scale runs must be >= 1, got %d", c.Runs)
+	}
+	if c.Cycles < 1 {
+		return fmt.Errorf("experiment: scale cycles must be >= 1, got %d", c.Cycles)
+	}
+	for _, p := range c.Protocols {
+		if _, err := scaleSelector(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScalePoint is one (N, protocol) data point of the scale figure.
+type ScalePoint struct {
+	// N and Protocol locate the point; Runs echoes the per-point runs.
+	N        int
+	Protocol string
+	Runs     int
+	// HitRatio is the mean fraction of live nodes reached;
+	// CompleteFraction the share of runs reaching everyone.
+	HitRatio         float64
+	CompleteFraction float64
+	// Hops summarizes completion time in hops (streamed via Welford —
+	// nothing per-run is retained); HopsP50 is the online median sketch.
+	Hops    stats.Summary
+	HopsP50 float64
+	// HopsPerLog2N is Hops.Mean / log2(N) — flat across the axis exactly
+	// when dissemination latency is logarithmic in N, the paper's claim.
+	HopsPerLog2N float64
+	// MsgsPerNode is the mean total point-to-point copies per live node —
+	// the per-node network cost, O(F) independent of N.
+	MsgsPerNode float64
+}
+
+// ScaleStep is the per-N bookkeeping of a scale sweep: build and sweep
+// telemetry shared by that N's points.
+type ScaleStep struct {
+	// N is the population; Convergence the ring convergence at freeze.
+	N           int
+	Convergence float64
+	// ArenaLinks is the total resolved link count of the frozen arena.
+	ArenaLinks int
+	// HeapBytes is the live heap (runtime.MemStats.HeapAlloc) right after
+	// the simulator is released and the compacted snapshot remains — the
+	// steady-state footprint of the sweep phase.
+	HeapBytes uint64
+	// PeakRSSBytes is the process's peak resident set (VmHWM) at the end
+	// of this N's phase. The kernel counter is monotonic per process, so
+	// with an ascending Ns axis the last step's value is the figure's
+	// peak-memory headline; 0 means the platform does not expose it.
+	PeakRSSBytes uint64
+	// AllocBytes and Allocs are the cumulative allocation volume and count
+	// (runtime.MemStats.TotalAlloc / Mallocs deltas) across this N's
+	// build+sweep phase.
+	AllocBytes uint64
+	Allocs     uint64
+	// BuildSeconds and SweepSeconds split the wall clock between network
+	// construction+mixing+freeze and the dissemination sweep.
+	BuildSeconds, SweepSeconds float64
+	// Points holds this N's per-protocol results, in protocol order.
+	Points []ScalePoint
+}
+
+// ScaleResult is a full scale sweep.
+type ScaleResult struct {
+	// Fanout, Runs, Cycles and Seed echo the configuration; Protocols is
+	// the resolved protocol axis.
+	Fanout, Runs, Cycles int
+	Seed                 int64
+	Protocols            []string
+	// Steps holds one entry per N, in Ns order.
+	Steps []ScaleStep
+}
+
+// scaleRun is the O(1) per-unit record the sweep retains — everything the
+// streaming fold needs, with the bulky progress curve already dropped.
+type scaleRun struct {
+	reached, alive, hops, msgs int
+}
+
+// RunScale executes the scale sweep. Memory discipline is the point: per N
+// it keeps at most the simulator OR the frozen snapshot alive (the
+// simulator is dropped before sweeping and its ID-level links compacted
+// away), retains O(1) state per dissemination, and reports the footprint
+// per step.
+func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	protocols := cfg.Protocols
+	if len(protocols) == 0 {
+		protocols = ScaleProtocols
+	}
+	res := &ScaleResult{
+		Fanout:    cfg.Fanout,
+		Runs:      cfg.Runs,
+		Cycles:    cfg.Cycles,
+		Seed:      cfg.Seed,
+		Protocols: protocols,
+	}
+	for _, n := range cfg.Ns {
+		step, err := runScaleStep(cfg, protocols, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = append(res.Steps, *step)
+	}
+	return res, nil
+}
+
+// runScaleStep builds, freezes and sweeps one population size.
+func runScaleStep(cfg ScaleConfig, protocols []string, n int) (*ScaleStep, error) {
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	buildStart := time.Now()
+
+	simCfg := sim.DefaultConfig(n)
+	simCfg.Seed = cfg.Seed
+	nw, err := sim.NewConverged(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	nw.RunCycles(cfg.Cycles)
+	step := &ScaleStep{N: n, Convergence: nw.RingConvergence()}
+	o := dissem.Snapshot(nw)
+	// Release the simulator (the dominant allocation: protocol instances
+	// and views for every node) before sweeping, and drop the snapshot's
+	// ID-level link sets — the sweep reads only the arena.
+	nw = nil // release the only reference so GC can take the network now
+	o.Compact()
+	runtime.GC()
+	step.ArenaLinks = o.Arena().LinkCount()
+	var msMid runtime.MemStats
+	runtime.ReadMemStats(&msMid)
+	step.HeapBytes = msMid.HeapAlloc
+	step.BuildSeconds = time.Since(buildStart).Seconds()
+
+	sweepStart := time.Now()
+	sels := make([]core.Selector, len(protocols))
+	for i, p := range protocols {
+		if sels[i], err = scaleSelector(p); err != nil {
+			return nil, err
+		}
+	}
+	np := len(protocols)
+	units := np * cfg.Runs
+	records := make([]scaleRun, units)
+	err = runner.Map(cfg.Parallelism, units, cfg.Progress, func(u int) error {
+		proto := u % np
+		run := u / np
+		// Paired origins: every protocol of a run disseminates from the
+		// same node, like the figure sweeps' paired comparison.
+		origin, err := o.RandomAliveOrigin(runner.UnitRand(cfg.Seed, tagOrigin, tagScale, int64(n), int64(run)))
+		if err != nil {
+			return err
+		}
+		rng := runner.UnitRand(cfg.Seed, tagScale, int64(n), int64(run), int64(proto))
+		sc := scratchPool.Get().(*dissem.Scratch)
+		d, err := dissem.RunScratch(o, origin, sels[proto], cfg.Fanout, rng, dissem.Options{SkipLoad: true}, sc)
+		scratchPool.Put(sc)
+		if err != nil {
+			return err
+		}
+		records[u] = scaleRun{reached: d.Reached, alive: d.AliveTotal, hops: d.Hops(), msgs: d.TotalMsgs()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Streaming fold in (protocol, run) index order: bit-identical at any
+	// parallelism because the records are slotted, not raced.
+	log2n := math.Log2(float64(n))
+	for proto, name := range protocols {
+		var hops stats.Welford
+		median := stats.NewP2Quantile(0.5)
+		var hit float64
+		complete, msgs := 0, 0
+		for run := 0; run < cfg.Runs; run++ {
+			r := records[run*np+proto]
+			hops.Add(float64(r.hops))
+			median.Add(float64(r.hops))
+			if r.alive > 0 {
+				hit += float64(r.reached) / float64(r.alive)
+			}
+			if r.reached == r.alive {
+				complete++
+			}
+			msgs += r.msgs
+		}
+		runsF := float64(cfg.Runs)
+		pt := ScalePoint{
+			N:                n,
+			Protocol:         name,
+			Runs:             cfg.Runs,
+			HitRatio:         hit / runsF,
+			CompleteFraction: float64(complete) / runsF,
+			Hops:             hops.Summary(),
+			HopsP50:          median.Value(),
+			HopsPerLog2N:     hops.Mean() / log2n,
+			MsgsPerNode:      float64(msgs) / runsF / float64(n),
+		}
+		step.Points = append(step.Points, pt)
+	}
+	step.SweepSeconds = time.Since(sweepStart).Seconds()
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	step.AllocBytes = msAfter.TotalAlloc - msBefore.TotalAlloc
+	step.Allocs = msAfter.Mallocs - msBefore.Mallocs
+	step.PeakRSSBytes = peakRSSBytes()
+	return step, nil
+}
+
+// Table renders the scale comparison: one row per (N, protocol) with the
+// headline hit/hops metrics plus the per-step memory telemetry.
+func (r *ScaleResult) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Scale sweep — fanout %d, %d runs/point, %d mixing cycles\n", r.Fanout, r.Runs, r.Cycles)
+	w := newTable(&sb)
+	fmt.Fprintln(w, "N\tprotocol\thit\tcomplete\thops\thops/log2N\tmsgs/node\theap MB\tpeak RSS MB")
+	for _, step := range r.Steps {
+		for _, pt := range step.Points {
+			fmt.Fprintf(w, "%d\t%s\t%s\t%.0f%%\t%.1f\t%.2f\t%.2f\t%.0f\t%.0f\n",
+				step.N, pt.Protocol, pct(pt.HitRatio), pt.CompleteFraction*100,
+				pt.Hops.Mean, pt.HopsPerLog2N, pt.MsgsPerNode,
+				float64(step.HeapBytes)/(1<<20), float64(step.PeakRSSBytes)/(1<<20))
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// HopsVsLogNTable renders the figure's headline series: mean hops per
+// protocol against log2(N), flat ratios meaning logarithmic growth.
+func (r *ScaleResult) HopsVsLogNTable() string {
+	var sb strings.Builder
+	sb.WriteString("Hops vs log2(N) — logarithmic-latency check\n")
+	w := newTable(&sb)
+	header := "N\tlog2(N)"
+	for _, p := range r.Protocols {
+		header += "\t" + p + " hops\t" + p + "/log2N"
+	}
+	fmt.Fprintln(w, header)
+	for _, step := range r.Steps {
+		fmt.Fprintf(w, "%d\t%.1f", step.N, math.Log2(float64(step.N)))
+		for _, pt := range step.Points {
+			fmt.Fprintf(w, "\t%.1f\t%.2f", pt.Hops.Mean, pt.HopsPerLog2N)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// WriteCSV emits the scale sweep in long form, one row per (N, protocol).
+// Columns:
+//
+//	n                 population
+//	protocol          ringcast, rps-only or ring-only
+//	runs              disseminations aggregated into the row
+//	cycles            gossip mixing cycles before the freeze
+//	convergence       ring convergence at freeze time
+//	hit_ratio         mean fraction of live nodes reached
+//	complete_fraction share of runs reaching every live node
+//	mean_hops         mean completion time in hops
+//	std_hops          sample standard deviation of hops
+//	max_hops          worst completion time in hops
+//	p50_hops          online median estimate of hops
+//	hops_per_log2n    mean_hops / log2(n)
+//	msgs_per_node     mean total copies per live node
+//	arena_links       resolved links in the frozen arena
+//	heap_bytes        live heap after freeze+compact (sweep steady state)
+//	peak_rss_bytes    process peak resident set at end of the step (0 = n/a)
+//	alloc_bytes       bytes allocated across the step
+//	allocs            allocations across the step
+//	build_seconds     build+mix+freeze wall clock
+//	sweep_seconds     dissemination sweep wall clock
+func (r *ScaleResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"n", "protocol", "runs", "cycles", "convergence",
+		"hit_ratio", "complete_fraction",
+		"mean_hops", "std_hops", "max_hops", "p50_hops", "hops_per_log2n",
+		"msgs_per_node", "arena_links",
+		"heap_bytes", "peak_rss_bytes", "alloc_bytes", "allocs",
+		"build_seconds", "sweep_seconds",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, step := range r.Steps {
+		for _, pt := range step.Points {
+			rec := []string{
+				strconv.Itoa(step.N), pt.Protocol, strconv.Itoa(pt.Runs), strconv.Itoa(r.Cycles),
+				f(step.Convergence),
+				f(pt.HitRatio), f(pt.CompleteFraction),
+				f(pt.Hops.Mean), f(pt.Hops.Std), f(pt.Hops.Max), f(pt.HopsP50), f(pt.HopsPerLog2N),
+				f(pt.MsgsPerNode), strconv.Itoa(step.ArenaLinks),
+				strconv.FormatUint(step.HeapBytes, 10),
+				strconv.FormatUint(step.PeakRSSBytes, 10),
+				strconv.FormatUint(step.AllocBytes, 10),
+				strconv.FormatUint(step.Allocs, 10),
+				f(step.BuildSeconds), f(step.SweepSeconds),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

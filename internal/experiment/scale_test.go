@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testScaleConfig(parallelism int) ScaleConfig {
+	return ScaleConfig{
+		Ns:          []int{300, 900},
+		Fanout:      4,
+		Runs:        6,
+		Cycles:      8,
+		Seed:        21,
+		Parallelism: parallelism,
+	}
+}
+
+// TestRunScaleHeadline checks the paper's scale claims on a small axis:
+// the hybrid protocol reaches everyone in every run, its ring-only half
+// needs ~N/2 hops, and its random half misses nodes at this fanout.
+func TestRunScaleHeadline(t *testing.T) {
+	res, err := RunScale(testScaleConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("%d steps", len(res.Steps))
+	}
+	for _, step := range res.Steps {
+		if step.Convergence < 0.99 {
+			t.Errorf("N=%d convergence %v", step.N, step.Convergence)
+		}
+		if step.ArenaLinks == 0 || step.HeapBytes == 0 {
+			t.Errorf("N=%d missing telemetry: links %d heap %d", step.N, step.ArenaLinks, step.HeapBytes)
+		}
+		byName := map[string]ScalePoint{}
+		for _, pt := range step.Points {
+			byName[pt.Protocol] = pt
+		}
+		ring := byName["ringcast"]
+		if ring.HitRatio != 1 || ring.CompleteFraction != 1 {
+			t.Errorf("N=%d ringcast hit %v complete %v", step.N, ring.HitRatio, ring.CompleteFraction)
+		}
+		ringOnly := byName["ring-only"]
+		if ringOnly.Hops.Mean < float64(step.N)/2-1 {
+			t.Errorf("N=%d ring-only hops %v, want ~N/2", step.N, ringOnly.Hops.Mean)
+		}
+		if ring.Hops.Mean >= ringOnly.Hops.Mean {
+			t.Errorf("N=%d hybrid (%v hops) not faster than ring-only (%v)", step.N, ring.Hops.Mean, ringOnly.Hops.Mean)
+		}
+	}
+	// Logarithmic latency: hops/log2N of the hybrid protocol must not grow
+	// with N (allow slack for the small axis).
+	r0, r1 := res.Steps[0].Points[0], res.Steps[1].Points[0]
+	if r1.HopsPerLog2N > r0.HopsPerLog2N*1.5 {
+		t.Errorf("hops/log2N grew %v -> %v", r0.HopsPerLog2N, r1.HopsPerLog2N)
+	}
+}
+
+// TestRunScaleParallelDeterminism asserts the experiment-result portion of
+// the sweep (everything except wall-clock/memory telemetry) is identical
+// at parallelism 1, 2 and 4.
+func TestRunScaleParallelDeterminism(t *testing.T) {
+	ref, err := RunScale(testScaleConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4} {
+		got, err := RunScale(testScaleConfig(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := range ref.Steps {
+			if got.Steps[si].Convergence != ref.Steps[si].Convergence ||
+				got.Steps[si].ArenaLinks != ref.Steps[si].ArenaLinks {
+				t.Fatalf("P=%d step %d build diverges", p, si)
+			}
+			for pi := range ref.Steps[si].Points {
+				if got.Steps[si].Points[pi] != ref.Steps[si].Points[pi] {
+					t.Fatalf("P=%d point %d/%d diverges:\n %+v\n %+v",
+						p, si, pi, got.Steps[si].Points[pi], ref.Steps[si].Points[pi])
+				}
+			}
+		}
+	}
+}
+
+// TestScaleRendering smoke-tests the table and CSV emitters.
+func TestScaleRendering(t *testing.T) {
+	cfg := testScaleConfig(0)
+	cfg.Ns = []int{200}
+	cfg.Runs = 3
+	res, err := RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Table()
+	for _, want := range []string{"ringcast", "rps-only", "ring-only", "hops/log2N"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if !strings.Contains(res.HopsVsLogNTable(), "log2(N)") {
+		t.Error("hops-vs-logN table missing header")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+3 {
+		t.Fatalf("CSV rows: %d\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "n,protocol,runs,cycles,convergence,hit_ratio") {
+		t.Fatalf("CSV header: %s", lines[0])
+	}
+}
+
+// TestScaleConfigValidation covers the rejection paths.
+func TestScaleConfigValidation(t *testing.T) {
+	bad := []ScaleConfig{
+		{},
+		{Ns: []int{1}, Fanout: 1, Runs: 1, Cycles: 1},
+		{Ns: []int{10}, Fanout: 0, Runs: 1, Cycles: 1},
+		{Ns: []int{10}, Fanout: 1, Runs: 0, Cycles: 1},
+		{Ns: []int{10}, Fanout: 1, Runs: 1, Cycles: 0},
+		{Ns: []int{10}, Fanout: 1, Runs: 1, Cycles: 1, Protocols: []string{"nope"}},
+	}
+	for i, cfg := range bad {
+		if _, err := RunScale(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestPeakRSS pins the Linux probe: on CI and dev machines it must report
+// something plausible (a test process certainly exceeds a megabyte).
+func TestPeakRSS(t *testing.T) {
+	rss := peakRSSBytes()
+	if rss == 0 {
+		t.Skip("peak RSS unavailable on this platform")
+	}
+	if rss < 1<<20 {
+		t.Fatalf("implausible peak RSS %d", rss)
+	}
+}

@@ -103,24 +103,45 @@ func Aggregate(runs []*Dissemination) Agg {
 	return acc.Finalize()
 }
 
-// runLite is the per-run state an Accumulator must retain to compute padded
-// progress curves; it deliberately drops the per-node load arrays so that
-// thousands of 10k-node runs can be aggregated in constant memory per run.
-type runLite struct {
-	alive, reached int
-	cum            []int
+// Accumulator aggregates disseminations one at a time, streaming: every
+// counter is a running sum and the padded progress curve is maintained
+// online, so state is O(max hops) regardless of how many runs are folded —
+// the previous implementation retained every run's cumulative-notified
+// array, O(runs x hops), which at scale-sweep sizes dominated the heap.
+// Use it instead of Aggregate when running large experiment sweeps. The
+// zero value is ready to use.
+//
+// Determinism: the streaming curve performs exactly the same float64
+// additions in exactly the same order as the retained-runs implementation
+// did (per hop, in run order; runs shorter than the current longest are
+// padded with their final not-reached fraction), so Finalize's output is
+// bit-identical to the old code's for any Add sequence.
+type Accumulator struct {
+	agg Agg
+	// curve[h] is the sum over added runs of the (padded) not-reached
+	// fraction after hop h; its length tracks the longest run seen so far.
+	curve []float64
+	// tailSum is the sum over added runs of their final not-reached
+	// fraction — the value each of them contributes at hops beyond its own
+	// length, used to extend curve when a longer run arrives.
+	tailSum float64
 }
 
-// Accumulator aggregates disseminations one at a time, discarding the bulky
-// per-node data of each run immediately. Use it instead of Aggregate when
-// running large experiment sweeps. The zero value is ready to use.
-type Accumulator struct {
-	agg  Agg
-	runs []runLite
+// notReached returns the not-reached fraction after hop h of run d, padded
+// with the final fraction beyond the run's own length.
+func notReached(d *Dissemination, h int) float64 {
+	cum := d.Reached
+	if h < len(d.CumNotified) {
+		cum = d.CumNotified[h]
+	}
+	if d.AliveTotal > 0 {
+		return 1 - float64(cum)/float64(d.AliveTotal)
+	}
+	return 1.0
 }
 
 // Add folds one dissemination into the accumulator. The caller may discard
-// d afterwards.
+// d afterwards — nothing of it is retained.
 func (a *Accumulator) Add(d *Dissemination) {
 	a.agg.Runs++
 	a.agg.MeanMissRatio += d.MissRatio()
@@ -135,11 +156,21 @@ func (a *Accumulator) Add(d *Dissemination) {
 	if h := d.Hops(); h > a.agg.MaxHops {
 		a.agg.MaxHops = h
 	}
-	a.runs = append(a.runs, runLite{
-		alive:   d.AliveTotal,
-		reached: d.Reached,
-		cum:     append([]int(nil), d.CumNotified...),
-	})
+	// A longer run than any seen before: positions the earlier runs never
+	// reached start from the sum of their final (padded) fractions. Every
+	// run occupies at least the hop-0 slot, even a hand-built record with
+	// no progress curve at all.
+	runLen := len(d.CumNotified)
+	if runLen == 0 {
+		runLen = 1
+	}
+	for len(a.curve) < runLen {
+		a.curve = append(a.curve, a.tailSum)
+	}
+	for h := range a.curve {
+		a.curve[h] += notReached(d, h)
+	}
+	a.tailSum += notReached(d, runLen-1)
 }
 
 // Finalize computes the aggregate. The accumulator remains usable (further
@@ -158,21 +189,8 @@ func (a *Accumulator) Finalize() Agg {
 	out.MeanBlocked /= n
 	out.MeanHops /= n
 	out.NotReachedByHop = make([]float64, out.MaxHops+1)
-	for _, r := range a.runs {
-		for h := 0; h <= out.MaxHops; h++ {
-			cum := r.reached
-			if h < len(r.cum) {
-				cum = r.cum[h]
-			}
-			frac := 1.0
-			if r.alive > 0 {
-				frac = 1 - float64(cum)/float64(r.alive)
-			}
-			out.NotReachedByHop[h] += frac
-		}
-	}
 	for h := range out.NotReachedByHop {
-		out.NotReachedByHop[h] /= n
+		out.NotReachedByHop[h] = a.curve[h] / n
 	}
 	return out
 }

@@ -1,0 +1,195 @@
+package node_test
+
+// Live partition soak: the promotion of the examples/partition 16-node
+// cluster demo into a proper integration test, so a regression fails CI
+// with a test name and an assertion message instead of a demo timeout.
+// It drives a full in-process cluster over fault-injecting transports
+// through a partition/heal timeline and asserts the three contracts the
+// demo only printed: complete delivery when healthy, exact confinement to
+// the origin's arc under a two-way split (with the injected drops visible
+// through the transport.Stats plumbing), and complete delivery again after
+// the heal.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/node"
+	"ringcast/internal/scenario"
+	"ringcast/internal/transport"
+)
+
+const soakClusterSize = 16
+
+// soakCluster is the 16-node in-process cluster under scenario control.
+type soakCluster struct {
+	nodes     []*node.Node
+	members   []scenario.Member
+	mu        sync.Mutex
+	delivered map[string]int
+}
+
+// startSoakCluster boots the cluster over an in-memory fabric with
+// fault-injecting transports, joins everyone through node 0, starts
+// gossip, and waits for the ring to form.
+func startSoakCluster(t *testing.T) *soakCluster {
+	t.Helper()
+	fabric := transport.NewInMemNetwork()
+	c := &soakCluster{delivered: make(map[string]int)}
+	for i := 0; i < soakClusterSize; i++ {
+		ep, err := fabric.Endpoint(fmt.Sprintf("node-%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi := transport.WrapFaults(ep, int64(i+1))
+		cfg := node.DefaultConfig()
+		cfg.GossipInterval = 10 * time.Millisecond
+		cfg.Seed = int64(i + 1)
+		nd, err := node.New(cfg, fi, func(d node.Delivery) {
+			c.mu.Lock()
+			c.delivered[string(d.Msg.Body)]++
+			c.mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes = append(c.nodes, nd)
+		c.members = append(c.members, scenario.Member{Addr: nd.Addr(), ID: nd.ID(), Faults: fi})
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			nd.Close()
+		}
+	})
+	for _, nd := range c.nodes[1:] {
+		if err := nd.Join(c.nodes[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, nd := range c.nodes {
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.waitForRing(10 * time.Second) {
+		t.Fatal("ring did not converge within 10s")
+	}
+	return c
+}
+
+// count returns how many nodes delivered the given message body.
+func (c *soakCluster) count(body string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delivered[body]
+}
+
+// publishAndSettle publishes body from node 0 and waits until the
+// delivery count has been stable for settle (or deadline passes), so
+// confinement assertions do not race in-flight copies.
+func (c *soakCluster) publishAndSettle(t *testing.T, body string, deadline, settle time.Duration) int {
+	t.Helper()
+	if _, err := c.nodes[0].Publish([]byte(body)); err != nil {
+		t.Fatalf("publish %q: %v", body, err)
+	}
+	until := time.Now().Add(deadline)
+	last, lastChange := c.count(body), time.Now()
+	for time.Now().Before(until) {
+		if n := c.count(body); n != last {
+			last, lastChange = n, time.Now()
+		} else if last == soakClusterSize || time.Since(lastChange) > settle {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return c.count(body)
+}
+
+// waitForRing blocks until every node's pred/succ links match the global
+// sorted ring or the deadline passes.
+func (c *soakCluster) waitForRing(limit time.Duration) bool {
+	ids := make([]ident.ID, len(c.nodes))
+	for i, nd := range c.nodes {
+		ids[i] = nd.ID()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	pos := make(map[ident.ID]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		converged := true
+		for _, nd := range c.nodes {
+			pred, succ, ok := nd.RingNeighbors()
+			i := pos[nd.ID()]
+			if !ok ||
+				succ.Node != ids[(i+1)%len(ids)] ||
+				pred.Node != ids[(i-1+len(ids))%len(ids)] {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+// TestLivePartitionSoak asserts delivery, confinement, drop accounting and
+// heal on the live 16-node cluster.
+func TestLivePartitionSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak is not -short")
+	}
+	c := startSoakCluster(t)
+
+	// Healthy: everyone delivers.
+	if got := c.publishAndSettle(t, "healthy", 5*time.Second, 300*time.Millisecond); got != soakClusterSize {
+		t.Fatalf("healthy publish reached %d/%d", got, soakClusterSize)
+	}
+
+	// Split into two ring arcs; node 0's arc holds exactly half the
+	// cluster (16 mod 2 == 0, arcs are contiguous in sorted-ID order).
+	drv, err := scenario.NewDriver(scenario.Scenario{
+		Name:   "live-split",
+		Events: []scenario.Event{scenario.Partition(0, 2), scenario.Heal(1)},
+	}, c.members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.Advance(0)
+	got := c.publishAndSettle(t, "under-partition", 3*time.Second, 400*time.Millisecond)
+	if want := soakClusterSize / 2; got != want {
+		t.Errorf("partitioned publish reached %d nodes, want exact arc confinement of %d", got, want)
+	}
+
+	// The black-holed frames must be visible through the transport.Stats
+	// plumbing: the injector counts them as drops, per member and in sum.
+	var injected, statsDrops int64
+	for _, m := range c.members {
+		injected += m.Faults.InjectedDrops()
+		statsDrops += m.Faults.Stats().Drops
+	}
+	if injected == 0 {
+		t.Error("partition produced zero injected drops")
+	}
+	if statsDrops < injected {
+		t.Errorf("Stats().Drops %d does not account for %d injected drops", statsDrops, injected)
+	}
+
+	// Heal, let the ring re-form, and verify delivery is complete again.
+	drv.Advance(1)
+	if !c.waitForRing(10 * time.Second) {
+		t.Fatal("ring did not re-form after heal")
+	}
+	if got := c.publishAndSettle(t, "after-heal", 8*time.Second, 300*time.Millisecond); got != soakClusterSize {
+		t.Fatalf("healed publish reached %d/%d", got, soakClusterSize)
+	}
+}

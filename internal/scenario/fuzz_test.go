@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ringcast/internal/core"
+	"ringcast/internal/dissem"
+	"ringcast/internal/ident"
+)
+
+// fuzzOverlay lazily builds one small frozen ring overlay all FuzzCompile
+// iterations compile against (Compile never mutates it; setup kills are
+// applied to clones).
+var fuzzOverlay = sync.OnceValue(func() *dissem.Overlay {
+	const n = 24
+	gen := ident.NewGenerator(3)
+	ids := make([]ident.ID, n)
+	for i := range ids {
+		ids[i] = gen.Next()
+	}
+	links := make([]core.Links, n)
+	for i := range links {
+		links[i].D = []ident.ID{ids[(i+1)%n], ids[(i+n-1)%n]}
+		links[i].R = []ident.ID{ids[(i+5)%n], ids[(i+11)%n]}
+	}
+	o, err := dissem.FromLinks(ids, links)
+	if err != nil {
+		panic(err)
+	}
+	return o
+})
+
+// decodeTimeline turns arbitrary bytes into a scenario timeline, five bytes
+// per event: kind selector (deliberately overflowing into invalid kinds),
+// fire time, and three parameter bytes. Every byte pattern must decode to
+// *something* — the point of the fuzz target is that no timeline, however
+// nonsensical, can panic Validate or Compile.
+func decodeTimeline(data []byte) []Event {
+	var events []Event
+	for i := 0; i+5 <= len(data) && len(events) < 64; i += 5 {
+		kind := Kind(data[i] % 10) // 0 and 9 are invalid kinds
+		at := int(data[i+1]%12) - 1
+		a := float64(data[i+2]) / 255
+		b := data[i+3]
+		c := data[i+4]
+		e := Event{At: at, Kind: kind}
+		switch kind {
+		case KindPartition:
+			e.Groups = int(b%7) - 1
+		case KindUniformKill, KindArcKill:
+			e.Fraction = a
+			e.Start = ident.ID(uint64(b)<<56 | uint64(c))
+		case KindPrefixKill:
+			e.Prefix = uint64(b)
+			e.PrefixBits = int(c%70) - 2
+		case KindLoss, KindChurnRate:
+			e.Rate = a*1.2 - 0.1 // excursions outside [0,1]
+		case KindFlashCrowd:
+			e.Count = int(b%5) - 1
+			e.Fraction = a - 0.5
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// FuzzCompile feeds arbitrary event timelines to Validate and Compile:
+// they must never panic, and every timeline either fails Validate (fine) or
+// compiles to node sets that are in range for the overlay — partition
+// assignments covering every position with arc indices below the group
+// count, and kill sets naming valid positions. The compiled state machine
+// is then exercised over its whole timeline.
+func FuzzCompile(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1, 0, 0, 3, 0}, 0)                                  // partition at 0
+	f.Add([]byte{3, 1, 128, 0, 0}, 1)                                // uniform kill at t=1 (invalid)
+	f.Add([]byte{3, 0, 128, 0, 0, 6, 3, 60, 0, 0, 2, 6, 0, 0}, 2)    // kill, loss, heal
+	f.Add([]byte{1, 1, 0, 4, 0, 2, 4, 0, 0, 0, 1, 8, 0, 3, 0}, 0)    // partition/heal/partition
+	f.Add([]byte{4, 2, 90, 7, 9, 5, 3, 0, 12, 9, 7, 0, 99, 2, 1}, 3) // arc kill, prefix kill, flash crowd
+	f.Fuzz(func(t *testing.T, data []byte, settle int) {
+		o := fuzzOverlay()
+		sc := Scenario{Name: "fuzz", Events: decodeTimeline(data), SettleCycles: settle % 8}
+		if err := sc.Validate(); err != nil {
+			// Structurally invalid timelines must be *rejected*, not
+			// compiled: Compile re-validates.
+			if _, cerr := Compile(sc, o); cerr == nil {
+				t.Fatalf("Validate rejected (%v) but Compile accepted", err)
+			}
+			return
+		}
+		comp, err := Compile(sc, o)
+		if err != nil {
+			t.Fatalf("Validate accepted but Compile failed: %v", err)
+		}
+		n := int32(o.N())
+		checkKills := func(kills []int32) {
+			for _, p := range kills {
+				if p < 0 || p >= n {
+					t.Fatalf("kill position %d out of range [0,%d)", p, n)
+				}
+			}
+		}
+		checkGroups := func(groups []int32, label string) {
+			if groups == nil {
+				return
+			}
+			if int32(len(groups)) != n {
+				t.Fatalf("%s: %d arc assignments for %d positions", label, len(groups), n)
+			}
+			for _, g := range groups {
+				if g < 0 || int(g) >= o.N() {
+					t.Fatalf("%s: arc index %d out of range", label, g)
+				}
+			}
+		}
+		for _, e := range comp.setup {
+			checkKills(e.kills)
+		}
+		checkGroups(comp.initialGroups, "initial partition")
+		for _, e := range comp.flight {
+			checkKills(e.kills)
+			checkGroups(e.groups, "in-flight partition")
+		}
+		// Setup kills apply to a clone without panicking and never kill
+		// more nodes than exist.
+		clone := o.Clone()
+		rng := rand.New(rand.NewSource(1))
+		if killed := comp.ApplySetup(clone, rng); killed < 0 || killed > o.N() {
+			t.Fatalf("ApplySetup killed %d of %d", killed, o.N())
+		}
+		// Drive the per-run state machine across the whole timeline.
+		st := comp.Get()
+		for h := 0; h < 16; h++ {
+			st.HopStart(h)
+			for i := int32(0); i < n; i++ {
+				st.Dead(i)
+			}
+			st.Deliver(0, n-1, rng)
+		}
+		comp.Put(st)
+	})
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestNewConvergedStartsConverged asserts the oracle bootstrap lands
+// directly in the operating point: full ring convergence at cycle zero.
+func TestNewConvergedStartsConverged(t *testing.T) {
+	cfg := DefaultConfig(96)
+	cfg.Seed = 4
+	nw, err := NewConverged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv := nw.RingConvergence(); conv != 1.0 {
+		t.Fatalf("bootstrap convergence %v, want 1.0", conv)
+	}
+	if nw.AliveCount() != 96 {
+		t.Fatalf("alive %d", nw.AliveCount())
+	}
+}
+
+// TestNewConvergedStableUnderGossip runs mixing cycles and asserts real
+// gossip keeps the ring converged (the balanced VICINITY selection retains
+// true neighbours) while CYCLON has spread beyond the seeded contacts.
+func TestNewConvergedStableUnderGossip(t *testing.T) {
+	cfg := DefaultConfig(128)
+	cfg.Seed = 9
+	nw, err := NewConverged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.RunCycles(30)
+	if conv := nw.RingConvergence(); conv < 0.99 {
+		t.Fatalf("convergence after 30 mixing cycles %v, want ~1.0", conv)
+	}
+	// CYCLON views should have grown past the seeded contact count.
+	grown := 0
+	for _, nd := range nw.Nodes() {
+		if nd.Cyc.View().Len() > convergedContacts {
+			grown++
+		}
+	}
+	if grown < 100 {
+		t.Fatalf("only %d/128 cyclon views grew beyond the seeds", grown)
+	}
+}
+
+// TestNewConvergedDeterministic pins that two builds from one seed are
+// identical (same IDs, same seeded views).
+func TestNewConvergedDeterministic(t *testing.T) {
+	build := func() *Network {
+		cfg := DefaultConfig(64)
+		cfg.Seed = 11
+		nw, err := NewConverged(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.RunCycles(5)
+		return nw
+	}
+	a, b := build(), build()
+	na, nb := a.Nodes(), b.Nodes()
+	for i := range na {
+		if na[i].ID != nb[i].ID {
+			t.Fatalf("node %d ID differs", i)
+		}
+		if na[i].Cyc.View().String() != nb[i].Cyc.View().String() {
+			t.Fatalf("node %d cyclon view differs", i)
+		}
+		if na[i].Vic.View().String() != nb[i].Vic.View().String() {
+			t.Fatalf("node %d vicinity view differs", i)
+		}
+	}
+}
+
+// TestNewConvergedRejectsMultiRing pins the unsupported configuration.
+func TestNewConvergedRejectsMultiRing(t *testing.T) {
+	cfg := DefaultConfig(32)
+	cfg.Rings = 2
+	if _, err := NewConverged(cfg); err == nil {
+		t.Fatal("multi-ring NewConverged did not error")
+	}
+}
+
+// TestNewConvergedJoinAndKill sanity-checks that the usual membership
+// operations work on a converged-bootstrap network.
+func TestNewConvergedJoinAndKill(t *testing.T) {
+	cfg := DefaultConfig(48)
+	cfg.Seed = 2
+	nw, err := NewConverged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Join(); err != nil {
+		t.Fatal(err)
+	}
+	killed := nw.KillRandom(5)
+	if len(killed) != 5 || nw.AliveCount() != 44 {
+		t.Fatalf("killed %d alive %d", len(killed), nw.AliveCount())
+	}
+	nw.RunCycles(3)
+}

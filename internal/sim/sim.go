@@ -153,16 +153,7 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		gen:   ident.NewGenerator(cfg.Seed ^ 0x5ee0),
-		nodes: make([]*Node, 0, cfg.N),
-		index: make(map[ident.ID]int, cfg.N),
-	}
-	for r := 1; r < cfg.Rings; r++ {
-		n.ringIndex = append(n.ringIndex, make(map[ident.ID]int, cfg.N))
-	}
+	n := newEmpty(cfg)
 	for i := 0; i < cfg.N; i++ {
 		if cfg.NodeIDs != nil {
 			n.addNodeWithID(cfg.NodeIDs[i])

@@ -1,0 +1,176 @@
+// Streaming aggregation: one-pass, O(1)-state accumulators for sweeps too
+// large to retain their samples — the million-node scale runs fold hop
+// counts and ratios through these instead of collecting per-run arrays.
+// Both accumulators are deterministic: folding the same values in the same
+// order always yields the same result, independent of worker count, because
+// the experiment engine folds unit outputs in index order.
+package stats
+
+import "math"
+
+// Welford is an online descriptive-statistics accumulator using Welford's
+// recurrence for the variance: numerically stable, one pass, O(1) state.
+// The zero value is an empty accumulator ready for use.
+type Welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns how many observations have been folded.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Summary renders the accumulator in the same shape Summarize produces
+// from a retained sample: n, mean, sample standard deviation, min and max.
+func (w *Welford) Summary() Summary {
+	s := Summary{N: w.n, Mean: w.mean, Min: w.min, Max: w.max}
+	if w.n > 1 {
+		s.Std = math.Sqrt(w.m2 / float64(w.n-1))
+	}
+	return s
+}
+
+// P2Quantile estimates a single quantile online with the P-squared
+// algorithm (Jain & Chlamtac, 1985): five markers track the running
+// quantile with O(1) state and no sample retention, converging to the true
+// quantile as observations accumulate. Construct with NewP2Quantile.
+type P2Quantile struct {
+	p     float64
+	count int
+	// q are the marker heights, pos their integer positions (1-based
+	// observation ranks), want their desired (fractional) positions.
+	q    [5]float64
+	pos  [5]int
+	want [5]float64
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1
+// (e.g. 0.5 for the median, 0.99 for the 99th percentile). It panics on an
+// out-of-range p: the estimator is built by code, not user input.
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: P2 quantile must be in (0,1)")
+	}
+	return &P2Quantile{p: p}
+}
+
+// Add folds one observation into the estimator.
+func (e *P2Quantile) Add(x float64) {
+	if e.count < 5 {
+		// Insertion-sort the first five observations into the markers.
+		i := e.count
+		for i > 0 && e.q[i-1] > x {
+			e.q[i] = e.q[i-1]
+			i--
+		}
+		e.q[i] = x
+		e.count++
+		if e.count == 5 {
+			for j := range e.pos {
+				e.pos[j] = j + 1
+			}
+			e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+	e.count++
+	// Locate the cell x falls into and bump the end markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for j := k + 1; j < 5; j++ {
+		e.pos[j]++
+	}
+	// Desired positions advance by their fractional increments.
+	inc := [5]float64{0, e.p / 2, e.p, (1 + e.p) / 2, 1}
+	for j := range e.want {
+		e.want[j] += inc[j]
+	}
+	// Adjust the three interior markers toward their desired positions.
+	for j := 1; j <= 3; j++ {
+		d := e.want[j] - float64(e.pos[j])
+		if (d >= 1 && e.pos[j+1]-e.pos[j] > 1) || (d <= -1 && e.pos[j-1]-e.pos[j] < -1) {
+			sign := 1
+			if d < 0 {
+				sign = -1
+			}
+			// Parabolic (piecewise-quadratic) prediction; fall back to
+			// linear when it would leave the neighbouring markers' order.
+			qn := e.parabolic(j, sign)
+			if e.q[j-1] < qn && qn < e.q[j+1] {
+				e.q[j] = qn
+			} else {
+				e.q[j] = e.linear(j, sign)
+			}
+			e.pos[j] += sign
+		}
+	}
+}
+
+// parabolic is the P2 quadratic marker-height prediction for moving marker
+// j by sign (+1/-1) positions.
+func (e *P2Quantile) parabolic(j, sign int) float64 {
+	d := float64(sign)
+	np, nm := float64(e.pos[j+1]), float64(e.pos[j-1])
+	n := float64(e.pos[j])
+	return e.q[j] + d/(np-nm)*((n-nm+d)*(e.q[j+1]-e.q[j])/(np-n)+(np-n-d)*(e.q[j]-e.q[j-1])/(n-nm))
+}
+
+// linear is the fallback marker-height prediction along the segment toward
+// the neighbour in direction sign.
+func (e *P2Quantile) linear(j, sign int) float64 {
+	return e.q[j] + float64(sign)*(e.q[j+sign]-e.q[j])/float64(e.pos[j+sign]-e.pos[j])
+}
+
+// N returns how many observations have been folded.
+func (e *P2Quantile) N() int { return e.count }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the nearest-rank quantile of what it has
+// (0 when empty).
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if e.count < 5 {
+		rank := int(math.Ceil(e.p*float64(e.count))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		return e.q[rank]
+	}
+	return e.q[2]
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestWelfordMatchesSummarize checks the streaming summary against the
+// two-pass reference on random samples, via testing/quick.
+func TestWelfordMatchesSummarize(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		var w Welford
+		for _, x := range clean {
+			w.Add(x)
+		}
+		got, want := w.Summary(), Summarize(clean)
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			return false
+		}
+		return approxEq(got.Mean, want.Mean, 1e-9) && approxEq(got.Std, want.Std, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func approxEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*math.Max(scale, 1)
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if s := w.Summary(); s != (Summary{}) {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+	w.Add(3.5)
+	s := w.Summary()
+	if s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+	if w.Mean() != 3.5 || w.N() != 1 {
+		t.Fatalf("accessors wrong: mean %v n %d", w.Mean(), w.N())
+	}
+}
+
+// TestP2QuantileConverges drives the sketch with samples from several
+// distributions and compares against the exact percentile of the retained
+// sample: the estimate must land within a few percent of the range.
+func TestP2QuantileConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dists := map[string]func() float64{
+		"uniform": func() float64 { return rng.Float64() * 100 },
+		"normal":  func() float64 { return rng.NormFloat64()*10 + 50 },
+		"exp":     func() float64 { return rng.ExpFloat64() * 20 },
+	}
+	for name, draw := range dists {
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			est := NewP2Quantile(p)
+			sample := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				x := draw()
+				est.Add(x)
+				sample = append(sample, x)
+			}
+			sort.Float64s(sample)
+			exact := Percentile(sample, p*100)
+			span := sample[len(sample)-1] - sample[0]
+			if diff := math.Abs(est.Value() - exact); diff > 0.05*span {
+				t.Errorf("%s p%g: estimate %.3f vs exact %.3f (span %.3f)", name, p*100, est.Value(), exact, span)
+			}
+			if est.N() != 20000 {
+				t.Errorf("%s: N=%d", name, est.N())
+			}
+		}
+	}
+}
+
+// TestP2QuantileSmallSamples pins the nearest-rank fallback below five
+// observations.
+func TestP2QuantileSmallSamples(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	if est.Value() != 0 {
+		t.Fatalf("empty estimate %v", est.Value())
+	}
+	est.Add(9)
+	if est.Value() != 9 {
+		t.Fatalf("one-sample estimate %v", est.Value())
+	}
+	est.Add(1)
+	est.Add(5)
+	// nearest-rank median of {1,5,9} is 5
+	if est.Value() != 5 {
+		t.Fatalf("three-sample median %v", est.Value())
+	}
+}
+
+func TestP2QuantilePanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v: no panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}

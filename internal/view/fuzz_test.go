@@ -1,0 +1,73 @@
+package view
+
+import (
+	"testing"
+
+	"ringcast/internal/ident"
+)
+
+// checkInvariants asserts the two structural invariants every gossip
+// protocol relies on: a view never exceeds its capacity and never holds two
+// entries for the same node.
+func checkInvariants(t *testing.T, v *View) {
+	t.Helper()
+	if v.Len() > v.Cap() {
+		t.Fatalf("view exceeded capacity: %d > %d", v.Len(), v.Cap())
+	}
+	seen := make(map[ident.ID]bool, v.Len())
+	for i := 0; i < v.Len(); i++ {
+		id := v.EntryAt(i).Node
+		if seen[id] {
+			t.Fatalf("duplicate ident %v in view %v", id, v)
+		}
+		seen[id] = true
+	}
+}
+
+// FuzzViewMerge drives a view with arbitrary op sequences — batch merges of
+// offered entries (the shape of a CYCLON/VICINITY payload merge: Insert per
+// entry), single adds, removes and agings — over a deliberately tiny ident
+// space so collisions, age ties and full-view insertions are constantly
+// exercised. After every op the view must hold its invariants: never more
+// than Cap entries, never a duplicate ident, and Insert must never create
+// an entry it reported not inserting.
+func FuzzViewMerge(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 5, 1, 2, 9, 2, 1, 0})
+	f.Add(uint8(1), []byte{0, 1, 1, 0, 1, 2, 0, 2, 1})
+	f.Add(uint8(8), []byte{3, 0, 0, 1, 7, 255, 2, 7, 0, 0, 3, 3})
+	f.Add(uint8(16), []byte{})
+	f.Fuzz(func(t *testing.T, capacity uint8, ops []byte) {
+		capa := int(capacity%16) + 1
+		v := New(capa)
+		for i := 0; i+3 <= len(ops); i += 3 {
+			op := ops[i] % 4
+			id := ident.ID(ops[i+1]%11 + 1) // small space: collisions guaranteed
+			age := uint32(ops[i+2])
+			switch op {
+			case 0: // merge one offered entry, as payload merges do
+				before := v.Len()
+				had := v.Contains(id)
+				changed := v.Insert(Entry{Node: id, Age: age, Addr: "a"})
+				if !had && changed && v.Len() != before+1 {
+					t.Fatalf("Insert reported new entry but Len went %d -> %d", before, v.Len())
+				}
+				if had && v.Len() != before {
+					t.Fatalf("Insert of existing ident changed Len %d -> %d", before, v.Len())
+				}
+			case 1:
+				v.Add(Entry{Node: id, Age: age})
+			case 2:
+				v.Remove(id)
+			case 3:
+				v.AgeAll()
+			}
+			checkInvariants(t, v)
+		}
+		// A final full-payload merge: offering more entries than capacity
+		// must saturate, not overflow.
+		for id := ident.ID(1); id <= 32; id++ {
+			v.Insert(Entry{Node: id, Age: 0})
+		}
+		checkInvariants(t, v)
+	})
+}
