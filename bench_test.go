@@ -730,6 +730,48 @@ func BenchmarkSoakPubSubInMem(b *testing.B) { benchmarkSoak(b, false) }
 // healthy origin stays bounded instead of stalling on the 10s write timeout.
 func BenchmarkSoakPubSubTCP(b *testing.B) { benchmarkSoak(b, true) }
 
+// BenchmarkConvergedBootstrap pins the scale axis's bootstrap cost at
+// N=1e5, 30 mixing cycles: the reference object-graph path (sim.NewConverged
+// + RunCycles + Snapshot, what the scale figure ran through PR 5) against
+// the compact shard-parallel engine (sim.BuildConverged) it runs now. Both
+// halves produce a frozen arena from the same master seed; the curated
+// before/after numbers live in BENCH_PR6.json.
+func BenchmarkConvergedBootstrap(b *testing.B) {
+	const n = 100_000
+	const cycles = 30
+	b.Run("engine=reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := sim.DefaultConfig(n)
+			cfg.Seed = 42
+			nw, err := sim.NewConverged(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nw.RunCycles(cycles)
+			o := dissem.Snapshot(nw)
+			if o.Arena().LinkCount() == 0 {
+				b.Fatal("empty arena")
+			}
+		}
+	})
+	b.Run("engine=compact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := sim.DefaultMixConfig(n)
+			cfg.Seed = 42
+			cfg.Cycles = cycles
+			res, err := sim.BuildConverged(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Convergence != 1 {
+				b.Fatalf("ring convergence %v, want 1.0", res.Convergence)
+			}
+		}
+	})
+}
+
 // BenchmarkRunScale measures one small scale step end to end: converged
 // bootstrap, mixing cycles, arena freeze (compacted snapshot), and the
 // three-protocol dissemination sweep. It is the bench-smoke sentinel for

@@ -48,6 +48,7 @@ Examples:
   ringcast-bench -fig scenarios -scenario partition-heal,lossy,storm
   ringcast-bench -fig scale -progress           # N=1e3..1e6 hops-vs-logN sweep
   ringcast-bench -fig scale -scale-ns 1000,50000 -scale-runs 5 -scale-cycles 30 -scale-fanout 5
+  ringcast-bench -fig scale -scale-checkpoint .overlays     # cache frozen overlays; re-runs skip the mixing
 
 Built-in scenarios for -scenario (see internal/scenario):
   ` + "%s" + `
@@ -94,6 +95,7 @@ func run(args []string, out io.Writer) (err error) {
 		scaleRuns   = fs.Int("scale-runs", 10, "disseminations per (N, protocol) point for -fig scale")
 		scaleCycles = fs.Int("scale-cycles", 30, "gossip mixing cycles before each -fig scale freeze")
 		scaleFanout = fs.Int("scale-fanout", 5, "dissemination fanout for -fig scale")
+		scaleCkpt   = fs.String("scale-checkpoint", "", "directory caching -fig scale frozen overlays; matching checkpoints skip the mixing cycles, stale ones are rebuilt")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -405,12 +407,26 @@ func run(args []string, out io.Writer) (err error) {
 		scaleCfg.Fanout = *scaleFanout
 		scaleCfg.Seed = *seed
 		scaleCfg.Parallelism = *parallel
+		scaleCfg.CheckpointDir = *scaleCkpt
 		if *progress {
 			scaleCfg.Progress = runner.ConsoleProgress(os.Stderr, "scale sweep")
 		}
 		res, err := experiment.RunScale(scaleCfg)
 		if err != nil {
 			return err
+		}
+		if *scaleCkpt != "" {
+			for _, step := range res.Steps {
+				switch step.Bootstrap {
+				case "checkpoint":
+					fmt.Fprintf(out, "checkpoint hit: N=%d overlay loaded from %s in %.1fs (mixing skipped)\n",
+						step.N, *scaleCkpt, step.BuildSeconds)
+				default:
+					fmt.Fprintf(out, "checkpoint miss: N=%d overlay built in %.1fs and saved to %s\n",
+						step.N, step.BuildSeconds, *scaleCkpt)
+				}
+			}
+			fmt.Fprintln(out)
 		}
 		fmt.Fprintln(out, res.Table())
 		fmt.Fprintln(out, res.HopsVsLogNTable())

@@ -1,0 +1,311 @@
+// Package checkpoint persists frozen converged overlays — the output of the
+// parallel bootstrap (sim.BuildConverged) — so repeated scale sweeps skip
+// the mixing cycles entirely. The paper's Section 7.1 freezing argument is
+// what makes reuse sound: dissemination over a frozen overlay is
+// insensitive to how the overlay got there, so a cached arena is
+// interchangeable with a freshly built one.
+//
+// A checkpoint is valid only for the exact deterministic build that
+// produced it, so every file carries a Fingerprint (population, master
+// seed, mixing cycles, protocol view lengths, format version) and Load
+// rejects any mismatch with ErrStale — callers rebuild, never silently
+// reuse. Dissemination fanout is deliberately NOT part of the fingerprint:
+// the frozen overlay is a pure function of the bootstrap parameters, and
+// fanout only shapes the sweep run on top of it, so one checkpoint serves
+// every fanout.
+//
+// The encoding is canonical: minimal-width varints, links delta-encoded
+// from the node's own position (a converged ring's d-links encode as ±1),
+// an IEEE CRC-32 trailer, and no trailing bytes. Decode accepts exactly
+// the bytes Encode produces — any accepted input re-encodes to itself,
+// the invariant the fuzz target leans on.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"ringcast/internal/core"
+)
+
+// magic identifies a checkpoint file ("RCKP": RingCast CheckPoint).
+var magic = [4]byte{'R', 'C', 'K', 'P'}
+
+// FormatVersion is the current encoding version. Decode rejects any other
+// value, so a format change can never be silently misread as stale data.
+const FormatVersion = 1
+
+// Sentinel errors, matched by callers via errors.Is.
+var (
+	// ErrStale marks a structurally valid checkpoint whose fingerprint does
+	// not match the requested build — the caller must rebuild.
+	ErrStale = errors.New("checkpoint: stale fingerprint")
+	// ErrCorrupt marks bytes that are not a valid checkpoint (bad magic,
+	// truncation, CRC mismatch, non-canonical or out-of-range encoding).
+	ErrCorrupt = errors.New("checkpoint: corrupt data")
+)
+
+// Fingerprint pins the deterministic build a checkpoint captures. Two
+// builds with equal fingerprints produce byte-identical arenas (the
+// BuildConverged determinism contract), so fingerprint equality is
+// sufficient for reuse.
+type Fingerprint struct {
+	// N is the node population.
+	N int
+	// Seed is the master seed the build derived all randomness from.
+	Seed int64
+	// Cycles is the number of mixing cycles run after converged seeding.
+	Cycles int
+	// CyclonView and CyclonShuffle are the CYCLON protocol parameters.
+	CyclonView, CyclonShuffle int
+	// VicinityView and VicinityGossip are the VICINITY protocol parameters.
+	VicinityView, VicinityGossip int
+}
+
+// String renders the fingerprint compactly for error messages and logs.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("n=%d seed=%d cycles=%d cyc=%d/%d vic=%d/%d",
+		f.N, f.Seed, f.Cycles, f.CyclonView, f.CyclonShuffle, f.VicinityView, f.VicinityGossip)
+}
+
+// uvarintLen returns the canonical (minimal) encoded length of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// decoder reads canonical varints with strict bounds checking.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", ErrCorrupt, d.off)
+	}
+	if n != uvarintLen(v) {
+		return 0, fmt.Errorf("%w: non-canonical varint at offset %d", ErrCorrupt, d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return zigzagDecode(u), nil
+}
+
+func zigzagEncode(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+func zigzagDecode(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// maxNodes bounds the population a checkpoint may claim; matches the arena
+// offset space (int32 link offsets).
+const maxNodes = 1 << 31
+
+// Encode serializes the fingerprint and arena into the canonical checkpoint
+// byte form.
+func Encode(fp Fingerprint, arena *core.PosArena) []byte {
+	n := arena.N()
+	// Rough pre-size: header + 2 length varints and ~5 bytes per link.
+	out := make([]byte, 0, 64+2*n+5*arena.LinkCount())
+	out = append(out, magic[:]...)
+	out = binary.AppendUvarint(out, FormatVersion)
+	out = binary.AppendUvarint(out, uint64(fp.N))
+	out = binary.AppendUvarint(out, zigzagEncode(fp.Seed))
+	out = binary.AppendUvarint(out, uint64(fp.Cycles))
+	out = binary.AppendUvarint(out, uint64(fp.CyclonView))
+	out = binary.AppendUvarint(out, uint64(fp.CyclonShuffle))
+	out = binary.AppendUvarint(out, uint64(fp.VicinityView))
+	out = binary.AppendUvarint(out, uint64(fp.VicinityGossip))
+	out = binary.AppendUvarint(out, uint64(n))
+	for i := 0; i < n; i++ {
+		l := arena.Links(i)
+		out = binary.AppendUvarint(out, uint64(len(l.R)))
+		out = binary.AppendUvarint(out, uint64(len(l.D)))
+	}
+	for i := 0; i < n; i++ {
+		l := arena.Links(i)
+		prev := int64(i)
+		for _, v := range l.R {
+			out = binary.AppendUvarint(out, zigzagEncode(int64(v)-prev))
+			prev = int64(v)
+		}
+		prev = int64(i)
+		for _, v := range l.D {
+			out = binary.AppendUvarint(out, zigzagEncode(int64(v)-prev))
+			prev = int64(v)
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(out))
+	return append(out, crc[:]...)
+}
+
+// Decode parses checkpoint bytes, validating structure, canonical encoding,
+// link ranges and the CRC trailer. It returns ErrCorrupt-wrapped errors for
+// any malformed input; it never panics on arbitrary bytes.
+func Decode(data []byte) (Fingerprint, *core.PosArena, error) {
+	var fp Fingerprint
+	if len(data) < len(magic)+4 {
+		return fp, nil, fmt.Errorf("%w: %d bytes is shorter than any checkpoint", ErrCorrupt, len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if want := crc32.ChecksumIEEE(body); binary.LittleEndian.Uint32(trailer) != want {
+		return fp, nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	if [4]byte(body[:4]) != magic {
+		return fp, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	d := &decoder{buf: body, off: 4}
+	version, err := d.uvarint()
+	if err != nil {
+		return fp, nil, err
+	}
+	if version != FormatVersion {
+		return fp, nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrCorrupt, version, FormatVersion)
+	}
+	fields := []*int{&fp.N, nil, &fp.Cycles, &fp.CyclonView, &fp.CyclonShuffle, &fp.VicinityView, &fp.VicinityGossip}
+	for _, dst := range fields {
+		if dst == nil {
+			s, err := d.varint()
+			if err != nil {
+				return fp, nil, err
+			}
+			fp.Seed = s
+			continue
+		}
+		v, err := d.uvarint()
+		if err != nil {
+			return fp, nil, err
+		}
+		if v > maxNodes {
+			return fp, nil, fmt.Errorf("%w: fingerprint field %d out of range", ErrCorrupt, v)
+		}
+		*dst = int(v)
+	}
+	nu, err := d.uvarint()
+	if err != nil {
+		return fp, nil, err
+	}
+	n := int(nu)
+	// Every node needs at least two length varints, so an honest body is at
+	// least 2n more bytes — reject before allocating for a forged count.
+	if nu > maxNodes || 2*n > len(body)-d.off {
+		return fp, nil, fmt.Errorf("%w: node count %d exceeds remaining %d bytes", ErrCorrupt, n, len(body)-d.off)
+	}
+	rLens := make([]int, n)
+	dLens := make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		r, err := d.uvarint()
+		if err != nil {
+			return fp, nil, err
+		}
+		dd, err := d.uvarint()
+		if err != nil {
+			return fp, nil, err
+		}
+		if r > maxNodes || dd > maxNodes {
+			return fp, nil, fmt.Errorf("%w: node %d link counts out of range", ErrCorrupt, i)
+		}
+		rLens[i], dLens[i] = int(r), int(dd)
+		total += int(r) + int(dd)
+		// Each link costs at least one encoded byte.
+		if total > len(body)-d.off {
+			return fp, nil, fmt.Errorf("%w: link count %d exceeds remaining %d bytes", ErrCorrupt, total, len(body)-d.off)
+		}
+	}
+	arena := core.NewPosArena(rLens, dLens)
+	for i := 0; i < n; i++ {
+		if err := d.links(arena.RSlot(i), i, n); err != nil {
+			return fp, nil, err
+		}
+		if err := d.links(arena.DSlot(i), i, n); err != nil {
+			return fp, nil, err
+		}
+	}
+	if d.off != len(body) {
+		return fp, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-d.off)
+	}
+	return fp, arena, nil
+}
+
+// links decodes one node's delta-encoded link block into dst. Values must
+// be valid positions in [0, n) or NilPos.
+func (d *decoder) links(dst []int32, node, n int) error {
+	prev := int64(node)
+	for k := range dst {
+		delta, err := d.varint()
+		if err != nil {
+			return err
+		}
+		v := prev + delta
+		if v != int64(core.NilPos) && (v < 0 || v >= int64(n)) {
+			return fmt.Errorf("%w: node %d link %d resolves to %d, outside [0,%d)", ErrCorrupt, node, k, v, n)
+		}
+		dst[k] = int32(v)
+		prev = v
+	}
+	return nil
+}
+
+// Save atomically writes the checkpoint for fp to path (temp file + rename,
+// so a crash never leaves a torn file that a later Load could half-read).
+func Save(path string, fp Fingerprint, arena *core.PosArena) error {
+	data := Encode(fp, arena)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads the checkpoint at path and returns its arena, but only when
+// the stored fingerprint matches want exactly; a mismatch returns ErrStale
+// with both fingerprints spelled out, and malformed bytes return
+// ErrCorrupt. Callers treat any error as "rebuild" — reuse is never
+// silent.
+func Load(path string, want Fingerprint) (*core.PosArena, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	got, arena, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("%s: %w: file has [%s], build wants [%s]", path, ErrStale, got, want)
+	}
+	return arena, nil
+}

@@ -1,0 +1,216 @@
+package checkpoint
+
+import (
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ringcast/internal/core"
+	"ringcast/internal/sim"
+)
+
+// buildSmall builds a real converged overlay to checkpoint.
+func buildSmall(t *testing.T, n int, seed int64) (Fingerprint, *core.PosArena) {
+	t.Helper()
+	cfg := sim.DefaultMixConfig(n)
+	cfg.Seed = seed
+	cfg.Cycles = 8
+	res, err := sim.BuildConverged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint{
+		N: n, Seed: seed, Cycles: cfg.Cycles,
+		CyclonView: cfg.Cyclon.ViewSize, CyclonShuffle: cfg.Cyclon.ShuffleLen,
+		VicinityView: cfg.Vicinity.ViewSize, VicinityGossip: cfg.Vicinity.GossipLen,
+	}
+	return fp, res.Arena
+}
+
+func arenasEqual(a, b *core.PosArena) bool {
+	if a.N() != b.N() || a.LinkCount() != b.LinkCount() {
+		return false
+	}
+	for i := 0; i < a.N(); i++ {
+		la, lb := a.Links(i), b.Links(i)
+		if len(la.R) != len(lb.R) || len(la.D) != len(lb.D) {
+			return false
+		}
+		for k := range la.R {
+			if la.R[k] != lb.R[k] {
+				return false
+			}
+		}
+		for k := range la.D {
+			if la.D[k] != lb.D[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSaveLoadRoundTrip: save then load yields an arena byte-equal to the
+// freshly built one, under the exact fingerprint.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fp, arena := buildSmall(t, 200, 5)
+	path := filepath.Join(t.TempDir(), "sub", "scale.rckp")
+	if err := Save(path, fp, arena); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !arenasEqual(arena, got) {
+		t.Fatal("loaded arena differs from the one saved")
+	}
+}
+
+// TestEncodeDecodeCanonical: decoding Encode's output and re-encoding it
+// reproduces the same bytes — the canonical-form invariant.
+func TestEncodeDecodeCanonical(t *testing.T) {
+	fp, arena := buildSmall(t, 120, 3)
+	data := Encode(fp, arena)
+	gotFP, gotArena, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != fp {
+		t.Fatalf("fingerprint round-trip: got %+v want %+v", gotFP, fp)
+	}
+	again := Encode(gotFP, gotArena)
+	if string(again) != string(data) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+}
+
+// TestLoadRejectsStaleFingerprint: every fingerprint field mismatch must
+// yield ErrStale — never a silent reuse.
+func TestLoadRejectsStaleFingerprint(t *testing.T) {
+	fp, arena := buildSmall(t, 100, 5)
+	path := filepath.Join(t.TempDir(), "scale.rckp")
+	if err := Save(path, fp, arena); err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Fingerprint){
+		"N":              func(f *Fingerprint) { f.N++ },
+		"Seed":           func(f *Fingerprint) { f.Seed++ },
+		"Cycles":         func(f *Fingerprint) { f.Cycles++ },
+		"CyclonView":     func(f *Fingerprint) { f.CyclonView++ },
+		"CyclonShuffle":  func(f *Fingerprint) { f.CyclonShuffle++ },
+		"VicinityView":   func(f *Fingerprint) { f.VicinityView++ },
+		"VicinityGossip": func(f *Fingerprint) { f.VicinityGossip++ },
+	}
+	for field, mutate := range mutations {
+		want := fp
+		mutate(&want)
+		_, err := Load(path, want)
+		if !errors.Is(err, ErrStale) {
+			t.Errorf("mismatched %s: got %v, want ErrStale", field, err)
+		}
+	}
+}
+
+// TestLoadRejectsWrongVersion: a bumped format version is ErrCorrupt (the
+// decoder refuses the file outright rather than misreading it).
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	fp, arena := buildSmall(t, 50, 2)
+	data := Encode(fp, arena)
+	// The version varint sits immediately after the 4-byte magic;
+	// FormatVersion 1 encodes as a single byte.
+	data[4] = FormatVersion + 1
+	fixCRC(data)
+	_, _, err := Decode(data)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+// fixCRC recomputes the trailer after a test mutates the body.
+func fixCRC(data []byte) {
+	c := crc32.ChecksumIEEE(data[:len(data)-4])
+	data[len(data)-4] = byte(c)
+	data[len(data)-3] = byte(c >> 8)
+	data[len(data)-2] = byte(c >> 16)
+	data[len(data)-1] = byte(c >> 24)
+}
+
+// TestDecodeRejectsCorruption: truncation, bit flips, trailing garbage and
+// short inputs all fail with ErrCorrupt and never panic.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	fp, arena := buildSmall(t, 80, 7)
+	data := Encode(fp, arena)
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       data[:6],
+		"truncated":   data[:len(data)-20],
+		"no trailer":  data[:len(data)-4],
+		"extra bytes": append(append([]byte{}, data...), 0xff),
+	}
+	flipped := append([]byte{}, data...)
+	flipped[len(flipped)/2] ^= 0x40
+	cases["bit flip"] = flipped
+	badMagic := append([]byte{}, data...)
+	badMagic[0] = 'X'
+	cases["bad magic"] = badMagic
+
+	for name, in := range cases {
+		if _, _, err := Decode(in); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestDecodeRejectsNonCanonicalVarint: padded (non-minimal) varints are
+// refused, which is what makes accepted inputs re-encode canonically.
+func TestDecodeRejectsNonCanonicalVarint(t *testing.T) {
+	fp, arena := buildSmall(t, 30, 1)
+	data := Encode(fp, arena)
+	// FormatVersion 1 is the byte 0x01 right after the magic; 0x81 0x00 is
+	// the same value encoded in two bytes.
+	padded := append([]byte{}, data[:4]...)
+	padded = append(padded, 0x81, 0x00)
+	padded = append(padded, data[5:len(data)-4]...)
+	padded = append(padded, 0, 0, 0, 0)
+	fixCRC(padded)
+	if _, _, err := Decode(padded); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt for non-canonical varint", err)
+	}
+}
+
+// TestLoadMissingFile: a missing checkpoint is an ordinary not-exist error
+// (the load-or-build path treats it as a cache miss, not corruption).
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent.rckp"), Fingerprint{})
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("got %v, want not-exist", err)
+	}
+}
+
+// TestSaveAtomic: Save leaves no temp files behind and overwrites an
+// existing checkpoint in place.
+func TestSaveAtomic(t *testing.T) {
+	fp, arena := buildSmall(t, 40, 9)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scale.rckp")
+	if err := Save(path, fp, arena); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, fp, arena); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "scale.rckp" {
+		t.Fatalf("directory not clean after Save: %v", entries)
+	}
+	if _, err := Load(path, fp); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"ringcast/internal/sim"
+)
+
+// FuzzCheckpointDecode drives arbitrary bytes through the checkpoint
+// decoder: it must never panic, and any input it accepts must re-encode to
+// exactly the same bytes (the canonical-form invariant — minimal varints,
+// no trailing bytes, valid CRC leave exactly one byte form per overlay).
+func FuzzCheckpointDecode(f *testing.F) {
+	// Seed corpus: two real encoded checkpoints plus structured near-misses.
+	for _, seed := range []struct {
+		n   int
+		s   int64
+		cyc int
+	}{{20, 1, 4}, {64, 9, 6}} {
+		cfg := sim.DefaultMixConfig(seed.n)
+		cfg.Seed = seed.s
+		cfg.Cycles = seed.cyc
+		res, err := sim.BuildConverged(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		fp := Fingerprint{
+			N: seed.n, Seed: seed.s, Cycles: seed.cyc,
+			CyclonView: cfg.Cyclon.ViewSize, CyclonShuffle: cfg.Cyclon.ShuffleLen,
+			VicinityView: cfg.Vicinity.ViewSize, VicinityGossip: cfg.Vicinity.GossipLen,
+		}
+		data := Encode(fp, res.Arena)
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		flip := append([]byte{}, data...)
+		flip[len(flip)/3] ^= 0x10
+		f.Add(flip)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RCKP"))
+	f.Add([]byte{'R', 'C', 'K', 'P', 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, arena, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again := Encode(fp, arena)
+		if string(again) != string(data) {
+			t.Fatalf("accepted input does not re-encode canonically:\n in:  %x\n out: %x", data, again)
+		}
+	})
+}

@@ -26,6 +26,9 @@ import (
 // outgoing links plus liveness flags (liveness is mutable so that
 // catastrophic failures can be applied to a shared snapshot cheaply).
 type Overlay struct {
+	// ids holds per-node ident.IDs. Overlays built FromArena carry none
+	// (ids is nil): at ten million nodes the ID slice plus the origin index
+	// cost hundreds of megabytes the position-based scale path never reads.
 	ids []ident.ID
 	// links holds the ID-level link sets. Compact() releases it for
 	// large-scale runs that only need the resolved arena.
@@ -242,10 +245,31 @@ func FromLinksParallel(ids []ident.ID, links []core.Links, parallelism int) (*Ov
 	return o, nil
 }
 
-// N returns the number of nodes in the snapshot (dead included).
-func (o *Overlay) N() int { return len(o.ids) }
+// FromArena builds an overlay directly from a resolved position arena,
+// with no ID layer at all: nodes are known only by their dense positions.
+// This is the scale-path constructor — checkpointed arenas and the compact
+// bootstrap engine both speak positions, and materializing ten million
+// ident.IDs plus the origin index would cost hundreds of megabytes that
+// position-based runs (RunScratchPos) never read. All nodes start alive.
+// ID-keyed entry points (RunScratch, RandomAliveOrigin, Pos) refuse to run
+// on such an overlay; everything position-based works unchanged.
+func FromArena(arena *core.PosArena) *Overlay {
+	o := &Overlay{
+		arena: arena,
+		alive: make([]bool, arena.N()),
+	}
+	for i := range o.alive {
+		o.alive[i] = true
+	}
+	o.rebuildLive()
+	return o
+}
 
-// IDs returns the node IDs in snapshot order. Callers must not mutate.
+// N returns the number of nodes in the snapshot (dead included).
+func (o *Overlay) N() int { return len(o.alive) }
+
+// IDs returns the node IDs in snapshot order, or nil for an overlay built
+// FromArena. Callers must not mutate.
 func (o *Overlay) IDs() []ident.ID { return o.ids }
 
 // Links returns node i's outgoing links. Callers must not mutate. After
@@ -352,12 +376,27 @@ func (o *Overlay) KillPositions(pos []int32) int {
 // RandomAliveOrigin picks a uniformly random live node to post a message
 // from: one draw over the cached live positions (same ascending order the
 // old per-call scan built, so draws are bit-identical), with no per-call
-// allocation.
+// allocation. It needs the ID layer; ID-less overlays use RandomAlivePos.
 func (o *Overlay) RandomAliveOrigin(rng *rand.Rand) (ident.ID, error) {
-	if len(o.live) == 0 {
-		return ident.Nil, fmt.Errorf("dissem: no live nodes")
+	if o.ids == nil {
+		return ident.Nil, fmt.Errorf("dissem: overlay carries no node IDs (built FromArena); use RandomAlivePos")
 	}
-	return o.ids[o.live[rng.Intn(len(o.live))]], nil
+	p, err := o.RandomAlivePos(rng)
+	if err != nil {
+		return ident.Nil, err
+	}
+	return o.ids[p], nil
+}
+
+// RandomAlivePos is RandomAliveOrigin for position-based runs: it returns
+// the drawn live position itself, consuming exactly one rng draw (the same
+// draw RandomAliveOrigin makes, so paired ID- and position-based sweeps
+// pick identical origins from identical streams).
+func (o *Overlay) RandomAlivePos(rng *rand.Rand) (int32, error) {
+	if len(o.live) == 0 {
+		return 0, fmt.Errorf("dissem: no live nodes")
+	}
+	return o.live[rng.Intn(len(o.live))], nil
 }
 
 // DGraph projects the overlay's d-links onto a graph.Directed for
@@ -366,8 +405,9 @@ func (o *Overlay) RandomAliveOrigin(rng *rand.Rand) (ident.ID, error) {
 // the links the old ID-index lookup skipped — so it works on compacted
 // overlays too.
 func (o *Overlay) DGraph() *graph.Directed {
-	g := graph.NewDirected(len(o.ids))
-	for i := range o.ids {
+	n := o.N()
+	g := graph.NewDirected(n)
+	for i := 0; i < n; i++ {
 		for _, d := range o.arena.Links(i).D {
 			if d >= 0 {
 				g.AddEdge(i, int(d))
@@ -485,16 +525,37 @@ func RunOpts(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *ra
 // RunScratch is RunOpts with caller-managed scratch buffers: passing the
 // same Scratch to every run of a sweep unit makes the engine allocation-free
 // apart from the returned metrics. A nil scratch allocates a private one.
+// It resolves the origin through the ID index; overlays built FromArena
+// carry none and must use RunScratchPos.
 func RunScratch(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng *rand.Rand, opts Options, sc *Scratch) (*metrics.Dissemination, error) {
+	if o.ids == nil {
+		return nil, fmt.Errorf("dissem: overlay carries no node IDs (built FromArena); use RunScratchPos")
+	}
 	oi, ok := o.index[origin]
 	if !ok {
 		return nil, fmt.Errorf("dissem: unknown origin %v", origin)
 	}
+	return RunScratchPos(o, int32(oi), sel, fanout, rng, opts, sc)
+}
+
+// RunScratchPos is RunScratch with the origin given as a dense overlay
+// position — the scale-path entry point: no ID resolution, so it runs on
+// ID-less FromArena overlays (where it requires a position selector and
+// cannot record missed-node IDs). Given the position of the same origin and
+// the same rng stream, it is bit-identical to RunScratch.
+func RunScratchPos(o *Overlay, origin int32, sel core.Selector, fanout int, rng *rand.Rand, opts Options, sc *Scratch) (*metrics.Dissemination, error) {
+	oi := int(origin)
+	if oi < 0 || oi >= o.N() {
+		return nil, fmt.Errorf("dissem: origin position %d outside [0,%d)", oi, o.N())
+	}
 	if !o.alive[oi] {
-		return nil, fmt.Errorf("dissem: origin %v is dead", origin)
+		return nil, fmt.Errorf("dissem: origin position %d is dead", oi)
 	}
 	if sel == nil {
 		return nil, fmt.Errorf("dissem: selector must not be nil")
+	}
+	if opts.RecordMissed && o.ids == nil {
+		return nil, fmt.Errorf("dissem: RecordMissed needs node IDs, but the overlay was built FromArena")
 	}
 	if sc == nil {
 		sc = NewScratch()
@@ -510,13 +571,15 @@ func RunScratch(o *Overlay, origin ident.ID, sel core.Selector, fanout int, rng 
 
 	d := &metrics.Dissemination{
 		AliveTotal: o.AliveCount(),
-		Origin:     origin,
+	}
+	if o.ids != nil {
+		d.Origin = o.ids[oi]
 	}
 	if !opts.SkipLoad {
-		d.SentPerNode = make([]int, len(o.ids))
-		d.RecvPerNode = make([]int, len(o.ids))
+		d.SentPerNode = make([]int, o.N())
+		d.RecvPerNode = make([]int, o.N())
 	}
-	sc.notified = sc.notified.Reuse(len(o.ids))
+	sc.notified = sc.notified.Reuse(o.N())
 	notified := sc.notified
 
 	notified.Set(int32(oi))

@@ -1,0 +1,157 @@
+package dissem
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"ringcast/internal/core"
+	"ringcast/internal/ident"
+	"ringcast/internal/sim"
+)
+
+// arenaToLinks re-labels an arena's positions with synthetic IDs (position i
+// becomes ident.ID(i+1)) so the same topology can be fed through FromLinks
+// and exercised via the ID path.
+func arenaToLinks(a *core.PosArena) ([]ident.ID, []core.Links) {
+	ids := make([]ident.ID, a.N())
+	for i := range ids {
+		ids[i] = ident.ID(i + 1)
+	}
+	links := make([]core.Links, a.N())
+	for i := range links {
+		pl := a.Links(i)
+		for _, v := range pl.R {
+			if v >= 0 {
+				links[i].R = append(links[i].R, ident.ID(v+1))
+			}
+		}
+		for _, v := range pl.D {
+			if v >= 0 {
+				links[i].D = append(links[i].D, ident.ID(v+1))
+			}
+		}
+	}
+	return ids, links
+}
+
+// TestFromArenaMatchesIDOverlay pins the position path's equivalence
+// contract: an ID-less FromArena overlay over the same arena, driven by
+// RunScratchPos with the same origin position and rng stream, produces
+// bit-identical dissemination metrics to RunScratch on the full overlay.
+func TestFromArenaMatchesIDOverlay(t *testing.T) {
+	cfg := sim.DefaultMixConfig(800)
+	cfg.Seed = 13
+	res, err := sim.BuildConverged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := FromArena(res.Arena)
+	if op.N() != 800 || op.AliveCount() != 800 {
+		t.Fatalf("FromArena N=%d alive=%d", op.N(), op.AliveCount())
+	}
+	if op.IDs() != nil {
+		t.Fatal("FromArena overlay should carry no IDs")
+	}
+
+	// Reference overlay: same arena re-labelled with synthetic IDs so the
+	// ID path can run. ident.ID(i+1) keeps position i == index of ID i+1.
+	ids, links := arenaToLinks(res.Arena)
+	oid, err := FromLinks(ids, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sels := []core.Selector{core.RingCast{}, core.RandCast{}, core.DFlood{}}
+	for run := 0; run < 5; run++ {
+		for si, sel := range sels {
+			seed := int64(run*10 + si)
+			rngA := rand.New(rand.NewSource(seed))
+			rngB := rand.New(rand.NewSource(seed))
+			pos, err := op.RandomAlivePos(rngA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			origin, err := oid.RandomAliveOrigin(rngB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := oid.Pos(origin); int32(got) != pos {
+				t.Fatalf("paired origin draw differs: pos %d vs %d", pos, got)
+			}
+			da, err := RunScratchPos(op, pos, sel, 4, rngA, Options{SkipLoad: true}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := RunScratch(oid, origin, sel, 4, rngB, Options{SkipLoad: true}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if da.Reached != db.Reached || da.Hops() != db.Hops() ||
+				da.Redundant != db.Redundant || da.TotalMsgs() != db.TotalMsgs() ||
+				!slices.Equal(da.CumNotified, db.CumNotified) {
+				t.Fatalf("%s run %d: position path diverged: %+v vs %+v", sel.Name(), run, da, db)
+			}
+		}
+	}
+}
+
+// TestFromArenaRefusesIDEntryPoints pins the clear-error contract of the
+// ID-keyed entry points on an ID-less overlay.
+func TestFromArenaRefusesIDEntryPoints(t *testing.T) {
+	cfg := sim.DefaultMixConfig(64)
+	cfg.Cycles = 4
+	res, err := sim.BuildConverged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := FromArena(res.Arena)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := o.RandomAliveOrigin(rng); err == nil {
+		t.Error("RandomAliveOrigin accepted an ID-less overlay")
+	}
+	if _, err := RunScratch(o, 1, core.RingCast{}, 3, rng, Options{}, nil); err == nil {
+		t.Error("RunScratch accepted an ID-less overlay")
+	}
+	if _, err := RunScratchPos(o, 0, core.RingCast{}, 3, rng, Options{RecordMissed: true}, nil); err == nil {
+		t.Error("RecordMissed accepted an ID-less overlay")
+	}
+	if _, err := RunScratchPos(o, -1, core.RingCast{}, 3, rng, Options{}, nil); err == nil {
+		t.Error("accepted negative origin position")
+	}
+	if _, err := RunScratchPos(o, int32(o.N()), core.RingCast{}, 3, rng, Options{}, nil); err == nil {
+		t.Error("accepted out-of-range origin position")
+	}
+}
+
+// TestFromArenaKillAndClone checks liveness plumbing on an ID-less overlay:
+// kills shrink AliveCount, clones stay independent, and a dead origin is
+// rejected by position.
+func TestFromArenaKillAndClone(t *testing.T) {
+	cfg := sim.DefaultMixConfig(200)
+	cfg.Cycles = 6
+	res, err := sim.BuildConverged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := FromArena(res.Arena)
+	c := o.Clone()
+	rng := rand.New(rand.NewSource(3))
+	killed := o.KillFraction(0.25, rng)
+	if killed != 50 || o.AliveCount() != 150 {
+		t.Fatalf("killed %d alive %d", killed, o.AliveCount())
+	}
+	if c.AliveCount() != 200 {
+		t.Fatalf("clone alive %d after killing the original", c.AliveCount())
+	}
+	var dead int32 = -1
+	for i := 0; i < o.N(); i++ {
+		if !o.IsAlive(i) {
+			dead = int32(i)
+			break
+		}
+	}
+	if _, err := RunScratchPos(o, dead, core.RingCast{}, 3, rng, Options{}, nil); err == nil {
+		t.Error("accepted a dead origin position")
+	}
+}

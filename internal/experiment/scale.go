@@ -1,27 +1,33 @@
-// Scale sweep: the million-node headline experiment. The paper claims the
-// hybrid protocol keeps its 100% hit ratio while hop counts grow only
+// Scale sweep: the ten-million-node headline experiment. The paper claims
+// the hybrid protocol keeps its 100% hit ratio while hop counts grow only
 // logarithmically in N; the figures stop at N=10,000. RunScale extends the
-// axis to a million nodes: per N it builds a converged network
-// (sim.NewConverged — the star-bootstrap warm-up is computationally out of
-// reach at this scale and Section 7.1 argues frozen-overlay dissemination
-// does not depend on it), gossips a configurable number of real mixing
-// cycles, freezes a compacted arena snapshot, drops the simulator, and
-// sweeps disseminations for each protocol with the standard per-unit
-// derived random streams — so every table and CSV is bit-identical at any
-// Parallelism. Memory columns (peak RSS, heap, allocs) are reporting-only
-// and naturally machine-dependent.
+// axis to 1e7: per N it runs the compact shard-parallel bootstrap
+// (sim.BuildConverged — the star-bootstrap warm-up is computationally out
+// of reach at this scale and Section 7.1 argues frozen-overlay
+// dissemination does not depend on it), freezes the arena, wraps it in an
+// ID-less position-based overlay (dissem.FromArena — no per-node ident.IDs
+// or origin index on the scale path), and sweeps disseminations for each
+// protocol with the standard per-unit derived random streams — so every
+// table and CSV is bit-identical at any Parallelism. With CheckpointDir
+// set, the frozen arena is cached on disk keyed by its build fingerprint,
+// and re-runs skip the mixing cycles entirely. Memory columns (peak RSS,
+// heap, allocs) are reporting-only and naturally machine-dependent.
 package experiment
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"ringcast/internal/checkpoint"
 	"ringcast/internal/core"
 	"ringcast/internal/dissem"
 	"ringcast/internal/runner"
@@ -68,6 +74,12 @@ type ScaleConfig struct {
 	// Parallelism is the sweep worker count (0 = one per CPU); results are
 	// bit-identical at any setting.
 	Parallelism int
+	// CheckpointDir, when non-empty, enables overlay checkpointing: each N's
+	// frozen arena is loaded from this directory when a stored checkpoint's
+	// fingerprint matches the build parameters exactly, and written there
+	// after a fresh build otherwise. Stale or corrupt files are rebuilt and
+	// overwritten — never silently reused (checkpoint.ErrStale discipline).
+	CheckpointDir string
 	// Progress, when non-nil, receives live unit-completion updates.
 	Progress runner.Progress
 }
@@ -154,9 +166,15 @@ type ScaleStep struct {
 	// build+sweep phase.
 	AllocBytes uint64
 	Allocs     uint64
-	// BuildSeconds and SweepSeconds split the wall clock between network
-	// construction+mixing+freeze and the dissemination sweep.
+	// BuildSeconds and SweepSeconds split the wall clock between overlay
+	// construction (mixing+freeze, or a checkpoint load) and the
+	// dissemination sweep.
 	BuildSeconds, SweepSeconds float64
+	// Bootstrap records how this N's overlay came to be: "built" (fresh
+	// parallel bootstrap, no checkpointing), "built+saved" (fresh build,
+	// checkpoint written for next time) or "checkpoint" (loaded from a
+	// matching checkpoint — the mixing cycles were skipped entirely).
+	Bootstrap string
 	// Points holds this N's per-protocol results, in protocol order.
 	Points []ScalePoint
 }
@@ -208,26 +226,100 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 	return res, nil
 }
 
-// runScaleStep builds, freezes and sweeps one population size.
+// scaleFingerprint pins the deterministic build of one scale-step overlay:
+// the mix config and the checkpoint fingerprint derive from the same
+// (n, seed, cycles) triple plus the paper's protocol parameters.
+func scaleFingerprint(cfg ScaleConfig, n int) (sim.MixConfig, checkpoint.Fingerprint) {
+	mixCfg := sim.DefaultMixConfig(n)
+	mixCfg.Seed = cfg.Seed
+	mixCfg.Cycles = cfg.Cycles
+	mixCfg.Parallelism = cfg.Parallelism
+	fp := checkpoint.Fingerprint{
+		N: n, Seed: cfg.Seed, Cycles: cfg.Cycles,
+		CyclonView: mixCfg.Cyclon.ViewSize, CyclonShuffle: mixCfg.Cyclon.ShuffleLen,
+		VicinityView: mixCfg.Vicinity.ViewSize, VicinityGossip: mixCfg.Vicinity.GossipLen,
+	}
+	return mixCfg, fp
+}
+
+// scaleCheckpointPath names one step's checkpoint file inside the cache
+// directory. The build parameters are in the name only for human browsing;
+// correctness rests on the fingerprint check inside checkpoint.Load.
+func scaleCheckpointPath(dir string, fp checkpoint.Fingerprint) string {
+	return filepath.Join(dir, fmt.Sprintf("scale-n%d-s%d-c%d.rckp", fp.N, fp.Seed, fp.Cycles))
+}
+
+// arenaRingConvergence recomputes a frozen overlay's ring convergence from
+// its d-links (the compact engine's positions are ring ranks, so node i's
+// true neighbours are i±1 mod n) — used when a checkpoint load skips the
+// build that would have reported it. On a built arena it reproduces
+// MixResult.Convergence exactly.
+func arenaRingConvergence(a *core.PosArena) float64 {
+	n := a.N()
+	correct := 0
+	for i := 0; i < n; i++ {
+		d := a.Links(i).D
+		if len(d) == 2 && int(d[0]) == (i-1+n)%n && int(d[1]) == (i+1)%n {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// buildScaleOverlay produces one step's frozen arena: a checkpoint load
+// when CheckpointDir holds a matching file, the parallel bootstrap
+// otherwise (saving the result for next time when checkpointing is on).
+// It reports the overlay's convergence and which path ran.
+func buildScaleOverlay(cfg ScaleConfig, n int) (*core.PosArena, float64, string, error) {
+	mixCfg, fp := scaleFingerprint(cfg, n)
+	if cfg.CheckpointDir != "" {
+		path := scaleCheckpointPath(cfg.CheckpointDir, fp)
+		arena, err := checkpoint.Load(path, fp)
+		switch {
+		case err == nil:
+			return arena, arenaRingConvergence(arena), "checkpoint", nil
+		case errors.Is(err, os.ErrNotExist),
+			errors.Is(err, checkpoint.ErrStale),
+			errors.Is(err, checkpoint.ErrCorrupt):
+			// Cache miss, or a file for different build parameters (or torn
+			// bytes): rebuild below and overwrite. Reuse is never silent.
+		default:
+			return nil, 0, "", err
+		}
+		res, err := sim.BuildConverged(mixCfg)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		// Collect the mixer's released state before Encode allocates the
+		// serialization buffer (~1.1 GB at 1e7), so the buffer reuses those
+		// pages instead of raising the process peak RSS above the build's.
+		runtime.GC()
+		if err := checkpoint.Save(path, fp, res.Arena); err != nil {
+			return nil, 0, "", err
+		}
+		return res.Arena, res.Convergence, "built+saved", nil
+	}
+	res, err := sim.BuildConverged(mixCfg)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	return res.Arena, res.Convergence, "built", nil
+}
+
+// runScaleStep builds (or loads), freezes and sweeps one population size.
 func runScaleStep(cfg ScaleConfig, protocols []string, n int) (*ScaleStep, error) {
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	buildStart := time.Now()
 
-	simCfg := sim.DefaultConfig(n)
-	simCfg.Seed = cfg.Seed
-	nw, err := sim.NewConverged(simCfg)
+	arena, convergence, bootstrap, err := buildScaleOverlay(cfg, n)
 	if err != nil {
 		return nil, err
 	}
-	nw.RunCycles(cfg.Cycles)
-	step := &ScaleStep{N: n, Convergence: nw.RingConvergence()}
-	o := dissem.Snapshot(nw)
-	// Release the simulator (the dominant allocation: protocol instances
-	// and views for every node) before sweeping, and drop the snapshot's
-	// ID-level link sets — the sweep reads only the arena.
-	nw = nil // release the only reference so GC can take the network now
-	o.Compact()
+	step := &ScaleStep{N: n, Convergence: convergence, Bootstrap: bootstrap}
+	// The sweep overlay is ID-less: positions are the only node names on the
+	// scale path, so no ident.ID slice or origin index is ever materialized.
+	o := dissem.FromArena(arena)
 	runtime.GC()
 	step.ArenaLinks = o.Arena().LinkCount()
 	var msMid runtime.MemStats
@@ -249,14 +341,15 @@ func runScaleStep(cfg ScaleConfig, protocols []string, n int) (*ScaleStep, error
 		proto := u % np
 		run := u / np
 		// Paired origins: every protocol of a run disseminates from the
-		// same node, like the figure sweeps' paired comparison.
-		origin, err := o.RandomAliveOrigin(runner.UnitRand(cfg.Seed, tagOrigin, tagScale, int64(n), int64(run)))
+		// same node, like the figure sweeps' paired comparison. Origins are
+		// drawn and used as positions — the overlay carries no IDs.
+		origin, err := o.RandomAlivePos(runner.UnitRand(cfg.Seed, tagOrigin, tagScale, int64(n), int64(run)))
 		if err != nil {
 			return err
 		}
 		rng := runner.UnitRand(cfg.Seed, tagScale, int64(n), int64(run), int64(proto))
 		sc := scratchPool.Get().(*dissem.Scratch)
-		d, err := dissem.RunScratch(o, origin, sels[proto], cfg.Fanout, rng, dissem.Options{SkipLoad: true}, sc)
+		d, err := dissem.RunScratchPos(o, origin, sels[proto], cfg.Fanout, rng, dissem.Options{SkipLoad: true}, sc)
 		scratchPool.Put(sc)
 		if err != nil {
 			return err
@@ -316,13 +409,14 @@ func (r *ScaleResult) Table() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Scale sweep — fanout %d, %d runs/point, %d mixing cycles\n", r.Fanout, r.Runs, r.Cycles)
 	w := newTable(&sb)
-	fmt.Fprintln(w, "N\tprotocol\thit\tcomplete\thops\thops/log2N\tmsgs/node\theap MB\tpeak RSS MB")
+	fmt.Fprintln(w, "N\tprotocol\thit\tcomplete\thops\thops/log2N\tmsgs/node\theap MB\tpeak RSS MB\tbootstrap")
 	for _, step := range r.Steps {
 		for _, pt := range step.Points {
-			fmt.Fprintf(w, "%d\t%s\t%s\t%.0f%%\t%.1f\t%.2f\t%.2f\t%.0f\t%.0f\n",
+			fmt.Fprintf(w, "%d\t%s\t%s\t%.0f%%\t%.1f\t%.2f\t%.2f\t%.0f\t%.0f\t%s\n",
 				step.N, pt.Protocol, pct(pt.HitRatio), pt.CompleteFraction*100,
 				pt.Hops.Mean, pt.HopsPerLog2N, pt.MsgsPerNode,
-				float64(step.HeapBytes)/(1<<20), float64(step.PeakRSSBytes)/(1<<20))
+				float64(step.HeapBytes)/(1<<20), float64(step.PeakRSSBytes)/(1<<20),
+				step.Bootstrap)
 		}
 	}
 	w.Flush()
@@ -372,8 +466,9 @@ func (r *ScaleResult) HopsVsLogNTable() string {
 //	peak_rss_bytes    process peak resident set at end of the step (0 = n/a)
 //	alloc_bytes       bytes allocated across the step
 //	allocs            allocations across the step
-//	build_seconds     build+mix+freeze wall clock
+//	build_seconds     build+mix+freeze (or checkpoint load) wall clock
 //	sweep_seconds     dissemination sweep wall clock
+//	bootstrap         built, built+saved or checkpoint (see ScaleStep)
 func (r *ScaleResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
@@ -382,7 +477,7 @@ func (r *ScaleResult) WriteCSV(w io.Writer) error {
 		"mean_hops", "std_hops", "max_hops", "p50_hops", "hops_per_log2n",
 		"msgs_per_node", "arena_links",
 		"heap_bytes", "peak_rss_bytes", "alloc_bytes", "allocs",
-		"build_seconds", "sweep_seconds",
+		"build_seconds", "sweep_seconds", "bootstrap",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -399,7 +494,7 @@ func (r *ScaleResult) WriteCSV(w io.Writer) error {
 				strconv.FormatUint(step.PeakRSSBytes, 10),
 				strconv.FormatUint(step.AllocBytes, 10),
 				strconv.FormatUint(step.Allocs, 10),
-				f(step.BuildSeconds), f(step.SweepSeconds),
+				f(step.BuildSeconds), f(step.SweepSeconds), step.Bootstrap,
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

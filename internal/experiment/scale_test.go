@@ -2,8 +2,12 @@ package experiment
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
+
+	"ringcast/internal/checkpoint"
+	"ringcast/internal/sim"
 )
 
 func testScaleConfig(parallelism int) ScaleConfig {
@@ -116,6 +120,127 @@ func TestScaleRendering(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "n,protocol,runs,cycles,convergence,hit_ratio") {
 		t.Fatalf("CSV header: %s", lines[0])
 	}
+}
+
+// scaleStepsEqual compares the experiment-result portion of two sweeps
+// (points and convergence — everything except wall-clock/memory telemetry
+// and the bootstrap provenance).
+func scaleStepsEqual(t *testing.T, a, b *ScaleResult, label string) {
+	t.Helper()
+	for si := range a.Steps {
+		if a.Steps[si].Convergence != b.Steps[si].Convergence {
+			t.Fatalf("%s: step %d convergence %v vs %v", label, si,
+				a.Steps[si].Convergence, b.Steps[si].Convergence)
+		}
+		for pi := range a.Steps[si].Points {
+			if a.Steps[si].Points[pi] != b.Steps[si].Points[pi] {
+				t.Fatalf("%s: point %d/%d diverges:\n %+v\n %+v", label, si, pi,
+					a.Steps[si].Points[pi], b.Steps[si].Points[pi])
+			}
+		}
+	}
+}
+
+// TestRunScaleCheckpointReuse pins the load-or-build cycle: the first
+// checkpointed run builds and saves, the second loads (skipping the mixing
+// cycles), and both — plus a checkpoint-free run — produce identical
+// results, including the recomputed convergence of the loaded arena.
+func TestRunScaleCheckpointReuse(t *testing.T) {
+	cfg := testScaleConfig(0)
+	cfg.Ns = []int{400}
+	cfg.Runs = 4
+	cfg.CheckpointDir = t.TempDir()
+
+	first, err := RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := first.Steps[0].Bootstrap; got != "built+saved" {
+		t.Fatalf("first run bootstrap %q, want built+saved", got)
+	}
+	second, err := RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Steps[0].Bootstrap; got != "checkpoint" {
+		t.Fatalf("second run bootstrap %q, want checkpoint", got)
+	}
+	scaleStepsEqual(t, first, second, "checkpoint reuse")
+
+	plain := cfg
+	plain.CheckpointDir = ""
+	third, err := RunScale(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := third.Steps[0].Bootstrap; got != "built" {
+		t.Fatalf("plain run bootstrap %q, want built", got)
+	}
+	scaleStepsEqual(t, first, third, "checkpoint vs plain")
+}
+
+// TestRunScaleCheckpointStaleAndCorrupt pins that a checkpoint whose
+// fingerprint does not match the build (or whose bytes are garbage) is
+// rebuilt and overwritten — never silently reused.
+func TestRunScaleCheckpointStaleAndCorrupt(t *testing.T) {
+	cfg := testScaleConfig(0)
+	cfg.Ns = []int{300}
+	cfg.Runs = 3
+	cfg.CheckpointDir = t.TempDir()
+	_, fp := scaleFingerprint(cfg, 300)
+	path := scaleCheckpointPath(cfg.CheckpointDir, fp)
+
+	plain := cfg
+	plain.CheckpointDir = ""
+	want, err := RunScale(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale: a structurally valid checkpoint built from a different seed,
+	// planted at the exact path this run will probe.
+	other := sim.DefaultMixConfig(300)
+	other.Seed = cfg.Seed + 1
+	other.Cycles = cfg.Cycles
+	res, err := sim.BuildConverged(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleFP := fp
+	staleFP.Seed = other.Seed
+	if err := checkpoint.Save(path, staleFP, res.Arena); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps[0].Bootstrap != "built+saved" {
+		t.Fatalf("stale checkpoint bootstrap %q, want built+saved (rebuild)", got.Steps[0].Bootstrap)
+	}
+	scaleStepsEqual(t, want, got, "stale rebuild")
+
+	// Corrupt: garbage bytes at the path; again a rebuild, and the rebuild
+	// must have overwritten the file so the next run loads cleanly.
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps[0].Bootstrap != "built+saved" {
+		t.Fatalf("corrupt checkpoint bootstrap %q, want built+saved (rebuild)", got.Steps[0].Bootstrap)
+	}
+	scaleStepsEqual(t, want, got, "corrupt rebuild")
+	got, err = RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps[0].Bootstrap != "checkpoint" {
+		t.Fatalf("post-rebuild bootstrap %q, want checkpoint", got.Steps[0].Bootstrap)
+	}
+	scaleStepsEqual(t, want, got, "post-rebuild reuse")
 }
 
 // TestScaleConfigValidation covers the rejection paths.

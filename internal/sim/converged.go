@@ -17,6 +17,7 @@ import (
 	"slices"
 
 	"ringcast/internal/ident"
+	"ringcast/internal/runner"
 	"ringcast/internal/view"
 )
 
@@ -25,6 +26,10 @@ import (
 // cycles to randomize views (CYCLON mixes in O(log N) cycles from any
 // connected topology).
 const convergedContacts = 5
+
+// tagConvergedContacts derives the per-node contact streams of NewConverged
+// from the master seed (shared with the mix engine's tag namespace).
+const tagConvergedContacts int64 = 0x434f4e54 // "CONT"
 
 // NewConverged builds a network directly in the converged state the paper's
 // warm-up produces: every node's VICINITY view is seeded with its true ring
@@ -68,8 +73,14 @@ func NewConverged(cfg Config) (*Network, error) {
 			nd.Vic.View().Add(view.Entry{Node: pred.ID, Age: 0})
 			nd.Vic.View().Add(view.Entry{Node: succ.ID, Age: 0})
 		}
+		// Contacts come from a per-node stream derived from the master seed
+		// and the node's insertion position — not from the shared n.rng,
+		// whose draw order would couple every node's contacts to the ring
+		// iteration order (and make any sharded bootstrap reorder them).
+		// Same discipline as the compact mixing engine's seeding.
+		crng := rand.New(rand.NewSource(runner.UnitSeed(cfg.Seed, tagConvergedContacts, int64(p))))
 		for c := 0; c < convergedContacts; c++ {
-			contact := n.nodes[n.rng.Intn(len(n.nodes))]
+			contact := n.nodes[crng.Intn(len(n.nodes))]
 			nd.Cyc.AddContact(contact.ID, "") // self/duplicate contacts skipped
 		}
 	}

@@ -1,7 +1,11 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/runner"
 )
 
 // TestNewConvergedStartsConverged asserts the oracle bootstrap lands
@@ -71,6 +75,43 @@ func TestNewConvergedDeterministic(t *testing.T) {
 		}
 		if na[i].Vic.View().String() != nb[i].Vic.View().String() {
 			t.Fatalf("node %d vicinity view differs", i)
+		}
+	}
+}
+
+// TestNewConvergedPerNodeContactStreams is the regression test for the
+// shared-rng coupling bug: bootstrap contacts must come from per-node
+// streams derived via runner.UnitSeed from (seed, tag, node position), so a
+// node's contact set is a pure function of the seed and its position —
+// independent of ring iteration order and of any other node's draws. The
+// test pins the derivation by recomputing the expected contact sets
+// directly from the streams.
+func TestNewConvergedPerNodeContactStreams(t *testing.T) {
+	cfg := DefaultConfig(64)
+	cfg.Seed = 17
+	nw, err := NewConverged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := nw.Nodes()
+	for p, nd := range nodes {
+		crng := rand.New(rand.NewSource(runner.UnitSeed(cfg.Seed, tagConvergedContacts, int64(p))))
+		want := make(map[ident.ID]bool)
+		for c := 0; c < convergedContacts; c++ {
+			contact := nodes[crng.Intn(len(nodes))]
+			if contact.ID != nd.ID {
+				want[contact.ID] = true
+			}
+		}
+		for id := range want {
+			if !nd.Cyc.View().Contains(id) {
+				t.Fatalf("node %d: contact %v from its derived stream missing from the view", p, id)
+			}
+		}
+		for _, e := range nd.Cyc.View().All() {
+			if !want[e.Node] {
+				t.Fatalf("node %d: view holds %v, not drawn from the node's derived stream", p, e.Node)
+			}
 		}
 	}
 }

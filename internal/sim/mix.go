@@ -1,0 +1,993 @@
+// Shard-parallel converged bootstrap: the compact mixing engine behind the
+// scale figure's 1e7-node axis. BuildConverged produces the same operating
+// point NewConverged + RunCycles does — every node's VICINITY view holding
+// its true ring neighbours, every CYCLON view a well-mixed random sample —
+// but on flat struct-of-arrays state (uint32 ring idents, int32 positions,
+// uint16 ages; no per-node objects, views or maps) and with the mixing
+// cycles themselves fanned across internal/runner workers.
+//
+// Determinism contract (the PR 5 arena-build discipline, applied to the
+// exchanges): a mixing cycle is three barriers per protocol —
+//
+//  1. request: every node, in a fixed-size shard fan-out, ages its view,
+//     selects its gossip partner and builds its payload, drawing all
+//     randomness from a per-node stream derived via runner.UnitSeed from
+//     (seed, phase tag, cycle, node) and writing only its own slots;
+//  2. reply: requests are grouped by partner with a sequential counting
+//     sort (ascending initiator order within each partner — a pure function
+//     of the requests), then every partner, shard-parallel, answers its
+//     requests in that order, drawing from a per-partner stream and
+//     mutating only its own view plus each initiator's private reply slot;
+//  3. merge: every initiator, shard-parallel, folds its reply into its own
+//     view (no randomness).
+//
+// Every write is to a slot owned by exactly one work unit and every random
+// draw comes from a stream keyed by logical coordinates, never by worker
+// identity — so the converged overlay is byte-identical at any Parallelism,
+// including 1 (the reference sequential execution). Shard boundaries are
+// fixed (mixShardNodes) and never depend on the worker count.
+//
+// The synchronous-parallel cycle is a deliberate semantic departure from
+// Network.Cycle's sequential random-order interleaving: all requests read
+// the post-barrier state of the previous phase. Section 7.1's argument —
+// dissemination over a frozen overlay is insensitive to how the overlay got
+// there — is what licenses swapping one mixing schedule for another.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"slices"
+	"sync"
+
+	"ringcast/internal/core"
+	"ringcast/internal/cyclon"
+	"ringcast/internal/runner"
+	"ringcast/internal/vicinity"
+)
+
+// mixShardNodes is the fixed shard granularity of the parallel phases:
+// boundaries depend only on N, never on the worker count (one half of the
+// bit-identical contract; the other half is the per-unit seed streams).
+const mixShardNodes = 4096
+
+// Seed-derivation tags of the mixing engine. They share the master seed
+// with the experiment sweeps, but every tuple starts with one of these
+// large distinctive constants, so the streams cannot collide with the
+// experiment package's small family tags.
+const (
+	mixTagIDs      int64 = 0x4d495831 + iota // ring-ident generation
+	mixTagContacts                           // per-node bootstrap contact draws
+	mixTagCycReq                             // CYCLON request phase, per (cycle, node)
+	mixTagCycRep                             // CYCLON reply phase, per (cycle, partner)
+	mixTagVicReq                             // VICINITY request phase, per (cycle, node)
+)
+
+// mixRand is the engine's allocation-free random stream: a SplitMix64
+// counter generator. The reply phase derives one stream per partner per
+// cycle — at 1e7 nodes a *rand.Rand there would allocate a ~5 KB source
+// each, so the engine uses this 8-byte state instead. Draw quality is
+// ample for shuffling 20-entry views; determinism is what matters.
+type mixRand struct{ s uint64 }
+
+func newMixRand(seed int64) mixRand { return mixRand{s: uint64(seed)} }
+
+func (r *mixRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform draw in [0, n) via the multiply-high reduction
+// (bias < 2^-40 for any simulation-scale n — far below measurement noise).
+func (r *mixRand) intn(n int) int {
+	hi, _ := bits.Mul64(r.next(), uint64(n))
+	return int(hi)
+}
+
+// MixConfig parameterizes BuildConverged.
+type MixConfig struct {
+	// N is the node population (>= 2).
+	N int
+	// Cycles is how many parallel mixing cycles run after the converged
+	// seeding (>= 0; the scale figure uses 30).
+	Cycles int
+	// Seed drives all randomness: ring idents, bootstrap contacts and every
+	// per-node exchange stream derive from it via runner.UnitSeed.
+	Seed int64
+	// Cyclon carries the peer-sampling parameters (view 20, shuffle 8 in
+	// the paper). RandomPeerSelection is not supported by the compact
+	// engine.
+	Cyclon cyclon.Config
+	// Vicinity carries the topology parameters (view 20, gossip 20,
+	// Balanced). The engine organizes a single ring over the compact
+	// uint32 ident space with the circular ring metric.
+	Vicinity vicinity.Config
+	// Parallelism is the worker count for the sharded phases (0 = one per
+	// CPU, 1 = the reference sequential build); the result is
+	// byte-identical at any setting.
+	Parallelism int
+}
+
+// DefaultMixConfig returns the paper's protocol parameters for a given
+// population, mirroring DefaultConfig.
+func DefaultMixConfig(n int) MixConfig {
+	return MixConfig{
+		N:        n,
+		Cycles:   30,
+		Seed:     1,
+		Cyclon:   cyclon.DefaultConfig(),
+		Vicinity: vicinity.DefaultConfig(),
+	}
+}
+
+func (c MixConfig) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("sim: mix N must be >= 2, got %d", c.N)
+	}
+	if c.Cycles < 0 {
+		return fmt.Errorf("sim: mix cycles must be >= 0, got %d", c.Cycles)
+	}
+	if c.Cyclon.ViewSize <= 0 || c.Cyclon.ShuffleLen <= 0 || c.Cyclon.ShuffleLen > c.Cyclon.ViewSize {
+		return fmt.Errorf("sim: mix cyclon config invalid (view %d, shuffle %d)", c.Cyclon.ViewSize, c.Cyclon.ShuffleLen)
+	}
+	if c.Cyclon.RandomPeerSelection {
+		return fmt.Errorf("sim: mix engine does not support RandomPeerSelection")
+	}
+	if c.Vicinity.ViewSize <= 0 || c.Vicinity.GossipLen <= 0 || c.Vicinity.GossipLen > c.Vicinity.ViewSize {
+		return fmt.Errorf("sim: mix vicinity config invalid (view %d, gossip %d)", c.Vicinity.ViewSize, c.Vicinity.GossipLen)
+	}
+	if c.Cyclon.ViewSize > 255 || c.Vicinity.ViewSize > 255 {
+		return fmt.Errorf("sim: mix view sizes must be <= 255 (got cyclon %d, vicinity %d)", c.Cyclon.ViewSize, c.Vicinity.ViewSize)
+	}
+	return nil
+}
+
+// MixResult is a frozen converged overlay built by BuildConverged.
+type MixResult struct {
+	// N echoes the population.
+	N int
+	// Arena holds every node's frozen links resolved to dense positions:
+	// r-links are the node's CYCLON view, d-links its two VICINITY-derived
+	// ring neighbours [pred, succ]. Positions 0..N-1 are ring ranks (nodes
+	// sorted by ring ident), so d-links of a fully converged overlay are
+	// exactly i±1 mod N.
+	Arena *core.PosArena
+	// Convergence is the fraction of nodes whose d-links point at their
+	// true ring neighbours at freeze time (1.0 = fully formed ring).
+	Convergence float64
+}
+
+// BuildConverged builds a frozen converged overlay for the scale
+// experiments: converged seeding (true ring neighbours in every VICINITY
+// view, convergedContacts uniform CYCLON contacts per node from per-node
+// streams), cfg.Cycles parallel mixing cycles, then an arena freeze. See
+// the package comment of this file for the determinism contract.
+func BuildConverged(cfg MixConfig) (*MixResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := newMixer(cfg)
+	m.seed()
+	for c := 0; c < cfg.Cycles; c++ {
+		m.cycle(c)
+	}
+	conv := m.convergence()
+	// Release the exchange buffers (request/reply slots, partner grouping —
+	// ~2.6 GB at N=1e7) and collect before the freeze allocates the arena,
+	// so the arena reuses their pages and the process peak stays at the
+	// mixing-phase level instead of stacking arena on top of dead buffers.
+	m.releaseExchange()
+	runtime.GC()
+	return &MixResult{N: cfg.N, Arena: m.freeze(), Convergence: conv}, nil
+}
+
+// releaseExchange drops every buffer the freeze does not read: the
+// request/reply slots and the partner grouping state. Only the views
+// (cycPos/cycLen, vicPos/vicLen, ids) and the small pooled worker
+// scratches survive.
+func (m *mixer) releaseExchange() {
+	m.reqPos, m.reqAge, m.reqLen = nil, nil, nil
+	m.repPos, m.repAge, m.repLen = nil, nil, nil
+	m.partner, m.groupOff, m.groupCur, m.order = nil, nil, nil, nil
+}
+
+// mixer is the flat engine state. Views are struct-of-arrays: node i's
+// CYCLON view occupies cycPos/cycAge[i*cv : i*cv+cycLen[i]], its VICINITY
+// view the corresponding vic slices. All link values are dense positions
+// (ring ranks); ring idents live only in ids and are consulted solely for
+// the VICINITY distance metric.
+type mixer struct {
+	cfg        MixConfig
+	n          int
+	cv, sl     int // cyclon view size, shuffle length
+	vv, gl     int // vicinity view size, gossip length
+	maxAge     uint16
+	noMaxAge   bool
+	stride     int // payload slot stride: max(sl, gl)
+	ids        []uint32
+	cycPos     []int32
+	cycAge     []uint16
+	cycLen     []uint16
+	vicPos     []int32
+	vicAge     []uint16
+	vicLen     []uint16
+	reqPos     []int32
+	reqAge     []uint16
+	reqLen     []uint16
+	repPos     []int32
+	repAge     []uint16
+	repLen     []uint16
+	partner    []int32
+	groupOff   []int32 // n+1 prefix offsets of the per-partner request lists
+	groupCur   []int32 // placement cursors (scratch of group())
+	order      []int32 // initiators grouped by partner, ascending within each
+	scratchers sync.Pool
+}
+
+// mixScratch carries one worker's per-exchange buffers. Pooled: scratch
+// contents never influence results, so sharing across dynamically claimed
+// shards cannot affect determinism.
+type mixScratch struct {
+	pos    []int32  // view copies for sampling
+	age    []uint16 //
+	repl   []int32  // replaceable bookkeeping of the cyclon merge
+	key    []uint64 // packed pos<<16|age keys of the merge candidates
+	own    []uint64 // packed keys of the own view, rotated to pos order
+	dpos   []int32  // deduplicated merge pool, pos-ascending
+	dage   []uint16 //
+	chosen []bool   // balanced-selection bookkeeping over the pool
+}
+
+func newMixer(cfg MixConfig) *mixer {
+	n := cfg.N
+	cv, sl := cfg.Cyclon.ViewSize, cfg.Cyclon.ShuffleLen
+	vv, gl := cfg.Vicinity.ViewSize, cfg.Vicinity.GossipLen
+	stride := sl
+	if gl > stride {
+		stride = gl
+	}
+	maxAge := cfg.Vicinity.MaxAge
+	m := &mixer{
+		cfg: cfg, n: n, cv: cv, sl: sl, vv: vv, gl: gl,
+		noMaxAge: maxAge == 0,
+		stride:   stride,
+		ids:      make([]uint32, n),
+		cycPos:   make([]int32, n*cv),
+		cycAge:   make([]uint16, n*cv),
+		cycLen:   make([]uint16, n),
+		vicPos:   make([]int32, n*vv),
+		vicAge:   make([]uint16, n*vv),
+		vicLen:   make([]uint16, n),
+		reqPos:   make([]int32, n*stride),
+		reqAge:   make([]uint16, n*stride),
+		reqLen:   make([]uint16, n),
+		repPos:   make([]int32, n*stride),
+		repAge:   make([]uint16, n*stride),
+		repLen:   make([]uint16, n),
+		partner:  make([]int32, n),
+		groupOff: make([]int32, n+1),
+		groupCur: make([]int32, n),
+		order:    make([]int32, n),
+	}
+	if maxAge > 65535 {
+		m.noMaxAge = true // ages are uint16; an over-range bound disables eviction
+	} else {
+		m.maxAge = uint16(maxAge)
+	}
+	m.scratchers.New = func() any { return new(mixScratch) }
+	return m
+}
+
+// shards returns the number of fixed-size node shards.
+func (m *mixer) shards() int { return (m.n + mixShardNodes - 1) / mixShardNodes }
+
+// shardRange returns shard s's half-open node range.
+func (m *mixer) shardRange(s int) (int, int) {
+	lo := s * mixShardNodes
+	hi := lo + mixShardNodes
+	if hi > m.n {
+		hi = m.n
+	}
+	return lo, hi
+}
+
+// eachShard fans fn over the fixed node shards. fn must obey the runner
+// determinism contract: write only slots owned by its nodes, draw only from
+// per-node/per-partner derived streams.
+func (m *mixer) eachShard(fn func(lo, hi int, sc *mixScratch)) {
+	_ = runner.Map(m.cfg.Parallelism, m.shards(), nil, func(s int) error {
+		lo, hi := m.shardRange(s)
+		sc := m.scratchers.Get().(*mixScratch)
+		fn(lo, hi, sc)
+		m.scratchers.Put(sc)
+		return nil
+	})
+}
+
+// seed places the engine directly in the converged operating point:
+// unique sorted ring idents (position == ring rank), true ring neighbours
+// in every VICINITY view, and convergedContacts uniform CYCLON contacts
+// per node drawn from that node's own derived stream — so no draw order
+// couples nodes to each other (the same per-node discipline the object
+// engine's NewConverged uses).
+func (m *mixer) seed() {
+	// Ring idents: uniform uint32 draws, sorted ascending, de-duplicated by
+	// redrawing clashing slots (the sequential loop is a pure function of
+	// the stream; at 1e7 nodes a couple of redraw rounds suffice).
+	rng := newMixRand(runner.UnitSeed(m.cfg.Seed, mixTagIDs))
+	for i := range m.ids {
+		m.ids[i] = uint32(rng.next())
+	}
+	slices.Sort(m.ids)
+	for {
+		dups := 0
+		for i := 1; i < m.n; i++ {
+			if m.ids[i] == m.ids[i-1] {
+				m.ids[i] = uint32(rng.next())
+				dups++
+			}
+		}
+		if dups == 0 {
+			break
+		}
+		slices.Sort(m.ids)
+	}
+	m.eachShard(func(lo, hi int, _ *mixScratch) {
+		for i := lo; i < hi; i++ {
+			// VICINITY: predecessor and successor ring ranks, age 0, stored
+			// in clockwise order (successor first — views keep the cw
+			// invariant documented on vicinityMerge).
+			pred := int32((i - 1 + m.n) % m.n)
+			succ := int32((i + 1) % m.n)
+			vb := i * m.vv
+			m.vicPos[vb] = succ
+			m.vicAge[vb] = 0
+			m.vicLen[i] = 1
+			if succ != pred {
+				m.vicPos[vb+1] = pred
+				m.vicAge[vb+1] = 0
+				m.vicLen[i] = 2
+			}
+			// CYCLON: per-node contact stream; self and duplicates skipped,
+			// exactly as AddContact does.
+			crng := newMixRand(runner.UnitSeed(m.cfg.Seed, mixTagContacts, int64(i)))
+			cb := i * m.cv
+			ln := 0
+			for c := 0; c < convergedContacts; c++ {
+				p := int32(crng.intn(m.n))
+				if int(p) == i || containsPos32(m.cycPos[cb:cb+ln], p) {
+					continue
+				}
+				m.cycPos[cb+ln] = p
+				m.cycAge[cb+ln] = 0
+				ln++
+			}
+			m.cycLen[i] = uint16(ln)
+		}
+	})
+}
+
+// containsPos32 reports whether p occurs in s (views are tens of entries —
+// linear scan beats any index).
+func containsPos32(s []int32, p int32) bool {
+	for _, q := range s {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// cycle runs one synchronous-parallel mixing cycle: the full CYCLON
+// exchange (request, grouped reply, merge), then the full VICINITY
+// exchange. VICINITY request feeds therefore read the post-CYCLON views of
+// this cycle — a fixed, deterministic schedule.
+func (m *mixer) cycle(c int) {
+	m.cyclonRequests(c)
+	m.group()
+	m.cyclonReplies(c)
+	m.cyclonMerges()
+	m.vicinityRequests(c)
+	m.group()
+	m.vicinityReplies()
+	m.vicinityMerges()
+}
+
+// group builds, sequentially, the per-partner request lists: a counting
+// sort of initiators by partner. Initiators appear in ascending order
+// within each partner's list, so the grouping is a pure function of the
+// partner array — independent of worker count.
+func (m *mixer) group() {
+	off := m.groupOff
+	for i := range off {
+		off[i] = 0
+	}
+	for _, p := range m.partner {
+		if p >= 0 {
+			off[p+1]++
+		}
+	}
+	for i := 1; i <= m.n; i++ {
+		off[i] += off[i-1]
+	}
+	copy(m.groupCur, off[:m.n])
+	for i, p := range m.partner {
+		if p >= 0 {
+			m.order[m.groupCur[p]] = int32(i)
+			m.groupCur[p]++
+		}
+	}
+}
+
+// cyclonRequests is the CYCLON request phase: age, select the oldest
+// neighbour, remove it, sample the payload (StartShuffle semantics on flat
+// state).
+func (m *mixer) cyclonRequests(c int) {
+	m.eachShard(func(lo, hi int, sc *mixScratch) {
+		for i := lo; i < hi; i++ {
+			base := i * m.cv
+			ln := int(m.cycLen[i])
+			for k := 0; k < ln; k++ {
+				m.cycAge[base+k]++
+			}
+			if ln == 0 {
+				m.partner[i] = -1
+				m.reqLen[i] = 0
+				continue
+			}
+			rng := newMixRand(runner.UnitSeed(m.cfg.Seed, mixTagCycReq, int64(c), int64(i)))
+			// Oldest entry, first index winning ties.
+			best := 0
+			for k := 1; k < ln; k++ {
+				if m.cycAge[base+k] > m.cycAge[base+best] {
+					best = k
+				}
+			}
+			m.partner[i] = m.cycPos[base+best]
+			// Swap-remove the partner, per the protocol (a dead peer's stale
+			// link would already be gone — moot here, but kept for fidelity).
+			ln--
+			m.cycPos[base+best] = m.cycPos[base+ln]
+			m.cycAge[base+best] = m.cycAge[base+ln]
+			m.cycLen[i] = uint16(ln)
+			// Payload: up to ShuffleLen-1 distinct random entries plus a
+			// fresh self entry (partial Fisher-Yates over a scratch copy, so
+			// the view's internal order is untouched).
+			take := m.sl - 1
+			if take > ln {
+				take = ln
+			}
+			sc.pos = append(sc.pos[:0], m.cycPos[base:base+ln]...)
+			sc.age = append(sc.age[:0], m.cycAge[base:base+ln]...)
+			rb := i * m.stride
+			for t := 0; t < take; t++ {
+				j := t + rng.intn(ln-t)
+				sc.pos[t], sc.pos[j] = sc.pos[j], sc.pos[t]
+				sc.age[t], sc.age[j] = sc.age[j], sc.age[t]
+				m.reqPos[rb+t] = sc.pos[t]
+				m.reqAge[rb+t] = sc.age[t]
+			}
+			m.reqPos[rb+take] = int32(i)
+			m.reqAge[rb+take] = 0
+			m.reqLen[i] = uint16(take + 1)
+		}
+	})
+}
+
+// cyclonReplies is the CYCLON reply phase: every partner answers its
+// grouped requests in ascending initiator order (HandleRequest semantics:
+// the reply is sampled before the merge, and merged-in entries prefer to
+// overwrite the entries just shipped back).
+func (m *mixer) cyclonReplies(c int) {
+	m.eachShard(func(lo, hi int, sc *mixScratch) {
+		for p := lo; p < hi; p++ {
+			reqs := m.order[m.groupOff[p]:m.groupOff[p+1]]
+			if len(reqs) == 0 {
+				continue
+			}
+			rng := newMixRand(runner.UnitSeed(m.cfg.Seed, mixTagCycRep, int64(c), int64(p)))
+			base := p * m.cv
+			for _, ii := range reqs {
+				i := int(ii)
+				// Reply: up to ShuffleLen distinct random entries of the
+				// partner's current view.
+				ln := int(m.cycLen[p])
+				take := m.sl
+				if take > ln {
+					take = ln
+				}
+				sc.pos = append(sc.pos[:0], m.cycPos[base:base+ln]...)
+				sc.age = append(sc.age[:0], m.cycAge[base:base+ln]...)
+				rb := i * m.stride
+				for t := 0; t < take; t++ {
+					j := t + rng.intn(ln-t)
+					sc.pos[t], sc.pos[j] = sc.pos[j], sc.pos[t]
+					sc.age[t], sc.age[j] = sc.age[j], sc.age[t]
+					m.repPos[rb+t] = sc.pos[t]
+					m.repAge[rb+t] = sc.age[t]
+				}
+				m.repLen[i] = uint16(take)
+				// Merge the request payload, replaceable = reply entries.
+				qb := i * m.stride
+				m.cyclonMerge(p, sc,
+					m.reqPos[qb:qb+int(m.reqLen[i])], m.reqAge[qb:qb+int(m.reqLen[i])],
+					m.repPos[rb:rb+take])
+			}
+		}
+	})
+}
+
+// cyclonMerges is the CYCLON merge phase: every initiator folds its reply
+// into its own view, preferring to overwrite the entries it sent out
+// (HandleReply semantics).
+func (m *mixer) cyclonMerges() {
+	m.eachShard(func(lo, hi int, sc *mixScratch) {
+		for i := lo; i < hi; i++ {
+			if m.partner[i] < 0 {
+				continue
+			}
+			rb := i * m.stride
+			qb := i * m.stride
+			m.cyclonMerge(i, sc,
+				m.repPos[rb:rb+int(m.repLen[i])], m.repAge[rb:rb+int(m.repLen[i])],
+				m.reqPos[qb:qb+int(m.reqLen[i])])
+		}
+	})
+}
+
+// cyclonMerge folds incoming entries into node self's view following the
+// CYCLON rules: discard self and already-known nodes, fill empty slots
+// first, then replace shipped entries (each at most once), discard when no
+// shipped entry remains.
+func (m *mixer) cyclonMerge(self int, sc *mixScratch, inPos []int32, inAge []uint16, shipped []int32) {
+	repl := sc.repl[:0]
+	for _, s := range shipped {
+		if int(s) != self {
+			repl = append(repl, s)
+		}
+	}
+	base := self * m.cv
+	ln := int(m.cycLen[self])
+	for k, e := range inPos {
+		if int(e) == self || containsPos32(m.cycPos[base:base+ln], e) {
+			continue
+		}
+		if ln < m.cv {
+			m.cycPos[base+ln] = e
+			m.cycAge[base+ln] = inAge[k]
+			ln++
+			continue
+		}
+		for ri, r := range repl {
+			if idx := indexPos32(m.cycPos[base:base+ln], r); idx >= 0 {
+				// Swap-remove r, then append e (view.Remove + view.Add).
+				m.cycPos[base+idx] = m.cycPos[base+ln-1]
+				m.cycAge[base+idx] = m.cycAge[base+ln-1]
+				m.cycPos[base+ln-1] = e
+				m.cycAge[base+ln-1] = inAge[k]
+				repl = append(repl[:ri], repl[ri+1:]...)
+				break
+			}
+		}
+	}
+	m.cycLen[self] = uint16(ln)
+	sc.repl = repl[:0]
+}
+
+func indexPos32(s []int32, p int32) int {
+	for i, q := range s {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// vicinityRequests is the VICINITY request phase: age, select the oldest
+// neighbour (falling back to a uniform CYCLON-view draw while the view is
+// empty), and build the payload of the GossipLen-1 closest entries plus a
+// fresh self entry.
+func (m *mixer) vicinityRequests(c int) {
+	m.eachShard(func(lo, hi int, sc *mixScratch) {
+		for i := lo; i < hi; i++ {
+			base := i * m.vv
+			ln := int(m.vicLen[i])
+			for k := 0; k < ln; k++ {
+				m.vicAge[base+k]++
+			}
+			if ln > 0 {
+				best := 0
+				for k := 1; k < ln; k++ {
+					if m.vicAge[base+k] > m.vicAge[base+best] {
+						best = k
+					}
+				}
+				m.partner[i] = m.vicPos[base+best]
+			} else {
+				cl := int(m.cycLen[i])
+				if cl == 0 {
+					m.partner[i] = -1
+					m.reqLen[i] = 0
+					continue
+				}
+				rng := newMixRand(runner.UnitSeed(m.cfg.Seed, mixTagVicReq, int64(c), int64(i)))
+				m.partner[i] = m.cycPos[i*m.cv+rng.intn(cl)]
+			}
+			m.reqLen[i] = m.vicinityPayload(i, m.reqPos, m.reqAge, i*m.stride)
+		}
+	})
+}
+
+// sortKeysSmall is an insertion sort for the merge's incoming-key buffers:
+// a few dozen elements, where a branch-light insertion sort beats the
+// generic sort's pivoting machinery by a wide margin in this engine's
+// hottest loop. Same ascending order as slices.Sort.
+func sortKeysSmall(k []uint64) {
+	for i := 1; i < len(k); i++ {
+		v := k[i]
+		j := i - 1
+		for j >= 0 && k[j] > v {
+			k[j+1] = k[j]
+			j--
+		}
+		k[j+1] = v
+	}
+}
+
+// ringMinDist is the circular ring metric over compact idents (ident.Dist
+// on uint32): the shorter way around, wrapping mod 2^32.
+func ringMinDist(a, b uint32) uint32 {
+	cw := b - a
+	ccw := a - b
+	if ccw < cw {
+		return ccw
+	}
+	return cw
+}
+
+// vicinityPayload writes node i's exchange payload (closest GossipLen-1
+// entries by circular ring distance, ties by position, plus a fresh self
+// entry) into the outPos/outAge slot at rb, returning the entry count.
+//
+// No sort: the view is stored clockwise-ascending (the vicinityMerge
+// invariant), along which the min-distance is unimodal — ascending from the
+// front until the antipode, ascending from the back until the antipode — so
+// the (dist, pos) order is a two-pointer merge of the two monotone runs.
+// Equal distances only happen across the two pointers (same-side entries
+// have distinct cw offsets), resolved by the smaller position.
+func (m *mixer) vicinityPayload(i int, outPos []int32, outAge []uint16, rb int) uint16 {
+	base := i * m.vv
+	ln := int(m.vicLen[i])
+	take := m.gl - 1
+	if take > ln {
+		take = ln
+	}
+	sid := m.ids[i]
+	f, b := 0, ln-1
+	for t := 0; t < take; t++ {
+		k := f
+		if f != b {
+			pf, pb := m.vicPos[base+f], m.vicPos[base+b]
+			df, db := ringMinDist(sid, m.ids[pf]), ringMinDist(sid, m.ids[pb])
+			if df > db || (df == db && pf > pb) {
+				k = b
+			}
+		}
+		outPos[rb+t] = m.vicPos[base+k]
+		outAge[rb+t] = m.vicAge[base+k]
+		if k == f {
+			f++
+		} else {
+			b--
+		}
+	}
+	outPos[rb+take] = int32(i)
+	outAge[rb+take] = 0
+	return uint16(take + 1)
+}
+
+// vicinityReplies is the VICINITY reply phase: every partner answers its
+// grouped requests in ascending initiator order — the reply payload is
+// built from the partner's current view before the merge, exactly the
+// sequential exchange's ordering — and merges each request with its own
+// CYCLON view as the candidate feed.
+func (m *mixer) vicinityReplies() {
+	m.eachShard(func(lo, hi int, sc *mixScratch) {
+		for p := lo; p < hi; p++ {
+			reqs := m.order[m.groupOff[p]:m.groupOff[p+1]]
+			for _, ii := range reqs {
+				i := int(ii)
+				m.repLen[i] = m.vicinityPayload(p, m.repPos, m.repAge, i*m.stride)
+				qb := i * m.stride
+				m.vicinityMerge(p, sc, m.reqPos[qb:qb+int(m.reqLen[i])], m.reqAge[qb:qb+int(m.reqLen[i])])
+			}
+		}
+	})
+}
+
+// vicinityMerges is the VICINITY merge phase: every initiator folds its
+// reply into its own view with its own CYCLON view as the feed.
+func (m *mixer) vicinityMerges() {
+	m.eachShard(func(lo, hi int, sc *mixScratch) {
+		for i := lo; i < hi; i++ {
+			if m.partner[i] < 0 {
+				continue
+			}
+			rb := i * m.stride
+			m.vicinityMerge(i, sc, m.repPos[rb:rb+int(m.repLen[i])], m.repAge[rb:rb+int(m.repLen[i])])
+		}
+	})
+}
+
+// vicinityMerge folds candidate entries plus node self's CYCLON feed into
+// its VICINITY view, keeping the balanced closest set (vicinity.Merge
+// semantics: dedup by node keeping the youngest age, then ViewSize/2
+// closest clockwise + ViewSize/2 closest counterclockwise, remainder by
+// global distance). The resulting view is stored clockwise-ascending — the
+// invariant vicinityPayload, selection and freeze all lean on.
+//
+// Clockwise order costs no sort: positions are ring ranks, so a
+// pos-ascending list splits at self into [below-self block, above-self
+// block] and its cw-ascending order is the rotation [above ++ below]. Only
+// the incoming candidates + feed (~2·GossipLen entries) are ever sorted;
+// the own view enters the dedup merge pre-sorted via that rotation.
+func (m *mixer) vicinityMerge(self int, sc *mixScratch, candPos []int32, candAge []uint16) {
+	// Incoming keys pos<<16|age: sorting groups each position's entries
+	// youngest-first, so keeping the first of every run reproduces the
+	// map-based pool (youngest age wins).
+	keys := sc.key[:0]
+	add := func(pos int32, age uint16) {
+		if int(pos) == self {
+			return
+		}
+		if !m.noMaxAge && age > m.maxAge {
+			return
+		}
+		keys = append(keys, uint64(uint32(pos))<<16|uint64(age))
+	}
+	for k, p := range candPos {
+		add(p, candAge[k])
+	}
+	cb := self * m.cv
+	for k := 0; k < int(m.cycLen[self]); k++ {
+		add(m.cycPos[cb+k], m.cycAge[cb+k])
+	}
+	sortKeysSmall(keys)
+	sc.key = keys
+	// Own view, rotated from cw order back to pos order, same filters.
+	base := self * m.vv
+	ln := int(m.vicLen[self])
+	split := 0 // length of the above-self block (cw order leads with it)
+	for split < ln && m.vicPos[base+split] > int32(self) {
+		split++
+	}
+	own := sc.own[:0]
+	ownAdd := func(k int) {
+		age := m.vicAge[base+k]
+		if !m.noMaxAge && age > m.maxAge {
+			return
+		}
+		own = append(own, uint64(uint32(m.vicPos[base+k]))<<16|uint64(age))
+	}
+	for k := split; k < ln; k++ {
+		ownAdd(k)
+	}
+	for k := 0; k < split; k++ {
+		ownAdd(k)
+	}
+	sc.own = own
+	// Dedup merge of the two sorted streams. Within equal positions the
+	// smaller packed key (= younger age) comes first; ties between an own
+	// entry and an incoming one at the same age resolve to the same entry
+	// values either way.
+	dpos, dage := sc.dpos[:0], sc.dage[:0]
+	a, b := 0, 0
+	for a < len(own) || b < len(keys) {
+		var key uint64
+		if b >= len(keys) || (a < len(own) && own[a] <= keys[b]) {
+			key = own[a]
+			a++
+		} else {
+			key = keys[b]
+			b++
+		}
+		pos := int32(key >> 16)
+		if len(dpos) > 0 && dpos[len(dpos)-1] == pos {
+			continue
+		}
+		dpos = append(dpos, pos)
+		dage = append(dage, uint16(key&0xffff))
+	}
+	sc.dpos, sc.dage = dpos, dage
+
+	// Selection over the pool, written back in cw order via a chosen
+	// bitmap indexed in cw sequence order: cwIdx(j) walks dpos rotated at
+	// self (above-self block first).
+	np := len(dpos)
+	rot := 0 // first pool index above self
+	for rot < np && dpos[rot] < int32(self) {
+		rot++
+	}
+	chosen := sc.chosen[:0]
+	for k := 0; k < np; k++ {
+		chosen = append(chosen, false)
+	}
+	sc.chosen = chosen
+	cwIdx := func(j int) int {
+		j += rot
+		if j >= np {
+			j -= np
+		}
+		return j
+	}
+	want := 0
+	if m.cfg.Vicinity.Balanced {
+		want = m.selectBalanced(self, dpos, chosen, cwIdx)
+	} else {
+		// Unbalanced: the ViewSize globally closest — the same two-pointer
+		// min-distance merge as vicinityPayload, over the cw rotation.
+		want = m.vv
+		if want > np {
+			want = np
+		}
+		sid := m.ids[self]
+		f, bb := 0, np-1
+		for t := 0; t < want; t++ {
+			k := f
+			if f != bb {
+				pf, pb := dpos[cwIdx(f)], dpos[cwIdx(bb)]
+				df, db := ringMinDist(sid, m.ids[pf]), ringMinDist(sid, m.ids[pb])
+				if df > db || (df == db && pf > pb) {
+					k = bb
+				}
+			}
+			chosen[cwIdx(k)] = true
+			if k == f {
+				f++
+			} else {
+				bb--
+			}
+		}
+	}
+	// Write the view in cw sequence order.
+	w := 0
+	for j := 0; j < np && w < want; j++ {
+		k := cwIdx(j)
+		if !chosen[k] {
+			continue
+		}
+		m.vicPos[base+w] = dpos[k]
+		m.vicAge[base+w] = dage[k]
+		w++
+	}
+	m.vicLen[self] = uint16(w)
+}
+
+// selectBalanced marks the kept pool entries in chosen: ViewSize/2 closest
+// clockwise plus ViewSize/2 closest counterclockwise (the true ring
+// neighbour on each side is always retained), leftover capacity filled with
+// the globally closest of the middle rest — vicinity.selectBalanced on the
+// cw rotation of the deduplicated pool, with every sort replaced by
+// positional walks. Returns how many entries were marked.
+func (m *mixer) selectBalanced(self int, dpos []int32, chosen []bool, cwIdx func(int) int) int {
+	np := len(dpos)
+	half := m.vv / 2
+	if half == 0 {
+		half = 1
+	}
+	take := half
+	if take > np {
+		take = np
+	}
+	out := 0
+	for j := 0; j < take; j++ {
+		chosen[cwIdx(j)] = true
+		out++
+	}
+	// Counterclockwise: the cw order walked from the far end, never past
+	// the clockwise picks, capped at half picks.
+	tail := np
+	for tail-1 >= take && out < m.vv && out < 2*half {
+		tail--
+		chosen[cwIdx(tail)] = true
+		out++
+	}
+	// Remainder: globally closest of the untouched middle run [take, tail).
+	// Min distance is unimodal along the cw order, so the (dist, pos) fill
+	// is the same two-pointer merge as vicinityPayload over the segment.
+	if out < m.vv && take < tail {
+		sid := m.ids[self]
+		f, b := take, tail-1
+		for out < m.vv && f <= b {
+			k := f
+			if f != b {
+				pf, pb := dpos[cwIdx(f)], dpos[cwIdx(b)]
+				df, db := ringMinDist(sid, m.ids[pf]), ringMinDist(sid, m.ids[pb])
+				if df > db || (df == db && pf > pb) {
+					k = b
+				}
+			}
+			chosen[cwIdx(k)] = true
+			out++
+			if k == f {
+				f++
+			} else {
+				b--
+			}
+		}
+	}
+	return out
+}
+
+// ringNeighbors returns node i's d-links from its VICINITY view: the
+// closest clockwise (successor) and counterclockwise (predecessor) peers.
+// The view's cw-ascending invariant makes them its first and last entries
+// (they coincide in a single-entry view — the two-node ring case). ok is
+// false while the view is empty.
+func (m *mixer) ringNeighbors(i int) (pred, succ int32, ok bool) {
+	base := i * m.vv
+	ln := int(m.vicLen[i])
+	if ln == 0 {
+		return 0, 0, false
+	}
+	return m.vicPos[base+ln-1], m.vicPos[base], true
+}
+
+// freeze resolves the converged state into a compact arena: r-links are
+// each node's CYCLON view in internal order, d-links its [pred, succ] ring
+// neighbours. Values are already dense positions, so no ID resolution (and
+// no placeholder patching) is needed; the fill is shard-parallel into
+// disjoint regions.
+func (m *mixer) freeze() *core.PosArena {
+	rLens := make([]int, m.n)
+	dLens := make([]int, m.n)
+	for i := 0; i < m.n; i++ {
+		rLens[i] = int(m.cycLen[i])
+		if m.vicLen[i] > 0 {
+			dLens[i] = 2
+		}
+	}
+	arena := core.NewPosArena(rLens, dLens)
+	m.eachShard(func(lo, hi int, _ *mixScratch) {
+		for i := lo; i < hi; i++ {
+			copy(arena.RSlot(i), m.cycPos[i*m.cv:i*m.cv+rLens[i]])
+			if dLens[i] > 0 {
+				pred, succ, _ := m.ringNeighbors(i)
+				d := arena.DSlot(i)
+				d[0], d[1] = pred, succ
+			}
+		}
+	})
+	return arena
+}
+
+// convergence returns the fraction of nodes whose d-links point at their
+// true ring neighbours (positions are ring ranks, so truth is i±1 mod n).
+func (m *mixer) convergence() float64 {
+	shards := m.shards()
+	counts := make([]int, shards)
+	_ = runner.Map(m.cfg.Parallelism, shards, nil, func(s int) error {
+		lo, hi := m.shardRange(s)
+		correct := 0
+		for i := lo; i < hi; i++ {
+			pred, succ, ok := m.ringNeighbors(i)
+			if !ok {
+				continue
+			}
+			if pred == int32((i-1+m.n)%m.n) && succ == int32((i+1)%m.n) {
+				correct++
+			}
+		}
+		counts[s] = correct
+		return nil
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / float64(m.n)
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"ringcast/internal/core"
+)
+
+// arenaBytes flattens an arena into one comparable slice: per node, the
+// r-block then d-block, prefixed by their lengths. Byte-identical arenas
+// (the determinism contract of BuildConverged) flatten identically.
+func arenaBytes(t *testing.T, a *core.PosArena) []int32 {
+	t.Helper()
+	out := make([]int32, 0, a.LinkCount()+2*a.N())
+	for i := 0; i < a.N(); i++ {
+		l := a.Links(i)
+		out = append(out, int32(len(l.R)), int32(len(l.D)))
+		out = append(out, l.R...)
+		out = append(out, l.D...)
+	}
+	return out
+}
+
+func buildAt(t *testing.T, n, workers int) *MixResult {
+	t.Helper()
+	cfg := DefaultMixConfig(n)
+	cfg.Seed = 7
+	cfg.Parallelism = workers
+	res, err := BuildConverged(cfg)
+	if err != nil {
+		t.Fatalf("BuildConverged(n=%d, workers=%d): %v", n, workers, err)
+	}
+	return res
+}
+
+// TestBuildConvergedParallelInvariance is the tentpole's determinism
+// invariance test: the frozen overlay (arena bytes and ring convergence)
+// must be byte-identical at any worker count, both for populations that fit
+// one shard and for populations spanning several shards.
+func TestBuildConvergedParallelInvariance(t *testing.T) {
+	for _, n := range []int{300, mixShardNodes + 1500} {
+		ref := buildAt(t, n, 1)
+		refBytes := arenaBytes(t, ref.Arena)
+		workers := []int{2, 4, runtime.NumCPU()}
+		for _, w := range workers {
+			got := buildAt(t, n, w)
+			if got.Convergence != ref.Convergence {
+				t.Errorf("n=%d workers=%d: convergence %v, want %v (sequential)", n, w, got.Convergence, ref.Convergence)
+			}
+			gotBytes := arenaBytes(t, got.Arena)
+			if len(gotBytes) != len(refBytes) {
+				t.Fatalf("n=%d workers=%d: arena size %d, want %d", n, w, len(gotBytes), len(refBytes))
+			}
+			for i := range refBytes {
+				if gotBytes[i] != refBytes[i] {
+					t.Fatalf("n=%d workers=%d: arena diverges at flat index %d: got %d, want %d", n, w, i, gotBytes[i], refBytes[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildConvergedRing checks the operating point: the converged seeding
+// plus 30 mixing cycles must leave every node's d-links on its true ring
+// neighbours (balanced selection always retains them), and the r-links
+// well mixed — not the bootstrap contacts drawn at seeding time.
+func TestBuildConvergedRing(t *testing.T) {
+	const n = 2000
+	res := buildAt(t, n, 0)
+	if res.Convergence != 1.0 {
+		t.Fatalf("convergence = %v, want 1.0", res.Convergence)
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		d := res.Arena.Links(i).D
+		if len(d) != 2 {
+			t.Fatalf("node %d: %d d-links, want 2", i, len(d))
+		}
+		wantPred, wantSucc := int32((i-1+n)%n), int32((i+1)%n)
+		if d[0] != wantPred || d[1] != wantSucc {
+			t.Errorf("node %d: d-links [%d %d], want [%d %d]", i, d[0], d[1], wantPred, wantSucc)
+		}
+	}
+	// Mixing must fill CYCLON views to capacity and spread targets: with
+	// view 20 over 2000 nodes, mean in-degree is 20, and the mixed overlay
+	// should leave no node with an empty r-block and nearly all view slots
+	// filled.
+	total, full := 0, 0
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := res.Arena.Links(i).R
+		total += len(r)
+		if len(r) == 20 {
+			full++
+		}
+		for _, p := range r {
+			if p == int32(i) {
+				t.Fatalf("node %d holds a self r-link", i)
+			}
+			indeg[p]++
+		}
+	}
+	if full < n*95/100 {
+		t.Errorf("only %d/%d nodes have full CYCLON views after mixing", full, n)
+	}
+	zero := 0
+	for _, d := range indeg {
+		if d == 0 {
+			zero++
+		}
+	}
+	if zero > n/100 {
+		t.Errorf("%d nodes have zero r-link in-degree; mixing did not spread links", zero)
+	}
+}
+
+// TestBuildConvergedDeterministicAcrossRuns pins that the build is a pure
+// function of the config, and that the seed actually matters.
+func TestBuildConvergedDeterministicAcrossRuns(t *testing.T) {
+	a := buildAt(t, 500, 0)
+	b := buildAt(t, 500, 0)
+	ab, bb := arenaBytes(t, a.Arena), arenaBytes(t, b.Arena)
+	for i := range ab {
+		if ab[i] != bb[i] {
+			t.Fatalf("same config diverges at flat index %d", i)
+		}
+	}
+	cfg := DefaultMixConfig(500)
+	cfg.Seed = 8
+	c, err := BuildConverged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := arenaBytes(t, c.Arena)
+	same := len(cb) == len(ab)
+	if same {
+		for i := range ab {
+			if ab[i] != cb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical overlays")
+	}
+}
+
+// TestMixConfigValidation covers the rejection paths.
+func TestMixConfigValidation(t *testing.T) {
+	bad := []func(*MixConfig){
+		func(c *MixConfig) { c.N = 1 },
+		func(c *MixConfig) { c.Cycles = -1 },
+		func(c *MixConfig) { c.Cyclon.ViewSize = 0 },
+		func(c *MixConfig) { c.Cyclon.ShuffleLen = 99 },
+		func(c *MixConfig) { c.Cyclon.RandomPeerSelection = true },
+		func(c *MixConfig) { c.Vicinity.GossipLen = 0 },
+		func(c *MixConfig) { c.Vicinity.GossipLen = 99 },
+		func(c *MixConfig) { c.Vicinity.ViewSize = 300 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultMixConfig(100)
+		mutate(&cfg)
+		if _, err := BuildConverged(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestBuildConvergedTinyPopulations exercises the degenerate rings (the
+// two-node ring has pred == succ; three nodes still have distinct ones).
+func TestBuildConvergedTinyPopulations(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		cfg := DefaultMixConfig(n)
+		cfg.Cycles = 10
+		res, err := BuildConverged(cfg)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Convergence != 1.0 {
+			t.Errorf("n=%d: convergence %v, want 1.0", n, res.Convergence)
+		}
+	}
+}
