@@ -1,0 +1,122 @@
+// Command ringcast-lint is the multichecker for ringcast's determinism and
+// concurrency contracts: it loads the requested packages and runs the
+// internal/lint analyzer suite — detrand (no ambient randomness or wall
+// clock in ringcast:deterministic packages), maporder (map iteration order
+// must not reach output unsorted), lockio (no blocking call while a sync
+// mutex is held), and hotalloc (ringcast:hotpath functions must stay free of
+// compiler-reported heap escapes). Findings print as file:line:col lines and
+// a non-zero exit fails CI; deliberate exceptions carry justified
+// `//lint:<analyzer> <why>` waivers in the source itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ringcast/internal/lint"
+)
+
+// analyzers is the AST half of the suite; hotalloc runs as a separate
+// compiler-driven pass.
+var analyzers = []*lint.Analyzer{lint.Detrand, lint.Maporder, lint.Lockio}
+
+func main() {
+	disable := flag.String("disable", "", "comma-separated analyzers to skip (detrand, maporder, lockio, hotalloc)")
+	flag.Usage = usage
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	disabled := map[string]bool{}
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			disabled[name] = true
+		}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	var enabled []*lint.Analyzer
+	for _, a := range analyzers {
+		if !disabled[a.Name] {
+			enabled = append(enabled, a)
+		}
+	}
+	var extra []lint.Diagnostic
+	var extraRan []string
+	if !disabled[lint.HotallocName] {
+		extra, err = lint.Hotalloc(dir, pkgs)
+		if err != nil {
+			fatal(err)
+		}
+		extraRan = append(extraRan, lint.HotallocName)
+	}
+
+	diags, err := lint.RunAnalyzers(pkgs, enabled, extra, extraRan...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ringcast-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ringcast-lint:", err)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `ringcast-lint enforces ringcast's determinism and concurrency contracts.
+
+Usage:
+
+  ringcast-lint [-disable names] [packages]
+
+With no package patterns it checks ./... . Examples:
+
+  ringcast-lint ./...
+  ringcast-lint -disable hotalloc ./internal/...
+
+Analyzers:
+
+`)
+	for _, a := range analyzers {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-9s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(flag.CommandLine.Output(), "  %-9s %s\n", lint.HotallocName, lint.HotallocDoc)
+	fmt.Fprintf(flag.CommandLine.Output(), `
+Markers and waivers (see ARCHITECTURE.md "Enforced contracts"):
+
+  //ringcast:deterministic   package-scope marker: detrand applies (one marked
+                             file covers the whole package)
+  //ringcast:hotpath         function marker: hotalloc forbids heap escapes
+  //lint:<analyzer> <why>    justified waiver on the finding's line or the
+                             line above; an unjustified or unused waiver is
+                             itself a finding
+
+Flags:
+
+`)
+	flag.PrintDefaults()
+}

@@ -10,6 +10,11 @@
 //   - TestExportedSymbolsDocumented is the doc-comment gate: exported
 //     declarations in the packages this repository curates must carry doc
 //     comments, so godoc stays complete as the codebase grows.
+//   - TestDeterministicMarkersMatchArchitecture pins the ARCHITECTURE.md
+//     "Enforced contracts" package list to the source: every package the
+//     document claims is deterministic must carry the
+//     //ringcast:deterministic marker, and every marked package must be in
+//     the document's list.
 package ringcast_test
 
 import (
@@ -203,4 +208,76 @@ func checkDeclDocumented(t *testing.T, fset *token.FileSet, path string, decl as
 			}
 		}
 	}
+}
+
+// detMarkerRe matches the package-scope determinism marker directive, with
+// or without a space after the slashes (the same shape internal/lint
+// accepts).
+var detMarkerRe = regexp.MustCompile(`(?m)^//[ \t]?ringcast:deterministic\b`)
+
+// archDetListRe brackets the sentence in ARCHITECTURE.md "Enforced
+// contracts" that enumerates the deterministic packages.
+var archDetListRe = regexp.MustCompile(`(?s)The marked packages are(.*?)cannot drift from the tree`)
+
+// archDetPkgRe extracts the backticked package paths from that sentence.
+var archDetPkgRe = regexp.MustCompile("`(internal/[a-z]+)`")
+
+func TestDeterministicMarkersMatchArchitecture(t *testing.T) {
+	data, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := archDetListRe.FindSubmatch(data)
+	if span == nil {
+		t.Fatal(`ARCHITECTURE.md no longer contains the "The marked packages are ... cannot drift from the tree" sentence the marker gate parses; update archDetListRe alongside the document`)
+	}
+	listed := map[string]bool{}
+	for _, m := range archDetPkgRe.FindAllSubmatch(span[1], -1) {
+		listed[string(m[1])] = true
+	}
+	if len(listed) < 5 {
+		t.Fatalf("parsed only %d deterministic packages from ARCHITECTURE.md; the list sentence looks broken", len(listed))
+	}
+
+	for dir := range listed {
+		if !packageCarriesDetMarker(t, dir) {
+			t.Errorf("%s is listed as deterministic in ARCHITECTURE.md but no non-test file carries //ringcast:deterministic", dir)
+		}
+	}
+
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			continue
+		}
+		if packageCarriesDetMarker(t, dir) && !listed[dir] {
+			t.Errorf("%s carries //ringcast:deterministic but is missing from the ARCHITECTURE.md \"Enforced contracts\" package list", dir)
+		}
+	}
+}
+
+// packageCarriesDetMarker reports whether any non-test Go file directly in
+// dir contains the //ringcast:deterministic directive.
+func packageCarriesDetMarker(t *testing.T, dir string) bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if detMarkerRe.Match(data) {
+			return true
+		}
+	}
+	return false
 }

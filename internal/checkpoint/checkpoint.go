@@ -19,6 +19,8 @@
 // an IEEE CRC-32 trailer, and no trailing bytes. Decode accepts exactly
 // the bytes Encode produces — any accepted input re-encodes to itself,
 // the invariant the fuzz target leans on.
+//
+//ringcast:deterministic
 package checkpoint
 
 import (

@@ -3,6 +3,8 @@
 // random nodes replaced by fresh joiners every cycle — the rate 0.2%/cycle
 // corresponds to the Gnutella churn measured by Saroiu et al. at a 10 s
 // gossip period) and node-lifetime bookkeeping for Figures 12 and 13.
+//
+//ringcast:deterministic
 package churn
 
 import (

@@ -16,6 +16,8 @@
 // Selectors are pure: they depend only on the node's links, the sender, the
 // fanout, and the supplied randomness, so the same implementations drive the
 // hop-synchronous simulator and the live runtime.
+//
+//ringcast:deterministic
 package core
 
 import (
@@ -200,11 +202,15 @@ var (
 )
 
 // SelectPos implements PosSelector, mirroring Select.
+//
+//ringcast:hotpath
 func (RandCast) SelectPos(dst []int32, s *PosScratch, links PosLinks, from int32, fanout int, rng *rand.Rand) []int32 {
 	return samplePosExcluding(dst, s, links.R, fanout, rng, from, nil)
 }
 
 // SelectPos implements PosSelector, mirroring Select.
+//
+//ringcast:hotpath
 func (RingCast) SelectPos(dst []int32, s *PosScratch, links PosLinks, from int32, fanout int, rng *rand.Rand) []int32 {
 	base := len(dst)
 	for _, d := range links.D {
@@ -220,6 +226,8 @@ func (RingCast) SelectPos(dst []int32, s *PosScratch, links PosLinks, from int32
 }
 
 // SelectPos implements PosSelector, mirroring Select.
+//
+//ringcast:hotpath
 func (Flood) SelectPos(dst []int32, _ *PosScratch, links PosLinks, from int32, _ int, _ *rand.Rand) []int32 {
 	base := len(dst)
 	for _, set := range [2][]int32{links.D, links.R} {
@@ -234,6 +242,8 @@ func (Flood) SelectPos(dst []int32, _ *PosScratch, links PosLinks, from int32, _
 }
 
 // SelectPos implements PosSelector, mirroring Select.
+//
+//ringcast:hotpath
 func (DFlood) SelectPos(dst []int32, _ *PosScratch, links PosLinks, from int32, _ int, _ *rand.Rand) []int32 {
 	base := len(dst)
 	for _, p := range links.D {
@@ -252,6 +262,8 @@ func (DFlood) SelectPos(dst []int32, _ *PosScratch, links PosLinks, from int32, 
 // path, so both paths pick the same targets. Linear-scan dedup replaces the
 // ID path's maps: link sets are small (tens of entries), where scanning
 // beats hashing and allocates nothing.
+//
+//ringcast:hotpath
 func samplePosExcluding(dst []int32, s *PosScratch, pool []int32, n int, rng *rand.Rand, from int32, skip []int32) []int32 {
 	if n <= 0 || len(pool) == 0 {
 		return dst
@@ -275,6 +287,8 @@ func samplePosExcluding(dst []int32, s *PosScratch, pool []int32, n int, rng *ra
 	return append(dst, cand[:n]...)
 }
 
+//
+//ringcast:hotpath
 func containsPos(s []int32, p int32) bool {
 	for _, q := range s {
 		if q == p {

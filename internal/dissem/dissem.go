@@ -8,6 +8,8 @@
 // disseminating (Section 7.1 shows ongoing gossip does not change the
 // macroscopic behaviour in static networks, and Section 7.2 deliberately
 // disables it after catastrophic failures to study the worst case).
+//
+//ringcast:deterministic
 package dissem
 
 import (
@@ -449,9 +451,13 @@ func (b Bitmap) Reuse(n int) Bitmap {
 }
 
 // Get reports whether bit i is set.
+//
+//ringcast:hotpath
 func (b Bitmap) Get(i int32) bool { return b[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0 }
 
 // Set sets bit i.
+//
+//ringcast:hotpath
 func (b Bitmap) Set(i int32) { b[uint32(i)>>6] |= 1 << (uint32(i) & 63) }
 
 // Scratch holds the reusable buffers of the dissemination engine: the

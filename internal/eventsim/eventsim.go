@@ -11,6 +11,8 @@
 // model), eventsim schedules each message copy individually on a priority
 // queue with a caller-supplied latency distribution. Hop counts lose meaning
 // here; completion time becomes continuous.
+//
+//ringcast:deterministic
 package eventsim
 
 import (

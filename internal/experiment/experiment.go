@@ -21,6 +21,8 @@
 // so results are bit-identical at any Config.Parallelism — including 1, the
 // reference sequential execution. RunChurnReplicas additionally fans whole
 // independent churn replicas across workers.
+//
+//ringcast:deterministic
 package experiment
 
 import (

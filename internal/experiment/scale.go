@@ -310,7 +310,7 @@ func buildScaleOverlay(cfg ScaleConfig, n int) (*core.PosArena, float64, string,
 func runScaleStep(cfg ScaleConfig, protocols []string, n int) (*ScaleStep, error) {
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
-	buildStart := time.Now()
+	buildStart := time.Now() //lint:detrand wall-clock build timing is a perf diagnostic, never part of simulator output
 
 	arena, convergence, bootstrap, err := buildScaleOverlay(cfg, n)
 	if err != nil {
@@ -325,9 +325,9 @@ func runScaleStep(cfg ScaleConfig, protocols []string, n int) (*ScaleStep, error
 	var msMid runtime.MemStats
 	runtime.ReadMemStats(&msMid)
 	step.HeapBytes = msMid.HeapAlloc
-	step.BuildSeconds = time.Since(buildStart).Seconds()
+	step.BuildSeconds = time.Since(buildStart).Seconds() //lint:detrand perf diagnostic column, excluded from determinism guarantees
 
-	sweepStart := time.Now()
+	sweepStart := time.Now() //lint:detrand wall-clock sweep timing is a perf diagnostic, never part of simulator output
 	sels := make([]core.Selector, len(protocols))
 	for i, p := range protocols {
 		if sels[i], err = scaleSelector(p); err != nil {
@@ -394,7 +394,7 @@ func runScaleStep(cfg ScaleConfig, protocols []string, n int) (*ScaleStep, error
 		}
 		step.Points = append(step.Points, pt)
 	}
-	step.SweepSeconds = time.Since(sweepStart).Seconds()
+	step.SweepSeconds = time.Since(sweepStart).Seconds() //lint:detrand perf diagnostic column, excluded from determinism guarantees
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
 	step.AllocBytes = msAfter.TotalAlloc - msBefore.TotalAlloc

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand enforces the determinism contract on packages carrying the
+// `ringcast:deterministic` marker: every random draw must flow from a
+// per-unit seeded stream (runner.UnitSeed / runner.UnitRand derive SplitMix64
+// streams from the experiment seed), and nothing may read the wall clock.
+// Concretely, in marked packages it forbids:
+//
+//   - global math/rand functions (rand.Int, rand.Intn, rand.Float64,
+//     rand.Shuffle, rand.Perm, rand.Seed, rand.Read, ...), which draw from
+//     the process-global, randomly seeded source. Constructing explicit
+//     streams stays legal: rand.New, rand.NewSource, rand.NewZipf and the
+//     rand.Rand/Source types are the whole point.
+//   - importing math/rand/v2 (its top-level functions are auto-seeded and
+//     its constructors encourage ambient randomness) and crypto/rand.
+//   - the wall clock and timers: time.Now, time.Since, time.Until,
+//     time.Sleep, time.After, time.Tick, time.NewTimer, time.NewTicker,
+//     time.AfterFunc. Pure time arithmetic (time.Duration, unit constants,
+//     ParseDuration) stays legal.
+//
+// Unmarked packages (the live runtime, transports, CLIs) are exempt: wall
+// clocks and jitter are their job.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "in ringcast:deterministic packages, forbid global math/rand, the wall clock, and auto-seeded randomness; derive streams from runner.UnitSeed instead",
+	Run:  runDetrand,
+}
+
+// detrandAllowedRand are the math/rand names that construct or name explicit
+// streams rather than drawing from the global source.
+var detrandAllowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+// detrandForbiddenTime are the time functions that read the wall clock or
+// arm real timers.
+var detrandForbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// detrandBannedImports may not be imported at all in marked packages.
+var detrandBannedImports = map[string]string{
+	"math/rand/v2": "math/rand/v2 is auto-seeded; use math/rand streams built from runner.UnitSeed",
+	"crypto/rand":  "crypto/rand is nondeterministic by design; derive bytes from a seeded stream",
+}
+
+func runDetrand(pass *Pass) error {
+	if !pass.Deterministic {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path := importPathOf(spec)
+			if why, banned := detrandBannedImports[path]; banned {
+				pass.Reportf(spec.Pos(), "deterministic package imports %s: %s", path, why)
+			}
+			if spec.Name != nil && spec.Name.Name == "." && (path == "math/rand" || path == "time") {
+				pass.Reportf(spec.Pos(), "deterministic package dot-imports %s; qualified use is required so stream and clock discipline stays checkable", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "math/rand":
+				if !detrandAllowedRand[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand.%s draws from the process-global source; derive a stream from runner.UnitSeed (rand.New(rand.NewSource(seed))) instead",
+						sel.Sel.Name)
+				}
+			case "time":
+				if detrandForbiddenTime[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock in a deterministic package; simulator time must come from hop/cycle counters (waive with //lint:detrand only for non-output diagnostics)",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

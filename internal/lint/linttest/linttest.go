@@ -1,0 +1,153 @@
+// Package linttest is the fixture harness for ringcast's static-analysis
+// suite, modeled on golang.org/x/tools/go/analysis/analysistest: a fixture
+// is one package of Go files under testdata/src/<name>, and every line that
+// should trigger a finding carries a `// want "regexp"` comment (several
+// quoted regexps per comment for several findings on one line). Run loads
+// the fixture, executes the analyzer through the same driver as
+// cmd/ringcast-lint — so waiver suppression and waiver auditing behave
+// exactly as in CI — and fails the test on any unmatched finding or
+// unsatisfied expectation. The harness itself is deterministic: fixtures
+// typecheck against compiler export data, no network, no randomness.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ringcast/internal/lint"
+)
+
+// wantRe matches a `// want "re" "re2"` expectation comment and captures the
+// quoted regexps blob.
+var wantRe = regexp.MustCompile(`//[ \t]*want((?:[ \t]+"(?:[^"\\]|\\.)*")+)`)
+
+// quotedRe extracts the individual quoted regexps from the blob.
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one `// want` regexp, anchored to a fixture file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at dir, runs a (with full waiver filtering
+// and auditing, exactly like the ringcast-lint driver), and checks the
+// diagnostics against the fixture's `// want` comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+
+	expectations := collectWants(t, pkg)
+	for _, d := range diags {
+		if !claim(expectations, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected finding at %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// RunExpectClean loads the fixture at dir, runs a, and fails on any finding
+// at all — for fixtures proving an analyzer stays silent (e.g. a package
+// without the determinism marker).
+func RunExpectClean(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		t.Errorf("expected no findings, got %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	}
+}
+
+// collectWants parses every `// want` comment in the fixture into anchored
+// expectations.
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want") && strings.Contains(c.Text, `"`) {
+						t.Fatalf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched expectation on (file, line) whose regexp
+// matches message; it reports whether one was found.
+func claim(expectations []*expectation, file string, line int, message string) bool {
+	for _, e := range expectations {
+		if e.matched || e.file != file || e.line != line {
+			continue
+		}
+		if e.re.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostics is a convenience for bespoke tests (the hotalloc escape
+// fixture) that want the raw filtered findings of several analyzers.
+func Diagnostics(t *testing.T, dir string, as ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	pkg, err := lint.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, as, nil)
+	if err != nil {
+		t.Fatalf("run on %s: %v", dir, err)
+	}
+	return diags
+}
+
+// Describe formats diagnostics for failure messages.
+func Describe(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one typechecked target of the suite: parsed syntax (non-test
+// files, exactly the sources that shape simulator output), type information
+// resolved against compiler export data, and the package-scope determinism
+// marker state.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// Deterministic is true when any file carries the
+	// `ringcast:deterministic` directive (package-scoped marker).
+	Deterministic bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path string }
+}
+
+// Load resolves patterns (e.g. "./...") against the module rooted at dir,
+// compiles export data for every dependency via `go list -deps -export`, and
+// parses + typechecks each in-module package from source. Only in-module
+// packages come back as analysis targets; dependencies (including the
+// standard library) are imported from export data, so loading needs no
+// network and no third-party tooling — just the Go toolchain that built the
+// tree.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	modPath, err := modulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.Path == modPath {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := check(t.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:       t.ImportPath,
+			Dir:           t.Dir,
+			Fset:          fset,
+			Syntax:        files,
+			Types:         pkg,
+			TypesInfo:     info,
+			Deterministic: hasDeterministicMarker(files),
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadFixture parses and typechecks one analysistest-style fixture directory
+// (a single package of .go files outside the module build, e.g.
+// testdata/src/detrand). Imports are restricted to the standard library and
+// resolve through export data produced by `go list -deps -export std-path...`.
+func LoadFixture(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imported := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			imported[importPathOf(spec)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+
+	exports := map[string]string{}
+	if len(imported) > 0 {
+		args := []string{"list", "-deps", "-export", "-json=ImportPath,Export"}
+		for path := range imported {
+			args = append(args, path)
+		}
+		sort.Strings(args[4:])
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list for fixture imports: %v\n%s", err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (fixtures may import only the standard library)", path)
+		}
+		return os.Open(f)
+	})
+
+	name := filepath.Base(dir)
+	pkg, info, err := check(name, fset, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %w", dir, err)
+	}
+	return &Package{
+		PkgPath:       name,
+		Dir:           dir,
+		Fset:          fset,
+		Syntax:        files,
+		Types:         pkg,
+		TypesInfo:     info,
+		Deterministic: hasDeterministicMarker(files),
+	}, nil
+}
+
+// check typechecks one package's files with a fully populated types.Info.
+func check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// modulePath reads the module path from `go list -m` so Load can tell
+// in-module analysis targets apart from dependencies.
+func modulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %w", err)
+	}
+	return string(bytes.TrimSpace(out)), nil
+}
+
+// importPathOf unquotes an import spec path.
+func importPathOf(spec *ast.ImportSpec) string {
+	s := spec.Path.Value
+	return s[1 : len(s)-1]
+}

@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags map iteration whose order can reach output. Go randomizes
+// map iteration order per run, so any table row, CSV line, slice, or
+// order-sensitive fold built inside `range m` is nondeterministic — the bug
+// class the golden-file suite exists to catch, flagged here before it ships.
+// Inside the body of a `range` over a map (function literals excluded — they
+// run elsewhere), the analyzer reports:
+//
+//   - appends to a slice declared outside the loop, unless that slice is
+//     sorted afterwards in the same enclosing block (the canonical
+//     collect-keys-then-sort idiom passes clean; a slice declared inside the
+//     body is per-iteration state and cannot carry order across iterations);
+//   - order-sensitive folds: compound assignments (+=, -=, *=, /=) and
+//     self-concatenations whose operand type is float, complex, or string —
+//     float addition is not associative and string concatenation is not
+//     commutative, so iteration order leaks into the value. Integer and
+//     bitwise folds commute and stay legal;
+//   - output writes: fmt printing and Write/WriteString/WriteByte/WriteRune
+//     method calls, which serialize iteration order directly.
+//
+// Sites where unordered iteration is genuinely fine carry a
+// `//lint:maporder <why>` waiver.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map bodies that append, fold order-sensitively, or write output without sorting first",
+	Run:  runMaporder,
+}
+
+// maporderSorters recognize the sort calls that launder map iteration order:
+// package function name -> true, for sort and slices.
+var maporderSorters = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Strings": true, "Ints": true,
+		"Float64s": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true, "SortStable": true,
+	},
+}
+
+// maporderPrinters are the fmt functions that emit output.
+var maporderPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// maporderWriteMethods are method names that serialize their argument in
+// call order.
+var maporderWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMaporder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			if list == nil {
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rs) {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list a node carries, for every node kind
+// that can directly hold a range statement.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// isMapRange reports whether rs ranges over a map.
+func isMapRange(pass *Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange walks one map-range body and reports order-leaking
+// operations; rest is the remainder of the enclosing block, scanned for the
+// sorted-afterwards exemption.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, n, rest)
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, n)
+		}
+		return true
+	})
+}
+
+// declaredInside reports whether e's root identifier names an object declared
+// within the range body — per-iteration state that cannot accumulate
+// iteration order.
+func declaredInside(pass *Pass, rs *ast.RangeStmt, e ast.Expr) bool {
+	root := e
+	for {
+		sel, ok := root.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		root = sel.X
+	}
+	ident, ok := root.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[ident]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[ident]
+	}
+	return obj != nil && obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End()
+}
+
+// checkMapRangeAssign flags appends to unsorted slices and order-sensitive
+// folds inside a map-range body. Targets declared inside the body are
+// per-iteration state and pass clean.
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, rest []ast.Stmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if declaredInside(pass, rs, as.Lhs[i]) {
+				continue
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if ok && isBuiltinAppend(pass, call) {
+				target := types.ExprString(as.Lhs[i])
+				if !sortedAfter(pass, target, rest) {
+					pass.Reportf(as.Pos(),
+						"append to %s inside range over map: iteration order reaches the slice; sort %s afterwards or iterate sorted keys",
+						target, target)
+				}
+				continue
+			}
+			// Self-concatenation spelled longhand: x = x + v.
+			if bin, ok := rhs.(*ast.BinaryExpr); ok && bin.Op == token.ADD &&
+				orderSensitiveType(pass, as.Lhs[i]) && mentions(bin, types.ExprString(as.Lhs[i])) {
+				pass.Reportf(as.Pos(),
+					"order-sensitive accumulation of %s inside range over map: iterate sorted keys",
+					types.ExprString(as.Lhs[i]))
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) == 1 && orderSensitiveType(pass, as.Lhs[0]) && !declaredInside(pass, rs, as.Lhs[0]) {
+			pass.Reportf(as.Pos(),
+				"order-sensitive fold of %s inside range over map: float/string accumulation depends on iteration order; iterate sorted keys",
+				types.ExprString(as.Lhs[0]))
+		}
+	}
+}
+
+// checkMapRangeCall flags output writes inside a map-range body.
+func checkMapRangeCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && maporderPrinters[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside range over map writes output in iteration order; iterate sorted keys", sel.Sel.Name)
+			}
+			return
+		}
+	}
+	if pass.TypesInfo.Selections[sel] != nil && maporderWriteMethods[sel.Sel.Name] {
+		pass.Reportf(call.Pos(),
+			"%s.%s inside range over map serializes iteration order; iterate sorted keys",
+			types.ExprString(sel.X), sel.Sel.Name)
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderSensitiveType reports whether e's type makes accumulation depend on
+// operand order: floats and complex numbers (non-associative addition) and
+// strings (non-commutative concatenation).
+func orderSensitiveType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+// sortedAfter reports whether a sort/slices sorting call naming target as an
+// argument appears in the statements following the range in its enclosing
+// block — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, target string, rest []ast.Stmt) bool {
+	found := false
+	for _, stmt := range rest {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			names := maporderSorters[pn.Imported().Name()]
+			if names == nil || !names[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentions(arg, target) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentions reports whether expression e contains a subexpression rendering
+// exactly as target.
+func mentions(e ast.Expr, target string) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if hit {
+			return false
+		}
+		if sub, ok := n.(ast.Expr); ok && types.ExprString(sub) == target {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}

@@ -1,0 +1,37 @@
+// Package escapefixture is the hotalloc fixture, a standalone module so the
+// escape-analysis gate can run a real `go build -gcflags=-m` against it: Hot
+// is marked ringcast:hotpath and leaks a local to the heap (must fire), Cool
+// leaks but is unmarked (must stay silent), HotClean is marked and
+// allocation-free (must stay silent), and HotWaived carries a justified
+// hotalloc waiver on its escaping declaration (suppressed).
+package escapefixture
+
+// Hot leaks its local to the heap; hotalloc must flag it.
+//
+//ringcast:hotpath
+func Hot() *int {
+	x := 42
+	return &x
+}
+
+// Cool also escapes but carries no marker, so hotalloc stays silent.
+func Cool() *int {
+	x := 7
+	return &x
+}
+
+// HotClean is marked and allocation-free.
+//
+//ringcast:hotpath
+func HotClean(a, b int) int {
+	return a*31 + b
+}
+
+// HotWaived deliberately escapes, with the waiver on the moved-to-heap
+// declaration line.
+//
+//ringcast:hotpath
+func HotWaived() *int {
+	x := 9 //lint:hotalloc fixture: deliberate escape proving the waiver path
+	return &x
+}

@@ -1,0 +1,27 @@
+// Package detrand is the detrand analyzer fixture: the package carries the
+// determinism marker, so ambient randomness and wall-clock reads must fire.
+//
+//ringcast:deterministic
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals() int {
+	n := rand.Intn(10)                 // want "global math/rand.Intn"
+	f := rand.Float64()                // want "global math/rand.Float64"
+	rand.Shuffle(n, func(i, j int) {}) // want "global math/rand.Shuffle"
+	t := time.Now()                    // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)       // want "time.Sleep"
+	_ = time.Since(t)                  // want "time.Since"
+	return n + int(f)
+}
+
+func streams(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicit stream: legal
+	d := 5 * time.Second                // time arithmetic: legal
+	_ = d
+	return r.Intn(10)
+}

@@ -1,0 +1,9 @@
+package detrand
+
+import "time"
+
+// inherit proves marker inheritance: the marker sits in a.go and this file
+// carries none, yet the whole package is covered.
+func inherit() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}

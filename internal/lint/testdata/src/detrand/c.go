@@ -1,0 +1,12 @@
+package detrand
+
+import (
+	crand "crypto/rand"   // want "deterministic package imports crypto/rand"
+	randv2 "math/rand/v2" // want "deterministic package imports math/rand/v2"
+)
+
+func banned() int {
+	b := make([]byte, 8)
+	crand.Read(b)
+	return randv2.IntN(3) + int(b[0])
+}

@@ -1,0 +1,10 @@
+package detrand
+
+import "time"
+
+// waived shows a justified waiver suppressing a finding; the malformed and
+// stale waiver shapes live in the waivers fixture, asserted without want
+// comments (a want comment would merge into the waiver's own text).
+func waived() time.Time {
+	return time.Now() //lint:detrand fixture: justified waiver, finding suppressed
+}

@@ -1,0 +1,106 @@
+// Package maporder is the maporder analyzer fixture: map iteration whose
+// order reaches a slice, an order-sensitive fold, or output must fire;
+// collect-then-sort, commutative integer folds, map-to-map rewrites, and
+// ranges over slices stay clean.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+func sortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func floatFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "order-sensitive fold of sum"
+	}
+	return sum
+}
+
+func intFold(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func stringConcat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s = s + v // want "order-sensitive accumulation of s"
+	}
+	return s
+}
+
+func printing(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside range over map"
+	}
+}
+
+func writing(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want "b.WriteString inside range over map"
+	}
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func reindex(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func perIteration(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v*2) // declared inside the body: clean
+		}
+		total += len(local)
+	}
+	return total
+}
+
+func spawned(m map[string]func()) {
+	for _, f := range m {
+		go func() { f() }() // function literal body: separate scope, clean
+	}
+}
+
+func waived(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:maporder fixture: consumer sorts downstream
+	}
+	return keys
+}

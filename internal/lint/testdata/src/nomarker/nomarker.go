@@ -1,0 +1,15 @@
+// Package nomarker is the negative detrand fixture: no determinism marker
+// anywhere, so ambient randomness and the wall clock are legal here (this is
+// what the live runtime and CLI layers look like to the analyzer).
+package nomarker
+
+import (
+	"math/rand"
+	"time"
+)
+
+func ambient() int {
+	t := time.Now()
+	time.Sleep(time.Microsecond)
+	return rand.Intn(10) + t.Second()
+}

@@ -1,0 +1,24 @@
+// Package waivers exercises waiver parsing end to end: a justified waiver
+// suppresses its finding silently, a waiver without a justification is
+// itself reported, and a waiver that suppresses nothing is flagged as stale.
+// This fixture is asserted by TestWaiverAudit without want comments, because
+// a trailing want comment would merge into the waiver comment's own text.
+//
+//ringcast:deterministic
+package waivers
+
+import "time"
+
+func suppressed() time.Time {
+	return time.Now() //lint:detrand fixture: justified waiver suppresses this finding
+}
+
+func unjustified() time.Time {
+	//lint:detrand
+	return time.Now()
+}
+
+func stale() int {
+	//lint:detrand fixture: nothing on the next line violates detrand
+	return 4
+}

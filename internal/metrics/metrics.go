@@ -2,6 +2,8 @@
 // disseminations by (Section 2): hit/miss ratio, dissemination speed in
 // hops, message overhead split into virgin and redundant deliveries, and
 // load distribution, plus aggregation across repeated experiments.
+//
+//ringcast:deterministic
 package metrics
 
 import "ringcast/internal/ident"
@@ -142,6 +144,8 @@ func notReached(d *Dissemination, h int) float64 {
 
 // Add folds one dissemination into the accumulator. The caller may discard
 // d afterwards — nothing of it is retained.
+//
+//ringcast:hotpath
 func (a *Accumulator) Add(d *Dissemination) {
 	a.agg.Runs++
 	a.agg.MeanMissRatio += d.MissRatio()

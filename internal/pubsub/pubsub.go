@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 
 	"ringcast/internal/node"
@@ -156,7 +157,7 @@ func (p *Peer) Publish(topic string, body []byte) (wire.MsgID, error) {
 	return nd.Publish(body)
 }
 
-// Topics returns the subscribed topic names.
+// Topics returns the subscribed topic names, sorted.
 func (p *Peer) Topics() []string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -164,6 +165,7 @@ func (p *Peer) Topics() []string {
 	for t := range p.topics {
 		out = append(out, t)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -179,14 +181,27 @@ func (p *Peer) Node(topic string) (*node.Node, bool) {
 // handy in tests and joiner warm-up.
 func (p *Peer) GossipNow() {
 	p.mu.Lock()
-	nodes := make([]*node.Node, 0, len(p.topics))
-	for _, nd := range p.topics {
-		nodes = append(nodes, nd)
-	}
+	nodes := p.nodesLocked()
 	p.mu.Unlock()
 	for _, nd := range nodes {
 		nd.GossipNow()
 	}
+}
+
+// nodesLocked snapshots the per-topic nodes in sorted topic order, so
+// multi-topic operations (warm-up gossip, shutdown, error reporting) run in
+// a deterministic order rather than map order. Callers hold p.mu.
+func (p *Peer) nodesLocked() []*node.Node {
+	topics := make([]string, 0, len(p.topics))
+	for t := range p.topics {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	nodes := make([]*node.Node, 0, len(topics))
+	for _, t := range topics {
+		nodes = append(nodes, p.topics[t])
+	}
+	return nodes
 }
 
 // Close leaves all topics and closes the underlying transport.
@@ -197,10 +212,7 @@ func (p *Peer) Close() error {
 		return nil
 	}
 	p.closed = true
-	nodes := make([]*node.Node, 0, len(p.topics))
-	for _, nd := range p.topics {
-		nodes = append(nodes, nd)
-	}
+	nodes := p.nodesLocked()
 	p.topics = make(map[string]*node.Node)
 	p.mu.Unlock()
 	var firstErr error

@@ -23,6 +23,8 @@
 // target selection. Per-run fault state lives in a State, so parallel sweep
 // units never share mutable scenario data and results are bit-identical at
 // any parallelism.
+//
+//ringcast:deterministic
 package scenario
 
 import (

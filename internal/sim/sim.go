@@ -13,6 +13,8 @@
 // empty), the network self-organizes for a warm-up period, the overlay is
 // then frozen, and messages are disseminated over the frozen overlay
 // (Section 7.1 explains why freezing does not affect macroscopic behaviour).
+//
+//ringcast:deterministic
 package sim
 
 import (

@@ -7,6 +7,8 @@
 // their inputs in a fixed order and histograms sort on read, so the same
 // samples always render the same table bytes regardless of how many
 // workers produced them.
+//
+//ringcast:deterministic
 package stats
 
 import (

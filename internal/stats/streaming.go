@@ -18,6 +18,8 @@ type Welford struct {
 }
 
 // Add folds one observation into the accumulator.
+//
+//ringcast:hotpath
 func (w *Welford) Add(x float64) {
 	w.n++
 	if w.n == 1 {
@@ -76,6 +78,8 @@ func NewP2Quantile(p float64) *P2Quantile {
 }
 
 // Add folds one observation into the estimator.
+//
+//ringcast:hotpath
 func (e *P2Quantile) Add(x float64) {
 	if e.count < 5 {
 		// Insertion-sort the first five observations into the markers.
