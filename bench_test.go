@@ -9,6 +9,7 @@ package ringcast_test
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,7 @@ import (
 	"ringcast/internal/dissem"
 	"ringcast/internal/experiment"
 	"ringcast/internal/ident"
+	"ringcast/internal/lint"
 	"ringcast/internal/metrics"
 	"ringcast/internal/node"
 	"ringcast/internal/pubsub"
@@ -798,5 +800,44 @@ func BenchmarkRunScale(b *testing.B) {
 		}
 		b.ReportMetric(ring.Hops.Mean, "hops")
 		b.ReportMetric(float64(res.Steps[0].HeapBytes)/(1<<20), "heapMB")
+	}
+}
+
+// BenchmarkLintModule measures the static-analysis suite's interprocedural
+// pass over this repository end to end: module load and typecheck, call
+// graph construction, the fact fixpoint, the three module analyzers, and
+// the per-package analyzers through the waiver filter. It is the
+// bench-smoke sentinel for the lint layer — the fixpoint and the interface
+// dispatch resolution are the superlinear risks as the tree grows, and one
+// archived iteration per CI run keeps their wall clock on the public
+// record. The escape-analysis gates (hotalloc, allocbudget) are excluded:
+// they shell out to `go build` and would measure the build cache, not the
+// analysis.
+func BenchmarkLintModule(b *testing.B) {
+	root, err := filepath.Abs(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		pkgs, err := lint.Load(root, "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := lint.NewModule(pkgs)
+		raw, ran, err := lint.RunModuleAnalyzers(m,
+			[]*lint.ModuleAnalyzer{lint.Lockorder, lint.Goroleak, lint.Detflow})
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags, err := lint.RunAnalyzers(pkgs,
+			[]*lint.Analyzer{lint.Detrand, lint.Maporder, lint.Lockio}, raw, ran...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("lint findings during benchmark: %v", diags)
+		}
+		b.ReportMetric(float64(len(pkgs)), "pkgs")
+		b.ReportMetric(float64(len(m.Graph.Nodes)), "funcs")
 	}
 }

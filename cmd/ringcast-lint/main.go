@@ -3,13 +3,20 @@
 // internal/lint analyzer suite — detrand (no ambient randomness or wall
 // clock in ringcast:deterministic packages), maporder (map iteration order
 // must not reach output unsorted), lockio (no blocking call while a sync
-// mutex is held), and hotalloc (ringcast:hotpath functions must stay free of
-// compiler-reported heap escapes). Findings print as file:line:col lines and
-// a non-zero exit fails CI; deliberate exceptions carry justified
+// mutex is held), hotalloc (ringcast:hotpath functions must stay free of
+// compiler-reported heap escapes), and the interprocedural four built on the
+// module call graph — lockorder (cross-package lock-order cycles and
+// transitive blocking under a mutex), goroleak (spawned goroutines need a
+// cancellation path), detflow (determinism taint through unmarked helper
+// packages), and allocbudget (per-hotpath escape counts ratcheted against
+// internal/lint/allocs.baseline). Findings print as file:line:col lines
+// (-json for structured output, -github for CI annotations) and a non-zero
+// exit fails CI; deliberate exceptions carry justified
 // `//lint:<analyzer> <why>` waivers in the source itself.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,12 +26,24 @@ import (
 	"ringcast/internal/lint"
 )
 
-// analyzers is the AST half of the suite; hotalloc runs as a separate
-// compiler-driven pass.
+// analyzers is the per-package AST half of the suite.
 var analyzers = []*lint.Analyzer{lint.Detrand, lint.Maporder, lint.Lockio}
 
+// moduleAnalyzers is the interprocedural half, run over the whole-module
+// call graph; hotalloc and allocbudget run as separate compiler-driven
+// passes.
+var moduleAnalyzers = []*lint.ModuleAnalyzer{lint.Lockorder, lint.Goroleak, lint.Detflow}
+
+// defaultBaseline is the checked-in allocation budget, relative to the
+// module root.
+const defaultBaseline = "internal/lint/allocs.baseline"
+
 func main() {
-	disable := flag.String("disable", "", "comma-separated analyzers to skip (detrand, maporder, lockio, hotalloc)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip (detrand, maporder, lockio, hotalloc, lockorder, goroleak, detflow, allocbudget)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	github := flag.Bool("github", false, "also emit GitHub Actions ::error annotations so findings land on the PR diff")
+	baseline := flag.String("baseline", defaultBaseline, "allocation-budget baseline file, relative to the module root")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the allocation-budget baseline from the current tree instead of checking it (the escape-count analogue of a golden-file -update)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -48,6 +67,18 @@ func main() {
 		fatal(err)
 	}
 
+	baselinePath := *baseline
+	if !filepath.IsAbs(baselinePath) {
+		baselinePath = filepath.Join(dir, baselinePath)
+	}
+	if *updateBaseline {
+		if _, err := lint.AllocBudget(dir, pkgs, baselinePath, true); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ringcast-lint: wrote %s\n", *baseline)
+		return
+	}
+
 	var enabled []*lint.Analyzer
 	for _, a := range analyzers {
 		if !disabled[a.Name] {
@@ -56,28 +87,95 @@ func main() {
 	}
 	var extra []lint.Diagnostic
 	var extraRan []string
-	if !disabled[lint.HotallocName] {
-		extra, err = lint.Hotalloc(dir, pkgs)
+
+	var enabledModule []*lint.ModuleAnalyzer
+	for _, a := range moduleAnalyzers {
+		if !disabled[a.Name] {
+			enabledModule = append(enabledModule, a)
+		}
+	}
+	if len(enabledModule) > 0 {
+		m := lint.NewModule(pkgs)
+		moduleDiags, ran, err := lint.RunModuleAnalyzers(m, enabledModule)
 		if err != nil {
 			fatal(err)
 		}
+		extra = append(extra, moduleDiags...)
+		extraRan = append(extraRan, ran...)
+	}
+	if !disabled[lint.HotallocName] {
+		hot, err := lint.Hotalloc(dir, pkgs)
+		if err != nil {
+			fatal(err)
+		}
+		extra = append(extra, hot...)
 		extraRan = append(extraRan, lint.HotallocName)
+	}
+	if !disabled[lint.AllocBudgetName] {
+		budget, err := lint.AllocBudget(dir, pkgs, baselinePath, false)
+		if err != nil {
+			fatal(err)
+		}
+		extra = append(extra, budget...)
+		extraRan = append(extraRan, lint.AllocBudgetName)
 	}
 
 	diags, err := lint.RunAnalyzers(pkgs, enabled, extra, extraRan...)
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
-		}
-		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
-	}
+	emit(dir, diags, *jsonOut, *github)
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ringcast-lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// jsonFinding is the -json wire shape of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// emit prints the findings in the requested formats, with module-root
+// relative paths.
+func emit(dir string, diags []lint.Diagnostic, asJSON, github bool) {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		findings = append(findings, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if github {
+		for _, f := range findings {
+			// Workflow-command annotation: file/line place the finding on
+			// the PR diff. The message must stay one line.
+			msg := strings.ReplaceAll(f.Message, "\n", " ")
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=ringcast-lint %s::%s\n",
+				f.File, f.Line, f.Col, f.Analyzer, msg)
+		}
 	}
 }
 
@@ -91,26 +189,36 @@ func usage() {
 
 Usage:
 
-  ringcast-lint [-disable names] [packages]
+  ringcast-lint [flags] [packages]
 
 With no package patterns it checks ./... . Examples:
 
   ringcast-lint ./...
-  ringcast-lint -disable hotalloc ./internal/...
+  ringcast-lint -json -disable hotalloc ./internal/...
+  ringcast-lint -update-baseline ./...
 
-Analyzers:
+Per-package analyzers:
 
 `)
 	for _, a := range analyzers {
-		fmt.Fprintf(flag.CommandLine.Output(), "  %-9s %s\n", a.Name, a.Doc)
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", a.Name, a.Doc)
 	}
-	fmt.Fprintf(flag.CommandLine.Output(), "  %-9s %s\n", lint.HotallocName, lint.HotallocDoc)
+	fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", lint.HotallocName, lint.HotallocDoc)
+	fmt.Fprintf(flag.CommandLine.Output(), `
+Interprocedural analyzers (whole-module call graph with per-function facts):
+
+`)
+	for _, a := range moduleAnalyzers {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", lint.AllocBudgetName, lint.AllocBudgetDoc)
 	fmt.Fprintf(flag.CommandLine.Output(), `
 Markers and waivers (see ARCHITECTURE.md "Enforced contracts"):
 
-  //ringcast:deterministic   package-scope marker: detrand applies (one marked
-                             file covers the whole package)
-  //ringcast:hotpath         function marker: hotalloc forbids heap escapes
+  //ringcast:deterministic   package-scope marker: detrand and detflow apply
+                             (one marked file covers the whole package)
+  //ringcast:hotpath         function marker: hotalloc forbids heap escapes,
+                             allocbudget ratchets their raw count
   //lint:<analyzer> <why>    justified waiver on the finding's line or the
                              line above; an unjustified or unused waiver is
                              itself a finding

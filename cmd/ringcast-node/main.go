@@ -94,12 +94,22 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return err
 	}
 
+	// stop unblocks the reader goroutine when run returns for any other
+	// reason (signal, publish error): without it a line arriving after the
+	// main loop exits would park the goroutine on the lines send forever.
+	// readErr stays a buffered handoff — its single send cannot block.
 	lines := make(chan string)
 	readErr := make(chan error, 1)
+	stop := make(chan struct{})
+	defer close(stop)
 	go func() {
 		sc := bufio.NewScanner(in)
 		for sc.Scan() {
-			lines <- sc.Text()
+			select {
+			case lines <- sc.Text():
+			case <-stop:
+				return
+			}
 		}
 		readErr <- sc.Err()
 	}()

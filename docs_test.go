@@ -15,6 +15,10 @@
 //     document claims is deterministic must carry the
 //     //ringcast:deterministic marker, and every marked package must be in
 //     the document's list.
+//   - TestWaiversMatchArchitecture pins the ARCHITECTURE.md "Waiver debt"
+//     table to the source: every //lint: waiver in the tree must have a
+//     table row (analyzer, file, justification, site count) and vice versa,
+//     so suppression debt stays enumerated in one audited place.
 package ringcast_test
 
 import (
@@ -24,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -255,6 +260,94 @@ func TestDeterministicMarkersMatchArchitecture(t *testing.T) {
 		}
 		if packageCarriesDetMarker(t, dir) && !listed[dir] {
 			t.Errorf("%s carries //ringcast:deterministic but is missing from the ARCHITECTURE.md \"Enforced contracts\" package list", dir)
+		}
+	}
+}
+
+// sourceWaiverRe is the same shape internal/lint's waiver parser accepts: a
+// comment that *starts* with //lint:<analyzer>, followed by the
+// justification. Anchoring at the comment start keeps prose that merely
+// mentions `//lint:` mid-sentence out of the debt ledger.
+var sourceWaiverRe = regexp.MustCompile(`^//[ \t]?lint:([a-z]+)\b[ \t]*(.*)$`)
+
+// waiverDebtSection brackets the ARCHITECTURE.md table between the "Waiver
+// debt" heading and the next heading.
+var waiverDebtSection = regexp.MustCompile(`(?s)### Waiver debt(.*?)\n#`)
+
+// waiverDebtRow parses one table row: | `analyzer` | `file` | reason | n |.
+var waiverDebtRow = regexp.MustCompile("(?m)^\\| `([a-z]+)` \\| `([^`]+)` \\| (.+?) \\| ([0-9]+) \\|$")
+
+// TestWaiversMatchArchitecture is the waiver-debt gate: the set of live
+// `//lint:` waivers in non-test source (testdata fixtures excluded — those
+// exist to exercise the waiver machinery, not to suppress real findings)
+// must equal the ARCHITECTURE.md "Waiver debt" table, including per-reason
+// site counts, in both directions.
+func TestWaiversMatchArchitecture(t *testing.T) {
+	inSource := map[string]int{}
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if perr != nil {
+				return perr
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := sourceWaiverRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					key := m[1] + " | " + filepath.ToSlash(path) + " | " + strings.TrimSpace(m[2])
+					inSource[key]++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	section := waiverDebtSection.FindSubmatch(data)
+	if section == nil {
+		t.Fatal(`ARCHITECTURE.md no longer contains the "### Waiver debt" section the waiver gate parses; update waiverDebtSection alongside the document`)
+	}
+	inTable := map[string]int{}
+	for _, row := range waiverDebtRow.FindAllSubmatch(section[1], -1) {
+		n, err := strconv.Atoi(string(row[4]))
+		if err != nil || n < 1 {
+			t.Fatalf("waiver-debt row %q: bad site count", row[0])
+		}
+		inTable[string(row[1])+" | "+string(row[2])+" | "+string(row[3])] += n
+	}
+	if len(inTable) == 0 {
+		t.Fatal("parsed zero rows from the ARCHITECTURE.md waiver-debt table; the row regexp looks broken")
+	}
+
+	for key, n := range inSource {
+		if inTable[key] != n {
+			t.Errorf("waiver debt drift: source has %d site(s) of [%s], ARCHITECTURE.md table records %d — update the Waiver debt table", n, key, inTable[key])
+		}
+	}
+	for key, n := range inTable {
+		if inSource[key] != n {
+			t.Errorf("waiver debt drift: ARCHITECTURE.md table records %d site(s) of [%s], source has %d — update the Waiver debt table", n, key, inSource[key])
 		}
 	}
 }

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AllocBudgetName identifies the allocation-budget gate in diagnostics and
+// `//lint:allocbudget` waivers, alongside the AST analyzers' Name fields.
+const AllocBudgetName = "allocbudget"
+
+// AllocBudgetDoc describes the gate for -help output.
+const AllocBudgetDoc = "per-hotpath-function escape counts must not grow past the checked-in allocs.baseline; refresh a deliberate change with -update-baseline"
+
+// AllocBudget grows hotalloc into a regression ratchet. Hotalloc fails on
+// any unwaived escape, but a waived allocation can silently multiply — the
+// waiver matches the line, not the count, and a refactor that turns one
+// deliberate escape into five ships clean. The budget closes that: the
+// checked-in baseline records the RAW compiler escape count (waivers
+// included, so the number is stable and honest) for every
+// `ringcast:hotpath`-marked function, keyed "<pkgpath>.<func>", and any
+// increase over baseline is a finding. So are a marked function missing from
+// the baseline and a stale baseline entry whose function lost its marker —
+// both mean the file and the tree have drifted. Decreases pass silently;
+// tighten the record with -update-baseline when one lands. update rewrites
+// the baseline from the current tree instead of checking.
+func AllocBudget(dir string, pkgs []*Package, baselinePath string, update bool) ([]Diagnostic, error) {
+	type markedFn struct {
+		key string
+		fn  HotpathFunc
+	}
+	var marked []markedFn
+	for _, pkg := range pkgs {
+		for _, fn := range HotpathFuncs(pkg.Fset, pkg.Syntax) {
+			marked = append(marked, markedFn{key: pkg.PkgPath + "." + fn.Name, fn: fn})
+		}
+	}
+	if len(marked) == 0 && !update {
+		return nil, nil
+	}
+
+	out, err := escapeOutput(dir)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for _, m := range marked {
+		counts[m.key] = countEscapes(dir, m.fn, out)
+	}
+
+	if update {
+		return nil, writeBaseline(baselinePath, counts)
+	}
+
+	baseline, lines, err := readBaseline(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v (seed it with -update-baseline)", baselinePath, err)
+	}
+
+	var diags []Diagnostic
+	sort.Slice(marked, func(i, j int) bool { return marked[i].key < marked[j].key })
+	for _, m := range marked {
+		have, inBaseline := baseline[m.key]
+		pos := token.Position{Filename: m.fn.File, Line: m.fn.Start}
+		switch {
+		case !inBaseline:
+			diags = append(diags, Diagnostic{
+				Analyzer: AllocBudgetName,
+				Pos:      pos,
+				Message: fmt.Sprintf("hotpath function %s has no allocation budget in %s; record it with -update-baseline",
+					m.key, filepath.Base(baselinePath)),
+			})
+		case counts[m.key] > have:
+			diags = append(diags, Diagnostic{
+				Analyzer: AllocBudgetName,
+				Pos:      pos,
+				Message: fmt.Sprintf("allocation budget regression in %s: %d heap escape(s), baseline allows %d — remove the allocation or deliberately raise the budget with -update-baseline",
+					m.key, counts[m.key], have),
+			})
+		}
+	}
+	var staleKeys []string
+	for key := range baseline {
+		if _, stillMarked := counts[key]; !stillMarked {
+			staleKeys = append(staleKeys, key)
+		}
+	}
+	sort.Strings(staleKeys)
+	for _, key := range staleKeys {
+		diags = append(diags, Diagnostic{
+			Analyzer: AllocBudgetName,
+			Pos:      token.Position{Filename: baselinePath, Line: lines[key]},
+			Message: fmt.Sprintf("stale baseline entry %s: no such ringcast:hotpath function in the tree; refresh with -update-baseline",
+				key),
+		})
+	}
+	return diags, nil
+}
+
+// countEscapes counts raw compiler escape diagnostics inside one marked
+// function's body range. buildOutput file paths are relative to dir.
+func countEscapes(dir string, fn HotpathFunc, buildOutput string) int {
+	count := 0
+	for _, line := range strings.Split(buildOutput, "\n") {
+		m := escapeLineRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		if file != fn.File {
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		if lineNo >= fn.Start && lineNo <= fn.End {
+			count++
+		}
+	}
+	return count
+}
+
+// baselineHeader introduces the checked-in budget file.
+const baselineHeader = `# ringcast-lint allocation budget: raw -gcflags=-m heap-escape counts per
+# ringcast:hotpath function (waived escapes included, so counts stay stable).
+# CI fails on any increase. Regenerate after a deliberate change with:
+#   go run ./cmd/ringcast-lint -update-baseline ./...
+`
+
+// writeBaseline rewrites the budget file, sorted by key.
+func writeBaseline(path string, counts map[string]int) error {
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(baselineHeader)
+	for _, key := range keys {
+		fmt.Fprintf(&b, "%s %d\n", key, counts[key])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// readBaseline parses the budget file into key→count, also returning each
+// key's line number for stale-entry positions.
+func readBaseline(path string) (map[string]int, map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	counts := map[string]int{}
+	lines := map[string]int{}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, nil, fmt.Errorf("line %d: want \"<pkgpath>.<func> <count>\", got %q", lineNo, line)
+		}
+		n, err := strconv.Atoi(line[i+1:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: bad count in %q", lineNo, line)
+		}
+		counts[line[:i]] = n
+		lines[line[:i]] = lineNo
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return counts, lines, nil
+}

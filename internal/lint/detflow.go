@@ -1,0 +1,37 @@
+package lint
+
+// Detflow closes detrand's laundering hole: detrand only sees global
+// math/rand draws and wall-clock reads written directly inside a
+// `ringcast:deterministic` package, so a marked package could launder
+// nondeterminism through a helper in an unmarked package. Detflow follows the
+// call graph instead: it reports every call edge from a function in a marked
+// package to an in-module function in an *unmarked* package whose transitive
+// summary reaches global rand, math/rand/v2, crypto/rand, or the wall clock
+// (see facts.go; taint flows through every edge, go statements and interface
+// dispatch included). Exactly one finding fires per marked→unmarked tainted
+// crossing — chains that stay inside marked packages are the deeper edge's
+// report, and direct stdlib calls inside marked packages remain detrand's.
+var Detflow = &ModuleAnalyzer{
+	Name: "detflow",
+	Doc:  "in ringcast:deterministic packages, forbid call chains that reach global rand or the wall clock through unmarked in-module helper packages",
+	Run:  runDetflow,
+}
+
+func runDetflow(pass *ModulePass) error {
+	for _, n := range pass.Module.Graph.Nodes {
+		if n.Pkg == nil || !n.Pkg.Deterministic || nodeBody(n) == nil {
+			continue
+		}
+		for _, e := range n.Edges {
+			callee := e.Callee
+			calleePkg := pass.Module.PkgOf(callee)
+			if calleePkg == nil || calleePkg.Deterministic || !callee.RandClock {
+				continue
+			}
+			pass.Reportf(e.Pos,
+				"deterministic package calls %s in unmarked package %s, which reaches %s — route the draw through a seeded stream or mark the helper package deterministic",
+				callee.Name, calleePkg.PkgPath, randChain(callee))
+		}
+	}
+	return nil
+}

@@ -46,20 +46,31 @@ func Hotalloc(dir string, pkgs []*Package) ([]Diagnostic, error) {
 		return nil, nil
 	}
 
-	modPath, err := modulePath(dir)
+	out, err := escapeOutput(dir)
 	if err != nil {
 		return nil, err
 	}
-	// -gcflags output replays from the build cache, so warm runs stay fast.
+	return matchEscapes(dir, marked, out), nil
+}
+
+// escapeOutput runs compiler escape analysis over the module rooted at dir
+// and returns the raw -m diagnostics. The output replays from the build
+// cache, so the second caller in one lint run (hotalloc, then allocbudget)
+// pays nothing extra.
+func escapeOutput(dir string) (string, error) {
+	modPath, err := modulePath(dir)
+	if err != nil {
+		return "", err
+	}
 	cmd := exec.Command("go", "build", "-gcflags="+modPath+"/...=-m", "./...")
 	cmd.Dir = dir
 	var out bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = &out
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.Bytes())
+		return "", fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.Bytes())
 	}
-	return matchEscapes(dir, marked, out.String()), nil
+	return out.String(), nil
 }
 
 // matchEscapes pairs compiler escape diagnostics with marked function

@@ -1,21 +1,31 @@
 // Package lint is ringcast's custom static-analysis suite: it turns the
 // determinism and concurrency contracts that ARCHITECTURE.md states in prose
-// into mechanically enforced policy. Four analyzers encode the repository's
-// real invariants: detrand (packages carrying the `ringcast:deterministic`
-// marker must derive every random draw from per-unit seeded streams and may
-// not read the wall clock), maporder (map iteration order must not reach
-// table/CSV/fold output unsorted), lockio (no blocking call — network I/O,
-// channel operation, sleep, WaitGroup wait — while a sync mutex is held; the
-// exact bug class the async transport rewrite fixed), and hotalloc (functions
-// carrying the `ringcast:hotpath` marker must stay free of heap escapes,
-// checked against the compiler's own -gcflags=-m escape analysis). The
-// framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
-// Diagnostic) but is built on the standard library alone: packages load via
-// `go list -export` and typecheck against compiler export data, so the suite
-// needs no dependencies outside the Go toolchain. Sites where a rule is
-// deliberately broken carry `//lint:<analyzer> <why>` waivers; a waiver
+// into mechanically enforced policy. Four per-package analyzers encode the
+// repository's direct invariants: detrand (packages carrying the
+// `ringcast:deterministic` marker must derive every random draw from
+// per-unit seeded streams and may not read the wall clock), maporder (map
+// iteration order must not reach table/CSV/fold output unsorted), lockio
+// (no blocking call — network I/O, channel operation, sleep, WaitGroup wait
+// — while a sync mutex is held; the exact bug class the async transport
+// rewrite fixed), and hotalloc (functions carrying the `ringcast:hotpath`
+// marker must stay free of heap escapes, checked against the compiler's own
+// -gcflags=-m escape analysis). Four interprocedural analyzers catch the
+// same contracts violated *through a call*, using a module-wide call graph
+// and propagated per-function facts (callgraph.go, facts.go, module.go):
+// lockorder (cross-package lock-acquisition cycles — potential deadlock —
+// and transitive blocking under a lock), goroleak (goroutines that can park
+// forever on a channel with no reachable cancellation path), detflow
+// (deterministic packages reaching global rand or the wall clock through
+// unmarked helper packages), and allocbudget (per-hotpath-function escape
+// counts ratcheted against the checked-in allocs.baseline). The framework
+// mirrors golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) but
+// is built on the standard library alone: packages load via
+// `go list -export` and typecheck against compiler export data, so the
+// suite needs no dependencies outside the Go toolchain. Sites where a rule
+// is deliberately broken carry `//lint:<analyzer> <why>` waivers; a waiver
 // without a justification, or one that suppresses nothing, is itself a
-// diagnostic.
+// diagnostic, and the full waiver ledger is pinned to the ARCHITECTURE.md
+// "Waiver debt" table by the docs gate.
 package lint
 
 import (

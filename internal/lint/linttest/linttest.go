@@ -2,12 +2,17 @@
 // suite, modeled on golang.org/x/tools/go/analysis/analysistest: a fixture
 // is one package of Go files under testdata/src/<name>, and every line that
 // should trigger a finding carries a `// want "regexp"` comment (several
-// quoted regexps per comment for several findings on one line). Run loads
-// the fixture, executes the analyzer through the same driver as
-// cmd/ringcast-lint — so waiver suppression and waiver auditing behave
-// exactly as in CI — and fails the test on any unmatched finding or
-// unsatisfied expectation. The harness itself is deterministic: fixtures
-// typecheck against compiler export data, no network, no randomness.
+// quoted regexps per comment for several findings on one line; patterns are
+// double-quoted Go strings, not backticks). Run loads the fixture, executes
+// the analyzer through the same driver as cmd/ringcast-lint — so waiver
+// suppression and waiver auditing behave exactly as in CI — and fails the
+// test on any unmatched finding or unsatisfied expectation. RunModule is
+// the interprocedural analogue: its fixture is a *tree*, one package per
+// subdirectory cross-importing under "<name>/<sub>" import paths, loaded
+// into one shared type universe so call-graph facts flow across the
+// packages exactly as they do over the real module. The harness itself is
+// deterministic: fixtures typecheck against compiler export data, no
+// network, no randomness.
 package linttest
 
 import (
@@ -77,6 +82,44 @@ func RunExpectClean(t *testing.T, dir string, a *lint.Analyzer) {
 	}
 	for _, d := range diags {
 		t.Errorf("expected no findings, got %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	}
+}
+
+// RunModule loads the fixture tree at dir (one package per subdirectory,
+// cross-importing under "<base>/<sub>" import paths; a flat directory loads
+// as a single package), builds the call graph and facts, runs the module
+// analyzers through the shared waiver filter, and checks the diagnostics
+// against the tree's `// want` comments — the interprocedural analogue of
+// Run.
+func RunModule(t *testing.T, dir string, as ...*lint.ModuleAnalyzer) {
+	t.Helper()
+	pkgs, err := lint.LoadFixtureTree(dir)
+	if err != nil {
+		t.Fatalf("load fixture tree %s: %v", dir, err)
+	}
+	m := lint.NewModule(pkgs)
+	raw, ran, err := lint.RunModuleAnalyzers(m, as)
+	if err != nil {
+		t.Fatalf("run module analyzers on %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, nil, raw, ran...)
+	if err != nil {
+		t.Fatalf("filter diagnostics on %s: %v", dir, err)
+	}
+
+	var expectations []*expectation
+	for _, pkg := range pkgs {
+		expectations = append(expectations, collectWants(t, pkg)...)
+	}
+	for _, d := range diags {
+		if !claim(expectations, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected finding at %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.re)
+		}
 	}
 }
 

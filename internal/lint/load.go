@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // A Package is one typechecked target of the suite: parsed syntax (non-test
@@ -42,13 +43,37 @@ type listedPackage struct {
 	Module     *struct{ Path string }
 }
 
+// moduleImporter serves in-module packages from their source-typechecked
+// *types.Package and everything else (the standard library) from compiler
+// export data. Serving in-module imports from source — rather than from
+// export data, as the pre-interprocedural loader did — puts every package in
+// ONE type universe: the *types.Func a caller resolves for
+// `wire.Marshal` IS the object the wire package's own Syntax defines, so the
+// call graph, the facts tables and `types.Implements` checks work across
+// package boundaries on plain object identity.
+type moduleImporter struct {
+	fallback types.Importer
+	srcs     map[string]*types.Package
+}
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p := m.srcs[path]; p != nil {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}
+
 // Load resolves patterns (e.g. "./...") against the module rooted at dir,
 // compiles export data for every dependency via `go list -deps -export`, and
-// parses + typechecks each in-module package from source. Only in-module
-// packages come back as analysis targets; dependencies (including the
-// standard library) are imported from export data, so loading needs no
-// network and no third-party tooling — just the Go toolchain that built the
-// tree.
+// parses + typechecks each in-module package from source, in dependency
+// order, against the packages already checked — so all targets share one
+// type universe (see moduleImporter) and interprocedural analyses can follow
+// objects across package boundaries. Only in-module packages come back as
+// analysis targets; out-of-module dependencies (the standard library) are
+// imported from export data, so loading needs no network and no third-party
+// tooling — just the Go toolchain that built the tree. The returned slice is
+// sorted by import path regardless of the typechecking order.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -71,6 +96,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 
+	// `go list -deps` streams dependencies before dependents, so keeping
+	// encounter order gives a valid typechecking order for free.
 	exports := map[string]string{}
 	var targets []listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -88,16 +115,18 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, p)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(f)
-	})
+	imp := &moduleImporter{
+		srcs: make(map[string]*types.Package, len(targets)),
+		fallback: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
 
 	var pkgs []*Package
 	for _, t := range targets {
@@ -113,6 +142,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
 		}
+		imp.srcs[t.ImportPath] = pkg
 		pkgs = append(pkgs, &Package{
 			PkgPath:       t.ImportPath,
 			Dir:           t.Dir,
@@ -123,6 +153,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			Deterministic: hasDeterministicMarker(files),
 		})
 	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
 	return pkgs, nil
 }
 
@@ -155,33 +186,9 @@ func LoadFixture(dir string) (*Package, error) {
 		return nil, fmt.Errorf("%s: no Go files", dir)
 	}
 
-	exports := map[string]string{}
-	if len(imported) > 0 {
-		args := []string{"list", "-deps", "-export", "-json=ImportPath,Export"}
-		for path := range imported {
-			args = append(args, path)
-		}
-		sort.Strings(args[4:])
-		cmd := exec.Command("go", args...)
-		cmd.Dir = dir
-		var stderr bytes.Buffer
-		cmd.Stderr = &stderr
-		out, err := cmd.Output()
-		if err != nil {
-			return nil, fmt.Errorf("go list for fixture imports: %v\n%s", err, stderr.Bytes())
-		}
-		dec := json.NewDecoder(bytes.NewReader(out))
-		for {
-			var p struct{ ImportPath, Export string }
-			if err := dec.Decode(&p); err == io.EOF {
-				break
-			} else if err != nil {
-				return nil, err
-			}
-			if p.Export != "" {
-				exports[p.ImportPath] = p.Export
-			}
-		}
+	exports, err := stdExports(dir, imported)
+	if err != nil {
+		return nil, err
 	}
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
@@ -205,6 +212,179 @@ func LoadFixture(dir string) (*Package, error) {
 		TypesInfo:     info,
 		Deterministic: hasDeterministicMarker(files),
 	}, nil
+}
+
+// LoadFixtureTree loads an interprocedural fixture: a directory whose
+// immediate subdirectories are each one package, cross-importing each other
+// under the import path "<base(dir)>/<subdir>" (e.g. files under
+// testdata/src/lockorder/outer import "lockorder/inner"). All packages share
+// one FileSet and one type universe — sibling imports resolve to the
+// source-typechecked sibling, exactly as Load does for the real module — so
+// the call graph and facts layer behave identically on fixtures and on the
+// tree. A directory with .go files directly in it loads as a single package,
+// so single-package fixtures work through the same entry point. Imports
+// outside the tree are restricted to the standard library.
+func LoadFixtureTree(dir string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var subdirs []string
+	direct := false
+	for _, e := range entries {
+		switch {
+		case e.IsDir():
+			subdirs = append(subdirs, e.Name())
+		case filepath.Ext(e.Name()) == ".go":
+			direct = true
+		}
+	}
+	if direct {
+		pkg, err := LoadFixture(dir)
+		if err != nil {
+			return nil, err
+		}
+		return []*Package{pkg}, nil
+	}
+	sort.Strings(subdirs)
+	base := filepath.Base(dir)
+
+	// Parse every package first so the stdlib import closure is known before
+	// any typechecking starts.
+	fset := token.NewFileSet()
+	syntax := map[string][]*ast.File{} // import path -> files
+	stdImports := map[string]bool{}
+	var paths []string
+	for _, sub := range subdirs {
+		path := base + "/" + sub
+		subEntries, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range subEntries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, sub, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			syntax[path] = append(syntax[path], f)
+			for _, spec := range f.Imports {
+				if p := importPathOf(spec); !strings.HasPrefix(p, base+"/") {
+					stdImports[p] = true
+				}
+			}
+		}
+		if len(syntax[path]) > 0 {
+			paths = append(paths, path)
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%s: no fixture packages", dir)
+	}
+
+	exports, err := stdExports(dir, stdImports)
+	if err != nil {
+		return nil, err
+	}
+	fallback := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (fixtures may import only the standard library and sibling fixture packages)", path)
+		}
+		return os.Open(f)
+	})
+
+	// Typecheck on demand, recursing into sibling imports first (memoized),
+	// so declaration order in the tree never matters.
+	checked := map[string]*Package{}
+	var build func(path string) (*Package, error)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if strings.HasPrefix(path, base+"/") {
+			p, err := build(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return fallback.Import(path)
+	})
+	build = func(path string) (*Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		files, ok := syntax[path]
+		if !ok {
+			return nil, fmt.Errorf("fixture package %q not found under %s", path, dir)
+		}
+		pkg, info, err := check(path, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck fixture %s: %w", path, err)
+		}
+		p := &Package{
+			PkgPath:       path,
+			Dir:           filepath.Join(dir, strings.TrimPrefix(path, base+"/")),
+			Fset:          fset,
+			Syntax:        files,
+			Types:         pkg,
+			TypesInfo:     info,
+			Deterministic: hasDeterministicMarker(files),
+		}
+		checked[path] = p
+		return p, nil
+	}
+
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := build(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+// Import implements types.Importer.
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// stdExports resolves export-data files for a set of standard-library import
+// paths via one `go list -deps -export` invocation.
+func stdExports(dir string, imported map[string]bool) (map[string]string, error) {
+	exports := map[string]string{}
+	if len(imported) == 0 {
+		return exports, nil
+	}
+	args := []string{"list", "-deps", "-export", "-json=ImportPath,Export"}
+	for path := range imported {
+		args = append(args, path)
+	}
+	sort.Strings(args[4:])
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list for fixture imports: %v\n%s", err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
 }
 
 // check typechecks one package's files with a fully populated types.Info.

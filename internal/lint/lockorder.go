@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder is the interprocedural half of the locking contract, in two
+// parts. First, it builds the module-wide lock-acquisition ordering graph:
+// whenever lock B is acquired — lexically, or anywhere inside a callee
+// reached through non-go call edges — while lock A is held, the graph gains
+// the edge A→B. A cycle between two distinct mutex objects means two code
+// paths acquire the same pair of locks in opposite orders: a potential
+// deadlock that no single-package analysis can see. Second, it makes lockio
+// transitive: calling an in-module function whose summary says may-block
+// while any mutex is held is a finding, even though the blocking site is
+// several calls and packages away. Direct blocking syntax under a lock stays
+// lockio's report (one finding per site, not two); lockorder only reports
+// call edges into in-module code, which is exactly what lockio cannot see.
+//
+// Lock identity is the types.Object of the mutex expression, so the same
+// struct field on two different instances unifies; for that reason self-edges
+// (A→A) are ignored rather than reported — hand-over-hand locking of sibling
+// instances is legitimate and instance identity is beyond a static pass.
+var Lockorder = &ModuleAnalyzer{
+	Name: "lockorder",
+	Doc:  "build the cross-package lock-acquisition ordering graph; report order cycles (potential deadlocks) and calls into may-block functions while a mutex is held",
+	Run:  runLockorder,
+}
+
+// An orderEdge records one observation "to was acquired while from was held".
+type orderEdge struct {
+	from, to types.Object
+	pos      token.Pos // the acquisition or call site that created the edge
+	fn       string    // the function the observation was made in
+}
+
+func runLockorder(pass *ModulePass) error {
+	g := pass.Module.Graph
+	var edges []orderEdge
+	for _, n := range g.Nodes {
+		body := nodeBody(n)
+		if body == nil {
+			continue
+		}
+		w := &orderWalker{pass: pass, node: n, edges: &edges}
+		w.walk(body)
+	}
+	reportOrderCycles(pass, edges)
+	return nil
+}
+
+// nodeBody returns the syntax body of an in-module node, if any.
+func nodeBody(n *FuncNode) *ast.BlockStmt {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Body
+	case n.Lit != nil:
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// orderWalker tracks lexically held mutexes through one function body — the
+// same source-order discipline as lockio's walker (deferred unlocks hold to
+// function end, function literals are separate scopes, go statements run on
+// another goroutine) — but keyed by types.Object and feeding the module-wide
+// ordering graph instead of reporting blocking syntax.
+type orderWalker struct {
+	pass  *ModulePass
+	node  *FuncNode
+	held  []heldObj
+	edges *[]orderEdge
+}
+
+// heldObj is one lexically held mutex.
+type heldObj struct {
+	obj types.Object
+	pos token.Pos
+}
+
+func (w *orderWalker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal is its own node; its body is walked with its own
+			// empty lock state when the node iteration reaches it.
+			return false
+		case *ast.DeferStmt:
+			// Deferred unlocks hold to function end; deferred calls run at
+			// return where the lexical held set no longer applies.
+			return false
+		case *ast.GoStmt:
+			// The spawned goroutine acquires its locks on another stack;
+			// no ordering relative to the caller's held set.
+			return false
+		case *ast.CallExpr:
+			w.checkCall(n)
+			return true
+		}
+		return true
+	})
+}
+
+// checkCall does the mutex bookkeeping and, while locks are held, harvests
+// the callee summaries: every lock the callee may acquire orders after every
+// held lock, and an in-module callee that may block is the transitive-lockio
+// finding.
+func (w *orderWalker) checkCall(call *ast.CallExpr) {
+	info := w.node.Pkg.TypesInfo
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selection := info.Selections[sel]; selection != nil {
+			if fn, ok := selection.Obj().(*types.Func); ok {
+				if acquire, isLock := lockMethods[fn.FullName()]; isLock {
+					obj := exprObj(info, sel.X)
+					if obj == nil {
+						return
+					}
+					if acquire {
+						for _, h := range w.held {
+							if h.obj != obj {
+								*w.edges = append(*w.edges, orderEdge{from: h.obj, to: obj, pos: call.Pos(), fn: w.node.Name})
+							}
+						}
+						w.held = append(w.held, heldObj{obj: obj, pos: call.Pos()})
+					} else {
+						for i := len(w.held) - 1; i >= 0; i-- {
+							if w.held[i].obj == obj {
+								w.held = append(w.held[:i], w.held[i+1:]...)
+								break
+							}
+						}
+					}
+					return
+				}
+			}
+		}
+	}
+
+	if len(w.held) == 0 {
+		return
+	}
+	for _, callee := range w.pass.Module.Graph.CalleesOf(call) {
+		acquired := make([]types.Object, 0, len(callee.Acquires))
+		for obj := range callee.Acquires {
+			acquired = append(acquired, obj)
+		}
+		sort.Slice(acquired, func(i, j int) bool { return acquired[i].Pos() < acquired[j].Pos() })
+		for _, h := range w.held {
+			for _, obj := range acquired {
+				if obj != h.obj {
+					*w.edges = append(*w.edges, orderEdge{from: h.obj, to: obj, pos: call.Pos(), fn: w.node.Name})
+				}
+			}
+		}
+		// Transitive lockio: only in-module callees (including in-module
+		// interface methods, whose summary aggregates every implementation)
+		// — a direct call to a blocking stdlib function under a lock is
+		// already lockio's finding.
+		if callee.MayBlock && w.pass.Module.PkgOf(callee) != nil {
+			h := w.held[len(w.held)-1]
+			w.pass.Reportf(call.Pos(),
+				"calling %s while %s is held (locked at %s): it may block (%s) — blocking under a mutex stalls every contender",
+				callee.Name, lockName(w.pass.Module.Fset, h.obj), w.pass.Module.Fset.Position(h.pos), blockChain(callee))
+		}
+	}
+}
+
+// reportOrderCycles finds ordering inversions: pairs of distinct locks A, B
+// where A→B is observed and B→…→A is reachable. Each unordered pair is
+// reported once, at the earliest edge position, with both witness chains.
+func reportOrderCycles(pass *ModulePass, edges []orderEdge) {
+	if len(edges) == 0 {
+		return
+	}
+	fset := pass.Module.Fset
+	// Deterministic processing order.
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := fset.Position(edges[i].pos), fset.Position(edges[j].pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Offset != b.Offset {
+			return a.Offset < b.Offset
+		}
+		// Several edges can share a call site (one call, several callee
+		// locks); order them by lock identity so output stays stable.
+		if fi, fj := lockName(fset, edges[i].from), lockName(fset, edges[j].from); fi != fj {
+			return fi < fj
+		}
+		return lockName(fset, edges[i].to) < lockName(fset, edges[j].to)
+	})
+	adj := map[types.Object][]orderEdge{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	type pairKey struct{ a, b types.Object }
+	reported := map[pairKey]bool{}
+	for _, e := range edges {
+		if reported[pairKey{e.from, e.to}] || reported[pairKey{e.to, e.from}] {
+			continue
+		}
+		back := findPath(adj, e.to, e.from)
+		if back == nil {
+			continue
+		}
+		reported[pairKey{e.from, e.to}] = true
+		var steps []string
+		for _, b := range back {
+			steps = append(steps, fmt.Sprintf("%s acquired while %s held in %s at %s",
+				lockName(fset, b.to), lockName(fset, b.from), b.fn, fset.Position(b.pos)))
+		}
+		pass.Reportf(e.pos,
+			"lock order cycle: %s is acquired while %s is held in %s, but the reverse order exists — %s; two goroutines taking these paths concurrently can deadlock",
+			lockName(fset, e.to), lockName(fset, e.from), e.fn, strings.Join(steps, "; "))
+	}
+}
+
+// findPath returns the edge path from one lock to another in the ordering
+// graph, or nil.
+func findPath(adj map[types.Object][]orderEdge, from, to types.Object) []orderEdge {
+	seen := map[types.Object]bool{from: true}
+	var dfs func(cur types.Object) []orderEdge
+	dfs = func(cur types.Object) []orderEdge {
+		for _, e := range adj[cur] {
+			if e.to == to {
+				return []orderEdge{e}
+			}
+			if seen[e.to] {
+				continue
+			}
+			seen[e.to] = true
+			if rest := dfs(e.to); rest != nil {
+				return append([]orderEdge{e}, rest...)
+			}
+		}
+		return nil
+	}
+	return dfs(from)
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// A Module is the interprocedural view over one load: the packages, their
+// shared FileSet, and the call graph with computed facts. Module analyzers
+// (lockorder, goroleak, detflow) run against this view rather than one
+// package at a time.
+type Module struct {
+	Pkgs  []*Package
+	Fset  *token.FileSet
+	Graph *CallGraph
+
+	typesPkgs map[*types.Package]*Package
+}
+
+// PkgOf returns the analyzed package a node belongs to: its owning package
+// for declared functions and literals, the declaring package for an
+// in-module interface method (which has no body of its own), nil for
+// external callees.
+func (m *Module) PkgOf(n *FuncNode) *Package {
+	if n.Pkg != nil {
+		return n.Pkg
+	}
+	if n.Obj != nil {
+		return m.typesPkgs[n.Obj.Pkg()]
+	}
+	return nil
+}
+
+// NewModule builds the call graph over pkgs and computes the per-function
+// facts to a fixpoint. pkgs must come from one Load or LoadFixtureTree call
+// so all packages share a type universe and a FileSet.
+func NewModule(pkgs []*Package) *Module {
+	g := buildCallGraph(pkgs)
+	computeFacts(g, pkgs)
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	} else {
+		fset = token.NewFileSet()
+	}
+	byTypes := make(map[*types.Package]*Package, len(pkgs))
+	for _, pkg := range pkgs {
+		byTypes[pkg.Types] = pkg
+	}
+	return &Module{Pkgs: pkgs, Fset: fset, Graph: g, typesPkgs: byTypes}
+}
+
+// A ModuleAnalyzer is one whole-program pass over a Module. It mirrors
+// Analyzer but sees every package and the call graph at once.
+type ModuleAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and `//lint:<name>`
+	// waivers, exactly like Analyzer.Name.
+	Name string
+
+	// Doc is the one-paragraph contract description for -help output.
+	Doc string
+
+	// Run executes the analyzer and reports findings through pass.Reportf.
+	Run func(pass *ModulePass) error
+}
+
+// A ModulePass carries one Module through one module analyzer.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Module   *Module
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Module.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunModuleAnalyzers executes the module analyzers and returns their raw
+// diagnostics plus the analyzer names. The diagnostics are meant to flow
+// through RunAnalyzers' extra parameter (with the names as extraRan), so
+// `//lint:` waiver filtering and auditing work identically for per-package
+// and whole-program findings.
+func RunModuleAnalyzers(m *Module, analyzers []*ModuleAnalyzer) ([]Diagnostic, []string, error) {
+	var diags []Diagnostic
+	var names []string
+	for _, a := range analyzers {
+		pass := &ModulePass{Analyzer: a, Module: m, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		names = append(names, a.Name)
+	}
+	return diags, names, nil
+}

@@ -1,0 +1,35 @@
+// Package helper is the unmarked laundering package of the detflow fixture:
+// it wraps wall-clock and global-rand draws that detrand cannot see from the
+// marked caller's side.
+package helper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Indirect launders the clock read through one more hop.
+func Indirect() int64 {
+	return Stamp()
+}
+
+// Draw uses the process-global rand source.
+func Draw() int {
+	return rand.Intn(10)
+}
+
+// Pure is deterministic; calling it from a marked package is fine.
+func Pure(a int) int {
+	return a + 1
+}
+
+// Seeded derives its stream explicitly — the sanctioned mechanism, so its
+// summary stays clean.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}

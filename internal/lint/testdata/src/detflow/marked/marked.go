@@ -1,0 +1,18 @@
+// Package marked is the deterministic caller of the detflow fixture: every
+// call chain into the unmarked helper that reaches the clock or global rand
+// must be flagged, while pure and explicitly seeded helpers pass.
+//
+//ringcast:deterministic
+package marked
+
+import "detflow/helper"
+
+// Run exercises the tainted and clean helper surfaces.
+func Run(seed int64) int64 {
+	total := int64(helper.Pure(1))
+	total += int64(helper.Seeded(seed))
+	total += helper.Stamp()       // want "unmarked package detflow/helper, which reaches time\\.Now"
+	total += helper.Indirect()    // want "reaches detflow/helper\\.Stamp → time\\.Now"
+	total += int64(helper.Draw()) // want "reaches math/rand\\.Intn"
+	return total
+}

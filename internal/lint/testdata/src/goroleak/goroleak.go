@@ -1,0 +1,73 @@
+// Package goroleak exercises the goroutine-leak analyzer: goroutines that
+// can park forever on a channel with no reachable cancellation path are
+// flagged at the go statement; the three sanctioned shutdown idioms — a
+// done-channel select arm, a channel closed by its owner, and a buffered
+// handoff — pass.
+package goroleak
+
+// LeakSend spawns a sender on an unbuffered channel that nothing ever
+// receives from after the first value: the goroutine can park forever.
+func LeakSend() int {
+	ch := make(chan int)
+	go func() { // want "goroutine spawned here can block forever: channel send"
+		ch <- 1
+	}()
+	return <-ch
+}
+
+// LeakRecv parks a receiver on a channel that is never closed.
+func LeakRecv() {
+	ch := make(chan int)
+	go func() { // want "goroutine spawned here can block forever: channel receive"
+		<-ch
+	}()
+	ch <- 1
+}
+
+// pump is the leaky body of the transitive case: the leak site lives here,
+// but the finding lands on the go statement that spawns it.
+func pump(ch chan int) {
+	ch <- 1
+}
+
+// LeakTransitive spawns a named function whose summary carries the leak.
+func LeakTransitive() int {
+	ch := make(chan int)
+	go pump(ch) // want "goroutine spawned here can block forever: channel send"
+	return <-ch
+}
+
+// OKSelectDone gives the sender a second arm to exit through: no finding.
+func OKSelectDone(done chan struct{}) int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		case <-done:
+		}
+	}()
+	return <-ch
+}
+
+// OKClosedRange ranges over a channel its owner closes: the range terminates
+// when the channel drains, so the goroutine cannot park forever.
+func OKClosedRange() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+// OKBufferedHandoff sends the result into a one-slot buffer: the send never
+// blocks even if the caller abandons it.
+func OKBufferedHandoff() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}

@@ -1,0 +1,44 @@
+// Package inner is the callee half of the lockorder fixture: its Store mutex
+// participates in a cross-package lock-order cycle through the Notifier
+// interface, which dispatches back into the outer package.
+package inner
+
+import "sync"
+
+// Notifier is implemented (in the sibling outer package) by a type whose
+// Notify acquires its own mutex — the dispatch edge the cycle runs through.
+type Notifier interface {
+	Notify()
+}
+
+// Store guards v with Mu and calls out through N while holding it.
+type Store struct {
+	Mu sync.Mutex
+	N  Notifier
+	v  int
+}
+
+// Set acquires only Mu; on its own it creates no ordering edge.
+func (s *Store) Set(v int) {
+	s.Mu.Lock()
+	s.v = v
+	s.Mu.Unlock()
+}
+
+// SetAndNotify calls through the interface while Mu is held: the
+// implementation acquires outer's mu, closing the Mu→mu half of the cycle.
+func (s *Store) SetAndNotify(v int) {
+	s.Mu.Lock()
+	s.v = v
+	s.N.Notify() // want "lock order cycle"
+	s.Mu.Unlock()
+}
+
+// Wg lets WaitAll park the caller, making it a may-block summary.
+var Wg sync.WaitGroup
+
+// WaitAll blocks on the WaitGroup — the blocking site the outer package
+// reaches transitively while holding a lock.
+func WaitAll() {
+	Wg.Wait()
+}

@@ -39,7 +39,13 @@ type Peer struct {
 
 	mu     sync.Mutex
 	topics map[string]*node.Node
-	closed bool
+	// pending reserves topics with a Subscribe in flight: the node
+	// construction, bootstrap joins, and start run outside p.mu (node.Close
+	// on the error path waits on the gossip goroutine, and no blocking call
+	// may run under a held mutex), so the duplicate-subscribe check needs a
+	// reservation that outlives the critical section.
+	pending map[string]bool
+	closed  bool
 }
 
 // NewPeer wraps the base transport. cfg is the template node configuration
@@ -50,9 +56,10 @@ func NewPeer(base transport.Transport, cfg node.Config) (*Peer, error) {
 		return nil, errors.New("pubsub: base transport must not be nil")
 	}
 	return &Peer{
-		mux:    transport.NewMux(base),
-		cfg:    cfg,
-		topics: make(map[string]*node.Node),
+		mux:     transport.NewMux(base),
+		cfg:     cfg,
+		topics:  make(map[string]*node.Node),
+		pending: make(map[string]bool),
 	}, nil
 }
 
@@ -77,16 +84,24 @@ func (p *Peer) Subscribe(topic string, bootstrap []string, deliver EventFunc) er
 	if topic == "" {
 		return errors.New("pubsub: empty topic")
 	}
+	// Reserve the topic, then build the node OUTSIDE p.mu: the error path
+	// below calls nd.Close, which waits on the node's gossip goroutine —
+	// blocking under a held mutex would stall every concurrent Publish and
+	// Unsubscribe (the transitive form of the lockio contract).
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return errors.New("pubsub: peer closed")
 	}
-	if _, dup := p.topics[topic]; dup {
+	if p.topics[topic] != nil || p.pending[topic] {
+		p.mu.Unlock()
 		return fmt.Errorf("pubsub: already subscribed to %q", topic)
 	}
+	p.pending[topic] = true
 	tt, err := p.mux.Topic(topic)
+	p.mu.Unlock()
 	if err != nil {
+		p.unreserve(topic)
 		return err
 	}
 	cfg := p.cfg
@@ -110,6 +125,7 @@ func (p *Peer) Subscribe(topic string, bootstrap []string, deliver EventFunc) er
 	}
 	nd, err := node.New(cfg, tt, cb)
 	if err != nil {
+		p.unreserve(topic)
 		return err
 	}
 	for _, addr := range bootstrap {
@@ -121,11 +137,31 @@ func (p *Peer) Subscribe(topic string, bootstrap []string, deliver EventFunc) er
 		_ = nd.Join(addr)
 	}
 	if err := nd.Start(); err != nil {
+		p.unreserve(topic)
 		nd.Close()
 		return err
 	}
+
+	p.mu.Lock()
+	if p.closed {
+		// Close ran while the node was being built; it never saw this node,
+		// so shut it down here — after releasing p.mu.
+		delete(p.pending, topic)
+		p.mu.Unlock()
+		nd.Close()
+		return errors.New("pubsub: peer closed")
+	}
 	p.topics[topic] = nd
+	delete(p.pending, topic)
+	p.mu.Unlock()
 	return nil
+}
+
+// unreserve releases a Subscribe reservation on the error path.
+func (p *Peer) unreserve(topic string) {
+	p.mu.Lock()
+	delete(p.pending, topic)
+	p.mu.Unlock()
 }
 
 // Unsubscribe leaves a topic overlay.
