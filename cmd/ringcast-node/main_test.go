@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"io"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -146,4 +149,30 @@ func parseListenAddr(t *testing.T, s string) string {
 	}
 	t.Fatalf("no listen address in output:\n%s", s)
 	return ""
+}
+
+// TestUsageCoversAllFlags regenerates the -h text and asserts every
+// registered flag appears in the hand-written examples section, so the
+// examples cannot drift from the flag set.
+func TestUsageCoversAllFlags(t *testing.T) {
+	var buf syncBuffer
+	err := run([]string{"-h"}, strings.NewReader(""), &buf)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	usage := buf.String()
+	cut := strings.Index(usage, "Flags:")
+	if cut < 0 {
+		t.Fatalf("usage has no Flags section:\n%s", usage)
+	}
+	examples, flagRef := usage[:cut], usage[cut:]
+	matches := regexp.MustCompile(`(?m)^  -([a-z][a-z-]*)`).FindAllStringSubmatch(flagRef, -1)
+	if len(matches) < 9 {
+		t.Fatalf("flag reference lists only %d flags:\n%s", len(matches), flagRef)
+	}
+	for _, m := range matches {
+		if !strings.Contains(examples, "-"+m[1]) {
+			t.Errorf("flag -%s is not shown in any usage example", m[1])
+		}
+	}
 }

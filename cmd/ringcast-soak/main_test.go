@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestUsageCoversAllFlags regenerates the -h text and asserts every
+// registered flag appears in the hand-written examples section, so the
+// examples cannot drift from the flag set.
+func TestUsageCoversAllFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-h"}, &buf)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	usage := buf.String()
+	cut := strings.Index(usage, "Flags:")
+	if cut < 0 {
+		t.Fatalf("usage has no Flags section:\n%s", usage)
+	}
+	examples, flagRef := usage[:cut], usage[cut:]
+	matches := regexp.MustCompile(`(?m)^  -([a-z][a-z-]*)`).FindAllStringSubmatch(flagRef, -1)
+	if len(matches) < 16 {
+		t.Fatalf("flag reference lists only %d flags:\n%s", len(matches), flagRef)
+	}
+	for _, m := range matches {
+		if !strings.Contains(examples, "-"+m[1]) {
+			t.Errorf("flag -%s is not shown in any usage example", m[1])
+		}
+	}
+}
+
+func TestResolveScenario(t *testing.T) {
+	sc, err := resolveScenario("partition-heal-kill", 64)
+	if err != nil || len(sc.Events) != 3 {
+		t.Fatalf("default scenario = %+v, %v", sc, err)
+	}
+	if sc, err = resolveScenario("none", 64); err != nil || sc.Name != "" {
+		t.Errorf("none = %+v, %v", sc, err)
+	}
+	if sc, err = resolveScenario("partition-heal", 64); err != nil || sc.Name != "partition-heal" {
+		t.Errorf("builtin lookup = %+v, %v", sc, err)
+	}
+	if _, err = resolveScenario("no-such-timeline", 64); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "bogus"}, &buf); err == nil {
+		t.Fatal("bogus scenario accepted")
+	}
+}

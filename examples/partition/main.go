@@ -105,6 +105,7 @@ func live() error {
 	var mu sync.Mutex
 	delivered := make(map[string]int)
 	var members []scenario.Member
+	var injectors []*transport.FaultInjector
 	var nodes []*node.Node
 	for i := 0; i < clusterSize; i++ {
 		ep, err := fabric.Endpoint(fmt.Sprintf("node-%02d", i))
@@ -124,6 +125,7 @@ func live() error {
 			return err
 		}
 		nodes = append(nodes, nd)
+		injectors = append(injectors, fi)
 		members = append(members, scenario.Member{Addr: nd.Addr(), ID: nd.ID(), Faults: fi})
 	}
 	defer func() {
@@ -175,8 +177,8 @@ func live() error {
 	drv.Advance(0)
 	reached := publishAndWait("under-partition", 250*time.Millisecond)
 	var drops int64
-	for _, m := range members {
-		drops += m.Faults.InjectedDrops()
+	for _, fi := range injectors {
+		drops += fi.InjectedDrops()
 	}
 	fmt.Printf("partitioned publish:  reached %d/%d nodes, %d frames black-holed (visible in Stats().Drops)\n",
 		reached, clusterSize, drops)

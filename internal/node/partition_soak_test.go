@@ -29,6 +29,7 @@ const soakClusterSize = 16
 type soakCluster struct {
 	nodes     []*node.Node
 	members   []scenario.Member
+	injectors []*transport.FaultInjector
 	mu        sync.Mutex
 	delivered map[string]int
 }
@@ -58,6 +59,7 @@ func startSoakCluster(t *testing.T) *soakCluster {
 			t.Fatal(err)
 		}
 		c.nodes = append(c.nodes, nd)
+		c.injectors = append(c.injectors, fi)
 		c.members = append(c.members, scenario.Member{Addr: nd.Addr(), ID: nd.ID(), Faults: fi})
 	}
 	t.Cleanup(func() {
@@ -173,9 +175,9 @@ func TestLivePartitionSoak(t *testing.T) {
 	// The black-holed frames must be visible through the transport.Stats
 	// plumbing: the injector counts them as drops, per member and in sum.
 	var injected, statsDrops int64
-	for _, m := range c.members {
-		injected += m.Faults.InjectedDrops()
-		statsDrops += m.Faults.Stats().Drops
+	for _, fi := range c.injectors {
+		injected += fi.InjectedDrops()
+		statsDrops += fi.Stats().Drops
 	}
 	if injected == 0 {
 		t.Error("partition produced zero injected drops")

@@ -136,7 +136,7 @@ func (p *Peer) Subscribe(topic string, bootstrap []string, deliver EventFunc) er
 		// find the overlay through any one that answers.
 		_ = nd.Join(addr)
 	}
-	if err := nd.Start(); err != nil {
+	if err := startNode(nd); err != nil {
 		p.unreserve(topic)
 		nd.Close()
 		return err
@@ -156,6 +156,12 @@ func (p *Peer) Subscribe(topic string, bootstrap []string, deliver EventFunc) er
 	p.mu.Unlock()
 	return nil
 }
+
+// startNode launches a topic node's gossip loop. It is a test seam: a live
+// node's Start only fails after Close, so the Subscribe error path it guards
+// (unreserve + node.Close OUTSIDE p.mu — the PR 8 deadlock fix) would
+// otherwise be unreachable from a regression test.
+var startNode = func(nd *node.Node) error { return nd.Start() }
 
 // unreserve releases a Subscribe reservation on the error path.
 func (p *Peer) unreserve(topic string) {

@@ -1,0 +1,131 @@
+package pubsub
+
+// Regression test for the PR 8 Subscribe fix: the Start-error path used to
+// call node.Close (which blocks in WaitGroup.Wait) while holding p.mu, so a
+// storm of failing Subscribes could stall every concurrent Publish,
+// Unsubscribe and Topics call behind a held mutex. The fix runs all node
+// lifecycle outside p.mu behind a pending-topic reservation; this test
+// drives the exact path through the startNode seam and asserts (a) the
+// peer stays responsive while Starts are parked, (b) every failing
+// Subscribe returns its error, and (c) the pending reservation is released
+// so the topic can be subscribed again.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ringcast/internal/node"
+	"ringcast/internal/transport"
+)
+
+func TestSubscribeStormStartFailure(t *testing.T) {
+	const stormSize = 8
+
+	fabric := transport.NewInMemNetwork()
+	ep, err := fabric.Endpoint("storm-peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := node.DefaultConfig()
+	cfg.GossipInterval = 5 * time.Millisecond
+	cfg.Seed = 42
+	p, err := NewPeer(ep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// A healthy baseline topic subscribed BEFORE the seam is rigged: the
+	// liveness probes below publish on it while the storm is parked.
+	if err := p.Subscribe("base", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rig the seam: every Start parks until the gate closes, then fails.
+	// The real Start is restored (and the node actually started) afterwards
+	// so the reservation-release check exercises the true success path.
+	realStart := startNode
+	defer func() { startNode = realStart }()
+	gate := make(chan struct{})
+	inStart := make(chan struct{}, stormSize)
+	errStart := errors.New("rigged start failure")
+	startNode = func(nd *node.Node) error {
+		inStart <- struct{}{}
+		<-gate
+		return errStart
+	}
+
+	var wg sync.WaitGroup
+	stormErrs := make([]error, stormSize)
+	for i := 0; i < stormSize; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stormErrs[i] = p.Subscribe(fmt.Sprintf("storm-%d", i), nil, nil)
+		}(i)
+	}
+
+	// Wait until every storm Subscribe is parked inside its Start.
+	for i := 0; i < stormSize; i++ {
+		select {
+		case <-inStart:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d/%d Subscribes reached Start", i, stormSize)
+		}
+	}
+
+	// Liveness: with every storm Start parked, p.mu must be free — Publish,
+	// Topics and a duplicate-subscribe rejection all complete promptly.
+	// Under the pre-fix code these would park behind the held mutex.
+	probeDone := make(chan error, 1)
+	go func() {
+		if _, err := p.Publish("base", []byte("probe")); err != nil {
+			probeDone <- err
+			return
+		}
+		p.Topics()
+		// The duplicate check must see the pending reservation and refuse
+		// without waiting for the parked Start.
+		probeDone <- p.Subscribe("storm-0", nil, nil)
+	}()
+	select {
+	case err := <-probeDone:
+		if err == nil {
+			t.Error("duplicate Subscribe of a pending topic succeeded; want reservation rejection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer wedged while Subscribes were parked in Start: p.mu held across node lifecycle")
+	}
+
+	// Release the storm: every Subscribe must surface the rigged error.
+	close(gate)
+	wg.Wait()
+	for i, err := range stormErrs {
+		if !errors.Is(err, errStart) {
+			t.Errorf("storm Subscribe %d returned %v, want rigged start failure", i, err)
+		}
+	}
+
+	// The pending reservations must all be released...
+	p.mu.Lock()
+	pending := len(p.pending)
+	subscribed := len(p.topics)
+	p.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("%d pending reservations leaked after failed Starts", pending)
+	}
+	if subscribed != 1 {
+		t.Errorf("%d topics subscribed, want only the baseline", subscribed)
+	}
+
+	// ...so the same topics are subscribable again once Start works.
+	startNode = realStart
+	for i := 0; i < stormSize; i++ {
+		if err := p.Subscribe(fmt.Sprintf("storm-%d", i), nil, nil); err != nil {
+			t.Errorf("re-Subscribe storm-%d after released reservation: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package scenario
+
+// Satellite of the soak-harness PR: table-driven pinning of the live
+// Driver's victim and arc resolution against the hop-sim compiler's
+// resolution of the same timeline. Both surfaces resolve node sets over
+// ring-ordered identifiers; these tests assert they resolve to the SAME
+// sets, so a scenario validated in simulation partitions (or kills) the
+// same identities when replayed against a live fleet.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"ringcast/internal/ident"
+)
+
+// recordingSurface is a FaultSurface that records the programmed state
+// instead of injecting faults, so resolution can be inspected.
+type recordingSurface struct {
+	mu      sync.Mutex
+	blocked map[string]bool
+	loss    float64
+	heals   int
+}
+
+func newRecordingSurface() *recordingSurface {
+	return &recordingSurface{blocked: make(map[string]bool)}
+}
+
+func (s *recordingSurface) Block(addrs ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range addrs {
+		s.blocked[a] = true
+	}
+}
+
+func (s *recordingSurface) Unblock(addrs ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range addrs {
+		delete(s.blocked, a)
+	}
+}
+
+func (s *recordingSurface) HealAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blocked = make(map[string]bool)
+	s.heals++
+}
+
+func (s *recordingSurface) SetLoss(rate float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loss = rate
+}
+
+func (s *recordingSurface) blocks(addr string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blocked[addr]
+}
+
+func (s *recordingSurface) blockedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blocked)
+}
+
+// driverFixture pairs a member list (deliberately NOT in ring order, to
+// prove the driver sorts) with the recording surfaces, indexed like the
+// members.
+type driverFixture struct {
+	members  []Member
+	surfaces []*recordingSurface
+}
+
+// newDriverFixture builds n members with the same evenly spaced IDs as
+// testOverlay(t, n), listed in a scrambled order.
+func newDriverFixture(t *testing.T, n int) *driverFixture {
+	t.Helper()
+	base := ^uint64(0)/uint64(n) + 1
+	f := &driverFixture{}
+	perm := rand.New(rand.NewSource(int64(n))).Perm(n)
+	for _, i := range perm {
+		s := newRecordingSurface()
+		f.surfaces = append(f.surfaces, s)
+		f.members = append(f.members, Member{
+			Addr:   fmt.Sprintf("m-%03d", i),
+			ID:     ident.ID(base*uint64(i) + 1),
+			Faults: s,
+		})
+	}
+	return f
+}
+
+// groupsByBlocking partitions the member IDs into connectivity groups:
+// two members share a group iff neither side blocks the other.
+func (f *driverFixture) groupsByBlocking(t *testing.T) map[ident.ID]int {
+	t.Helper()
+	group := make(map[ident.ID]int)
+	next := 0
+	for i, m := range f.members {
+		if _, seen := group[m.ID]; seen {
+			continue
+		}
+		group[m.ID] = next
+		for j := range f.members {
+			if i == j {
+				continue
+			}
+			aBlocksB := f.surfaces[i].blocks(f.members[j].Addr)
+			bBlocksA := f.surfaces[j].blocks(f.members[i].Addr)
+			if aBlocksB != bBlocksA {
+				t.Errorf("asymmetric block between %s and %s", f.members[i].Addr, f.members[j].Addr)
+			}
+			if !aBlocksB && !bBlocksA {
+				group[f.members[j].ID] = next
+			}
+		}
+		next++
+	}
+	return group
+}
+
+// sortedGroupSets canonicalizes a per-ID group assignment into sorted
+// ID sets, sorted by their smallest member, so two assignments compare
+// regardless of group numbering.
+func sortedGroupSets(group map[ident.ID]int) [][]ident.ID {
+	byGroup := make(map[int][]ident.ID)
+	for id, g := range group {
+		byGroup[g] = append(byGroup[g], id)
+	}
+	sets := make([][]ident.ID, 0, len(byGroup))
+	for _, ids := range byGroup {
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		sets = append(sets, ids)
+	}
+	sort.Slice(sets, func(a, b int) bool { return sets[a][0] < sets[b][0] })
+	return sets
+}
+
+// compiledGroups maps the hop-sim arc assignment (per overlay position)
+// onto IDs.
+func compiledGroups(t *testing.T, n, k int) map[ident.ID]int {
+	t.Helper()
+	o := testOverlay(t, n)
+	groups := assignArcs(o, k)
+	out := make(map[ident.ID]int, n)
+	for pos, id := range o.IDs() {
+		out[id] = int(groups[pos])
+	}
+	return out
+}
+
+// TestDriverPartitionMatchesCompile pins the live driver's k-arc split
+// against assignArcs over an overlay with identical IDs, across population
+// sizes that exercise the n mod k remainder distribution.
+func TestDriverPartitionMatchesCompile(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{10, 2}, {10, 3}, {16, 2}, {16, 5}, {33, 4}, {33, 7}, {9, 9},
+	} {
+		t.Run(fmt.Sprintf("n=%d/k=%d", tc.n, tc.k), func(t *testing.T) {
+			f := newDriverFixture(t, tc.n)
+			drv, err := NewDriver(Scenario{
+				Name:   "pin-partition",
+				Events: []Event{Partition(0, tc.k)},
+			}, f.members)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drv.Advance(0)
+
+			live := sortedGroupSets(f.groupsByBlocking(t))
+			sim := sortedGroupSets(compiledGroups(t, tc.n, tc.k))
+			if len(live) != tc.k {
+				t.Fatalf("driver produced %d groups, want %d", len(live), tc.k)
+			}
+			if fmt.Sprint(live) != fmt.Sprint(sim) {
+				t.Errorf("arc assignment diverged:\nlive: %v\nsim:  %v", live, sim)
+			}
+		})
+	}
+}
+
+// killVictims runs the driver over a single-kill timeline and returns the
+// victim IDs reported through OnKill, sorted.
+func killVictims(t *testing.T, n int, e Event) []ident.ID {
+	t.Helper()
+	f := newDriverFixture(t, n)
+	drv, err := NewDriver(Scenario{Name: "pin-kill", Events: []Event{e}}, f.members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victims []ident.ID
+	drv.OnKill = func(m Member) { victims = append(victims, m.ID) }
+	drv.Advance(e.At)
+	// A second pass over the same step must not re-kill anyone.
+	drv.Advance(e.At + 1)
+	sort.Slice(victims, func(a, b int) bool { return victims[a] < victims[b] })
+	return victims
+}
+
+// compiledVictims resolves the same kill event with the hop-sim compiler's
+// victim resolution and returns the victim IDs, sorted.
+func compiledVictims(t *testing.T, n int, e Event) []ident.ID {
+	t.Helper()
+	o := testOverlay(t, n)
+	var positions []int32
+	switch e.Kind {
+	case KindArcKill:
+		positions = arcVictims(o, e.Fraction, e.Start)
+	case KindPrefixKill:
+		positions = prefixVictims(o, e.Prefix, e.PrefixBits)
+	default:
+		t.Fatalf("unsupported kill kind %v", e.Kind)
+	}
+	ids := o.IDs()
+	victims := make([]ident.ID, 0, len(positions))
+	for _, p := range positions {
+		victims = append(victims, ids[p])
+	}
+	sort.Slice(victims, func(a, b int) bool { return victims[a] < victims[b] })
+	return victims
+}
+
+// TestDriverKillsMatchCompile pins arc-kill and prefix-kill victim sets
+// against the compiler, including a wrapped arc (start near the top of the
+// ring) and prefix selections at several widths.
+func TestDriverKillsMatchCompile(t *testing.T) {
+	const n = 32
+	base := ^uint64(0)/uint64(n) + 1
+	cases := []struct {
+		name string
+		e    Event
+	}{
+		{"arc-quarter-from-nil", ArcKill(1, 0.25, ident.Nil)},
+		{"arc-half-from-mid", ArcKill(1, 0.5, ident.ID(base*uint64(n/2)+1))},
+		{"arc-wrap", ArcKill(1, 0.25, ident.ID(base*uint64(n-2)+1))},
+		{"arc-all", ArcKill(1, 1.0, ident.Nil)},
+		{"prefix-top-quarter", PrefixKill(1, 3, 2)},
+		{"prefix-none", PrefixKill(1, 0x7f, 7)},
+		{"prefix-bottom-half", PrefixKill(1, 0, 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			live := killVictims(t, n, tc.e)
+			sim := compiledVictims(t, n, tc.e)
+			if fmt.Sprint(live) != fmt.Sprint(sim) {
+				t.Errorf("victim sets diverged (%d live vs %d sim):\nlive: %v\nsim:  %v",
+					len(live), len(sim), live, sim)
+			}
+		})
+	}
+}
+
+// TestDriverHealOrdering drives a partition / heal / repartition timeline
+// step by step and asserts the heal clears every block on every member
+// (via HealAll, exactly once per heal) before the next partition programs
+// the new arc assignment.
+func TestDriverHealOrdering(t *testing.T) {
+	const n = 12
+	f := newDriverFixture(t, n)
+	drv, err := NewDriver(Scenario{
+		Name:   "pin-heal",
+		Events: []Event{Partition(0, 2), Heal(1), Partition(2, 3)},
+	}, f.members)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drv.Advance(0)
+	if got := sortedGroupSets(f.groupsByBlocking(t)); len(got) != 2 {
+		t.Fatalf("step 0: %d groups, want 2", len(got))
+	}
+
+	drv.Advance(1)
+	for i, s := range f.surfaces {
+		if s.blockedCount() != 0 {
+			t.Errorf("step 1: member %d still blocks %d addrs after heal", i, s.blockedCount())
+		}
+		if s.heals != 1 {
+			t.Errorf("step 1: member %d saw %d HealAll calls, want 1", i, s.heals)
+		}
+	}
+
+	drv.Advance(2)
+	live := sortedGroupSets(f.groupsByBlocking(t))
+	sim := sortedGroupSets(compiledGroups(t, n, 3))
+	if fmt.Sprint(live) != fmt.Sprint(sim) {
+		t.Errorf("repartition diverged:\nlive: %v\nsim:  %v", live, sim)
+	}
+
+	// Advancing in one leap from a fresh driver applies the whole timeline
+	// in order: the terminal state must match the stepped walk.
+	f2 := newDriverFixture(t, n)
+	drv2, err := NewDriver(Scenario{
+		Name:   "pin-heal-leap",
+		Events: []Event{Partition(0, 2), Heal(1), Partition(2, 3)},
+	}, f2.members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv2.Advance(10)
+	leap := sortedGroupSets(f2.groupsByBlocking(t))
+	if fmt.Sprint(leap) != fmt.Sprint(sim) {
+		t.Errorf("single-leap advance diverged from stepped walk:\nleap: %v\nsim:  %v", leap, sim)
+	}
+	for i, s := range f2.surfaces {
+		if s.heals != 1 {
+			t.Errorf("leap: member %d saw %d HealAll calls, want 1", i, s.heals)
+		}
+	}
+}
+
+// TestDriverLossProgramsEveryMember asserts a loss step reaches every
+// member's surface and a rate-0 step clears it.
+func TestDriverLossProgramsEveryMember(t *testing.T) {
+	f := newDriverFixture(t, 8)
+	drv, err := NewDriver(Scenario{
+		Name:   "pin-loss",
+		Events: []Event{Loss(0, 0.25), Loss(1, 0)},
+	}, f.members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.Advance(0)
+	for i, s := range f.surfaces {
+		if s.loss != 0.25 {
+			t.Errorf("member %d loss = %v, want 0.25", i, s.loss)
+		}
+	}
+	drv.Advance(1)
+	for i, s := range f.surfaces {
+		if s.loss != 0 {
+			t.Errorf("member %d loss = %v after clear, want 0", i, s.loss)
+		}
+	}
+}

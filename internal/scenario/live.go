@@ -11,8 +11,24 @@ import (
 	"sort"
 
 	"ringcast/internal/ident"
-	"ringcast/internal/transport"
 )
+
+// FaultSurface is the control surface a Driver programs on each member:
+// pairwise partitions (black-holed destination addresses) and a per-copy
+// loss rate. transport.FaultInjector implements it for in-process members;
+// the soak harness (internal/soak) implements it with a remote control
+// client for members living in other processes, so one Driver drives both.
+// Implementations must be safe for concurrent use.
+type FaultSurface interface {
+	// Block black-holes frames to the given destination addresses.
+	Block(addrs ...string)
+	// Unblock restores connectivity to the given destinations.
+	Unblock(addrs ...string)
+	// HealAll removes every active partition (loss is unaffected).
+	HealAll()
+	// SetLoss sets the per-frame drop probability (0 disables).
+	SetLoss(rate float64)
+}
 
 // Member is one live node under scenario control.
 type Member struct {
@@ -21,8 +37,9 @@ type Member struct {
 	// ID is the node's ring identifier, used to resolve partition arcs and
 	// regional kills exactly as the simulators resolve them.
 	ID ident.ID
-	// Faults is the node's transport wrapper.
-	Faults *transport.FaultInjector
+	// Faults is the node's fault-injection surface: the in-process
+	// transport.FaultInjector, or a remote proxy for multi-process fleets.
+	Faults FaultSurface
 }
 
 // Driver applies a scenario's dissemination timeline to live members.

@@ -1,0 +1,246 @@
+package soak
+
+// In-process round trip of the control protocol: one Agent with stub
+// hooks, one Client per assertion group, no subprocesses. This is the
+// race-detector's view of the agent (the process-level soak tests exercise
+// it only inside child processes, outside the instrumented binary).
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ringcast/internal/ident"
+	"ringcast/internal/node"
+	"ringcast/internal/transport"
+	"ringcast/internal/wire"
+)
+
+// stubHooks builds a hook set over recording stubs.
+func stubHooks(t *testing.T) (Hooks, *atomic.Int32, *struct {
+	mu    sync.Mutex
+	topic string
+	body  string
+}) {
+	t.Helper()
+	quits := &atomic.Int32{}
+	pub := &struct {
+		mu    sync.Mutex
+		topic string
+		body  string
+	}{}
+	var seq atomic.Uint64
+	fabric := transport.NewInMemNetwork()
+	ep, err := fabric.Endpoint("agent-under-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := transport.WrapFaults(ep, 1)
+	t.Cleanup(func() { fi.Close() })
+	return Hooks{
+		ID:     func() ident.ID { return 42 },
+		Addr:   func() string { return "10.0.0.1:7" },
+		Topics: []string{"alpha", "beta"},
+		Publish: func(topic string, body []byte) (wire.MsgID, error) {
+			pub.mu.Lock()
+			pub.topic, pub.body = topic, string(body)
+			pub.mu.Unlock()
+			return wire.MsgID{Origin: 42, Seq: seq.Add(1)}, nil
+		},
+		Status: func() map[string]TopicStatus {
+			return map[string]TopicStatus{
+				"alpha": {ID: 42, View: 5, Pred: 40, Succ: 44, Ring: true},
+				"beta":  {ID: 43, View: 2},
+			}
+		},
+		NodeStats:      func() node.Stats { return node.Stats{Delivered: 3, Forwarded: 9} },
+		TransportStats: func() transport.Stats { return transport.Stats{FramesSent: 17} },
+		Faults:         fi,
+		Quit:           func() { quits.Add(1) },
+	}, quits, pub
+}
+
+func TestAgentControlRoundTrip(t *testing.T) {
+	agent, err := NewAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	hooks, quits, pub := stubHooks(t)
+	agent.Start(hooks)
+
+	c, err := DialControl(agent.Addr(), 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if info.ID != 42 || info.Addr != "10.0.0.1:7" || len(info.Topics) != 2 || info.PID == 0 {
+		t.Errorf("info = %+v", info)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !st["alpha"].Ring || st["alpha"].Succ != 44 || st["beta"].View != 2 {
+		t.Errorf("status = %+v", st)
+	}
+
+	// Publish: the body is everything after the topic, spaces included.
+	ack, err := c.Publish("alpha", "hello soak world")
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if ack.Origin != 42 || ack.Seq != 1 || ack.T == 0 {
+		t.Errorf("ack = %+v", ack)
+	}
+	pub.mu.Lock()
+	gotTopic, gotBody := pub.topic, pub.body
+	pub.mu.Unlock()
+	if gotTopic != "alpha" || gotBody != "hello soak world" {
+		t.Errorf("publish forwarded (%q, %q)", gotTopic, gotBody)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Node.Forwarded != 9 || stats.Transport.FramesSent != 17 || stats.Delivered != 0 || stats.Wedged {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Ledger: deliveries dedup by message ID and come back sorted.
+	agent.Deliver("alpha", wire.MsgID{Origin: 9, Seq: 2})
+	agent.Deliver("alpha", wire.MsgID{Origin: 9, Seq: 1})
+	agent.Deliver("alpha", wire.MsgID{Origin: 9, Seq: 2}) // duplicate
+	agent.Deliver("beta", wire.MsgID{Origin: 5, Seq: 1})
+	entries, err := c.Ledger("alpha")
+	if err != nil {
+		t.Fatalf("ledger: %v", err)
+	}
+	if len(entries) != 2 || entries[0].Seq != 1 || entries[1].Seq != 2 {
+		t.Errorf("ledger entries = %+v", entries)
+	}
+	if stats, _ = c.Stats(); stats.Delivered != 3 {
+		t.Errorf("delivered total = %d, want 3 (dedup)", stats.Delivered)
+	}
+
+	// Fault surface plumbed through.
+	if err := c.Block("10.0.0.2:7", "10.0.0.3:7"); err != nil {
+		t.Errorf("block: %v", err)
+	}
+	if err := c.Unblock("10.0.0.2:7"); err != nil {
+		t.Errorf("unblock: %v", err)
+	}
+	if err := c.Heal(); err != nil {
+		t.Errorf("heal: %v", err)
+	}
+	if err := c.SetLoss(0.25); err != nil {
+		t.Errorf("loss: %v", err)
+	}
+
+	// Unknown commands and malformed publishes fail without killing the
+	// connection.
+	if _, err := c.do("bogus"); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Errorf("bogus command returned %v", err)
+	}
+	if _, err := c.do("publish alpha"); err == nil {
+		t.Error("publish without body succeeded")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after errors: %v", err)
+	}
+
+	if err := c.Quit(); err != nil {
+		t.Fatalf("quit: %v", err)
+	}
+	if quits.Load() != 1 {
+		t.Errorf("quit hook ran %d times", quits.Load())
+	}
+}
+
+func TestAgentWedgeBlocksDeliver(t *testing.T) {
+	agent, err := NewAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	hooks, _, _ := stubHooks(t)
+	agent.Start(hooks)
+	c, err := DialControl(agent.Addr(), 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Wedge(); err != nil {
+		t.Fatal(err)
+	}
+	recorded := make(chan struct{})
+	go func() {
+		agent.Deliver("alpha", wire.MsgID{Origin: 1, Seq: 1})
+		close(recorded)
+	}()
+	select {
+	case <-recorded:
+		t.Fatal("Deliver completed while wedged")
+	case <-time.After(150 * time.Millisecond):
+	}
+	if stats, err := c.Stats(); err != nil || !stats.Wedged || stats.Delivered != 0 {
+		t.Errorf("wedged stats = %+v (err %v)", stats, err)
+	}
+
+	if err := c.Unwedge(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-recorded:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Deliver still blocked after unwedge")
+	}
+	if stats, err := c.Stats(); err != nil || stats.Wedged || stats.Delivered != 1 {
+		t.Errorf("unwedged stats = %+v (err %v)", stats, err)
+	}
+
+	// Closing the agent releases a fresh wedge so no goroutine leaks.
+	if err := c.Wedge(); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan struct{})
+	go func() {
+		agent.Deliver("alpha", wire.MsgID{Origin: 1, Seq: 2})
+		close(blocked)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	agent.Close()
+	select {
+	case <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Deliver leaked past agent Close")
+	}
+}
+
+func TestParseReady(t *testing.T) {
+	ri, ok := parseReady("SOAK ready addr=127.0.0.1:1 control=127.0.0.1:9 id=77 pid=123")
+	if !ok || ri.addr != "127.0.0.1:1" || ri.control != "127.0.0.1:9" || ri.id != 77 || ri.pid != 123 {
+		t.Errorf("parseReady = %+v ok=%v", ri, ok)
+	}
+	for _, bad := range []string{
+		"node 12 listening on 127.0.0.1:1",
+		"SOAK ready addr=127.0.0.1:1",
+		"[recv a/1] SOAK ready addr=x control=y",
+	} {
+		if _, ok := parseReady(bad); ok {
+			t.Errorf("parseReady accepted %q", bad)
+		}
+	}
+}

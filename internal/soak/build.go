@@ -1,0 +1,25 @@
+package soak
+
+// Building the node binary the harness launches. Both entry points (go
+// test at small N, cmd/ringcast-soak at large N) need a compiled
+// ringcast-node; this helper keeps the invocation in one place so the
+// binary the soak exercises is always the tree being tested, never a
+// stale artifact with a different seed or protocol behavior.
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+)
+
+// BuildNodeBin compiles cmd/ringcast-node into dir with the local go
+// toolchain and returns the binary path. The working directory must be
+// inside the module (any package directory or the repo root).
+func BuildNodeBin(dir string) (string, error) {
+	bin := filepath.Join(dir, "ringcast-node")
+	cmd := exec.Command("go", "build", "-o", bin, "ringcast/cmd/ringcast-node")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("soak: build ringcast-node: %v\n%s", err, out)
+	}
+	return bin, nil
+}

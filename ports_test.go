@@ -1,0 +1,75 @@
+package ringcast_test
+
+// Source-scan guard: tests and examples must bind ephemeral listeners.
+//
+// A fixed listen port makes the suite flaky under parallel `go test -p` and
+// on CI machines with unrelated services; every listener in test or example
+// code must ask the kernel for a port (":0") and read the assignment back.
+// This scan walks every _test.go file and every file under examples/ and
+// rejects loopback host:port string literals with a real port number.
+// Deliberate non-bound placeholders are allowed: ports 1 and 9 (RFC 863's
+// discard neighborhood) mark intentionally unreachable or never-dialed
+// addresses, and test vectors that only exercise address parsing or
+// deterministic encoding may carry any port when listed below.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// portLiteral matches loopback host:port string literals in source text.
+var portLiteral = regexp.MustCompile(`"(?:127\.0\.0\.1|localhost|\[::1\]):(\d+)"`)
+
+// parseOnlyFiles never bind or dial: their literals are codec test vectors.
+var parseOnlyFiles = map[string]bool{
+	"internal/wire/wire_test.go": true,
+}
+
+func TestTestsAndExamplesBindEphemeralPorts(t *testing.T) {
+	var scan []string
+	err := filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if name := info.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, "_test.go") ||
+			(strings.HasPrefix(path, "examples"+string(filepath.Separator)) && strings.HasSuffix(path, ".go")) {
+			scan = append(scan, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan) < 10 {
+		t.Fatalf("scan found only %d files; the walk is broken", len(scan))
+	}
+	for _, path := range scan {
+		if parseOnlyFiles[filepath.ToSlash(path)] {
+			continue
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range portLiteral.FindAllStringSubmatch(line, -1) {
+				port, _ := strconv.Atoi(m[1])
+				if port == 0 || port == 1 || port == 9 {
+					continue
+				}
+				t.Errorf("%s:%d: literal %s binds or names a fixed port; use \":0\" and read the assigned address back",
+					path, i+1, m[0])
+			}
+		}
+	}
+}
