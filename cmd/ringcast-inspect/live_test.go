@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestLivePollsAndPrints drives one poll against a stub /metrics endpoint
+// and checks the selected series (including labeled variants) land on the
+// output line.
+func TestLivePollsAndPrints(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("# HELP ringcast_config_version config store version\n" +
+			"# TYPE ringcast_config_version gauge\n" +
+			"ringcast_config_version 4\n" +
+			"ringcast_node_published_total{topic=\"alpha\"} 12\n" +
+			"ringcast_node_published_total{topic=\"beta\"} 3\n" +
+			"unrelated_series 99\n"))
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var buf bytes.Buffer
+	err := runLive([]string{"-count", "1", "-series", "ringcast_config_version,ringcast_node_published_total", addr}, &buf)
+	if err != nil {
+		t.Fatalf("runLive: %v", err)
+	}
+	line := buf.String()
+	for _, want := range []string{
+		"ringcast_config_version=4",
+		`ringcast_node_published_total{topic="alpha"}=12`,
+		`ringcast_node_published_total{topic="beta"}=3`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("output %q missing %q", line, want)
+		}
+	}
+	if strings.Contains(line, "unrelated_series") {
+		t.Errorf("output %q includes unselected series", line)
+	}
+}
+
+// TestLiveRejectsMissingTarget pins the one-argument contract.
+func TestLiveRejectsMissingTarget(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runLive([]string{"-count", "1"}, &buf); err == nil {
+		t.Fatal("runLive without a target succeeded")
+	}
+}

@@ -3,10 +3,14 @@
 // (Section 6) and the VICINITY ring's convergence, plus degree and path
 // statistics for both layers.
 //
+// The "live" subcommand instead polls a running node's /metrics endpoint
+// (ringcast-node -metrics) and prints selected series each interval.
+//
 // Usage:
 //
 //	ringcast-inspect -n 2000 -cycles 100
 //	ringcast-inspect -n 1000 -rings 2
+//	ringcast-inspect live 127.0.0.1:9100
 package main
 
 import (
@@ -33,6 +37,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "live" {
+		return runLive(args[1:], out)
+	}
 	fs := flag.NewFlagSet("ringcast-inspect", flag.ContinueOnError)
 	var (
 		n       = fs.Int("n", 1000, "node population")

@@ -7,7 +7,16 @@
 // topic-based publish/subscribe); with -control it additionally serves the
 // soak-harness control protocol (internal/soak) for health probes, fault
 // injection and delivery-ledger collection, and -seed pins the node's ring
-// identity so a supervised restart rejoins under the same identifier.
+// identity so a supervised restart rejoins under the same identifier
+// (-epoch then separates the incarnations so restarted sequence numbers
+// cannot collide with pre-crash message IDs).
+//
+// Runtime behavior is re-tunable without a restart: gossip interval,
+// fanout, view sizes and send-queue settings live in a versioned config
+// store fed by three sources — flags at boot, a -config JSON file
+// (reloaded on SIGHUP), and the control protocol's set/get verbs. With
+// -metrics the node serves its counters and current config as a
+// Prometheus text-format /metrics endpoint.
 //
 // Run with -h for the full flag reference and examples.
 package main
@@ -26,11 +35,13 @@ import (
 	"syscall"
 	"time"
 
+	"ringcast/internal/config"
 	"ringcast/internal/core"
 	"ringcast/internal/ident"
 	"ringcast/internal/node"
 	"ringcast/internal/pubsub"
 	"ringcast/internal/soak"
+	"ringcast/internal/telemetry"
 	"ringcast/internal/transport"
 	"ringcast/internal/wire"
 )
@@ -51,6 +62,9 @@ Examples:
   ringcast-node -join 127.0.0.1:7001 -interval 100ms -status 2s
   ringcast-node -join 127.0.0.1:7001 -topics news,sports    # pub/sub peer, one overlay per topic
   ringcast-node -join 127.0.0.1:7001 -control 127.0.0.1:0 -seed 7  # soak-harness control surface
+  ringcast-node -join 127.0.0.1:7001 -metrics 127.0.0.1:9100       # Prometheus /metrics endpoint
+  ringcast-node -join 127.0.0.1:7001 -config tuning.json           # runtime config file, reloaded on SIGHUP
+  ringcast-node -control 127.0.0.1:0 -seed 7 -epoch 1   # supervised restart: same identity, fresh incarnation
 
 Flags:
 `
@@ -176,6 +190,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		control  = fs.String("control", "", "soak control server listen address (empty = off)")
 		topics   = fs.String("topics", "", "comma-separated pub/sub topics (empty = one plain overlay)")
 		seed     = fs.Int64("seed", 0, "deterministic identity seed (0 = random ring IDs)")
+		epoch    = fs.Uint("epoch", 0, "incarnation epoch stamped into message IDs (supervised restarts pass the restart count)")
+		metrics  = fs.String("metrics", "", "Prometheus /metrics listen address (empty = off)")
+		cfgFile  = fs.String("config", "", "JSON runtime-config file, applied at boot and reloaded on SIGHUP (empty = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -216,16 +233,67 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	cfg.Selector = sel
 	cfg.GossipInterval = *interval
 	cfg.Seed = *seed
+	cfg.Epoch = uint32(*epoch)
 
-	rt, err := buildRuntime(cfg, base, *topics, *join, out, agent)
-	if err != nil {
+	// The tunable-key store seeds from the flag values; the -config file
+	// (when given) then overrides at boot through the same two-phase apply
+	// the SIGHUP reload uses. The runtime below is built from the
+	// post-file values, so boot-time file config reaches even settings
+	// that only exist at construction.
+	cleanup := func() {
 		if agent != nil {
 			agent.Close()
 		}
 		base.Close()
+	}
+	store, err := buildStore(cfg)
+	if err != nil {
+		cleanup()
+		return err
+	}
+	defer store.Close()
+	if *cfgFile != "" {
+		if err := applyConfigFile(store, *cfgFile); err != nil {
+			cleanup()
+			return err
+		}
+	}
+	cfg.Fanout = int(store.Int("gossip.fanout"))
+	cfg.GossipInterval = store.Duration("gossip.interval")
+	cfg.Cyclon.ViewSize = int(store.Int("cyclon.view"))
+	cfg.Vicinity.ViewSize = int(store.Int("vicinity.view"))
+	if err := tr.SetSendQueueCap(int(store.Int("sendq.cap"))); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tr.SetMaxBatchBytes(int(store.Int("sendq.batch"))); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tr.SetWriterIdle(store.Duration("sendq.idle")); err != nil {
+		cleanup()
+		return err
+	}
+
+	rt, err := buildRuntime(cfg, base, *topics, *join, out, agent)
+	if err != nil {
+		cleanup()
 		return err
 	}
 	defer rt.close()
+	if err := bindStore(store, rt, tr, out); err != nil {
+		return err
+	}
+
+	var msrv *telemetry.Server
+	if *metrics != "" {
+		msrv, err = telemetry.Serve(*metrics, buildRegistry(rt, store, cfg.Epoch))
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", msrv.Addr())
+	}
 
 	fmt.Fprintf(out, "node %s listening on %s (%s, F=%d)\n", rt.id(), rt.addr(), sel.Name(), *fanout)
 	if err := joinMesh(rt, *join, *interval); err != nil {
@@ -250,11 +318,27 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			NodeStats:      rt.nodeStats,
 			TransportStats: rt.transportStats,
 			Faults:         faults,
-			Quit:           func() { quitOnce.Do(func() { close(quit) }) },
+			SetParam: func(key, value string) error {
+				_, err := store.Set(key, value)
+				return err
+			},
+			GetParam: func(key string) (string, uint64, error) {
+				snap := store.Snapshot()
+				v, ok := snap.Values[key]
+				if !ok {
+					return "", 0, config.ErrUnknownKey
+				}
+				return v, snap.Version, nil
+			},
+			Quit: func() { quitOnce.Do(func() { close(quit) }) },
 		})
 		// The machine-parseable handshake the soak harness scans for.
-		fmt.Fprintf(out, "SOAK ready addr=%s control=%s id=%d pid=%d\n",
-			rt.addr(), agent.Addr(), uint64(rt.id()), os.Getpid())
+		extra := ""
+		if msrv != nil {
+			extra = " metrics=" + msrv.Addr()
+		}
+		fmt.Fprintf(out, "SOAK ready addr=%s control=%s id=%d pid=%d%s\n",
+			rt.addr(), agent.Addr(), uint64(rt.id()), os.Getpid(), extra)
 	}
 
 	// stop unblocks the reader goroutine when run returns for any other
@@ -279,6 +363,14 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	// SIGHUP re-reads the -config file; without one the channel stays
+	// unregistered (nil reads never fire) and SIGHUP keeps its default.
+	var hup chan os.Signal
+	if *cfgFile != "" {
+		hup = make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+	}
 
 	var statusC <-chan time.Time
 	if *status > 0 {
@@ -310,6 +402,12 @@ func run(args []string, in io.Reader, out io.Writer) error {
 				continue
 			}
 			return err
+		case <-hup:
+			if err := applyConfigFile(store, *cfgFile); err != nil {
+				fmt.Fprintf(out, "[config] reload %s: %v\n", *cfgFile, err)
+			} else {
+				fmt.Fprintf(out, "[config] reloaded %s (version %d)\n", *cfgFile, store.Version())
+			}
 		case <-sigs:
 			fmt.Fprintln(out, "shutting down")
 			return nil

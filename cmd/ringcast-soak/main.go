@@ -51,8 +51,10 @@ Examples:
   ringcast-soak -n 64 -interval 80ms -step 2s -guard 1500ms -fanout 4
   ringcast-soak -n 64 -seed 11 -host 127.0.0.1 -logdir /tmp/soak-logs
   ringcast-soak -n 64 -node-bin ./ringcast-node         # reuse a prebuilt node binary
+  ringcast-soak -n 32 -scenario retune-interval -metrics -report bench.json  # live re-tune + /metrics trail
 
-Scenario names: partition-heal-kill (default), none, or any built-in
+Scenario names: partition-heal-kill (default), retune-interval (halve the
+gossip interval mid-run through the config engine), none, or any built-in
 timeline (run ringcast-bench -list, e.g. partition-heal, storm, lossy).
 
 Flags:
@@ -96,6 +98,7 @@ func run(args []string, out io.Writer) error {
 		wedgeFor   = fs.Duration("wedge-for", 5*time.Second, "hold the wedge this long")
 		host       = fs.String("host", "127.0.0.1", "interface the fleet binds")
 		logdir     = fs.String("logdir", "", "per-process log directory (empty = discard node output)")
+		metrics    = fs.Bool("metrics", false, "serve /metrics on every node and record a scrape trail in the report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,7 +110,7 @@ func run(args []string, out io.Writer) error {
 			topics = append(topics, tp)
 		}
 	}
-	sc, err := resolveScenario(*scName, *n)
+	sc, err := resolveScenario(*scName, *n, *interval)
 	if err != nil {
 		return err
 	}
@@ -141,6 +144,7 @@ func run(args []string, out io.Writer) error {
 		Seed:           *seed,
 		WedgeAfter:     *wedgeAfter,
 		WedgeFor:       *wedgeFor,
+		Metrics:        *metrics,
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -171,7 +175,10 @@ func run(args []string, out io.Writer) error {
 // resolveScenario maps the -scenario flag onto a timeline. The default
 // partition-heal-kill is the acceptance shape: a two-way split, a heal two
 // steps later, then a correlated arc kill of about two nodes.
-func resolveScenario(name string, n int) (scenario.Scenario, error) {
+// retune-interval is the hot-reconfiguration shape: fault-free, with one
+// set-param step pushing half the boot gossip interval through the config
+// engine, so the report's pre/post latency split shows the effect.
+func resolveScenario(name string, n int, interval time.Duration) (scenario.Scenario, error) {
 	switch name {
 	case "none", "":
 		return scenario.Scenario{}, nil
@@ -182,6 +189,13 @@ func resolveScenario(name string, n int) (scenario.Scenario, error) {
 				scenario.Partition(1, 2),
 				scenario.Heal(3),
 				scenario.ArcKill(5, 2.2/float64(n), ident.Nil),
+			},
+		}, nil
+	case "retune-interval":
+		return scenario.Scenario{
+			Name: "retune-interval",
+			Events: []scenario.Event{
+				scenario.SetParam(3, "gossip.interval", (interval / 2).String()),
 			},
 		}, nil
 	}
@@ -201,6 +215,14 @@ func printSummary(out io.Writer, rep *soak.Report) {
 		rep.MissingPairs, rep.UnverifiablePairs)
 	fmt.Fprintf(out, "throughput %.0f msgs/sec fleet-wide; publish->deliver p50=%.1fms p99=%.1fms max=%.1fms (%d samples)\n",
 		rep.MsgsPerSec, rep.Latency.P50, rep.Latency.P99, rep.Latency.Max, rep.Latency.Samples)
+	if rep.LatencyPreRetune != nil && rep.LatencyPostRetune != nil {
+		fmt.Fprintf(out, "retune: p50 %.1fms (%d samples) -> %.1fms (%d samples) across the set-param step\n",
+			rep.LatencyPreRetune.P50, rep.LatencyPreRetune.Samples,
+			rep.LatencyPostRetune.P50, rep.LatencyPostRetune.Samples)
+	}
+	if len(rep.MetricsSamples) > 0 {
+		fmt.Fprintf(out, "metrics: %d scrapes recorded in the report\n", len(rep.MetricsSamples))
+	}
 	fmt.Fprintf(out, "supervision: %d injected kills, %d restarts, %d crash loops; lagging=%v wedged=%v\n",
 		rep.InjectedKills, rep.Restarts, len(rep.CrashLoops), rep.Lagging, rep.Wedged)
 	for _, note := range rep.Notes {

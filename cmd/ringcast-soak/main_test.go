@@ -7,6 +7,9 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
+
+	"ringcast/internal/scenario"
 )
 
 // TestUsageCoversAllFlags regenerates the -h text and asserts every
@@ -36,18 +39,31 @@ func TestUsageCoversAllFlags(t *testing.T) {
 }
 
 func TestResolveScenario(t *testing.T) {
-	sc, err := resolveScenario("partition-heal-kill", 64)
+	sc, err := resolveScenario("partition-heal-kill", 64, 200*time.Millisecond)
 	if err != nil || len(sc.Events) != 3 {
 		t.Fatalf("default scenario = %+v, %v", sc, err)
 	}
-	if sc, err = resolveScenario("none", 64); err != nil || sc.Name != "" {
+	if sc, err = resolveScenario("none", 64, 200*time.Millisecond); err != nil || sc.Name != "" {
 		t.Errorf("none = %+v, %v", sc, err)
 	}
-	if sc, err = resolveScenario("partition-heal", 64); err != nil || sc.Name != "partition-heal" {
+	if sc, err = resolveScenario("partition-heal", 64, 200*time.Millisecond); err != nil || sc.Name != "partition-heal" {
 		t.Errorf("builtin lookup = %+v, %v", sc, err)
 	}
-	if _, err = resolveScenario("no-such-timeline", 64); err == nil {
+	if _, err = resolveScenario("no-such-timeline", 64, 200*time.Millisecond); err == nil {
 		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestResolveRetuneScenario pins the hot-reconfiguration timeline: one
+// set-param event pushing half the boot gossip interval.
+func TestResolveRetuneScenario(t *testing.T) {
+	sc, err := resolveScenario("retune-interval", 32, 200*time.Millisecond)
+	if err != nil || len(sc.Events) != 1 {
+		t.Fatalf("retune-interval = %+v, %v", sc, err)
+	}
+	e := sc.Events[0]
+	if e.Kind != scenario.KindSetParam || e.Key != "gossip.interval" || e.Value != "100ms" {
+		t.Errorf("retune event = %+v, want set-param gossip.interval=100ms", e)
 	}
 }
 

@@ -1,0 +1,415 @@
+package config
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestStore registers a small catalog mirroring the live node's keys.
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	defs := []Def{
+		{Name: "gossip.interval", Type: TypeDuration, Default: "50ms",
+			Bounded: true, Min: float64(time.Millisecond), Max: float64(time.Hour)},
+		{Name: "gossip.fanout", Type: TypeInt, Default: "3", Bounded: true, Min: 1, Max: 128},
+		{Name: "sendq.cap", Type: TypeInt, Default: "512", Bounded: true, Min: 1, Max: 1 << 20},
+		{Name: "debug.label", Type: TypeString, Default: ""},
+		{Name: "probe.enabled", Type: TypeBool, Default: "true"},
+		{Name: "loss.rate", Type: TypeFloat, Default: "0", Bounded: true, Min: 0, Max: 1},
+	}
+	for _, d := range defs {
+		if err := s.Register(d); err != nil {
+			t.Fatalf("register %s: %v", d.Name, err)
+		}
+	}
+	return s
+}
+
+func TestRegisterDefaultsAndTypedGetters(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	if got := s.Duration("gossip.interval"); got != 50*time.Millisecond {
+		t.Fatalf("interval = %v, want 50ms", got)
+	}
+	if got := s.Int("gossip.fanout"); got != 3 {
+		t.Fatalf("fanout = %d, want 3", got)
+	}
+	if !s.Bool("probe.enabled") {
+		t.Fatal("probe.enabled should default true")
+	}
+	if got := s.Float("loss.rate"); got != 0 {
+		t.Fatalf("loss.rate = %v, want 0", got)
+	}
+	if v := s.Version(); v != 0 {
+		t.Fatalf("registration must not bump version, got %d", v)
+	}
+	want := []string{"debug.label", "gossip.fanout", "gossip.interval", "loss.rate", "probe.enabled", "sendq.cap"}
+	got := s.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetCanonicalizesAndBumpsVersion(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	v, err := s.Set("gossip.interval", "1500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("version = %d, want 1", v)
+	}
+	if got, _ := s.Get("gossip.interval"); got != "1.5s" {
+		t.Fatalf("canonical value = %q, want 1.5s", got)
+	}
+	if got := s.Duration("gossip.interval"); got != 1500*time.Millisecond {
+		t.Fatalf("Duration = %v", got)
+	}
+}
+
+// Validation rejection must leave the store at the prior version with the
+// prior value, and watchers must see nothing.
+func TestRejectionLeavesPriorVersion(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	if _, err := s.Set("gossip.fanout", "7"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s.Watch("gossip.fanout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if u := <-sub.C(); u.Value != "7" || u.Version != 1 {
+		t.Fatalf("initial update = %+v", u)
+	}
+
+	cases := []struct{ key, raw string }{
+		{"gossip.fanout", "0"},          // below Min
+		{"gossip.fanout", "1000"},       // above Max
+		{"gossip.fanout", "three"},      // not an int
+		{"gossip.interval", "-5ms"},     // below Min
+		{"loss.rate", "1.5"},            // above Max
+		{"probe.enabled", "definitely"}, // not a bool
+		{"no.such.key", "1"},            // unregistered
+	}
+	for _, tc := range cases {
+		v, err := s.Set(tc.key, tc.raw)
+		if err == nil {
+			t.Fatalf("Set(%s, %q) unexpectedly accepted", tc.key, tc.raw)
+		}
+		if v != 1 {
+			t.Fatalf("Set(%s, %q): version moved to %d on rejection", tc.key, tc.raw, v)
+		}
+	}
+	if got, _ := s.Get("gossip.fanout"); got != "7" {
+		t.Fatalf("value changed on rejection: %q", got)
+	}
+	select {
+	case u := <-sub.C():
+		t.Fatalf("watcher notified on rejection: %+v", u)
+	default:
+	}
+}
+
+func TestCheckHookRuns(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	err := s.Register(Def{Name: "proto", Type: TypeString, Default: "both",
+		Check: func(v string) error {
+			switch v {
+			case "cyclon", "vicinity", "both":
+				return nil
+			}
+			return fmt.Errorf("unknown proto %q", v)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Set("proto", "cyclon"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Set("proto", "udp"); err == nil {
+		t.Fatal("check hook did not reject")
+	}
+	if got, _ := s.Get("proto"); got != "cyclon" {
+		t.Fatalf("value = %q after rejected set", got)
+	}
+}
+
+// Watch delivers the current value first, then every accepted Set in exact
+// version order with no gaps.
+func TestWatchOrderedDelivery(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	sub, err := s.Watch("sendq.cap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	const n = 100
+	for i := 1; i <= n; i++ {
+		if _, err := s.Set("sendq.cap", fmt.Sprint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := <-sub.C()
+	if u.Value != "512" || u.Version != 0 {
+		t.Fatalf("initial update = %+v, want value 512 at version 0", u)
+	}
+	for i := 1; i <= n; i++ {
+		u = <-sub.C()
+		if u.Value != fmt.Sprint(i) || u.Version != uint64(i) {
+			t.Fatalf("update %d = %+v", i, u)
+		}
+	}
+}
+
+func TestWatchUnknownKey(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	if _, err := s.Watch("no.such.key"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("err = %v, want ErrUnknownKey", err)
+	}
+}
+
+func TestSubCloseStopsDelivery(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	sub, err := s.Watch("gossip.fanout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sub.C()
+	sub.Close()
+	for range sub.C() { // drains anything in flight, then the channel closes
+	}
+	if _, err := s.Set("gossip.fanout", "9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, open := <-sub.C(); open {
+		t.Fatal("closed sub channel still open")
+	}
+}
+
+func TestStoreCloseClosesSubsAndRejectsOps(t *testing.T) {
+	s := newTestStore(t)
+	sub, err := s.Watch("gossip.fanout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	for range sub.C() {
+	}
+	if _, err := s.Set("gossip.fanout", "4"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Set after close: %v", err)
+	}
+	if _, err := s.Watch("gossip.fanout"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Watch after close: %v", err)
+	}
+	if err := s.Register(Def{Name: "late", Type: TypeString}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Register after close: %v", err)
+	}
+	s.Close() // idempotent
+}
+
+// Notify runs the callback for the initial value and each accepted Set, and
+// the delivery goroutine exits when the subscription closes.
+func TestNotifyCallback(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	got := make(chan Update, 8)
+	sub, err := s.Notify("gossip.interval", func(u Update) { got <- u })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if u := <-got; u.Value != "50ms" {
+		t.Fatalf("initial callback = %+v", u)
+	}
+	if _, err := s.Set("gossip.interval", "25ms"); err != nil {
+		t.Fatal(err)
+	}
+	if u := <-got; u.Value != "25ms" || u.Version != 1 {
+		t.Fatalf("callback = %+v", u)
+	}
+}
+
+// Concurrent Watch/Set/Close storm: run under -race. Each watcher must
+// observe strictly increasing versions; closes racing deliveries must not
+// deadlock or panic.
+func TestConcurrentWatchSetCloseStorm(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	const (
+		setters       = 8
+		setsPerSetter = 200
+		watchers      = 8
+		churners      = 4
+	)
+	var wg sync.WaitGroup
+
+	for w := 0; w < watchers; w++ {
+		sub, err := s.Watch("sendq.cap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(sub *Sub) {
+			defer wg.Done()
+			defer sub.Close()
+			var last uint64
+			first := true
+			for u := range sub.C() {
+				if !first && u.Version <= last {
+					panic(fmt.Sprintf("version went backwards: %d after %d", u.Version, last))
+				}
+				first, last = false, u.Version
+				if last >= setters*setsPerSetter {
+					return
+				}
+			}
+		}(sub)
+	}
+	// Churners subscribe and close repeatedly while the storm runs.
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub, err := s.Watch("sendq.cap")
+				if err != nil {
+					return
+				}
+				<-sub.C()
+				sub.Close()
+			}
+		}()
+	}
+	for g := 0; g < setters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < setsPerSetter; i++ {
+				if _, err := s.Set("sendq.cap", fmt.Sprint(1+i%1000)); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := s.Version(); v != setters*setsPerSetter {
+		t.Fatalf("final version = %d, want %d", v, setters*setsPerSetter)
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	if _, err := s.Set("gossip.fanout", "5"); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Version != 1 {
+		t.Fatalf("snapshot version = %d", snap.Version)
+	}
+	if snap.Values["gossip.fanout"] != "5" || snap.Values["sendq.cap"] != "512" {
+		t.Fatalf("snapshot values = %v", snap.Values)
+	}
+	// Mutating the snapshot must not leak back into the store.
+	snap.Values["gossip.fanout"] = "99"
+	if got, _ := s.Get("gossip.fanout"); got != "5" {
+		t.Fatalf("snapshot aliases store: %q", got)
+	}
+}
+
+// ApplyJSON commits everything or nothing: a single bad key rejects the
+// whole document at the prior version.
+func TestApplyJSONAtomic(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	v, err := s.ApplyJSON([]byte(`{"gossip.fanout": 6, "gossip.interval": "20ms", "probe.enabled": false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("version = %d, want 3 (one per key)", v)
+	}
+	if got := s.Int("gossip.fanout"); got != 6 {
+		t.Fatalf("fanout = %d", got)
+	}
+	if got := s.Duration("gossip.interval"); got != 20*time.Millisecond {
+		t.Fatalf("interval = %v", got)
+	}
+	if s.Bool("probe.enabled") {
+		t.Fatal("probe.enabled should be false")
+	}
+
+	// Bad document: one invalid value rejects all of it.
+	_, err = s.ApplyJSON([]byte(`{"gossip.fanout": 2, "gossip.interval": "bogus"}`))
+	if err == nil {
+		t.Fatal("bad document accepted")
+	}
+	if got := s.Int("gossip.fanout"); got != 6 {
+		t.Fatalf("half-applied document: fanout = %d", got)
+	}
+	if got := s.Version(); got != 3 {
+		t.Fatalf("version moved on rejected document: %d", got)
+	}
+
+	// Unknown key rejects the document too.
+	if _, err := s.ApplyJSON([]byte(`{"mystery": 1}`)); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("unknown key: %v", err)
+	}
+	// Nested values are not config.
+	if _, err := s.ApplyJSON([]byte(`{"debug.label": {"a": 1}}`)); err == nil ||
+		!strings.Contains(err.Error(), "nested") {
+		t.Fatalf("nested value: %v", err)
+	}
+}
+
+func TestApplyJSONNotifiesInOrder(t *testing.T) {
+	s := newTestStore(t)
+	defer s.Close()
+	sub, err := s.Watch("gossip.fanout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	<-sub.C() // initial
+	if _, err := s.ApplyJSON([]byte(`{"gossip.fanout": 8, "sendq.cap": 64}`)); err != nil {
+		t.Fatal(err)
+	}
+	u := <-sub.C()
+	if u.Value != "8" || u.Version != 1 {
+		t.Fatalf("update = %+v (sorted key order puts gossip.fanout first)", u)
+	}
+}
+
+func TestRegisterRejectsBadDefaultAndDuplicates(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	if err := s.Register(Def{Name: "k", Type: TypeInt, Default: "nope"}); err == nil {
+		t.Fatal("bad default accepted")
+	}
+	if err := s.Register(Def{Name: "", Type: TypeInt, Default: "1"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := s.Register(Def{Name: "k", Type: TypeInt, Default: "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(Def{Name: "k", Type: TypeInt, Default: "2"}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}

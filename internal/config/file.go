@@ -1,0 +1,94 @@
+// JSON re-apply source for the store: the cmd layer reads the -config file
+// (at boot and again on SIGHUP) and hands the raw bytes here, keeping all
+// file IO and signal wiring outside this deterministic package.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// ApplyJSON parses data as a flat JSON object of key -> value (strings,
+// numbers and booleans accepted; numbers and booleans are stringified
+// before validation) and applies it two-phase: first every key is checked
+// against its registered definition — an unknown key or a value that fails
+// validation rejects the whole document and the store is untouched — then
+// all values are committed in sorted key order, each at its own version.
+// It returns the store version after the last commit.
+func (s *Store) ApplyJSON(data []byte) (uint64, error) {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return s.Version(), fmt.Errorf("config: parse: %w", err)
+	}
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	raws := make(map[string]string, len(doc))
+	for _, k := range keys {
+		raw, err := jsonScalar(doc[k])
+		if err != nil {
+			return s.Version(), fmt.Errorf("config: key %s: %w", k, err)
+		}
+		raws[k] = raw
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	// Phase 1: validate the whole document against the registered defs
+	// before touching any value, so a bad reload cannot half-apply.
+	canon := make(map[string]string, len(raws))
+	for _, k := range keys {
+		d, ok := s.defs[k]
+		if !ok {
+			v := s.version
+			s.mu.Unlock()
+			return v, fmt.Errorf("%w: %s", ErrUnknownKey, k)
+		}
+		c, err := canonicalize(d, raws[k])
+		if err != nil {
+			v := s.version
+			s.mu.Unlock()
+			return v, fmt.Errorf("config: key %s: %w", k, err)
+		}
+		canon[k] = c
+	}
+	// Phase 2: commit in sorted key order, one version per key, enqueueing
+	// watcher updates under s.mu so the stream stays version-ordered.
+	var woken []*Sub
+	for _, k := range keys {
+		s.version++
+		s.vals[k] = canon[k]
+		woken = append(woken, s.enqueueLocked(k, Update{Key: k, Value: canon[k], Version: s.version})...)
+	}
+	version := s.version
+	s.mu.Unlock()
+	for _, sub := range woken {
+		sub.wakeup()
+	}
+	return version, nil
+}
+
+// jsonScalar renders a decoded JSON value as the raw string Set would
+// accept. Objects and arrays are rejected: the config file is flat.
+func jsonScalar(v any) (string, error) {
+	switch x := v.(type) {
+	case string:
+		return x, nil
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64), nil
+	case bool:
+		return strconv.FormatBool(x), nil
+	case nil:
+		return "", fmt.Errorf("null is not a config value")
+	default:
+		return "", fmt.Errorf("nested values are not allowed")
+	}
+}

@@ -97,6 +97,19 @@ func (c *Cyclon) Self() ident.ID { return c.self }
 // across protocol steps in concurrent contexts.
 func (c *Cyclon) View() *view.View { return c.view }
 
+// Resize re-tunes the partial-view length at runtime. The new size must
+// still admit the configured ShuffleLen; shrinking evicts the oldest
+// entries first. External synchronization (the node mutex) is the caller's
+// job, as with every other method.
+func (c *Cyclon) Resize(viewSize int) error {
+	if viewSize < c.cfg.ShuffleLen {
+		return fmt.Errorf("cyclon: ViewSize %d below ShuffleLen %d", viewSize, c.cfg.ShuffleLen)
+	}
+	c.cfg.ViewSize = viewSize
+	c.view.SetCap(viewSize)
+	return nil
+}
+
 // AddContact seeds the view with a bootstrap contact, as done when a node
 // joins the network. Duplicate or self contacts are ignored.
 func (c *Cyclon) AddContact(id ident.ID, addr string) {

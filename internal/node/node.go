@@ -44,6 +44,13 @@ type Config struct {
 	DedupCapacity int
 	// Seed drives the node's private randomness; 0 derives one from the ID.
 	Seed int64
+	// Epoch is the node's incarnation number, stamped into every published
+	// MsgID. A supervisor that restarts a node under the same seed (and
+	// therefore the same ring identity) must supply a fresh epoch, or the
+	// relaunched pubSeq counter reproduces pre-crash MsgIDs and remote dedup
+	// caches silently swallow every post-restart publish. 0 is the first
+	// incarnation and encodes exactly as the pre-epoch wire format.
+	Epoch uint32
 }
 
 // DefaultConfig returns the paper's protocol parameters with a 10-second
@@ -126,8 +133,16 @@ type Node struct {
 	started bool
 	closed  bool
 
-	done chan struct{}
-	wg   sync.WaitGroup
+	// Staged re-tunes, applied under mu at the next cycle boundary
+	// (gossipOnce) so a change arriving mid-cycle cannot alter the fanout or
+	// view sizes of an exchange already in flight. 0 = nothing staged.
+	nextFanout  int
+	nextCycView int
+	nextVicView int
+
+	rearm chan struct{} // buffered(1): GossipInterval changed, restart the timer
+	done  chan struct{}
+	wg    sync.WaitGroup
 }
 
 // New creates a node bound to the transport. The transport's handler is
@@ -172,6 +187,7 @@ func New(cfg Config, tr transport.Transport, deliver DeliverFunc) (*Node, error)
 		rng:     rng,
 		seen:    newDedupCache(cfg.DedupCapacity),
 		pending: make(map[uint64]cyclon.Shuffle),
+		rearm:   make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
 	tr.SetHandler(n.handle)
@@ -245,28 +261,123 @@ func (n *Node) Close() error {
 
 // gossipLoop fires one gossip cycle every GossipInterval, jittered ±10% so
 // populations started together do not phase-lock (the paper's timers are
-// "independent, non-synchronized").
+// "independent, non-synchronized"). A SetGossipInterval re-arms the timer
+// immediately via the rearm channel, so halving a long interval takes
+// effect now rather than after one last full-length sleep.
 func (n *Node) gossipLoop() {
 	defer n.wg.Done()
 	for {
-		interval := n.cfg.GossipInterval
 		n.mu.Lock()
+		interval := n.cfg.GossipInterval
 		jitter := time.Duration(n.rng.Int63n(int64(interval)/5+1)) - interval/10
 		n.mu.Unlock()
 		select {
 		case <-time.After(interval + jitter):
 			n.gossipOnce()
+		case <-n.rearm:
+			continue
 		case <-n.done:
 			return
 		}
 	}
 }
 
-// gossipOnce runs one protocol cycle: a CYCLON shuffle and a VICINITY
-// exchange, exactly as the simulator does synchronously.
+// gossipOnce runs one protocol cycle: staged re-tunes are applied at this
+// cycle boundary, then a CYCLON shuffle and a VICINITY exchange run exactly
+// as the simulator does synchronously.
 func (n *Node) gossipOnce() {
+	n.mu.Lock()
+	n.applyStagedLocked()
+	n.mu.Unlock()
 	n.cyclonStep()
 	n.vicinityStep()
+}
+
+// applyStagedLocked commits staged fanout/view-size changes. Caller holds
+// n.mu; gossipOnce calls it first so re-tunes land on cycle boundaries.
+func (n *Node) applyStagedLocked() {
+	if n.nextFanout > 0 {
+		n.cfg.Fanout = n.nextFanout
+		n.nextFanout = 0
+	}
+	if n.nextCycView > 0 {
+		if err := n.cyc.Resize(n.nextCycView); err == nil {
+			n.cfg.Cyclon.ViewSize = n.nextCycView
+		}
+		n.nextCycView = 0
+	}
+	if n.nextVicView > 0 {
+		if err := n.vic.Resize(n.nextVicView); err == nil {
+			n.cfg.Vicinity.ViewSize = n.nextVicView
+		}
+		n.nextVicView = 0
+	}
+}
+
+// SetGossipInterval re-tunes the cycle length T at runtime. The gossip
+// timer re-arms immediately with the new interval; the cycle cadence
+// changes without a restart (the config engine's primary use).
+func (n *Node) SetGossipInterval(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("node: gossip interval must be positive, got %v", d)
+	}
+	n.mu.Lock()
+	n.cfg.GossipInterval = d
+	n.mu.Unlock()
+	select {
+	case n.rearm <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// SetFanout stages a new dissemination fanout F, applied at the next cycle
+// boundary: forwards within the current cycle keep the fanout they started
+// with, so a mid-cycle re-tune cannot skew an exchange in flight.
+func (n *Node) SetFanout(f int) error {
+	if f < 1 {
+		return fmt.Errorf("node: fanout must be >= 1, got %d", f)
+	}
+	n.mu.Lock()
+	n.nextFanout = f
+	n.mu.Unlock()
+	return nil
+}
+
+// SetViewSizes stages new CYCLON and VICINITY view lengths (0 leaves a
+// layer unchanged), applied at the next cycle boundary. Values below the
+// layer's exchange length are rejected.
+func (n *Node) SetViewSizes(cyclonView, vicinityView int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cyclonView > 0 && cyclonView < n.cfg.Cyclon.ShuffleLen {
+		return fmt.Errorf("node: cyclon view %d below shuffle length %d", cyclonView, n.cfg.Cyclon.ShuffleLen)
+	}
+	if vicinityView > 0 && vicinityView < n.cfg.Vicinity.GossipLen {
+		return fmt.Errorf("node: vicinity view %d below gossip length %d", vicinityView, n.cfg.Vicinity.GossipLen)
+	}
+	if cyclonView > 0 {
+		n.nextCycView = cyclonView
+	}
+	if vicinityView > 0 {
+		n.nextVicView = vicinityView
+	}
+	return nil
+}
+
+// Fanout returns the currently applied dissemination fanout (staged
+// re-tunes not yet at a cycle boundary are excluded).
+func (n *Node) Fanout() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.Fanout
+}
+
+// GossipInterval returns the current cycle length T.
+func (n *Node) GossipInterval() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.GossipInterval
 }
 
 func (n *Node) cyclonStep() {
@@ -354,7 +465,7 @@ func (n *Node) Publish(body []byte) (wire.MsgID, error) {
 		return wire.MsgID{}, errors.New("node: closed")
 	}
 	n.pubSeq++
-	msg := wire.Message{ID: wire.MsgID{Origin: n.id, Seq: n.pubSeq}, Hop: 0, Body: body}
+	msg := wire.Message{ID: wire.MsgID{Origin: n.id, Epoch: n.cfg.Epoch, Seq: n.pubSeq}, Hop: 0, Body: body}
 	n.seen.Add(msg.ID)
 	n.stats.Published++
 	n.mu.Unlock()

@@ -626,3 +626,202 @@ func TestQueueFullDoesNotEvictPeer(t *testing.T) {
 		t.Fatal("peer evicted from CYCLON view on ErrQueueFull")
 	}
 }
+
+// TestRestartEpochDistinguishesPublishes is the restart-identity regression:
+// a supervised restart reuses the node's seed and ring ID, so its fresh
+// pubSeq restarts at 1 and — without an incarnation epoch — reproduces the
+// pre-crash MsgIDs exactly, and every peer's dedup cache silently swallows
+// the post-restart publishes. The epoch stamped into MsgIDs is what breaks
+// the collision.
+func TestRestartEpochDistinguishesPublishes(t *testing.T) {
+	c := newTestCluster(t, 8)
+	defer c.close()
+
+	preCrash, err := c.nodes[0].Publish([]byte("pre-crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for c.deliveredCount(preCrash) < len(c.nodes) {
+		select {
+		case <-deadline:
+			t.Fatalf("pre-crash delivered to %d/%d", c.deliveredCount(preCrash), len(c.nodes))
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// Crash node 0 and restart it exactly as the soak supervisor does:
+	// same ID, same seed, same address — but a bumped incarnation epoch.
+	c.nodes[0].Close()
+	c.settle()
+	ep, err := c.net.Endpoint("n000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testNodeConfig(0)
+	cfg.Epoch = 1
+	restarted, err := New(cfg, ep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeID := restarted.ID()
+	restarted.deliver = func(d Delivery) {
+		c.mu.Lock()
+		c.got[nodeID] = append(c.got[nodeID], d.Msg.ID)
+		c.mu.Unlock()
+	}
+	c.nodes[0] = restarted
+	if err := restarted.Join(c.nodes[1].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 40; cycle++ {
+		for _, nd := range c.nodes {
+			nd.GossipNow()
+		}
+		c.settle()
+	}
+
+	postCrash, err := restarted.Publish([]byte("post-restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the epoch this publish would reproduce the pre-crash MsgID
+	// bit-for-bit — same origin, same seq — and dedup would swallow it.
+	collision := wire.MsgID{Origin: postCrash.Origin, Epoch: 0, Seq: postCrash.Seq}
+	if collision != preCrash {
+		t.Fatalf("test premise broken: epoch-0 restart ID %v does not collide with pre-crash %v",
+			collision, preCrash)
+	}
+	if postCrash == preCrash {
+		t.Fatalf("restarted publish reused pre-crash MsgID %v", preCrash)
+	}
+	if postCrash.Epoch != 1 {
+		t.Fatalf("restarted publish epoch = %d, want 1", postCrash.Epoch)
+	}
+	deadline = time.After(5 * time.Second)
+	for c.deliveredCount(postCrash) < len(c.nodes) {
+		select {
+		case <-deadline:
+			t.Fatalf("post-restart delivered to %d/%d nodes — dedup swallowed it?",
+				c.deliveredCount(postCrash), len(c.nodes))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestSetFanoutAppliesAtCycleBoundary pins the staged-commit contract: a
+// mid-cycle fanout change is invisible until the next cycle boundary, then
+// takes effect exactly there.
+func TestSetFanoutAppliesAtCycleBoundary(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	ep, err := net.Endpoint("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := New(testNodeConfig(0), ep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+
+	if got := nd.Fanout(); got != 3 {
+		t.Fatalf("initial fanout = %d", got)
+	}
+	if err := nd.SetFanout(0); err == nil {
+		t.Fatal("SetFanout(0) accepted")
+	}
+	if err := nd.SetFanout(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := nd.Fanout(); got != 3 {
+		t.Fatalf("fanout changed mid-cycle: %d", got)
+	}
+	nd.GossipNow()
+	if got := nd.Fanout(); got != 7 {
+		t.Fatalf("fanout after cycle boundary = %d, want 7", got)
+	}
+}
+
+// TestSetViewSizesStagedResize pins view-size re-tuning: invalid sizes are
+// rejected against the shuffle/gossip lengths, zero means "leave alone",
+// and a shrink is applied (with eviction) at the next cycle boundary.
+func TestSetViewSizesStagedResize(t *testing.T) {
+	c := newTestCluster(t, 12)
+	defer c.close()
+	nd := c.nodes[5]
+
+	if err := nd.SetViewSizes(2, 0); err == nil {
+		t.Fatal("cyclon view below shuffle length accepted")
+	}
+	if err := nd.SetViewSizes(0, 4); err == nil {
+		t.Fatal("vicinity view below gossip length accepted")
+	}
+	if err := nd.SetViewSizes(0, 0); err != nil {
+		t.Fatalf("no-op resize rejected: %v", err)
+	}
+	before := len(nd.ViewIDs())
+	if before <= 4 {
+		t.Fatalf("test premise broken: converged cyclon view has %d entries", before)
+	}
+	if err := nd.SetViewSizes(4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(nd.ViewIDs()); got != before {
+		t.Fatalf("view resized mid-cycle: %d entries, had %d", got, before)
+	}
+	nd.GossipNow()
+	c.settle()
+	if got := len(nd.ViewIDs()); got > 4 {
+		t.Fatalf("cyclon view holds %d entries after shrink to 4", got)
+	}
+}
+
+// TestSetGossipIntervalRearms pins the live re-tune of the gossip period:
+// a node started with an effectively-off ticker (an hour) begins cycling
+// promptly once the interval is lowered, without waiting out the old timer.
+func TestSetGossipIntervalRearms(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	epA, err := net.Endpoint("ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.Endpoint("rb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(testNodeConfig(0), epA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(testNodeConfig(1), epB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Join(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetGossipInterval(0); err == nil {
+		t.Fatal("SetGossipInterval(0) accepted")
+	}
+	time.Sleep(30 * time.Millisecond)
+	base := a.TransportStats().FramesSent // join traffic only; ticker is off
+	if err := a.SetGossipInterval(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.GossipInterval(); got != 5*time.Millisecond {
+		t.Fatalf("GossipInterval() = %v", got)
+	}
+	deadline := time.After(5 * time.Second)
+	for a.TransportStats().FramesSent <= base {
+		select {
+		case <-deadline:
+			t.Fatal("no gossip traffic after interval re-arm")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

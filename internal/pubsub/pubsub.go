@@ -69,8 +69,23 @@ func (p *Peer) Addr() string { return p.mux.Addr() }
 
 // TransportStats returns the shared base transport's counters — outbound
 // queue depth, drops, dial failures, frames/bytes sent — aggregated across
-// every topic overlay this peer participates in.
-func (p *Peer) TransportStats() transport.Stats { return p.mux.Stats() }
+// every topic overlay this peer participates in. It reads the base
+// aggregate explicitly (Mux.Base); Mux.Stats is now the per-topic sum and
+// would miss base-only state like queue depth and framing overhead.
+func (p *Peer) TransportStats() transport.Stats { return p.mux.Base() }
+
+// TopicStats returns the send-side counters attributed to one topic's
+// overlay: frames, marshalled bytes and queue-full rejects from this
+// topic's sends alone. ok is false if the peer is not subscribed.
+func (p *Peer) TopicStats(topic string) (transport.Stats, bool) {
+	p.mu.Lock()
+	nd := p.topics[topic]
+	p.mu.Unlock()
+	if nd == nil {
+		return transport.Stats{}, false
+	}
+	return nd.TransportStats(), true
+}
 
 // StrayFrames reports frames that arrived for topics this peer is not (or
 // no longer) subscribed to. A steadily climbing count after an Unsubscribe

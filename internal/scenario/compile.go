@@ -63,6 +63,13 @@ func Compile(sc Scenario, o *dissem.Overlay) (*Compiled, error) {
 	}
 	c := &Compiled{sc: sc, n: o.N()}
 	for _, e := range sc.sortedEvents(false) {
+		if e.Kind == KindSetParam {
+			// Runtime re-tunes only exist on the live surface (the Driver
+			// pushes them through soak control connections); the simulators'
+			// parameters are frozen at compile time. Skipping here keeps a
+			// set-param-only scenario on the fail-free fast path.
+			continue
+		}
 		fe := flightEvent{at: float64(e.At), kind: e.Kind, rate: e.Rate}
 		switch e.Kind {
 		case KindPartition:

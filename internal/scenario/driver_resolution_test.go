@@ -341,3 +341,106 @@ func TestDriverLossProgramsEveryMember(t *testing.T) {
 		}
 	}
 }
+
+// recordingParams is a ParamSurface that records every (key, value) push.
+type recordingParams struct {
+	mu    sync.Mutex
+	calls [][2]string
+}
+
+func (p *recordingParams) SetParam(key, value string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls = append(p.calls, [2]string{key, value})
+}
+
+func (p *recordingParams) snapshot() [][2]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([][2]string(nil), p.calls...)
+}
+
+// TestDriverSetParamDispatch asserts set-param events reach every member
+// with a params surface, in timeline order, exactly once — and that members
+// without one (Params == nil) are silently skipped rather than rejected at
+// NewDriver time.
+func TestDriverSetParamDispatch(t *testing.T) {
+	f := newDriverFixture(t, 6)
+	params := make([]*recordingParams, len(f.members))
+	for i := range f.members {
+		if i%2 == 1 {
+			continue // odd members keep Params nil: legacy agents
+		}
+		params[i] = &recordingParams{}
+		f.members[i].Params = params[i]
+	}
+	drv, err := NewDriver(Scenario{
+		Name: "pin-set-param",
+		Events: []Event{
+			SetParam(1, "gossip.interval", "25ms"),
+			SetParam(3, "gossip.fanout", "5"),
+		},
+	}, f.members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.Advance(0)
+	for i, p := range params {
+		if p != nil && len(p.snapshot()) != 0 {
+			t.Errorf("member %d saw params before their step", i)
+		}
+	}
+	drv.Advance(5) // leaps over both steps; each must fire exactly once
+	want := [][2]string{{"gossip.interval", "25ms"}, {"gossip.fanout", "5"}}
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		got := p.snapshot()
+		if len(got) != len(want) {
+			t.Fatalf("member %d saw %d param calls, want %d: %v", i, len(got), len(want), got)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("member %d call %d = %v, want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestSetParamValidation pins the builder, its kind name and the
+// empty-key rejection.
+func TestSetParamValidation(t *testing.T) {
+	if got := KindSetParam.String(); got != "set-param" {
+		t.Fatalf("KindSetParam.String() = %q", got)
+	}
+	sc := Scenario{Name: "bad", Events: []Event{SetParam(0, "", "x")}}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("empty set-param key validated")
+	}
+	sc = Scenario{Name: "ok", Events: []Event{SetParam(2, "gossip.interval", "25ms")}}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid set-param rejected: %v", err)
+	}
+	e := sc.Events[0]
+	if e.At != 2 || e.Kind != KindSetParam || e.Key != "gossip.interval" || e.Value != "25ms" {
+		t.Fatalf("builder filled %+v", e)
+	}
+}
+
+// TestCompileSkipsSetParam asserts a set-param-only scenario compiles to a
+// fail-free (no-runtime) timeline: the simulators freeze parameters at
+// compile, so the event must not force the fault-model slow path.
+func TestCompileSkipsSetParam(t *testing.T) {
+	o := testOverlay(t, 16)
+	c, err := Compile(Scenario{
+		Name:   "retune-only",
+		Events: []Event{SetParam(3, "gossip.interval", "25ms")},
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NeedsRuntime() {
+		t.Fatal("set-param-only scenario forced the runtime fault path")
+	}
+}

@@ -30,6 +30,16 @@ type FaultSurface interface {
 	SetLoss(rate float64)
 }
 
+// ParamSurface is the optional runtime-configuration surface a Driver
+// pushes set-param events through: the config engine's Set, in process or
+// proxied over a soak control connection. Implementations must be safe for
+// concurrent use.
+type ParamSurface interface {
+	// SetParam sets one config-engine key to a raw value. Errors are the
+	// member's to report (a live driver has no useful recourse mid-timeline).
+	SetParam(key, value string)
+}
+
 // Member is one live node under scenario control.
 type Member struct {
 	// Addr is the node's transport address (FaultInjector.Addr()).
@@ -40,6 +50,9 @@ type Member struct {
 	// Faults is the node's fault-injection surface: the in-process
 	// transport.FaultInjector, or a remote proxy for multi-process fleets.
 	Faults FaultSurface
+	// Params is the node's config surface for set-param events; nil members
+	// are skipped (the event is a no-op for them).
+	Params ParamSurface
 }
 
 // Driver applies a scenario's dissemination timeline to live members.
@@ -123,6 +136,12 @@ func (d *Driver) apply(e Event) {
 		// A live uniform kill needs a randomness policy the orchestrator
 		// should own; kill an arc of equal size instead of guessing one.
 		d.kill(d.arcVictims(e.Fraction, ident.Nil))
+	case KindSetParam:
+		for _, m := range d.members {
+			if m.Params != nil {
+				m.Params.SetParam(e.Key, e.Value)
+			}
+		}
 	}
 }
 

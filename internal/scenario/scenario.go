@@ -69,6 +69,12 @@ const (
 	// KindChurnRate sets the artificial churn rate (churn.Model) to Rate
 	// from cycle At of the network phase onward.
 	KindChurnRate
+	// KindSetParam pushes a runtime parameter step (Key = Value) through the
+	// members' config surfaces at step At — scripted re-tuning as a fault,
+	// e.g. halving the gossip interval mid-soak. Only the live Driver acts
+	// on it; the simulated surfaces, whose parameters are frozen at compile
+	// time, ignore it.
+	KindSetParam
 )
 
 // String names the kind for error messages and tables.
@@ -90,6 +96,8 @@ func (k Kind) String() string {
 		return "flash-crowd"
 	case KindChurnRate:
 		return "churn-rate"
+	case KindSetParam:
+		return "set-param"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -121,6 +129,10 @@ type Event struct {
 	Rate float64
 	// Count is a flash crowd's absolute joiner count (0 = use Fraction).
 	Count int
+	// Key and Value carry a set-param step: the config-engine key to set and
+	// its new raw value.
+	Key   string
+	Value string
 }
 
 // Scenario is a named fault timeline.
@@ -182,6 +194,13 @@ func FlashCrowdCount(at, count int) Event {
 // from cycle at onward.
 func ChurnRate(at int, rate float64) Event {
 	return Event{At: at, Kind: KindChurnRate, Rate: rate}
+}
+
+// SetParam returns an event pushing the config-engine step key = value to
+// every member with a params surface at step at. Simulated surfaces ignore
+// it; the live Driver applies it through soak control connections.
+func SetParam(at int, key, value string) Event {
+	return Event{At: at, Kind: KindSetParam, Key: key, Value: value}
 }
 
 // Catastrophic is the Section 7.2 sweep as a scenario: a single uniform
@@ -261,6 +280,10 @@ func (s Scenario) Validate() error {
 		case KindChurnRate:
 			if e.Rate < 0 || e.Rate >= 1 {
 				return fmt.Errorf("scenario %s: churn rate must be in [0,1), got %v", s.Name, e.Rate)
+			}
+		case KindSetParam:
+			if e.Key == "" {
+				return fmt.Errorf("scenario %s: set-param needs a non-empty key", s.Name)
 			}
 		default:
 			return fmt.Errorf("scenario %s: event %d has unknown kind %d", s.Name, i, int(e.Kind))

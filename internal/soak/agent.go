@@ -54,8 +54,11 @@ type AgentStats struct {
 
 // PubAck acknowledges a control-initiated publish.
 type PubAck struct {
-	// Origin and Seq identify the message (wire.MsgID).
+	// Origin, Epoch and Seq identify the message (wire.MsgID). Epoch is the
+	// publisher's incarnation: a supervised restart bumps it so post-restart
+	// sequence numbers cannot collide with pre-crash message IDs.
 	Origin uint64 `json:"origin"`
+	Epoch  uint32 `json:"epoch,omitempty"`
 	Seq    uint64 `json:"seq"`
 	// T is the publish wall-clock time in Unix nanoseconds, stamped on the
 	// publishing node just before dissemination started.
@@ -64,8 +67,9 @@ type PubAck struct {
 
 // LedgerEntry records one delivered message and its arrival time.
 type LedgerEntry struct {
-	// Origin and Seq identify the message (wire.MsgID).
+	// Origin, Epoch and Seq identify the message (wire.MsgID).
 	Origin uint64 `json:"o"`
+	Epoch  uint32 `json:"e,omitempty"`
 	Seq    uint64 `json:"q"`
 	// T is the arrival wall-clock time in Unix nanoseconds.
 	T int64 `json:"t"`
@@ -93,6 +97,12 @@ type Hooks struct {
 	// Faults is the node's fault-injection surface; nil disables the
 	// block/unblock/heal/loss commands.
 	Faults *transport.FaultInjector
+	// SetParam sets one config-engine key to a raw value; nil disables the
+	// set command. The value is validated and canonicalized by the engine.
+	SetParam func(key, value string) error
+	// GetParam returns a key's canonical value and the engine's current
+	// version; nil disables the get command.
+	GetParam func(key string) (value string, version uint64, err error)
 	// Quit asks the process to shut down cleanly.
 	Quit func()
 }
@@ -260,7 +270,7 @@ func (a *Agent) handle(line string) ctlResp {
 		if err != nil {
 			return errResp(err.Error())
 		}
-		return ctlResp{OK: true, Ack: &PubAck{Origin: uint64(id.Origin), Seq: id.Seq, T: t}}
+		return ctlResp{OK: true, Ack: &PubAck{Origin: uint64(id.Origin), Epoch: id.Epoch, Seq: id.Seq, T: t}}
 	case "stats":
 		st := AgentStats{Node: h.NodeStats(), Transport: h.TransportStats()}
 		a.mu.Lock()
@@ -300,6 +310,31 @@ func (a *Agent) handle(line string) ctlResp {
 		}
 		h.Faults.SetLoss(rate)
 		return ctlResp{OK: true}
+	case "set":
+		if h.SetParam == nil {
+			return errResp("no config surface")
+		}
+		key, value, ok := strings.Cut(rest, " ")
+		if !ok || key == "" {
+			return errResp("set: want key and value")
+		}
+		if err := h.SetParam(key, strings.TrimSpace(value)); err != nil {
+			return errResp(err.Error())
+		}
+		return ctlResp{OK: true}
+	case "get":
+		if h.GetParam == nil {
+			return errResp("no config surface")
+		}
+		key := strings.TrimSpace(rest)
+		if key == "" {
+			return errResp("get: want key")
+		}
+		value, version, err := h.GetParam(key)
+		if err != nil {
+			return errResp(err.Error())
+		}
+		return ctlResp{OK: true, Value: value, Version: version}
 	case "wedge":
 		a.mu.Lock()
 		if a.wedge == nil {
@@ -340,11 +375,14 @@ func (a *Agent) ledgerResp(topic string) ctlResp {
 		if ids[i].Origin != ids[j].Origin {
 			return ids[i].Origin < ids[j].Origin
 		}
+		if ids[i].Epoch != ids[j].Epoch {
+			return ids[i].Epoch < ids[j].Epoch
+		}
 		return ids[i].Seq < ids[j].Seq
 	})
 	entries := make([]LedgerEntry, 0, len(ids))
 	for _, id := range ids {
-		entries = append(entries, LedgerEntry{Origin: uint64(id.Origin), Seq: id.Seq, T: m[id]})
+		entries = append(entries, LedgerEntry{Origin: uint64(id.Origin), Epoch: id.Epoch, Seq: id.Seq, T: m[id]})
 	}
 	a.mu.Unlock()
 	return ctlResp{OK: true, Entries: entries}

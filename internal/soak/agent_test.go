@@ -6,6 +6,7 @@ package soak
 // it only inside child processes, outside the instrumented binary).
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,12 @@ func stubHooks(t *testing.T) (Hooks, *atomic.Int32, *struct {
 		body  string
 	}{}
 	var seq atomic.Uint64
+	// params is the stub config surface behind the SetParam/GetParam hooks.
+	params := struct {
+		mu      sync.Mutex
+		vals    map[string]string
+		version uint64
+	}{vals: make(map[string]string)}
 	fabric := transport.NewInMemNetwork()
 	ep, err := fabric.Endpoint("agent-under-test")
 	if err != nil {
@@ -47,7 +54,7 @@ func stubHooks(t *testing.T) (Hooks, *atomic.Int32, *struct {
 			pub.mu.Lock()
 			pub.topic, pub.body = topic, string(body)
 			pub.mu.Unlock()
-			return wire.MsgID{Origin: 42, Seq: seq.Add(1)}, nil
+			return wire.MsgID{Origin: 42, Epoch: 7, Seq: seq.Add(1)}, nil
 		},
 		Status: func() map[string]TopicStatus {
 			return map[string]TopicStatus{
@@ -58,9 +65,32 @@ func stubHooks(t *testing.T) (Hooks, *atomic.Int32, *struct {
 		NodeStats:      func() node.Stats { return node.Stats{Delivered: 3, Forwarded: 9} },
 		TransportStats: func() transport.Stats { return transport.Stats{FramesSent: 17} },
 		Faults:         fi,
-		Quit:           func() { quits.Add(1) },
+		SetParam: func(key, value string) error {
+			if key != "gossip.interval" {
+				return errUnknownKey
+			}
+			params.mu.Lock()
+			params.vals[key] = value
+			params.version++
+			params.mu.Unlock()
+			return nil
+		},
+		GetParam: func(key string) (string, uint64, error) {
+			params.mu.Lock()
+			defer params.mu.Unlock()
+			v, ok := params.vals[key]
+			if !ok {
+				return "", 0, errUnknownKey
+			}
+			return v, params.version, nil
+		},
+		Quit: func() { quits.Add(1) },
 	}, quits, pub
 }
+
+// errUnknownKey stands in for the config engine's unknown-key rejection in
+// the stub hook set.
+var errUnknownKey = errors.New("stub: unknown key")
 
 func TestAgentControlRoundTrip(t *testing.T) {
 	agent, err := NewAgent("127.0.0.1:0")
@@ -100,7 +130,7 @@ func TestAgentControlRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("publish: %v", err)
 	}
-	if ack.Origin != 42 || ack.Seq != 1 || ack.T == 0 {
+	if ack.Origin != 42 || ack.Epoch != 7 || ack.Seq != 1 || ack.T == 0 {
 		t.Errorf("ack = %+v", ack)
 	}
 	pub.mu.Lock()
@@ -118,20 +148,38 @@ func TestAgentControlRoundTrip(t *testing.T) {
 		t.Errorf("stats = %+v", stats)
 	}
 
-	// Ledger: deliveries dedup by message ID and come back sorted.
+	// Ledger: deliveries dedup by full message ID (epoch included) and
+	// come back sorted origin, then epoch, then seq.
 	agent.Deliver("alpha", wire.MsgID{Origin: 9, Seq: 2})
 	agent.Deliver("alpha", wire.MsgID{Origin: 9, Seq: 1})
-	agent.Deliver("alpha", wire.MsgID{Origin: 9, Seq: 2}) // duplicate
+	agent.Deliver("alpha", wire.MsgID{Origin: 9, Seq: 2})           // duplicate
+	agent.Deliver("alpha", wire.MsgID{Origin: 9, Epoch: 1, Seq: 1}) // restart incarnation
 	agent.Deliver("beta", wire.MsgID{Origin: 5, Seq: 1})
 	entries, err := c.Ledger("alpha")
 	if err != nil {
 		t.Fatalf("ledger: %v", err)
 	}
-	if len(entries) != 2 || entries[0].Seq != 1 || entries[1].Seq != 2 {
+	if len(entries) != 3 || entries[0].Seq != 1 || entries[1].Seq != 2 ||
+		entries[2].Epoch != 1 || entries[2].Seq != 1 {
 		t.Errorf("ledger entries = %+v", entries)
 	}
-	if stats, _ = c.Stats(); stats.Delivered != 3 {
-		t.Errorf("delivered total = %d, want 3 (dedup)", stats.Delivered)
+	if stats, _ = c.Stats(); stats.Delivered != 4 {
+		t.Errorf("delivered total = %d, want 4 (dedup)", stats.Delivered)
+	}
+
+	// Config verbs round-trip through the SetParam/GetParam hooks.
+	if err := c.SetParam("gossip.interval", "50ms"); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	v, ver, err := c.GetParam("gossip.interval")
+	if err != nil || v != "50ms" || ver != 1 {
+		t.Errorf("get = (%q, %d, %v), want (50ms, 1, nil)", v, ver, err)
+	}
+	if err := c.SetParam("no.such.key", "1"); err == nil {
+		t.Error("set of unknown key succeeded")
+	}
+	if _, _, err := c.GetParam("no.such.key"); err == nil {
+		t.Error("get of unknown key succeeded")
 	}
 
 	// Fault surface plumbed through.
@@ -233,6 +281,13 @@ func TestParseReady(t *testing.T) {
 	ri, ok := parseReady("SOAK ready addr=127.0.0.1:1 control=127.0.0.1:9 id=77 pid=123")
 	if !ok || ri.addr != "127.0.0.1:1" || ri.control != "127.0.0.1:9" || ri.id != 77 || ri.pid != 123 {
 		t.Errorf("parseReady = %+v ok=%v", ri, ok)
+	}
+	if ri.metrics != "" {
+		t.Errorf("metrics parsed from a line without it: %q", ri.metrics)
+	}
+	ri, ok = parseReady("SOAK ready addr=127.0.0.1:1 control=127.0.0.1:9 id=77 pid=123 metrics=127.0.0.1:9")
+	if !ok || ri.metrics != "127.0.0.1:9" {
+		t.Errorf("parseReady with metrics = %+v ok=%v", ri, ok)
 	}
 	for _, bad := range []string{
 		"node 12 listening on 127.0.0.1:1",

@@ -31,6 +31,8 @@ type ctlResp struct {
 	Ack     *PubAck                `json:"ack,omitempty"`
 	Stats   *AgentStats            `json:"stats,omitempty"`
 	Entries []LedgerEntry          `json:"entries,omitempty"`
+	Value   string                 `json:"value,omitempty"`
+	Version uint64                 `json:"version,omitempty"`
 }
 
 // errResp builds a failure response.
@@ -208,6 +210,24 @@ func (c *Client) Heal() error {
 func (c *Client) SetLoss(rate float64) error {
 	_, err := c.do("loss " + strconv.FormatFloat(rate, 'g', -1, 64))
 	return err
+}
+
+// SetParam sets one config-engine key on the remote node. The value is
+// validated remotely; a rejection comes back as an error and leaves the
+// remote engine at its prior version.
+func (c *Client) SetParam(key, value string) error {
+	_, err := c.do("set " + key + " " + value)
+	return err
+}
+
+// GetParam fetches one config-engine key's canonical value and the remote
+// engine's current version.
+func (c *Client) GetParam(key string) (string, uint64, error) {
+	r, err := c.do("get " + key)
+	if err != nil {
+		return "", 0, err
+	}
+	return r.Value, r.Version, nil
 }
 
 // Wedge blocks the remote node's delivery path (a simulated stuck

@@ -20,11 +20,11 @@ import (
 	"ringcast/internal/wire"
 )
 
-// remoteFaults implements scenario.FaultSurface over the control protocol.
-// It records the desired state under its mutex and performs the network
-// call outside it (the lockio contract), so the supervisor can replay the
-// state onto a restarted process and the gate can ask "who is partitioned
-// from whom" without touching the network.
+// remoteFaults implements scenario.FaultSurface and scenario.ParamSurface
+// over the control protocol. It records the desired state under its mutex
+// and performs the network call outside it (the lockio contract), so the
+// supervisor can replay the state onto a restarted process and the gate can
+// ask "who is partitioned from whom" without touching the network.
 type remoteFaults struct {
 	f *fleet
 	p *proc
@@ -32,10 +32,11 @@ type remoteFaults struct {
 	mu      sync.Mutex
 	blocked map[string]bool
 	loss    float64
+	params  map[string]string // desired config-engine overrides, by key
 }
 
 func newRemoteFaults(f *fleet, p *proc) *remoteFaults {
-	return &remoteFaults{f: f, p: p, blocked: make(map[string]bool)}
+	return &remoteFaults{f: f, p: p, blocked: make(map[string]bool), params: make(map[string]string)}
 }
 
 // Block implements scenario.FaultSurface.
@@ -74,6 +75,17 @@ func (r *remoteFaults) SetLoss(rate float64) {
 	r.send(func(c *Client) error { return c.SetLoss(rate) })
 }
 
+// SetParam implements scenario.ParamSurface: it records the desired
+// config-engine override (so a supervised restart replays it — a relaunched
+// process boots with its flag-derived defaults) and pushes it through the
+// control protocol.
+func (r *remoteFaults) SetParam(key, value string) {
+	r.mu.Lock()
+	r.params[key] = value
+	r.mu.Unlock()
+	r.send(func(c *Client) error { return c.SetParam(key, value) })
+}
+
 // blocks reports the desired state for one destination.
 func (r *remoteFaults) blocks(addr string) bool {
 	r.mu.Lock()
@@ -96,8 +108,8 @@ func (r *remoteFaults) send(op func(*Client) error) {
 	}
 }
 
-// replay re-programs the desired fault state onto a freshly restarted
-// process, whose injector came up clean.
+// replay re-programs the desired fault and config state onto a freshly
+// restarted process, whose injector and config engine came up clean.
 func (r *remoteFaults) replay() {
 	r.mu.Lock()
 	addrs := make([]string, 0, len(r.blocked))
@@ -106,6 +118,15 @@ func (r *remoteFaults) replay() {
 	}
 	sort.Strings(addrs)
 	loss := r.loss
+	keys := make([]string, 0, len(r.params))
+	for k := range r.params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	params := make(map[string]string, len(r.params))
+	for k, v := range r.params {
+		params[k] = v
+	}
 	r.mu.Unlock()
 	r.send(func(c *Client) error {
 		if err := c.Heal(); err != nil {
@@ -117,7 +138,14 @@ func (r *remoteFaults) replay() {
 			}
 		}
 		if loss > 0 {
-			return c.SetLoss(loss)
+			if err := c.SetLoss(loss); err != nil {
+				return err
+			}
+		}
+		for _, k := range keys {
+			if err := c.SetParam(k, params[k]); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
@@ -154,6 +182,10 @@ type fleet struct {
 	records   []pubRecord
 	published int
 	pubErrs   int
+
+	// mmu guards the scraped metrics trail (Config.Metrics only).
+	mmu        sync.Mutex
+	metricsLog []MetricSample
 
 	smu       sync.Mutex
 	kills     int
@@ -361,9 +393,15 @@ func (f *fleet) supervise(p *proc) {
 	}
 }
 
-// launchSpec builds the launch parameters for one process.
+// launchSpec builds the launch parameters for one process. The epoch is
+// the restart counter: a relaunched process publishes under a fresh
+// incarnation so its restarted sequence numbers cannot collide with (and be
+// dedup-swallowed as) its pre-crash message IDs.
 func (f *fleet) launchSpec(p *proc, join string) launchSpec {
-	return launchSpec{
+	p.mu.Lock()
+	epoch := p.restarts
+	p.mu.Unlock()
+	spec := launchSpec{
 		bin:      f.cfg.NodeBin,
 		listen:   f.cfg.Host + ":0",
 		control:  f.cfg.Host + ":0",
@@ -372,9 +410,14 @@ func (f *fleet) launchSpec(p *proc, join string) launchSpec {
 		interval: f.cfg.GossipInterval,
 		fanout:   f.cfg.Fanout,
 		seed:     p.seed,
+		epoch:    epoch,
 		logPath:  logPath(f.cfg.LogDir, p.name),
 		timeout:  30 * time.Second,
 	}
+	if f.cfg.Metrics {
+		spec.metrics = f.cfg.Host + ":0"
+	}
+	return spec
 }
 
 // launchAll starts the whole fleet: process 0 first (the bootstrap), the

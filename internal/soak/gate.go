@@ -52,6 +52,9 @@ type gatePlan struct {
 	loss []window
 	// parts spans cover active partitions.
 	parts []window
+	// retune is the first set-param fire instant (zero when the timeline has
+	// none); the report splits latency samples around it.
+	retune time.Time
 }
 
 // newGatePlan projects the scenario timeline onto wall-clock instants:
@@ -90,6 +93,13 @@ func newGatePlan(cfg Config, start time.Time) *gatePlan {
 			} else if e.Rate == 0 && lossOpen >= 0 {
 				p.loss[lossOpen].to = at
 				lossOpen = -1
+			}
+		case scenario.KindSetParam:
+			// A re-tune does not threaten completeness, but it lands in
+			// fires like any event: the guard window keeps racing publishes
+			// out of the latency split around the transition.
+			if p.retune.IsZero() {
+				p.retune = at
 			}
 		}
 	}
@@ -140,10 +150,11 @@ func (f *fleet) gatePublish(origin int, topic string, t time.Time) (bool, []int)
 	if plan == nil || !plan.gate(topic, t) {
 		return false, nil
 	}
-	// An ever-crashed origin's sequence numbers restart with the process and
-	// collide with its pre-crash message IDs; such publishes stay ungated
-	// (pickOrigin avoids them, this covers the pick-then-crash race).
-	if !f.stableFor(origin, t, plan.guard) || f.procs[origin].crashed() {
+	// Restart survivors gate like everyone else: a relaunched process
+	// publishes under a fresh incarnation epoch, so its restarted sequence
+	// numbers cannot collide with pre-crash message IDs. Only the stability
+	// guard (recent transitions) excludes an origin now.
+	if !f.stableFor(origin, t, plan.guard) {
 		return false, nil
 	}
 	expected := []int{origin}

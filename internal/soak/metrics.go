@@ -1,0 +1,108 @@
+package soak
+
+// The observability trail: when Config.Metrics is set, every node serves a
+// Prometheus-text /metrics endpoint and the harness scrapes node 0 once per
+// second during the publish phase. The scraped series land in the report,
+// so a mid-run re-tune (a set-param step halving the gossip interval, say)
+// is visible as a level shift in ringcast_config_gossip_interval_seconds
+// next to the counters it affects.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MetricSample is one /metrics scrape: a timestamp, the scraped node's name
+// and every ringcast_-prefixed series (keyed by name plus label signature).
+type MetricSample struct {
+	// T is the scrape instant in Unix milliseconds.
+	T int64 `json:"t"`
+	// Node names the scraped process.
+	Node string `json:"node"`
+	// Series maps "name{labels}" to the sampled value.
+	Series map[string]float64 `json:"series"`
+}
+
+// scrapeMetrics fetches one node's /metrics endpoint and parses it.
+func scrapeMetrics(addr string, timeout time.Duration) (map[string]float64, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("soak: scrape %s: status %d", addr, resp.StatusCode)
+	}
+	return parseMetrics(string(body)), nil
+}
+
+// parseMetrics extracts every ringcast_-prefixed series from a Prometheus
+// text exposition. Unparseable lines are skipped — the scraper is a trail,
+// not a validator.
+func parseMetrics(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		name := line[:i]
+		if !strings.HasPrefix(name, "ringcast_") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// metricsLoop scrapes node 0's /metrics once per second for the publish
+// phase. Scrape failures are skipped silently: a restart window leaves the
+// endpoint briefly dark, and the trail's value is the series around it.
+func (f *fleet) metricsLoop(ctx context.Context) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		p := f.procs[0]
+		if st, _ := p.snapshot(); st != stateUp {
+			continue
+		}
+		addr := p.metrics()
+		if addr == "" {
+			continue
+		}
+		series, err := scrapeMetrics(addr, 2*time.Second)
+		if err != nil {
+			continue
+		}
+		f.mmu.Lock()
+		f.metricsLog = append(f.metricsLog, MetricSample{
+			T:      time.Now().UnixMilli(),
+			Node:   p.name,
+			Series: series,
+		})
+		f.mmu.Unlock()
+	}
+}

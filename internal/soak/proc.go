@@ -58,12 +58,15 @@ func (s procState) String() string {
 type readyInfo struct {
 	addr    string
 	control string
+	metrics string // /metrics listen address; empty when not serving
 	id      uint64
 	pid     int
 }
 
 // parseReady recognizes the "SOAK ready addr=... control=... id=... pid=..."
-// handshake ringcast-node prints once its control surface serves.
+// handshake ringcast-node prints once its control surface serves. A node
+// launched with -metrics appends "metrics=<addr>"; older nodes omit it, so
+// the field stays optional.
 func parseReady(line string) (readyInfo, bool) {
 	if !strings.HasPrefix(line, "SOAK ready ") {
 		return readyInfo{}, false
@@ -79,6 +82,8 @@ func parseReady(line string) (readyInfo, bool) {
 			ri.addr = v
 		case "control":
 			ri.control = v
+		case "metrics":
+			ri.metrics = v
 		case "id":
 			ri.id, _ = strconv.ParseUint(v, 10, 64)
 		case "pid":
@@ -101,6 +106,7 @@ type proc struct {
 	since       time.Time // last state transition
 	listenAddr  string    // pinned after the first launch
 	controlAddr string
+	metricsAddr string // re-read on every launch (ephemeral port)
 	ringID      uint64
 	pid         int
 	cmd         *exec.Cmd
@@ -137,6 +143,13 @@ func (p *proc) addr() string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.listenAddr
+}
+
+// metrics returns the current /metrics address ("" when not serving).
+func (p *proc) metrics() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.metricsAddr
 }
 
 // kill force-stops the current process image (the supervisor restarts it).
@@ -182,11 +195,13 @@ type launchSpec struct {
 	bin      string
 	listen   string
 	control  string
+	metrics  string // /metrics listen address; empty = off
 	join     string
 	topics   []string
 	interval time.Duration
 	fanout   int
 	seed     int64
+	epoch    int    // incarnation counter; >0 only on supervised restarts
 	logPath  string // empty = discard
 	timeout  time.Duration
 }
@@ -203,6 +218,12 @@ func (p *proc) launch(spec launchSpec, done <-chan struct{}) error {
 		"-fanout", strconv.Itoa(spec.fanout),
 		"-seed", strconv.FormatInt(spec.seed, 10),
 		"-status", "0",
+	}
+	if spec.epoch > 0 {
+		args = append(args, "-epoch", strconv.Itoa(spec.epoch))
+	}
+	if spec.metrics != "" {
+		args = append(args, "-metrics", spec.metrics)
 	}
 	if len(spec.topics) > 0 && !(len(spec.topics) == 1 && spec.topics[0] == plainTopic) {
 		args = append(args, "-topics", strings.Join(spec.topics, ","))
@@ -266,6 +287,7 @@ func (p *proc) launch(spec launchSpec, done <-chan struct{}) error {
 		p.cmd = cmd
 		p.listenAddr = ri.addr
 		p.controlAddr = ri.control
+		p.metricsAddr = ri.metrics
 		p.ringID = ri.id
 		p.pid = ri.pid
 		p.state = stateUp

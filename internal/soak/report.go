@@ -63,6 +63,11 @@ type Report struct {
 	PublishesPerSec float64        `json:"publishes_per_sec"`
 	MsgsPerSec      float64        `json:"msgs_per_sec"` // fleet-wide deliveries/sec
 	Latency         LatencySummary `json:"latency"`
+	// LatencyPreRetune and LatencyPostRetune split the gated latency samples
+	// around the first set-param step (absent when the timeline has none) —
+	// the before/after evidence that a live re-tune changed behavior.
+	LatencyPreRetune  *LatencySummary `json:"latency_pre_retune,omitempty"`
+	LatencyPostRetune *LatencySummary `json:"latency_post_retune,omitempty"`
 
 	Restarts       int            `json:"restarts"`
 	RestartsByNode map[string]int `json:"restarts_by_node,omitempty"`
@@ -76,7 +81,9 @@ type Report struct {
 	Node      node.Stats      `json:"node"`
 
 	PerTopic map[string]TopicTotals `json:"per_topic"`
-	Notes    []string               `json:"notes,omitempty"`
+	// MetricsSamples is the scraped /metrics trail (Config.Metrics only).
+	MetricsSamples []MetricSample `json:"metrics_samples,omitempty"`
+	Notes          []string       `json:"notes,omitempty"`
 }
 
 // WriteFile writes the report as indented JSON.
@@ -127,6 +134,7 @@ func (f *fleet) buildReport(ledgers map[int]map[string]map[wire.MsgID]int64, ela
 	f.pmu.Unlock()
 
 	var latencies []int64
+	var latAt []int64 // publish instant per latency sample, for the retune split
 	for _, r := range records {
 		tt := rep.PerTopic[r.topic]
 		tt.Published++
@@ -143,11 +151,12 @@ func (f *fleet) buildReport(ledgers map[int]map[string]map[wire.MsgID]int64, ela
 				if at, ok := byTopic[r.topic][r.id]; ok {
 					tt.Delivered++
 					rep.DeliveredPairs++
-					if d := at - r.at; d > 0 {
-						latencies = append(latencies, d)
-					} else {
-						latencies = append(latencies, 0)
+					d := at - r.at
+					if d < 0 {
+						d = 0
 					}
+					latencies = append(latencies, d)
+					latAt = append(latAt, r.at)
 					continue
 				}
 			}
@@ -172,6 +181,27 @@ func (f *fleet) buildReport(ledgers map[int]map[string]map[wire.MsgID]int64, ela
 		rep.Completeness = float64(rep.DeliveredPairs) / float64(verifiable)
 	}
 	rep.CompletenessOK = rep.GatedPairs > 0 && rep.MissingPairs == 0
+	// Split the samples around the first set-param fire BEFORE summarizing:
+	// summarizeLatency sorts its slice in place, which would scramble the
+	// latency/publish-instant pairing.
+	f.gmu.Lock()
+	var retuneAt int64
+	if f.plan != nil && !f.plan.retune.IsZero() {
+		retuneAt = f.plan.retune.UnixNano()
+	}
+	f.gmu.Unlock()
+	if retuneAt != 0 {
+		var pre, post []int64
+		for i, d := range latencies {
+			if latAt[i] < retuneAt {
+				pre = append(pre, d)
+			} else {
+				post = append(post, d)
+			}
+		}
+		preSum, postSum := summarizeLatency(pre), summarizeLatency(post)
+		rep.LatencyPreRetune, rep.LatencyPostRetune = &preSum, &postSum
+	}
 	rep.Latency = summarizeLatency(latencies)
 	rep.PublishesPerSec = float64(rep.Published) / elapsed.Seconds()
 
@@ -193,6 +223,10 @@ func (f *fleet) buildReport(ledgers map[int]map[string]map[wire.MsgID]int64, ela
 			rep.Restarts += restarts
 		}
 	}
+
+	f.mmu.Lock()
+	rep.MetricsSamples = append([]MetricSample(nil), f.metricsLog...)
+	f.mmu.Unlock()
 
 	f.smu.Lock()
 	rep.InjectedKills = f.kills

@@ -49,6 +49,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				Addr:   p.addr(),
 				ID:     ident.ID(p.ringID),
 				Faults: p.faults,
+				Params: p.faults,
 			})
 		}
 		drv, err = scenario.NewDriver(cfg.Scenario, members)
@@ -73,6 +74,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.WedgeAfter > 0 {
 		pg.Add(1)
 		go func() { defer pg.Done(); f.wedgeLoop(phase) }()
+	}
+	if cfg.Metrics {
+		pg.Add(1)
+		go func() { defer pg.Done(); f.metricsLoop(phase) }()
 	}
 
 	phaseTimer := time.NewTimer(cfg.Duration)
@@ -233,7 +238,7 @@ func (f *fleet) publishLoop(ctx context.Context) {
 		gated, expected := f.gatePublish(origin, topic, at)
 		f.recordPub(pubRecord{
 			topic:    topic,
-			id:       wire.MsgID{Origin: ident.ID(ack.Origin), Seq: ack.Seq},
+			id:       wire.MsgID{Origin: ident.ID(ack.Origin), Epoch: ack.Epoch, Seq: ack.Seq},
 			origin:   origin,
 			at:       ack.T,
 			gated:    gated,
@@ -242,18 +247,17 @@ func (f *fleet) publishLoop(ctx context.Context) {
 	}
 }
 
-// pickOrigin round-robins over processes that are up, settled, not wedged
-// and never crashed; -1 when none qualify. Crash survivors are excluded as
-// origins (not as targets): a restarted process reuses its ring identity
-// but its message sequence counter restarts from zero, so its post-restart
-// publishes collide with its pre-crash message IDs and the fleet's dedup
-// caches suppress them — an identity artifact, not a protocol verdict.
+// pickOrigin round-robins over processes that are up, settled and not
+// wedged; -1 when none qualify. Crash survivors are eligible origins: a
+// restarted process publishes under a fresh incarnation epoch, so its
+// restarted sequence counter cannot reproduce pre-crash message IDs and
+// the fleet's dedup caches deliver its publishes like anyone else's.
 func (f *fleet) pickOrigin(seq int) int {
 	n := len(f.procs)
 	now := time.Now()
 	for k := 0; k < n; k++ {
 		i := (seq + k) % n
-		if f.stableFor(i, now, f.cfg.Guard) && !f.procs[i].crashed() {
+		if f.stableFor(i, now, f.cfg.Guard) {
 			return i
 		}
 	}
@@ -421,7 +425,7 @@ func (f *fleet) collectLedgers() map[int]map[string]map[wire.MsgID]int64 {
 			}
 			m := make(map[wire.MsgID]int64, len(entries))
 			for _, e := range entries {
-				m[wire.MsgID{Origin: ident.ID(e.Origin), Seq: e.Seq}] = e.T
+				m[wire.MsgID{Origin: ident.ID(e.Origin), Epoch: e.Epoch, Seq: e.Seq}] = e.T
 			}
 			byTopic[topic] = m
 		}

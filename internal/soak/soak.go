@@ -102,6 +102,12 @@ type Config struct {
 	// unwedges it WedgeFor later — the lag detector must flag it.
 	WedgeAfter time.Duration
 	WedgeFor   time.Duration
+
+	// Metrics, when true, launches every node with a /metrics endpoint
+	// (Prometheus text format) on an ephemeral port and has the harness
+	// scrape node 0 once per second, recording the samples in the report —
+	// the observability trail that makes a mid-run re-tune visible.
+	Metrics bool
 }
 
 // withDefaults fills zero fields and validates the result.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -50,8 +51,29 @@ func (m *Mux) dispatch(remote string, f *wire.Frame) {
 // Addr returns the base transport's address; all topics share it.
 func (m *Mux) Addr() string { return m.base.Addr() }
 
-// Stats returns the base transport's counters; all topics share them.
-func (m *Mux) Stats() Stats { return m.base.Stats() }
+// Stats returns the sum of the per-topic counters: frames/bytes attributed
+// to the topic that sent them, not the shared base aggregate. (This used to
+// return the base transport's counters, so every topic reported mux-wide
+// totals as its own and summing per-topic stats overcounted by the topic
+// count.) The base aggregate — which additionally sees queue depth, drops,
+// framing overhead and any traffic sent on the base directly — is Base().
+func (m *Mux) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var sum Stats
+	for _, tt := range m.routes {
+		st := tt.Stats()
+		sum.FramesSent += st.FramesSent
+		sum.BytesSent += st.BytesSent
+		sum.Rejects += st.Rejects
+	}
+	return sum
+}
+
+// Base returns the underlying transport's aggregate counters, including
+// state only the base observes: queue depth, live writers, drops and dial
+// failures.
+func (m *Mux) Base() Stats { return m.base.Stats() }
 
 // StrayFrames reports how many frames arrived for topics with no route
 // (never registered, or already closed) and were dropped.
@@ -100,11 +122,20 @@ func (m *Mux) Close() error {
 	return m.base.Close()
 }
 
-// topicTransport stamps outgoing frames with its topic.
+// topicTransport stamps outgoing frames with its topic and attributes
+// send-side counters to it.
 type topicTransport struct {
 	mux    *Mux
 	topic  string
 	closed atomic.Bool
+
+	// Per-topic send accounting. Bytes count the marshalled frame size
+	// (wire.EncodedSize) of accepted sends — the same unit the in-memory
+	// transport's BytesSent uses; stream transports additionally frame each
+	// send with a length prefix that only the base aggregate observes.
+	framesSent atomic.Int64
+	bytesSent  atomic.Int64
+	rejects    atomic.Int64
 
 	hmu     sync.RWMutex
 	handler Handler
@@ -115,8 +146,16 @@ var _ Transport = (*topicTransport)(nil)
 // Addr implements Transport: topics share the base address.
 func (t *topicTransport) Addr() string { return t.mux.base.Addr() }
 
-// Stats implements Transport: topics share the base counters.
-func (t *topicTransport) Stats() Stats { return t.mux.base.Stats() }
+// Stats implements Transport, reporting only this topic's send counters.
+// Queue depth, drops and dial failures live at the base (Mux.Base): the
+// shared pipeline cannot attribute them to a topic after the fact.
+func (t *topicTransport) Stats() Stats {
+	return Stats{
+		FramesSent: t.framesSent.Load(),
+		BytesSent:  t.bytesSent.Load(),
+		Rejects:    t.rejects.Load(),
+	}
+}
 
 // SetHandler implements Transport.
 func (t *topicTransport) SetHandler(h Handler) {
@@ -134,7 +173,15 @@ func (t *topicTransport) Send(to string, f *wire.Frame) error {
 	}
 	stamped := *f
 	stamped.Topic = t.topic
-	return t.mux.base.Send(to, &stamped)
+	err := t.mux.base.Send(to, &stamped)
+	switch {
+	case err == nil:
+		t.framesSent.Add(1)
+		t.bytesSent.Add(int64(wire.EncodedSize(&stamped)))
+	case errors.Is(err, ErrQueueFull):
+		t.rejects.Add(1)
+	}
+	return err
 }
 
 // Close implements Transport: detaches this topic only.

@@ -85,7 +85,7 @@ func TestTCPSlowPeerDoesNotBlockSend(t *testing.T) {
 	defer src.Close()
 	slow := newSlowPeer(t)
 
-	const sends = 3 * sendQueueCap
+	const sends = 3 * DefaultSendQueueCap
 	start := time.Now()
 	for i := 0; i < sends; i++ {
 		if err := src.Send(slow.addr(), bulkyShuffle(src.Addr(), uint64(i))); err != nil {
@@ -97,10 +97,10 @@ func TestTCPSlowPeerDoesNotBlockSend(t *testing.T) {
 	}
 	st := src.Stats()
 	if st.Drops == 0 {
-		t.Fatalf("no drops recorded after %d sends into a %d-frame queue: %+v", sends, sendQueueCap, st)
+		t.Fatalf("no drops recorded after %d sends into a %d-frame queue: %+v", sends, DefaultSendQueueCap, st)
 	}
-	if st.QueueDepth > sendQueueCap {
-		t.Fatalf("queue depth %d exceeds cap %d", st.QueueDepth, sendQueueCap)
+	if st.QueueDepth > DefaultSendQueueCap {
+		t.Fatalf("queue depth %d exceeds cap %d", st.QueueDepth, DefaultSendQueueCap)
 	}
 }
 
@@ -189,7 +189,7 @@ func TestTCPDropOldestKeepsNewestGossip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src.idleTimeout = time.Hour // keep the writer pinned for the test
+	src.idleNanos.Store(int64(time.Hour)) // keep the writer pinned for the test
 	defer src.Close()
 	dst, err := ListenTCP("127.0.0.1:0")
 	if err != nil {
@@ -211,7 +211,7 @@ func TestTCPDropOldestKeepsNewestGossip(t *testing.T) {
 			t.Fatalf("send %d: %v", total, err)
 		}
 		total++
-		if total > 100*sendQueueCap {
+		if total > 100*DefaultSendQueueCap {
 			t.Fatal("queue never overflowed")
 		}
 	}
@@ -246,7 +246,7 @@ func TestTCPWriterIdleEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src.idleTimeout = 50 * time.Millisecond
+	src.idleNanos.Store(int64(50 * time.Millisecond))
 	defer src.Close()
 	dst, err := ListenTCP("127.0.0.1:0")
 	if err != nil {
@@ -331,7 +331,7 @@ func TestTCPCloseShedsQueuedFrames(t *testing.T) {
 	}
 	slow := newSlowPeer(t)
 	body := make([]byte, 8<<10)
-	for i := 0; i < sendQueueCap; i++ {
+	for i := 0; i < DefaultSendQueueCap; i++ {
 		if err := src.Send(slow.addr(), gossipFrame(src.Addr(), uint64(i), body)); err != nil {
 			break // queue full is fine; we just want a backlog
 		}

@@ -10,21 +10,24 @@ import (
 	"ringcast/internal/wire"
 )
 
-// Send-pipeline tuning.
+// Send-pipeline tuning defaults. The live values are per-transport atomics
+// (TCPTransport.queueCap / batchBytes / idleNanos) so the config engine can
+// re-tune a running pipeline; these exported constants seed them and give
+// the config layer its registered defaults.
 const (
-	// sendQueueCap bounds the frames queued per destination. At gossip
-	// frame sizes (~100 bytes) a full queue is ~50 KB; at the 1 MB body
-	// limit the byte batching below still keeps single writes bounded.
-	sendQueueCap = 512
-	// maxBatchBytes caps the bytes coalesced into one Write call so a
-	// backlog of large dissemination payloads cannot produce a write that
+	// DefaultSendQueueCap bounds the frames queued per destination. At
+	// gossip frame sizes (~100 bytes) a full queue is ~50 KB; at the 1 MB
+	// body limit the byte batching below still keeps single writes bounded.
+	DefaultSendQueueCap = 512
+	// DefaultMaxBatchBytes caps the bytes coalesced into one Write call so
+	// a backlog of large dissemination payloads cannot produce a write that
 	// outlives the write deadline.
-	maxBatchBytes = 256 << 10
-	// defaultWriterIdle is how long a writer with an empty queue keeps its
+	DefaultMaxBatchBytes = 256 << 10
+	// DefaultWriterIdle is how long a writer with an empty queue keeps its
 	// connection warm before evicting itself. Three paper-scale gossip
 	// cycles (10 s each) comfortably fit, so steady-state neighbors reuse
 	// one connection.
-	defaultWriterIdle = 30 * time.Second
+	DefaultWriterIdle = 30 * time.Second
 )
 
 // outFrame is one queued outbound frame, already length-prefixed.
@@ -36,7 +39,7 @@ type outFrame struct {
 // peerQueue is one destination's bounded outbound queue plus the state of
 // its lazily spawned writer goroutine. Send enqueues under mu and returns;
 // the writer dials, drains the queue in coalesced batches, and evicts
-// itself after defaultWriterIdle of silence.
+// itself after the transport's writer-idle period of silence.
 type peerQueue struct {
 	addr string
 	wake chan struct{} // buffered(1): "queue went non-empty"
@@ -96,7 +99,7 @@ func (t *TCPTransport) enqueue(to string, of outFrame) error {
 		pq.mu.Unlock()
 		return err
 	}
-	if len(pq.q) >= sendQueueCap {
+	if len(pq.q) >= int(t.queueCap.Load()) {
 		if !of.droppable {
 			pq.mu.Unlock()
 			t.rejects.Add(1)
@@ -170,15 +173,16 @@ func (t *TCPTransport) runWriter(pq *peerQueue) {
 	pq.conn = c
 	pq.mu.Unlock()
 
-	idle := time.NewTimer(t.idleTimeout)
+	idle := time.NewTimer(time.Duration(t.idleNanos.Load()))
 	defer idle.Stop()
 	var batch []byte
 	for {
 		batch = batch[:0]
 		n := 0
+		maxBatch := int(t.batchBytes.Load())
 		pq.mu.Lock()
 		for _, of := range pq.q {
-			if n > 0 && len(batch)+len(of.buf) > maxBatchBytes {
+			if n > 0 && len(batch)+len(of.buf) > maxBatch {
 				break
 			}
 			batch = append(batch, of.buf...)
@@ -205,7 +209,7 @@ func (t *TCPTransport) runWriter(pq *peerQueue) {
 				default:
 				}
 			}
-			idle.Reset(t.idleTimeout)
+			idle.Reset(time.Duration(t.idleNanos.Load()))
 			select {
 			case <-pq.wake:
 				continue

@@ -35,8 +35,15 @@ const (
 // liveness signal gossip protocols expect — and pending frames are shed and
 // counted in Stats.
 type TCPTransport struct {
-	ln          net.Listener
-	idleTimeout time.Duration // writer idle eviction; settable in tests
+	ln net.Listener
+
+	// Live pipeline tunables, re-tunable through the config engine while
+	// writers run: per-peer queue cap (frames), batch coalescing limit
+	// (bytes) and writer idle eviction (nanoseconds). Reads are lock-free
+	// on the send and writer hot paths.
+	queueCap   atomic.Int64
+	batchBytes atomic.Int64
+	idleNanos  atomic.Int64
 
 	hmu     sync.RWMutex
 	handler Handler
@@ -75,11 +82,13 @@ func ListenTCP(addr string) (*TCPTransport, error) {
 // tests can inject failing listener stubs into the accept loop.
 func newTCPWithListener(ln net.Listener) *TCPTransport {
 	t := &TCPTransport{
-		ln:          ln,
-		idleTimeout: defaultWriterIdle,
-		conns:       make(map[string]*peerQueue),
-		done:        make(chan struct{}),
+		ln:    ln,
+		conns: make(map[string]*peerQueue),
+		done:  make(chan struct{}),
 	}
+	t.queueCap.Store(DefaultSendQueueCap)
+	t.batchBytes.Store(DefaultMaxBatchBytes)
+	t.idleNanos.Store(int64(DefaultWriterIdle))
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t
@@ -177,6 +186,39 @@ func (t *TCPTransport) Send(to string, f *wire.Frame) error {
 		return err
 	}
 	return t.enqueue(to, outFrame{buf: msg, droppable: Droppable(f)})
+}
+
+// SetSendQueueCap re-tunes the per-destination outbound queue bound.
+// Frames already queued beyond a lowered cap drain normally; only new
+// enqueues see the new limit. Values below 1 are rejected.
+func (t *TCPTransport) SetSendQueueCap(frames int) error {
+	if frames < 1 {
+		return fmt.Errorf("transport: send queue cap must be >= 1, got %d", frames)
+	}
+	t.queueCap.Store(int64(frames))
+	return nil
+}
+
+// SetMaxBatchBytes re-tunes the byte limit one coalesced Write may carry.
+// A batch always admits at least one frame regardless of the limit, so a
+// value below the frame size degrades to unbatched writes, never a stall.
+func (t *TCPTransport) SetMaxBatchBytes(n int) error {
+	if n < 1 {
+		return fmt.Errorf("transport: max batch bytes must be >= 1, got %d", n)
+	}
+	t.batchBytes.Store(int64(n))
+	return nil
+}
+
+// SetWriterIdle re-tunes how long an idle writer keeps its connection warm
+// before evicting itself. Running writers pick the new period up on their
+// next drain cycle.
+func (t *TCPTransport) SetWriterIdle(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("transport: writer idle must be positive, got %v", d)
+	}
+	t.idleNanos.Store(int64(d))
+	return nil
 }
 
 // Stats implements Transport.

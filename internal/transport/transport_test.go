@@ -386,6 +386,66 @@ func TestMuxRejectsHugeTopic(t *testing.T) {
 	}
 }
 
+// Regression for the per-topic stats misattribution: topicTransport.Stats
+// and Mux.Stats used to return the shared base aggregate, so each topic
+// reported mux-wide counters as its own and summing per-topic stats
+// overcounted by the topic count. Now two topics' counters must sum exactly
+// to the base aggregate (the in-memory transport counts marshalled frame
+// bytes with no framing overhead, so equality is exact).
+func TestMuxPerTopicStatsSumToBase(t *testing.T) {
+	net := NewInMemNetwork()
+	baseA, _ := net.Endpoint("a")
+	baseB, _ := net.Endpoint("b")
+	muxA, muxB := NewMux(baseA), NewMux(baseB)
+	defer muxA.Close()
+	defer muxB.Close()
+	news, err := muxA.Topic("news")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sport, err := muxA.Topic("sport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range []string{"news", "sport"} {
+		if _, err := muxB.Topic(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const newsSends, sportSends = 7, 3
+	for i := 0; i < newsSends; i++ {
+		if err := news.Send("b", helloFrame("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < sportSends; i++ {
+		if err := sport.Send("b", helloFrame("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stNews, stSport := news.Stats(), sport.Stats()
+	if stNews.FramesSent != newsSends || stSport.FramesSent != sportSends {
+		t.Fatalf("per-topic frames = %d/%d, want %d/%d",
+			stNews.FramesSent, stSport.FramesSent, newsSends, sportSends)
+	}
+	if stNews.BytesSent == stSport.BytesSent {
+		t.Fatal("different send counts should yield different byte counters")
+	}
+	base := muxA.Base()
+	if got := stNews.FramesSent + stSport.FramesSent; got != base.FramesSent {
+		t.Fatalf("topic frames %d do not sum to base %d", got, base.FramesSent)
+	}
+	if got := stNews.BytesSent + stSport.BytesSent; got != base.BytesSent {
+		t.Fatalf("topic bytes %d do not sum to base %d", got, base.BytesSent)
+	}
+	sum := muxA.Stats()
+	if sum.FramesSent != base.FramesSent || sum.BytesSent != base.BytesSent {
+		t.Fatalf("Mux.Stats %+v disagrees with base %+v", sum, base)
+	}
+}
+
 func TestInMemHandlerlessDrop(t *testing.T) {
 	net := NewInMemNetwork()
 	a, _ := net.Endpoint("a")

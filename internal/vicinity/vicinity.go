@@ -109,6 +109,19 @@ func (v *Vicinity) Self() ident.ID { return v.self }
 // View exposes the proximity view.
 func (v *Vicinity) View() *view.View { return v.view }
 
+// Resize re-tunes the proximity-view length at runtime. The new size must
+// still admit the configured GossipLen; shrinking evicts the oldest
+// entries first. Callers synchronize externally, as with every other
+// method.
+func (v *Vicinity) Resize(viewSize int) error {
+	if viewSize < v.cfg.GossipLen {
+		return fmt.Errorf("vicinity: ViewSize %d below GossipLen %d", viewSize, v.cfg.GossipLen)
+	}
+	v.cfg.ViewSize = viewSize
+	v.view.SetCap(viewSize)
+	return nil
+}
+
 // AgeAll increments all entry ages; called once per gossip cycle.
 func (v *Vicinity) AgeAll() { v.view.AgeAll() }
 

@@ -132,6 +132,29 @@ func (v *View) Remove(id ident.ID) bool {
 	return true
 }
 
+// SetCap resizes the view's capacity in place, for live re-tuning.
+// Growing simply leaves headroom; shrinking below the current length
+// evicts the oldest entries first — the same candidates CYCLON's
+// replacement policy would cycle out next — until the view fits. Panics on
+// capacity <= 0, matching New.
+func (v *View) SetCap(capacity int) {
+	if capacity <= 0 {
+		panic("view: capacity must be positive")
+	}
+	v.cap = capacity
+	for len(v.entries) > v.cap {
+		oldest := 0
+		for i := 1; i < len(v.entries); i++ {
+			if v.entries[i].Age > v.entries[oldest].Age {
+				oldest = i
+			}
+		}
+		last := len(v.entries) - 1
+		v.entries[oldest] = v.entries[last]
+		v.entries = v.entries[:last]
+	}
+}
+
 // AgeAll increments the age of every entry by one. CYCLON does this at the
 // start of every shuffle the node initiates.
 func (v *View) AgeAll() {

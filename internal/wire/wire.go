@@ -89,15 +89,29 @@ var (
 	ErrBadKind   = errors.New("wire: unknown frame kind")
 )
 
-// MsgID uniquely identifies a disseminated message: the origin plus a
-// per-origin sequence number.
+// MsgID uniquely identifies a disseminated message: the origin, the
+// origin's incarnation epoch, and a per-origin sequence number. The epoch
+// disambiguates publishes across supervised restarts: a relaunched node
+// reuses its seed (and therefore its ring identity), so without the epoch
+// its fresh pubSeq counter would reproduce pre-crash MsgIDs and fleet
+// dedup caches would silently swallow every post-restart publish. Epoch 0
+// encodes exactly as the pre-epoch wire format, so old and new nodes
+// interoperate until a restart actually happens.
 type MsgID struct {
 	Origin ident.ID
+	Epoch  uint32
 	Seq    uint64
 }
 
-// String renders the ID for logs.
-func (m MsgID) String() string { return fmt.Sprintf("%s/%d", m.Origin, m.Seq) }
+// String renders the ID for logs: "origin/seq" for epoch 0 (identical to
+// the pre-epoch format, which status lines and tests parse), and
+// "origin.epoch/seq" for restarted incarnations.
+func (m MsgID) String() string {
+	if m.Epoch == 0 {
+		return fmt.Sprintf("%s/%d", m.Origin, m.Seq)
+	}
+	return fmt.Sprintf("%s.%d/%d", m.Origin, m.Epoch, m.Seq)
+}
 
 // Message is a disseminated application message.
 type Message struct {
@@ -147,19 +161,13 @@ func Marshal(f *Frame) ([]byte, error) {
 		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, len(f.Msg.Body))
 	}
 
-	size := 1 + 8 + 1 + len(f.FromAddr) + 1 + len(f.Topic) + 8 + 2
 	for _, e := range f.Entries {
 		if len(e.Addr) > MaxAddrLen {
 			return nil, fmt.Errorf("%w: entry addr %d bytes", ErrTooLarge, len(e.Addr))
 		}
-		size += 8 + 4 + 1 + len(e.Addr)
-	}
-	size++ // hasMsg flag
-	if f.Msg != nil {
-		size += 8 + 8 + 2 + 4 + len(f.Msg.Body)
 	}
 
-	buf := make([]byte, 0, size)
+	buf := make([]byte, 0, EncodedSize(f))
 	buf = append(buf, byte(f.Kind))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(f.From))
 	buf = appendString(buf, f.FromAddr)
@@ -171,17 +179,48 @@ func Marshal(f *Frame) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint32(buf, e.Age)
 		buf = appendString(buf, e.Addr)
 	}
-	if f.Msg == nil {
+	// Message flag: 0 = no message, 1 = epoch-0 message in the original
+	// layout (byte-identical to the pre-epoch codec), 2 = message with an
+	// explicit 32-bit incarnation epoch after the origin.
+	switch {
+	case f.Msg == nil:
 		buf = append(buf, 0)
-	} else {
+	case f.Msg.ID.Epoch == 0:
 		buf = append(buf, 1)
 		buf = binary.BigEndian.AppendUint64(buf, uint64(f.Msg.ID.Origin))
 		buf = binary.BigEndian.AppendUint64(buf, f.Msg.ID.Seq)
 		buf = binary.BigEndian.AppendUint16(buf, f.Msg.Hop)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Msg.Body)))
 		buf = append(buf, f.Msg.Body...)
+	default:
+		buf = append(buf, 2)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(f.Msg.ID.Origin))
+		buf = binary.BigEndian.AppendUint32(buf, f.Msg.ID.Epoch)
+		buf = binary.BigEndian.AppendUint64(buf, f.Msg.ID.Seq)
+		buf = binary.BigEndian.AppendUint16(buf, f.Msg.Hop)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Msg.Body)))
+		buf = append(buf, f.Msg.Body...)
 	}
 	return buf, nil
+}
+
+// EncodedSize returns the exact byte length Marshal produces for f,
+// assuming f passes Marshal's limit checks. The per-topic transport
+// counters use it so topic byte accounting matches the marshalled frame
+// size the base transport observes.
+func EncodedSize(f *Frame) int {
+	size := 1 + 8 + 1 + len(f.FromAddr) + 1 + len(f.Topic) + 8 + 2
+	for _, e := range f.Entries {
+		size += 8 + 4 + 1 + len(e.Addr)
+	}
+	size++ // message flag
+	if f.Msg != nil {
+		size += 8 + 8 + 2 + 4 + len(f.Msg.Body)
+		if f.Msg.ID.Epoch != 0 {
+			size += 4 // explicit epoch (flag 2 layout)
+		}
+	}
+	return size
 }
 
 func appendString(buf []byte, s string) []byte {
@@ -302,13 +341,23 @@ func Unmarshal(buf []byte) (*Frame, error) {
 	}
 	switch hasMsg {
 	case 0:
-	case 1:
+	case 1, 2:
 		m := &Message{}
 		origin, err := r.u64()
 		if err != nil {
 			return nil, err
 		}
 		m.ID.Origin = ident.ID(origin)
+		if hasMsg == 2 {
+			if m.ID.Epoch, err = r.u32(); err != nil {
+				return nil, err
+			}
+			// Epoch 0 must use the flag-1 layout; rejecting the redundant
+			// encoding keeps Marshal∘Unmarshal a fixpoint on valid frames.
+			if m.ID.Epoch == 0 {
+				return nil, errors.New("wire: non-canonical epoch 0 in flag-2 message")
+			}
+		}
 		if m.ID.Seq, err = r.u64(); err != nil {
 			return nil, err
 		}
